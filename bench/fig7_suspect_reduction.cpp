@@ -1,0 +1,64 @@
+// Figure 7 — suspect-set reduction γ = |hypothesis| / |suspect set|.
+//
+// (a) testbed policy, 200 object faults, buckets 1-10 / 10-20 / 20-40 /
+//     40-60 suspect objects;
+// (b) production-shaped policy, 1500 object faults, buckets 1-10 / 10-50 /
+//     50-100 / 100-500 / 500-1000.
+//
+// Paper result: γ < ~0.08 in most buckets — SCOUT reports at most ~10
+// objects where an admin would otherwise face up to a thousand.
+#include <cstdio>
+
+#include "src/scout/experiment.h"
+
+namespace {
+
+void print_buckets(const char* title,
+                   const std::vector<scout::GammaBucket>& buckets) {
+  std::printf("%s\n", title);
+  std::printf("  %-12s %-10s %-12s %-8s\n", "#suspects", "mean-gamma",
+              "max|H|", "samples");
+  for (const auto& b : buckets) {
+    if (b.samples == 0) {
+      std::printf("  %4zu-%-7zu %-10s %-12s %-8s\n", b.lo, b.hi, "-", "-",
+                  "0");
+      continue;
+    }
+    std::printf("  %4zu-%-7zu %-10.4f %-12.0f %-8zu\n", b.lo, b.hi,
+                b.mean_gamma, b.max_hypothesis, b.samples);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace scout;
+
+  std::printf("=== Figure 7: suspect set reduction ===\n\n");
+
+  {
+    GammaOptions opts;
+    opts.profile = GeneratorProfile::testbed();
+    opts.faults = 200;
+    opts.seed = 7;
+    opts.bucket_bounds = {10, 20, 40, 60};
+    print_buckets("(a) faults in testbed (200 object faults)",
+                  run_gamma_experiment(opts));
+  }
+
+  {
+    GammaOptions opts;
+    opts.profile = GeneratorProfile::production();
+    opts.profile.target_pairs = 12'000;  // runtime trim; shape preserved
+    opts.faults = 1500;
+    opts.seed = 11;
+    opts.bucket_bounds = {10, 50, 100, 500, 1000};
+    print_buckets("(b) simulated faults (1500 object faults)",
+                  run_gamma_experiment(opts));
+  }
+
+  std::printf("paper reference: gamma < 0.08 in most buckets; at most ~10 "
+              "objects reported\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "src/agent/fault_log.h"
+
+#include <stdexcept>
+
+namespace scout {
+
+std::string_view to_string(FaultCode c) noexcept {
+  switch (c) {
+    case FaultCode::kTcamOverflow:
+      return "TCAM_OVERFLOW";
+    case FaultCode::kTcamParityError:
+      return "TCAM_PARITY_ERROR";
+    case FaultCode::kAgentCrash:
+      return "AGENT_CRASH";
+    case FaultCode::kSwitchUnreachable:
+      return "SWITCH_UNREACHABLE";
+    case FaultCode::kRuleEviction:
+      return "RULE_EVICTION";
+  }
+  return "?";
+}
+
+std::size_t FaultLog::raise(SimTime t, SwitchId sw, FaultCode code,
+                            FaultSeverity severity, std::string detail) {
+  records_.push_back(FaultRecord{t, std::nullopt, sw, code, severity,
+                                 std::move(detail)});
+  return records_.size() - 1;
+}
+
+void FaultLog::clear(std::size_t index, SimTime t) {
+  if (index >= records_.size()) {
+    throw std::out_of_range{"FaultLog::clear: bad index"};
+  }
+  records_[index].cleared = t;
+}
+
+std::vector<FaultRecord> FaultLog::active_at(SimTime t) const {
+  std::vector<FaultRecord> out;
+  for (const auto& r : records_) {
+    if (r.active_at(t)) out.push_back(r);
+  }
+  return out;
+}
+
+void FaultLog::merge_from(const FaultLog& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+}  // namespace scout

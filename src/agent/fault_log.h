@@ -1,0 +1,65 @@
+// Device/controller fault logs (paper §V-A). Switch agents log hardware and
+// software faults (TCAM overflow, parity errors, crashes); the controller
+// logs control-channel faults (unreachable switch). The event-correlation
+// engine joins these against the policy change log.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_clock.h"
+
+namespace scout {
+
+enum class FaultCode : std::uint8_t {
+  kTcamOverflow,       // rule installation rejected: table full
+  kTcamParityError,    // hardware corruption detected
+  kAgentCrash,         // switch agent process died
+  kSwitchUnreachable,  // control channel down (controller-side)
+  kRuleEviction,       // local eviction mechanism removed rules
+};
+
+[[nodiscard]] std::string_view to_string(FaultCode c) noexcept;
+
+enum class FaultSeverity : std::uint8_t { kInfo, kWarning, kCritical };
+
+struct FaultRecord {
+  SimTime raised;
+  std::optional<SimTime> cleared;  // nullopt = still active
+  SwitchId sw;
+  FaultCode code = FaultCode::kTcamOverflow;
+  FaultSeverity severity = FaultSeverity::kWarning;
+  std::string detail;
+
+  // "Active at t": raised on or before t and not yet cleared at t. This is
+  // the predicate the correlation engine evaluates at change timestamps.
+  [[nodiscard]] bool active_at(SimTime t) const noexcept {
+    return raised <= t && (!cleared.has_value() || t <= *cleared);
+  }
+};
+
+class FaultLog {
+ public:
+  // Returns the index of the new record (for later clear()).
+  std::size_t raise(SimTime t, SwitchId sw, FaultCode code,
+                    FaultSeverity severity, std::string detail);
+
+  void clear(std::size_t index, SimTime t);
+
+  [[nodiscard]] std::span<const FaultRecord> records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::vector<FaultRecord> active_at(SimTime t) const;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  // Merge another log (e.g. collect all device logs at the controller).
+  void merge_from(const FaultLog& other);
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace scout

@@ -1,0 +1,100 @@
+#include "src/agent/switch_agent.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scout {
+
+ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
+  if (!responsive_) return ApplyStatus::kLost;
+  if (crashed_) return ApplyStatus::kCrashed;
+  if (crash_countdown_ != kNoCrash && crash_countdown_ == 0) {
+    crashed_ = true;
+    fault_log_.raise(now, info_.id, FaultCode::kAgentCrash,
+                     FaultSeverity::kCritical, "agent process crashed");
+    return ApplyStatus::kCrashed;
+  }
+  if (crash_countdown_ != kNoCrash) --crash_countdown_;
+
+  switch (ins.op) {
+    case InstructionOp::kAddRule: {
+      logical_view_.push_back(ins.rule);
+      TcamRule hw_rule = ins.rule.rule;
+      if (vrf_rewrite_bug_.has_value() && hw_rule.vrf.mask != 0) {
+        // The buggy agent writes a wrong VRF id into the hardware entry.
+        hw_rule.vrf =
+            TernaryField::exact(*vrf_rewrite_bug_, FieldWidths::kVrf);
+      }
+      if (tcam_.install(hw_rule) == InstallStatus::kOverflow) {
+        std::ostringstream detail;
+        detail << "TCAM full (" << tcam_.size() << '/' << tcam_.capacity()
+               << "), rule rejected";
+        fault_log_.raise(now, info_.id, FaultCode::kTcamOverflow,
+                         FaultSeverity::kCritical, detail.str());
+        return ApplyStatus::kTcamOverflow;
+      }
+      return ApplyStatus::kApplied;
+    }
+    case InstructionOp::kRemoveRule: {
+      const TcamRule& target = ins.rule.rule;
+      logical_view_.erase(
+          std::remove_if(logical_view_.begin(), logical_view_.end(),
+                         [&target](const LogicalRule& lr) {
+                           return lr.rule.same_match(target);
+                         }),
+          logical_view_.end());
+      tcam_.remove_if(
+          [&target](const TcamRule& r) { return r.same_match(target); });
+      return ApplyStatus::kApplied;
+    }
+  }
+  return ApplyStatus::kApplied;
+}
+
+void SwitchAgent::recover(SimTime now) {
+  if (!crashed_) return;
+  crashed_ = false;
+  crash_countdown_ = kNoCrash;
+  // Find the open crash record and clear it.
+  for (std::size_t i = fault_log_.size(); i-- > 0;) {
+    const auto& rec = fault_log_.records()[i];
+    if (rec.code == FaultCode::kAgentCrash && !rec.cleared.has_value()) {
+      fault_log_.clear(i, now);
+      break;
+    }
+  }
+}
+
+std::vector<TcamRule> SwitchAgent::collect_tcam() const {
+  const auto rules = tcam_.rules();
+  return {rules.begin(), rules.end()};
+}
+
+std::size_t SwitchAgent::evict_rules(std::size_t n, SimTime now) {
+  std::size_t evicted = 0;
+  for (; evicted < n; ++evicted) {
+    if (!tcam_.evict_one().has_value()) break;
+  }
+  if (evicted > 0) {
+    std::ostringstream detail;
+    detail << "local eviction removed " << evicted << " rules";
+    fault_log_.raise(now, info_.id, FaultCode::kRuleEviction,
+                     FaultSeverity::kWarning, detail.str());
+  }
+  return evicted;
+}
+
+bool SwitchAgent::corrupt_tcam_bit(Rng& rng, SimTime now,
+                                   double detection_probability) {
+  const auto idx = tcam_.corrupt_random_bit(rng);
+  if (!idx.has_value()) return false;
+  if (rng.chance(detection_probability)) {
+    std::ostringstream detail;
+    detail << "parity error detected in TCAM entry " << *idx;
+    fault_log_.raise(now, info_.id, FaultCode::kTcamParityError,
+                     FaultSeverity::kCritical, detail.str());
+  }
+  return true;
+}
+
+}  // namespace scout

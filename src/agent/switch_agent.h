@@ -1,0 +1,108 @@
+// Switch agent: the per-device software that receives controller
+// instructions, maintains a local logical view of the policy, and renders
+// TCAM rules (paper §II-A). The agent is where most of §II-B's failure
+// modes live: it can be unresponsive (instructions silently lost), crash
+// mid-batch, overflow its TCAM, evict rules locally, or corrupt TCAM bits.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/agent/fault_log.h"
+#include "src/checker/logical_rule.h"
+#include "src/common/rng.h"
+#include "src/common/sim_clock.h"
+#include "src/tcam/tcam_table.h"
+#include "src/topology/fabric.h"
+
+namespace scout {
+
+enum class InstructionOp : std::uint8_t { kAddRule, kRemoveRule };
+
+// The controller-to-agent instruction unit. Real systems ship object-level
+// deltas (OpFlex, OpenFlow flow-mods); the observable effect either way is
+// rule-level adds/removes against the local view, which is what the fault
+// model needs.
+struct Instruction {
+  InstructionOp op = InstructionOp::kAddRule;
+  LogicalRule rule;
+};
+
+enum class ApplyStatus : std::uint8_t {
+  kApplied,
+  kLost,          // agent unresponsive / channel down: instruction vanished
+  kCrashed,       // agent crashed before applying
+  kTcamOverflow,  // applied to logical view; TCAM rejected the rule
+};
+
+class SwitchAgent {
+ public:
+  SwitchAgent(SwitchInfo info, std::size_t tcam_capacity)
+      : info_(std::move(info)), tcam_(tcam_capacity) {}
+
+  [[nodiscard]] SwitchId id() const noexcept { return info_.id; }
+  [[nodiscard]] const SwitchInfo& info() const noexcept { return info_; }
+
+  // -- control-plane behaviour ------------------------------------------------
+  ApplyStatus apply(const Instruction& ins, SimTime now);
+
+  // -- state inspection -------------------------------------------------------
+  [[nodiscard]] const TcamTable& tcam() const noexcept { return tcam_; }
+  [[nodiscard]] TcamTable& tcam() noexcept { return tcam_; }
+  [[nodiscard]] std::span<const LogicalRule> logical_view() const noexcept {
+    return logical_view_;
+  }
+  [[nodiscard]] const FaultLog& fault_log() const noexcept {
+    return fault_log_;
+  }
+  [[nodiscard]] FaultLog& fault_log() noexcept { return fault_log_; }
+
+  // Collect the deployed rules, as the paper's periodic TCAM collection
+  // does. (A copy: the collector reads device state, it does not alias it.)
+  [[nodiscard]] std::vector<TcamRule> collect_tcam() const;
+
+  // -- fault behaviour knobs (driven by src/faults) ---------------------------
+  void set_responsive(bool r) noexcept { responsive_ = r; }
+  [[nodiscard]] bool responsive() const noexcept { return responsive_; }
+
+  // Crash after `n` more successfully applied instructions; the crash is
+  // recorded in the device fault log when it triggers.
+  void crash_after(std::size_t n) noexcept { crash_countdown_ = n; }
+  void recover(SimTime now);
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  // Software-bug injection: while set, newly rendered rules get this VRF id
+  // written into TCAM instead of the correct one (paper §IV-B cites software
+  // bugs that "modify object's value wrong at controller or switch agent").
+  void set_vrf_rewrite_bug(std::optional<std::uint16_t> wrong_vrf) noexcept {
+    vrf_rewrite_bug_ = wrong_vrf;
+  }
+
+  // Local eviction: drop `n` lowest-priority rules from TCAM (logical view
+  // keeps them — the controller is unaware, §II-B). Logged as RULE_EVICTION.
+  std::size_t evict_rules(std::size_t n, SimTime now);
+
+  // Corrupt one random TCAM bit; logs a parity error only with probability
+  // `detection_probability` (silent corruption is the hard case: no fault
+  // log to correlate, paper §V-B end note).
+  bool corrupt_tcam_bit(Rng& rng, SimTime now, double detection_probability);
+
+ private:
+  static constexpr std::size_t kNoCrash =
+      std::numeric_limits<std::size_t>::max();
+
+  SwitchInfo info_;
+  TcamTable tcam_;
+  std::vector<LogicalRule> logical_view_;
+  FaultLog fault_log_;
+
+  bool responsive_ = true;
+  bool crashed_ = false;
+  std::size_t crash_countdown_ = kNoCrash;
+  std::optional<std::uint16_t> vrf_rewrite_bug_;
+};
+
+}  // namespace scout

@@ -1,0 +1,278 @@
+#include "src/bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace scout {
+
+namespace {
+constexpr std::uint32_t kOpAnd = 0;
+constexpr std::uint32_t kOpOr = 1;
+constexpr std::uint32_t kOpXor = 2;
+constexpr std::uint32_t kOpNot = 3;
+}  // namespace
+
+BddManager::BddManager(std::uint32_t var_count) : var_count_(var_count) {
+  // Terminals: index 0 = false, 1 = true. They sit "below" all variables.
+  nodes_.push_back(Node{var_count_, kBddFalse, kBddFalse});
+  nodes_.push_back(Node{var_count_, kBddTrue, kBddTrue});
+}
+
+BddRef BddManager::make_node(std::uint32_t v, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  const NodeKey key{v, low, high};
+  if (const auto it = unique_.find(key); it != unique_.end()) {
+    return it->second;
+  }
+  const auto ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{v, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(std::uint32_t index) {
+  if (index >= var_count_) throw std::out_of_range{"BddManager::var"};
+  return make_node(index, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::nvar(std::uint32_t index) {
+  if (index >= var_count_) throw std::out_of_range{"BddManager::nvar"};
+  return make_node(index, kBddTrue, kBddFalse);
+}
+
+BddRef BddManager::apply(std::uint32_t op, BddRef a, BddRef b) {
+  // Terminal cases.
+  switch (op) {
+    case kOpAnd:
+      if (a == kBddFalse || b == kBddFalse) return kBddFalse;
+      if (a == kBddTrue) return b;
+      if (b == kBddTrue) return a;
+      if (a == b) return a;
+      break;
+    case kOpOr:
+      if (a == kBddTrue || b == kBddTrue) return kBddTrue;
+      if (a == kBddFalse) return b;
+      if (b == kBddFalse) return a;
+      if (a == b) return a;
+      break;
+    case kOpXor:
+      if (a == b) return kBddFalse;
+      if (a == kBddFalse) return b;
+      if (b == kBddFalse) return a;
+      break;
+    default:
+      break;
+  }
+  // AND/OR/XOR are commutative: normalize operand order for cache hits.
+  if (a > b) std::swap(a, b);
+  const OpKey key{op, a, b};
+  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
+    return it->second;
+  }
+
+  // Copies, not references: recursion below may reallocate the node pool.
+  const Node na = node(a);
+  const Node nb = node(b);
+  const std::uint32_t v = std::min(na.var, nb.var);
+  const BddRef a_lo = na.var == v ? na.low : a;
+  const BddRef a_hi = na.var == v ? na.high : a;
+  const BddRef b_lo = nb.var == v ? nb.low : b;
+  const BddRef b_hi = nb.var == v ? nb.high : b;
+
+  const BddRef lo = apply(op, a_lo, b_lo);
+  const BddRef hi = apply(op, a_hi, b_hi);
+  const BddRef result = make_node(v, lo, hi);
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::apply_and(BddRef a, BddRef b) { return apply(kOpAnd, a, b); }
+BddRef BddManager::apply_or(BddRef a, BddRef b) { return apply(kOpOr, a, b); }
+BddRef BddManager::apply_xor(BddRef a, BddRef b) { return apply(kOpXor, a, b); }
+
+BddRef BddManager::negate(BddRef a) {
+  if (a == kBddFalse) return kBddTrue;
+  if (a == kBddTrue) return kBddFalse;
+  const OpKey key{kOpNot, a, 0};
+  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
+    return it->second;
+  }
+  // Copy the node fields: the recursive calls below can grow (and
+  // reallocate) the node pool, so a reference would dangle.
+  const Node n = node(a);
+  const BddRef lo = negate(n.low);
+  const BddRef hi = negate(n.high);
+  const BddRef result = make_node(n.var, lo, hi);
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+  if (g == kBddFalse && h == kBddTrue) return negate(f);
+
+  const IteKey key{f, g, h};
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    return it->second;
+  }
+
+  const std::uint32_t v =
+      std::min({node(f).var, node(g).var, node(h).var});
+  auto split = [&](BddRef r, bool high) {
+    const Node& n = node(r);
+    if (is_terminal(r) || n.var != v) return r;
+    return high ? n.high : n.low;
+  };
+  const BddRef lo = ite(split(f, false), split(g, false), split(h, false));
+  const BddRef hi = ite(split(f, true), split(g, true), split(h, true));
+  const BddRef result = make_node(v, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::cube(const BddCube& literals) {
+  // Build bottom-up in descending variable order so each make_node call is
+  // O(1) — no apply needed for a pure conjunction of literals.
+  BddCube sorted = literals;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BddLiteral& a, const BddLiteral& b) {
+              return a.var > b.var;
+            });
+  BddRef acc = kBddTrue;
+  std::uint32_t prev_var = var_count_;
+  for (const auto& lit : sorted) {
+    if (lit.var >= var_count_) throw std::out_of_range{"BddManager::cube"};
+    if (lit.var == prev_var) {
+      throw std::invalid_argument{"BddManager::cube: duplicate variable"};
+    }
+    prev_var = lit.var;
+    acc = lit.positive ? make_node(lit.var, kBddFalse, acc)
+                       : make_node(lit.var, acc, kBddFalse);
+  }
+  return acc;
+}
+
+bool BddManager::evaluate(BddRef f,
+                          const std::vector<bool>& assignment) const {
+  assert(assignment.size() >= var_count_);
+  while (!is_terminal(f)) {
+    const Node& n = node(f);
+    f = assignment[n.var] ? n.high : n.low;
+  }
+  return f == kBddTrue;
+}
+
+bool BddManager::intersects_cube(BddRef f, const BddCube& partial) const {
+  // phase[v]: -1 unconstrained, 0 forced low, 1 forced high.
+  std::vector<std::int8_t> phase(var_count_, -1);
+  for (const auto& lit : partial) {
+    phase[lit.var] = lit.positive ? 1 : 0;
+  }
+  // DFS with a visited set: a node that failed once under this cube always
+  // fails (the cube fixes the same branch every time we reach the node).
+  std::unordered_set<BddRef> failed;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    stack.pop_back();
+    if (cur == kBddTrue) return true;
+    if (cur == kBddFalse || failed.contains(cur)) continue;
+    failed.insert(cur);
+    const Node& n = node(cur);
+    if (phase[n.var] == 0) {
+      stack.push_back(n.low);
+    } else if (phase[n.var] == 1) {
+      stack.push_back(n.high);
+    } else {
+      stack.push_back(n.low);
+      stack.push_back(n.high);
+    }
+  }
+  return false;
+}
+
+double BddManager::sat_count(BddRef f) const {
+  std::unordered_map<BddRef, double> memo;
+  // counts assignments of variables with index >= node's var
+  std::function<double(BddRef)> rec = [&](BddRef r) -> double {
+    if (r == kBddFalse) return 0.0;
+    if (r == kBddTrue) return 1.0;
+    if (const auto it = memo.find(r); it != memo.end()) return it->second;
+    const Node& n = node(r);
+    const Node& lo_n = node(n.low);
+    const Node& hi_n = node(n.high);
+    const double lo = rec(n.low) *
+                      std::pow(2.0, static_cast<double>(lo_n.var - n.var - 1));
+    const double hi = rec(n.high) *
+                      std::pow(2.0, static_cast<double>(hi_n.var - n.var - 1));
+    const double result = lo + hi;
+    memo.emplace(r, result);
+    return result;
+  };
+  const Node& root = node(f);
+  const std::uint32_t top_var = is_terminal(f) ? var_count_ : root.var;
+  return rec(f) * std::pow(2.0, static_cast<double>(top_var));
+}
+
+std::size_t BddManager::foreach_cube(
+    BddRef f,
+    const std::function<bool(std::span<const std::int8_t>)>& callback) const {
+  std::vector<std::int8_t> assignment(var_count_, -1);
+  std::size_t visited = 0;
+  bool stop = false;
+  std::function<void(BddRef)> rec = [&](BddRef r) {
+    if (stop || r == kBddFalse) return;
+    if (r == kBddTrue) {
+      ++visited;
+      if (!callback(assignment)) stop = true;
+      return;
+    }
+    const Node& n = node(r);
+    assignment[n.var] = 0;
+    rec(n.low);
+    assignment[n.var] = 1;
+    rec(n.high);
+    assignment[n.var] = -1;
+  };
+  rec(f);
+  return visited;
+}
+
+std::vector<std::int8_t> BddManager::any_sat(BddRef f) const {
+  if (f == kBddFalse) {
+    throw std::invalid_argument{"any_sat: unsatisfiable"};
+  }
+  std::vector<std::int8_t> assignment(var_count_, -1);
+  while (!is_terminal(f)) {
+    const Node& n = node(f);
+    if (n.low != kBddFalse) {
+      assignment[n.var] = 0;
+      f = n.low;
+    } else {
+      assignment[n.var] = 1;
+      f = n.high;
+    }
+  }
+  return assignment;
+}
+
+std::size_t BddManager::dag_size(BddRef f) const {
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second || is_terminal(cur)) continue;
+    stack.push_back(node(cur).low);
+    stack.push_back(node(cur).high);
+  }
+  return seen.size();
+}
+
+}  // namespace scout

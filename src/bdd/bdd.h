@@ -1,0 +1,170 @@
+// Reduced Ordered Binary Decision Diagrams, built from scratch.
+//
+// The paper's L-T equivalence checker compares two rulesets by building one
+// ROBDD from the logical rules (L) and one from the collected TCAM rules (T)
+// and testing equivalence (§III-C). Canonicity makes the test a pointer
+// comparison; the diff L ∧ ¬T is the exact packet set that should be
+// deployed but is not, from which missing rules are recovered.
+//
+// Design notes:
+//  * Nodes are hash-consed in a unique table, so structural equality is
+//    reference equality (canonicity).
+//  * No complement edges and no garbage collection: a manager lives for one
+//    check and is dropped wholesale. This keeps the implementation simple
+//    and is fast enough (the checker builds a fresh manager per switch).
+//  * Variables are identified by index 0..var_count-1 with a fixed global
+//    order equal to the index order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace scout {
+
+// Index into the manager's node pool. 0 and 1 are the terminals.
+using BddRef = std::uint32_t;
+
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+// A literal: variable index plus phase (true = positive).
+struct BddLiteral {
+  std::uint32_t var;
+  bool positive;
+};
+
+// A conjunction of literals (a cube). Every TCAM rule encodes to one cube.
+using BddCube = std::vector<BddLiteral>;
+
+class BddManager {
+ public:
+  explicit BddManager(std::uint32_t var_count);
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+  BddManager(BddManager&&) = default;
+  BddManager& operator=(BddManager&&) = default;
+
+  [[nodiscard]] std::uint32_t var_count() const noexcept { return var_count_; }
+
+  // -- leaf/variable constructors -------------------------------------------
+  [[nodiscard]] BddRef constant(bool b) const noexcept {
+    return b ? kBddTrue : kBddFalse;
+  }
+  [[nodiscard]] BddRef var(std::uint32_t index);   // f = x_index
+  [[nodiscard]] BddRef nvar(std::uint32_t index);  // f = !x_index
+
+  // -- boolean operations (all memoized) ------------------------------------
+  [[nodiscard]] BddRef apply_and(BddRef a, BddRef b);
+  [[nodiscard]] BddRef apply_or(BddRef a, BddRef b);
+  [[nodiscard]] BddRef apply_xor(BddRef a, BddRef b);
+  [[nodiscard]] BddRef negate(BddRef a);
+  [[nodiscard]] BddRef ite(BddRef f, BddRef g, BddRef h);
+  [[nodiscard]] BddRef apply_diff(BddRef a, BddRef b) {  // a ∧ ¬b
+    return apply_and(a, negate(b));
+  }
+
+  // Conjunction of a cube (linear construction, no apply cache pressure).
+  [[nodiscard]] BddRef cube(const BddCube& literals);
+
+  // -- queries ---------------------------------------------------------------
+  [[nodiscard]] bool is_false(BddRef f) const noexcept { return f == kBddFalse; }
+  [[nodiscard]] bool is_true(BddRef f) const noexcept { return f == kBddTrue; }
+
+  // Equivalence is canonical-reference equality.
+  [[nodiscard]] bool equivalent(BddRef a, BddRef b) const noexcept {
+    return a == b;
+  }
+
+  // Evaluate under a full assignment (element i = value of variable i).
+  // Takes vector<bool> by reference: it is not contiguous, so span<const
+  // bool> cannot view it.
+  [[nodiscard]] bool evaluate(BddRef f,
+                              const std::vector<bool>& assignment) const;
+
+  // Does f have a satisfying assignment consistent with `partial`?
+  // `partial` maps var -> phase for a subset of variables (a cube).
+  [[nodiscard]] bool intersects_cube(BddRef f, const BddCube& partial) const;
+
+  // Number of satisfying assignments over the full variable set (double:
+  // 2^68 overflows uint64).
+  [[nodiscard]] double sat_count(BddRef f) const;
+
+  // Enumerate the satisfying paths of f as cubes: callback receives a
+  // vector of per-variable values: 0, 1 or -1 (don't-care). Returns the
+  // number of paths visited; enumeration stops early if the callback
+  // returns false.
+  std::size_t foreach_cube(
+      BddRef f,
+      const std::function<bool(std::span<const std::int8_t>)>& callback) const;
+
+  // One satisfying assignment (arbitrary), as per-variable 0/1/-1 values.
+  // f must not be kBddFalse.
+  [[nodiscard]] std::vector<std::int8_t> any_sat(BddRef f) const;
+
+  // -- introspection ---------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  // Nodes reachable from f (size of the DAG rooted at f).
+  [[nodiscard]] std::size_t dag_size(BddRef f) const;
+
+ private:
+  struct Node {
+    std::uint32_t var;  // variable index; terminals use var_count_
+    BddRef low;
+    BddRef high;
+  };
+
+  struct NodeKey {
+    std::uint32_t var;
+    BddRef low;
+    BddRef high;
+    bool operator==(const NodeKey&) const noexcept = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const noexcept {
+      return hash_all(k.var, k.low, k.high);
+    }
+  };
+
+  struct OpKey {
+    std::uint32_t op;  // 0=and 1=or 2=xor 3=not(b unused)
+    BddRef a;
+    BddRef b;
+    bool operator==(const OpKey&) const noexcept = default;
+  };
+  struct OpKeyHash {
+    std::size_t operator()(const OpKey& k) const noexcept {
+      return hash_all(k.op, k.a, k.b);
+    }
+  };
+
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey&) const noexcept = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const noexcept {
+      return hash_all(k.f, k.g, k.h);
+    }
+  };
+
+  [[nodiscard]] BddRef make_node(std::uint32_t var, BddRef low, BddRef high);
+  [[nodiscard]] BddRef apply(std::uint32_t op, BddRef a, BddRef b);
+  [[nodiscard]] const Node& node(BddRef r) const noexcept { return nodes_[r]; }
+  [[nodiscard]] bool is_terminal(BddRef r) const noexcept { return r <= 1; }
+
+  std::uint32_t var_count_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<OpKey, BddRef, OpKeyHash> op_cache_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+};
+
+}  // namespace scout

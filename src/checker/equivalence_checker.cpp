@@ -1,0 +1,164 @@
+#include "src/checker/equivalence_checker.h"
+
+#include <unordered_map>
+
+#include "src/checker/packet_encoding.h"
+#include "src/common/hash.h"
+
+namespace scout {
+namespace {
+
+// Match-key (fields + action, priority excluded) for multiset comparison.
+struct MatchKey {
+  TernaryField vrf, src_epg, dst_epg, proto, dst_port;
+  RuleAction action;
+
+  bool operator==(const MatchKey&) const noexcept = default;
+
+  static MatchKey of(const TcamRule& r) noexcept {
+    return MatchKey{r.vrf, r.src_epg, r.dst_epg, r.proto, r.dst_port,
+                    r.action};
+  }
+};
+
+struct MatchKeyHash {
+  std::size_t operator()(const MatchKey& k) const noexcept {
+    return hash_all(k.vrf.value, k.vrf.mask, k.src_epg.value, k.src_epg.mask,
+                    k.dst_epg.value, k.dst_epg.mask, k.proto.value,
+                    k.proto.mask, k.dst_port.value, k.dst_port.mask,
+                    static_cast<unsigned>(k.action));
+  }
+};
+
+using MatchMultiset = std::unordered_map<MatchKey, std::size_t, MatchKeyHash>;
+
+MatchMultiset to_multiset(std::span<const TcamRule> rules) {
+  MatchMultiset ms;
+  ms.reserve(rules.size());
+  for (const auto& r : rules) ++ms[MatchKey::of(r)];
+  return ms;
+}
+
+bool is_catch_all_deny(const MatchKey& k) noexcept {
+  return k.action == RuleAction::kDeny && k.vrf.mask == 0 &&
+         k.src_epg.mask == 0 && k.dst_epg.mask == 0 && k.proto.mask == 0 &&
+         k.dst_port.mask == 0;
+}
+
+}  // namespace
+
+bool EquivalenceChecker::syntactically_identical(
+    std::span<const LogicalRule> logical, std::span<const TcamRule> deployed) {
+  MatchMultiset ms = to_multiset(deployed);
+  for (const auto& lr : logical) {
+    const auto it = ms.find(MatchKey::of(lr.rule));
+    if (it == ms.end() || it->second == 0) return false;
+    --it->second;
+  }
+  // Any leftover deployed rule other than the implicit catch-all deny means
+  // the device has extra state.
+  for (const auto& [key, count] : ms) {
+    if (count > 0 && !is_catch_all_deny(key)) return false;
+  }
+  return true;
+}
+
+CheckResult EquivalenceChecker::check(std::span<const LogicalRule> logical,
+                                      std::span<const TcamRule> deployed) const {
+  if (mode_ == CheckMode::kSyntactic) {
+    // The syntactic diff already subsumes the identical-multiset test; a
+    // separate pre-pass would just build the multiset twice.
+    return check_syntactic(logical, deployed);
+  }
+  // BDD mode fast path: identical rule multisets are equivalent by
+  // construction, no BDD needed.
+  if (syntactically_identical(logical, deployed)) {
+    CheckResult r;
+    r.equivalent = true;
+    return r;
+  }
+  return check_bdd(logical, deployed);
+}
+
+CheckResult EquivalenceChecker::check_bdd(
+    std::span<const LogicalRule> logical,
+    std::span<const TcamRule> deployed) const {
+  CheckResult result;
+  BddManager mgr{PacketVars::kCount};
+
+  std::vector<TcamRule> l_rules;
+  l_rules.reserve(logical.size());
+  for (const auto& lr : logical) l_rules.push_back(lr.rule);
+
+  const BddRef l_bdd = ruleset_to_bdd(mgr, l_rules);
+  const BddRef t_bdd = ruleset_to_bdd(mgr, deployed);
+  result.l_dag_size = mgr.dag_size(l_bdd);
+  result.t_dag_size = mgr.dag_size(t_bdd);
+
+  if (mgr.equivalent(l_bdd, t_bdd)) {
+    result.equivalent = true;
+    return result;
+  }
+  result.equivalent = false;
+
+  const BddRef missing_space = mgr.apply_diff(l_bdd, t_bdd);  // L ∧ ¬T
+  const BddRef extra_space = mgr.apply_diff(t_bdd, l_bdd);    // T ∧ ¬L
+  result.missing_packet_count = mgr.sat_count(missing_space);
+  result.extra_packet_count = mgr.sat_count(extra_space);
+
+  // An L-rule is missing iff some packet it should allow is in L ∧ ¬T.
+  // (Deny rules never generate "missing allowed packets".)
+  for (const auto& lr : logical) {
+    if (lr.rule.action != RuleAction::kAllow) continue;
+    if (mgr.intersects_cube(missing_space, rule_to_cube(lr.rule))) {
+      result.missing.push_back(lr);
+    }
+  }
+  // A T-rule is extra iff it admits packets in T ∧ ¬L.
+  for (const auto& tr : deployed) {
+    if (tr.action != RuleAction::kAllow) continue;
+    if (mgr.intersects_cube(extra_space, rule_to_cube(tr))) {
+      result.extra_rules.push_back(tr);
+    }
+  }
+  return result;
+}
+
+CheckResult EquivalenceChecker::check_syntactic(
+    std::span<const LogicalRule> logical,
+    std::span<const TcamRule> deployed) const {
+  CheckResult result;
+  MatchMultiset ms = to_multiset(deployed);
+  for (const auto& lr : logical) {
+    const auto it = ms.find(MatchKey::of(lr.rule));
+    if (it != ms.end() && it->second > 0) {
+      --it->second;
+    } else if (lr.rule.action == RuleAction::kAllow) {
+      result.missing.push_back(lr);
+    }
+  }
+  double extra = 0.0;
+  for (const auto& [key, count] : ms) {
+    if (count > 0 && !is_catch_all_deny(key)) {
+      extra += static_cast<double>(count);
+      TcamRule rule;
+      rule.vrf = key.vrf;
+      rule.src_epg = key.src_epg;
+      rule.dst_epg = key.dst_epg;
+      rule.proto = key.proto;
+      rule.dst_port = key.dst_port;
+      rule.action = key.action;
+      for (std::size_t i = 0; i < count; ++i) {
+        result.extra_rules.push_back(rule);
+      }
+    }
+  }
+  // Syntactic mode reports *rule* counts, not packet counts; the quantities
+  // are comparable only as zero/non-zero indicators.
+  result.extra_packet_count = extra;
+  result.missing_packet_count = static_cast<double>(result.missing.size());
+  result.equivalent = result.missing.empty() && extra == 0.0;
+  return result;
+}
+
+}  // namespace scout

@@ -1,0 +1,53 @@
+// Logical (L-type) rules: the TCAM rules the network policy *should* render,
+// each carrying full provenance back to the policy objects that produced it.
+// Provenance is what lets the checker's missing-rule output annotate risk
+// model edges (paper §III-C: "mark the edges between the malfunctioning EPG
+// pair ... and its associated objects in the violation as fail").
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/policy/object_ref.h"
+#include "src/policy/objects.h"
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+struct RuleProvenance {
+  SwitchId sw;
+  EpgPair pair;
+  VrfId vrf;
+  ContractId contract;
+  FilterId filter;
+  std::uint32_t entry_index = 0;  // which FilterEntry of the filter
+  bool reversed = false;          // provider->consumer direction
+
+  // The shared-risk objects this rule depends on (paper §III). The switch
+  // is included only by the controller risk model (it is a physical object
+  // shared by everything on that switch).
+  [[nodiscard]] std::vector<ObjectRef> policy_objects() const {
+    std::vector<ObjectRef> out;
+    out.reserve(5);
+    out.push_back(ObjectRef::of(vrf));
+    out.push_back(ObjectRef::of(pair.a));
+    if (pair.b != pair.a) out.push_back(ObjectRef::of(pair.b));
+    out.push_back(ObjectRef::of(contract));
+    out.push_back(ObjectRef::of(filter));
+    return out;
+  }
+};
+
+struct LogicalRule {
+  TcamRule rule;
+  RuleProvenance prov;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const LogicalRule& lr) {
+  return os << lr.rule << " @" << lr.prov.sw << ' ' << lr.prov.pair
+            << " contract=" << lr.prov.contract
+            << " filter=" << lr.prov.filter << '/' << lr.prov.entry_index;
+}
+
+}  // namespace scout

@@ -1,0 +1,78 @@
+#include "src/checker/packet_encoding.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace scout {
+namespace {
+
+// Append literals for one field: variable `base + 0` is the field's MSB.
+void encode_field(BddCube& cube, TernaryField f, std::uint32_t base,
+                  int width) {
+  for (int bit = 0; bit < width; ++bit) {
+    const std::uint32_t bit_mask = 1U << (width - 1 - bit);
+    if ((f.mask & bit_mask) == 0) continue;  // don't-care bit
+    cube.push_back(BddLiteral{base + static_cast<std::uint32_t>(bit),
+                              (f.value & bit_mask) != 0});
+  }
+}
+
+std::uint32_t decode_field(std::span<const std::int8_t> assignment,
+                           std::uint32_t base, int width) {
+  std::uint32_t v = 0;
+  for (int bit = 0; bit < width; ++bit) {
+    v <<= 1;
+    if (assignment[base + static_cast<std::uint32_t>(bit)] == 1) v |= 1U;
+  }
+  return v;
+}
+
+}  // namespace
+
+BddCube rule_to_cube(const TcamRule& rule) {
+  BddCube cube;
+  cube.reserve(FieldWidths::kTotal);
+  encode_field(cube, rule.vrf, PacketVars::kVrfBase, FieldWidths::kVrf);
+  encode_field(cube, rule.src_epg, PacketVars::kSrcEpgBase, FieldWidths::kEpg);
+  encode_field(cube, rule.dst_epg, PacketVars::kDstEpgBase, FieldWidths::kEpg);
+  encode_field(cube, rule.proto, PacketVars::kProtoBase, FieldWidths::kProto);
+  encode_field(cube, rule.dst_port, PacketVars::kPortBase, FieldWidths::kPort);
+  return cube;
+}
+
+BddRef ruleset_to_bdd(BddManager& mgr, std::span<const TcamRule> rules) {
+  // Sort indices by descending priority and fold from the bottom up:
+  // acc starts at the implicit deny; each higher-priority rule overrides.
+  std::vector<std::size_t> order(rules.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&rules](std::size_t a, std::size_t b) {
+                     return rules[a].priority > rules[b].priority;
+                   });
+  BddRef acc = kBddFalse;  // nothing allowed by default (whitelist model)
+  for (const std::size_t idx : order) {
+    const TcamRule& r = rules[idx];
+    const BddRef match = mgr.cube(rule_to_cube(r));
+    const BddRef action =
+        r.action == RuleAction::kAllow ? kBddTrue : kBddFalse;
+    acc = mgr.ite(match, action, acc);
+  }
+  return acc;
+}
+
+PacketHeader assignment_to_packet(std::span<const std::int8_t> assignment) {
+  PacketHeader p;
+  p.vrf = static_cast<std::uint16_t>(
+      decode_field(assignment, PacketVars::kVrfBase, FieldWidths::kVrf));
+  p.src_epg = static_cast<std::uint16_t>(
+      decode_field(assignment, PacketVars::kSrcEpgBase, FieldWidths::kEpg));
+  p.dst_epg = static_cast<std::uint16_t>(
+      decode_field(assignment, PacketVars::kDstEpgBase, FieldWidths::kEpg));
+  p.proto = static_cast<std::uint8_t>(
+      decode_field(assignment, PacketVars::kProtoBase, FieldWidths::kProto));
+  p.dst_port = static_cast<std::uint16_t>(
+      decode_field(assignment, PacketVars::kPortBase, FieldWidths::kPort));
+  return p;
+}
+
+}  // namespace scout

@@ -1,0 +1,42 @@
+// Packet-space encoding: maps TCAM rule fields onto BDD variables.
+//
+// Variable layout (total 68, most-significant bit of each field first so
+// prefix masks translate to short cube prefixes):
+//   [0,  12)  VRF
+//   [12, 28)  source EPG class
+//   [28, 44)  destination EPG class
+//   [44, 52)  IP protocol
+//   [52, 68)  destination port
+#pragma once
+
+#include <cstdint>
+
+#include "src/bdd/bdd.h"
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+struct PacketVars {
+  static constexpr std::uint32_t kVrfBase = 0;
+  static constexpr std::uint32_t kSrcEpgBase = kVrfBase + FieldWidths::kVrf;
+  static constexpr std::uint32_t kDstEpgBase = kSrcEpgBase + FieldWidths::kEpg;
+  static constexpr std::uint32_t kProtoBase = kDstEpgBase + FieldWidths::kEpg;
+  static constexpr std::uint32_t kPortBase = kProtoBase + FieldWidths::kProto;
+  static constexpr std::uint32_t kCount = kPortBase + FieldWidths::kPort;
+};
+
+// Encode the match portion of a rule as a cube: one literal per care bit.
+[[nodiscard]] BddCube rule_to_cube(const TcamRule& rule);
+
+// Fold a priority-ordered ruleset into the BDD of its *allowed* packet set
+// under first-match semantics with an implicit final deny. Rules need not
+// be pre-sorted; they are processed by ascending `priority`.
+[[nodiscard]] BddRef ruleset_to_bdd(BddManager& mgr,
+                                    std::span<const TcamRule> rules);
+
+// Decode a (possibly partial) satisfying assignment back into a concrete
+// packet header; don't-care bits resolve to 0.
+[[nodiscard]] PacketHeader assignment_to_packet(
+    std::span<const std::int8_t> assignment);
+
+}  // namespace scout

@@ -1,0 +1,51 @@
+#include "src/checker/shadow_audit.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/checker/packet_encoding.h"
+
+namespace scout {
+
+ShadowAuditResult audit_shadowing(std::span<const TcamRule> rules) {
+  ShadowAuditResult result;
+  result.entries.resize(rules.size());
+
+  std::vector<std::size_t> order(rules.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&rules](std::size_t a, std::size_t b) {
+                     return rules[a].priority < rules[b].priority;
+                   });
+
+  BddManager mgr{PacketVars::kCount};
+  BddRef taken = kBddFalse;  // space claimed by higher-priority rules
+  for (const std::size_t idx : order) {
+    const BddRef cube = mgr.cube(rule_to_cube(rules[idx]));
+    const BddRef residual = mgr.apply_diff(cube, taken);
+
+    ShadowEntry& entry = result.entries[idx];
+    entry.rule_index = idx;
+    if (mgr.is_false(residual)) {
+      entry.state = ShadowState::kFullyShadowed;
+      entry.covered_fraction = 1.0;
+      ++result.fully_shadowed;
+    } else if (residual == cube) {
+      // Canonical equality is exact; sat-count ratios are not (a 1-packet
+      // bite out of a 2^68-packet rule underflows a double).
+      entry.state = ShadowState::kActive;
+      entry.covered_fraction = 0.0;
+    } else {
+      entry.state = ShadowState::kPartiallyShadowed;
+      ++result.partially_shadowed;
+      const double total = mgr.sat_count(cube);
+      const double live = mgr.sat_count(residual);
+      entry.covered_fraction =
+          total <= 0.0 ? 0.0 : std::max(0.0, 1.0 - live / total);
+    }
+    taken = mgr.apply_or(taken, cube);
+  }
+  return result;
+}
+
+}  // namespace scout

@@ -1,0 +1,48 @@
+// TCAM shadow audit: find rules that can never match because higher-
+// priority rules cover their entire packet space.
+//
+// Shadowing is a deployment-quality problem adjacent to the paper's state
+// inconsistency: a corrupted or duplicated entry can silently shadow a
+// correct one (the L-T checker sees the *semantic* result; this audit
+// explains it at rule granularity). Implemented with the same ROBDD
+// engine: walk rules in priority order keeping the union of already-
+// matchable space; a rule whose cube is contained in that union is
+// shadowed (fully masked); a rule that overlaps it only partially is
+// reported as partially shadowed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/bdd/bdd.h"
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+enum class ShadowState : std::uint8_t {
+  kActive,             // some packets reach this rule first
+  kPartiallyShadowed,  // matches, but part of its space is taken
+  kFullyShadowed,      // dead rule: can never be the first match
+};
+
+struct ShadowEntry {
+  std::size_t rule_index = 0;  // index into the audited span
+  ShadowState state = ShadowState::kActive;
+  // Fraction of the rule's packet space that higher-priority rules cover,
+  // in [0, 1]; 1.0 for fully shadowed rules.
+  double covered_fraction = 0.0;
+};
+
+struct ShadowAuditResult {
+  std::vector<ShadowEntry> entries;  // one per input rule, input order
+  std::size_t fully_shadowed = 0;
+  std::size_t partially_shadowed = 0;
+};
+
+// Audit a ruleset (any order; priority field decides). The catch-all
+// default deny is audited like any other rule — a default deny that is
+// fully shadowed means every packet hits an explicit rule.
+[[nodiscard]] ShadowAuditResult audit_shadowing(
+    std::span<const TcamRule> rules);
+
+}  // namespace scout

@@ -1,0 +1,30 @@
+// Hash composition helpers for aggregate keys (pairs, triplets, rule fields).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace scout {
+
+// boost::hash_combine-style mixing with a 64-bit constant.
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename... Ts>
+[[nodiscard]] std::size_t hash_all(const Ts&... vs) noexcept {
+  std::size_t seed = 0;
+  (hash_combine(seed, std::hash<Ts>{}(vs)), ...);
+  return seed;
+}
+
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    return hash_all(p.first, p.second);
+  }
+};
+
+}  // namespace scout

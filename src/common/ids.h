@@ -1,0 +1,69 @@
+// Strongly-typed identifiers for every first-class entity in the system.
+//
+// Raw integers invite cross-wiring an EPG id into a VRF field; the tag
+// parameter makes each id a distinct type while keeping the representation
+// a trivially-copyable 32-bit value (cheap to store in rules and BDD keys).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace scout {
+
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  static constexpr Id invalid() noexcept { return Id{}; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_ = kInvalid;
+};
+
+struct TenantTag {};
+struct VrfTag {};
+struct EpgTag {};
+struct EndpointTag {};
+struct ContractTag {};
+struct FilterTag {};
+struct SwitchTag {};
+
+using TenantId = Id<TenantTag>;
+using VrfId = Id<VrfTag>;
+using EpgId = Id<EpgTag>;
+using EndpointId = Id<EndpointTag>;
+using ContractId = Id<ContractTag>;
+using FilterId = Id<FilterTag>;
+using SwitchId = Id<SwitchTag>;
+
+}  // namespace scout
+
+namespace std {
+template <typename Tag>
+struct hash<scout::Id<Tag>> {
+  size_t operator()(scout::Id<Tag> id) const noexcept {
+    // Fibonacci scrambling so consecutive ids spread across buckets.
+    return static_cast<size_t>(id.value()) * 0x9E3779B97F4A7C15ULL;
+  }
+};
+}  // namespace std

@@ -1,0 +1,142 @@
+#include "src/common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace scout {
+
+std::string JsonWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) return;  // value follows its key, no comma
+  if (!has_value_.empty() && has_value_.back()) out_ << ',';
+}
+
+void JsonWriter::mark_value_written() {
+  // Completing any value — keyed or not — means the current nesting level
+  // now has content (the next sibling needs a comma).
+  pending_key_ = false;
+  if (!has_value_.empty()) has_value_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  mark_value_written();
+  out_ << '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(has_value_.size() > 1);
+  has_value_.pop_back();
+  out_ << '}';
+  if (!has_value_.empty()) has_value_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  mark_value_written();
+  out_ << '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(has_value_.size() > 1);
+  has_value_.pop_back();
+  out_ << ']';
+  if (!has_value_.empty()) has_value_.back() = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!pending_key_);
+  comma_if_needed();
+  out_ << '"' << escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  out_ << '"' << escape(v) << '"';
+  mark_value_written();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no NaN/Inf
+  }
+  mark_value_written();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  out_ << v;
+  mark_value_written();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  out_ << v;
+  mark_value_written();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ << (v ? "true" : "false");
+  mark_value_written();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ << "null";
+  mark_value_written();
+  return *this;
+}
+
+}  // namespace scout

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for reports and tool output. Handles
+// escaping and comma placement; callers are responsible for balanced
+// begin/end calls (checked with assertions in debug builds).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scout {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key for the next value (only inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // key+value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  void comma_if_needed();
+  void mark_value_written();
+
+  std::ostringstream out_;
+  // true = a value has already been written at this nesting level.
+  std::vector<bool> has_value_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace scout

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Experiments run millions of simulated operations;
+// logging defaults to Warn so benches stay quiet, and tests can raise the
+// level to debug a failure. Not thread-safe by design — the simulator is
+// single-threaded and deterministic.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace scout {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) noexcept {
+    return static_cast<int>(lvl) >= static_cast<int>(level());
+  }
+
+  static void write(LogLevel lvl, std::string_view component,
+                    std::string_view message) {
+    if (!enabled(lvl)) return;
+    static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
+                                                 "ERROR"};
+    std::clog << '[' << names[static_cast<int>(lvl)] << "] " << component
+              << ": " << message << '\n';
+  }
+};
+
+#define SCOUT_LOG(lvl, component, expr)                        \
+  do {                                                         \
+    if (::scout::Logger::enabled(lvl)) {                       \
+      std::ostringstream scout_log_os_;                        \
+      scout_log_os_ << expr;                                   \
+      ::scout::Logger::write(lvl, component, scout_log_os_.str()); \
+    }                                                          \
+  } while (0)
+
+#define SCOUT_DEBUG(component, expr) \
+  SCOUT_LOG(::scout::LogLevel::kDebug, component, expr)
+#define SCOUT_INFO(component, expr) \
+  SCOUT_LOG(::scout::LogLevel::kInfo, component, expr)
+#define SCOUT_WARN(component, expr) \
+  SCOUT_LOG(::scout::LogLevel::kWarn, component, expr)
+#define SCOUT_ERROR(component, expr) \
+  SCOUT_LOG(::scout::LogLevel::kError, component, expr)
+
+}  // namespace scout

@@ -1,0 +1,99 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every experiment in the paper reproduction is seeded; two runs with the
+// same seed must produce bit-identical policies, fault injections and
+// therefore metrics. We avoid std::mt19937 + std::*_distribution because
+// libstdc++ does not guarantee cross-version distribution stability; the
+// generator and all distributions here are self-contained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scout {
+
+// SplitMix64: used to seed the main generator and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5C0075C0075ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  // Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+// Zipf(s, n) sampler over {0, .., n-1}; rank 0 is the most popular.
+// Inverse-CDF over precomputed cumulative weights — O(log n) per draw,
+// exact and deterministic (rejection samplers give platform-dependent
+// draw counts).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace scout

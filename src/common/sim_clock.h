@@ -1,0 +1,53 @@
+// Simulated time. The deployment simulator, change logs, fault logs and
+// the event-correlation engine all share one monotonically advancing clock
+// so that "fault log active when the change was made" is a well-defined
+// predicate, exactly as the paper's correlation step requires (§V-A).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace scout {
+
+// Milliseconds since simulation start. A plain strong type, not
+// std::chrono, because simulated time never interacts with wall time.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t ms) noexcept : ms_(ms) {}
+
+  [[nodiscard]] constexpr std::int64_t millis() const noexcept { return ms_; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+  friend constexpr SimTime operator+(SimTime t, std::int64_t ms) noexcept {
+    return SimTime{t.ms_ + ms};
+  }
+  friend constexpr std::int64_t operator-(SimTime a, SimTime b) noexcept {
+    return a.ms_ - b.ms_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.ms_ << "ms";
+  }
+
+ private:
+  std::int64_t ms_ = 0;
+};
+
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  void advance(std::int64_t ms) noexcept { now_ = now_ + ms; }
+
+  // Returns the time *after* advancing — convenient for stamping a
+  // sequence of events that must have distinct, increasing timestamps.
+  SimTime tick(std::int64_t ms = 1) noexcept {
+    advance(ms);
+    return now_;
+  }
+
+ private:
+  SimTime now_{};
+};
+
+}  // namespace scout

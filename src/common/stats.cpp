@@ -1,0 +1,106 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <iomanip>
+
+namespace scout {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  s.p50 = percentile_sorted(values, 0.50);
+  s.p90 = percentile_sorted(values, 0.90);
+  s.p99 = percentile_sorted(values, 0.99);
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : n_(samples.size()) {
+  std::sort(samples.begin(), samples.end());
+  points_.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Collapse runs of equal values into the last (highest-cumulative) point.
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) continue;
+    points_.push_back(Point{
+        samples[i],
+        static_cast<double>(i + 1) / static_cast<double>(samples.size())});
+  }
+}
+
+double EmpiricalCdf::at(double x) const noexcept {
+  // Last point with point.x <= x.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double v, const Point& p) { return v < p.x; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->cumulative_probability;
+}
+
+double EmpiricalCdf::quantile(double q) const noexcept {
+  if (points_.empty()) return 0.0;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), q,
+      [](const Point& p, double v) { return p.cumulative_probability < v; });
+  if (it == points_.end()) return points_.back().x;
+  return it->x;
+}
+
+std::string EmpiricalCdf::to_table(const std::string& x_label,
+                                   std::size_t max_rows) const {
+  std::ostringstream os;
+  os << std::setw(14) << x_label << std::setw(10) << "CDF" << '\n';
+  const std::size_t stride =
+      (max_rows > 0 && points_.size() > max_rows)
+          ? (points_.size() + max_rows - 1) / max_rows
+          : 1;
+  for (std::size_t i = 0; i < points_.size(); i += stride) {
+    os << std::setw(14) << points_[i].x << std::setw(10) << std::fixed
+       << std::setprecision(4) << points_[i].cumulative_probability << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+  if (stride > 1 && (points_.size() - 1) % stride != 0) {
+    const auto& last = points_.back();
+    os << std::setw(14) << last.x << std::setw(10) << std::fixed
+       << std::setprecision(4) << last.cumulative_probability << '\n';
+  }
+  return os.str();
+}
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace scout

@@ -1,0 +1,74 @@
+// Descriptive statistics used by the benchmark harnesses: means, percentiles
+// and empirical CDFs (Figure 3 is a CDF plot; Figures 8-10 report means over
+// repeated runs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scout {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+// Linear-interpolation percentile on a *sorted* vector, q in [0, 1].
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q);
+
+// Empirical CDF with one point per distinct sample value: (x, P[X <= x]).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  struct Point {
+    double x;
+    double cumulative_probability;
+  };
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return n_; }
+
+  // P[X <= x].
+  [[nodiscard]] double at(double x) const noexcept;
+
+  // Smallest sample value v with P[X <= v] >= q.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  // Render as aligned "x cdf" rows for the bench harnesses.
+  [[nodiscard]] std::string to_table(const std::string& x_label,
+                                     std::size_t max_rows = 0) const;
+
+ private:
+  std::vector<Point> points_;
+  std::size_t n_ = 0;
+};
+
+// Welford online mean/variance accumulator for streaming metrics.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace scout

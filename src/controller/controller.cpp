@@ -1,0 +1,227 @@
+#include "src/controller/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scout {
+
+void DeployStats::count(ApplyStatus s) noexcept {
+  switch (s) {
+    case ApplyStatus::kApplied:
+      ++applied;
+      break;
+    case ApplyStatus::kLost:
+      ++lost;
+      break;
+    case ApplyStatus::kCrashed:
+      ++crashed;
+      break;
+    case ApplyStatus::kTcamOverflow:
+      ++tcam_overflow;
+      break;
+  }
+}
+
+void Controller::attach_agents(std::vector<SwitchAgent*> agents) {
+  for (SwitchAgent* a : agents) {
+    if (a == nullptr) throw std::invalid_argument{"attach_agents: null agent"};
+    agents_[a->id()] = a;
+  }
+}
+
+SwitchAgent* Controller::agent(SwitchId sw) const {
+  const auto it = agents_.find(sw);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+void Controller::note_unreachable(SwitchId sw) {
+  // One open fault record per unreachable episode.
+  if (open_unreachable_.contains(sw)) return;
+  const std::size_t idx =
+      fault_log_.raise(clock_->now(), sw, FaultCode::kSwitchUnreachable,
+                       FaultSeverity::kCritical,
+                       "keepalive timeout: switch not responding");
+  open_unreachable_[sw] = idx;
+}
+
+void Controller::push(SwitchAgent& agent, const Instruction& ins,
+                      DeployStats& stats) {
+  if (!channel_.connected(agent.id())) {
+    // Instruction never reaches the device.
+    stats.count(ApplyStatus::kLost);
+    note_unreachable(agent.id());
+    return;
+  }
+  const ApplyStatus status = agent.apply(ins, clock_->now());
+  stats.count(status);
+  if (status == ApplyStatus::kLost) note_unreachable(agent.id());
+}
+
+DeployStats Controller::deploy_full() {
+  DeployStats stats;
+  // Change log: one 'add' per policy object, stamped in creation order.
+  for (const auto& v : policy_.vrfs()) {
+    change_log_.record(clock_->tick(), ObjectRef::of(v.id), ChangeAction::kAdd);
+  }
+  for (const auto& e : policy_.epgs()) {
+    change_log_.record(clock_->tick(), ObjectRef::of(e.id), ChangeAction::kAdd);
+  }
+  for (const auto& f : policy_.filters()) {
+    change_log_.record(clock_->tick(), ObjectRef::of(f.id), ChangeAction::kAdd);
+  }
+  for (const auto& c : policy_.contracts()) {
+    change_log_.record(clock_->tick(), ObjectRef::of(c.id), ChangeAction::kAdd);
+  }
+
+  compiled_ = PolicyCompiler::compile(policy_);
+  for (const auto& [sw, rules] : compiled_.per_switch) {
+    SwitchAgent* a = agent(sw);
+    if (a == nullptr) continue;  // endpoint on an unmanaged switch
+    std::uint32_t max_priority = 0;
+    for (const auto& lr : rules) {
+      push(*a, Instruction{InstructionOp::kAddRule, lr}, stats);
+      if (lr.rule.priority != PolicyCompiler::kDefaultDenyPriority) {
+        max_priority = std::max(max_priority, lr.rule.priority + 1);
+      }
+    }
+    next_priority_[sw] = max_priority;
+  }
+  return stats;
+}
+
+FilterId Controller::deploy_new_filter(std::string name,
+                                       std::vector<FilterEntry> entries,
+                                       ContractId contract,
+                                       DeployStats* stats) {
+  const FilterId filter =
+      policy_.add_filter(std::move(name), std::move(entries));
+  policy_.add_filter_to_contract(contract, filter);
+  change_log_.record(clock_->tick(), ObjectRef::of(filter), ChangeAction::kAdd);
+  change_log_.record(clock_->tick(), ObjectRef::of(contract),
+                     ChangeAction::kModify);
+
+  DeployStats local;
+  DeployStats& s = stats != nullptr ? *stats : local;
+
+  // Pairs using this contract, deduped.
+  std::vector<EpgPair> pairs;
+  for (const ContractLink& l : policy_.links()) {
+    if (l.contract != contract) continue;
+    const EpgPair p{l.consumer, l.provider};
+    if (std::find(pairs.begin(), pairs.end(), p) == pairs.end()) {
+      pairs.push_back(p);
+    }
+  }
+  std::vector<SwitchId> touched;
+  for (const EpgPair& pair : pairs) {
+    for (SwitchId sw : policy_.switches_for_pair(pair)) {
+      SwitchAgent* a = agent(sw);
+      if (a == nullptr) continue;
+      auto& cursor = next_priority_[sw];
+      for (const LogicalRule& lr : PolicyCompiler::compile_filter_rules(
+               policy_, sw, pair, contract, filter, cursor)) {
+        push(*a, Instruction{InstructionOp::kAddRule, lr}, s);
+      }
+      if (std::find(touched.begin(), touched.end(), sw) == touched.end()) {
+        touched.push_back(sw);
+      }
+    }
+  }
+  // Keep the compiled snapshot in sync for later L-T checks.
+  compiled_ = PolicyCompiler::compile(policy_);
+  return filter;
+}
+
+void Controller::undeploy_filter(ContractId contract, FilterId filter,
+                                 DeployStats* stats) {
+  DeployStats local;
+  DeployStats& s = stats != nullptr ? *stats : local;
+
+  // Push removals for every compiled rule of (contract, filter) before
+  // mutating the policy, so the targets are still known.
+  for (const auto& [sw, rules] : compiled_.per_switch) {
+    SwitchAgent* a = agent(sw);
+    if (a == nullptr) continue;
+    for (const LogicalRule& lr : rules) {
+      if (lr.prov.contract == contract && lr.prov.filter == filter) {
+        push(*a, Instruction{InstructionOp::kRemoveRule, lr}, s);
+      }
+    }
+  }
+  policy_.remove_filter_from_contract(contract, filter);
+  change_log_.record(clock_->tick(), ObjectRef::of(filter),
+                     ChangeAction::kDelete);
+  change_log_.record(clock_->tick(), ObjectRef::of(contract),
+                     ChangeAction::kModify);
+  compiled_ = PolicyCompiler::compile(policy_);
+}
+
+DeployStats Controller::migrate_endpoint(EndpointId ep, SwitchId to) {
+  const SwitchId from = policy_.endpoint(ep).attached_switch;
+  policy_.move_endpoint(ep, to);
+  change_log_.record(clock_->tick(), ObjectRef::of(policy_.endpoint(ep).epg),
+                     ChangeAction::kModify, {from, to});
+  compiled_ = PolicyCompiler::compile(policy_);
+  DeployStats stats = resync_switch(from);
+  if (to != from) {
+    const DeployStats added = resync_switch(to);
+    stats.applied += added.applied;
+    stats.lost += added.lost;
+    stats.crashed += added.crashed;
+    stats.tcam_overflow += added.tcam_overflow;
+  }
+  return stats;
+}
+
+DeployStats Controller::resync_switch(SwitchId sw) {
+  DeployStats stats;
+  SwitchAgent* a = agent(sw);
+  if (a == nullptr) return stats;
+  // Wipe device state, then replay. A real controller does this with a
+  // state-transfer epoch; the observable effect is identical. The logical
+  // view is cleared by removing each rule it holds (copy first: apply()
+  // mutates the view).
+  a->tcam().clear();
+  const std::vector<LogicalRule> old_view(a->logical_view().begin(),
+                                          a->logical_view().end());
+  for (const LogicalRule& lr : old_view) {
+    push(*a, Instruction{InstructionOp::kRemoveRule, lr}, stats);
+  }
+  for (const LogicalRule& lr : compiled_.rules_for(sw)) {
+    push(*a, Instruction{InstructionOp::kAddRule, lr}, stats);
+  }
+  return stats;
+}
+
+DeployStats Controller::reinstall_rules(std::span<const LogicalRule> missing) {
+  DeployStats stats;
+  for (const LogicalRule& lr : missing) {
+    SwitchAgent* a = agent(lr.prov.sw);
+    if (a == nullptr) continue;
+    // The rule is present in the agent's logical view but absent from the
+    // TCAM (or absent from both); remove-then-add makes the push
+    // idempotent either way.
+    push(*a, Instruction{InstructionOp::kRemoveRule, lr}, stats);
+    push(*a, Instruction{InstructionOp::kAddRule, lr}, stats);
+  }
+  return stats;
+}
+
+void Controller::record_benign_change(ObjectRef object) {
+  change_log_.record(clock_->tick(), object, ChangeAction::kModify);
+}
+
+void Controller::disconnect_switch(SwitchId sw) {
+  channel_.disconnect(sw, clock_->now());
+}
+
+void Controller::reconnect_switch(SwitchId sw) {
+  channel_.reconnect(sw, clock_->now());
+  const auto it = open_unreachable_.find(sw);
+  if (it != open_unreachable_.end()) {
+    fault_log_.clear(it->second, clock_->now());
+    open_unreachable_.erase(it);
+  }
+}
+
+}  // namespace scout

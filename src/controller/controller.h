@@ -1,0 +1,124 @@
+// Centralized controller (APIC analogue): owns the authoritative network
+// policy, compiles it, pushes instructions to switch agents, records every
+// policy change in the change log, and monitors control-channel liveness
+// (raising SWITCH_UNREACHABLE faults in its own fault log — paper §V-B
+// "both maintained at the controller").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/agent/switch_agent.h"
+#include "src/common/sim_clock.h"
+#include "src/controller/compiler.h"
+#include "src/policy/change_log.h"
+#include "src/policy/network_policy.h"
+#include "src/topology/fabric.h"
+
+namespace scout {
+
+struct DeployStats {
+  std::size_t applied = 0;
+  std::size_t lost = 0;          // unresponsive agent / channel down
+  std::size_t crashed = 0;       // agent crashed mid-batch
+  std::size_t tcam_overflow = 0; // rejected by hardware
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return applied + lost + crashed + tcam_overflow;
+  }
+  void count(ApplyStatus s) noexcept;
+};
+
+class Controller {
+ public:
+  Controller(NetworkPolicy policy, SimClock& clock)
+      : policy_(std::move(policy)), clock_(&clock) {}
+
+  [[nodiscard]] SimTime now() const noexcept { return clock_->now(); }
+  [[nodiscard]] SimClock& clock() noexcept { return *clock_; }
+
+  [[nodiscard]] NetworkPolicy& policy() noexcept { return policy_; }
+  [[nodiscard]] const NetworkPolicy& policy() const noexcept {
+    return policy_;
+  }
+  [[nodiscard]] const ChangeLog& change_log() const noexcept {
+    return change_log_;
+  }
+  [[nodiscard]] ChangeLog& change_log() noexcept { return change_log_; }
+  [[nodiscard]] const FaultLog& fault_log() const noexcept {
+    return fault_log_;
+  }
+  [[nodiscard]] ControlChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] const CompiledPolicy& compiled() const noexcept {
+    return compiled_;
+  }
+
+  // Register the agents the controller manages (non-owning).
+  void attach_agents(std::vector<SwitchAgent*> agents);
+  [[nodiscard]] SwitchAgent* agent(SwitchId sw) const;
+
+  // Compile the entire policy and push every rule to every agent. Records
+  // one change-log 'add' per policy object. Idempotent on agent state only
+  // if agents are empty beforehand.
+  DeployStats deploy_full();
+
+  // Re-run the compiler against the current policy without pushing
+  // (used by collectors/checkers that need fresh L-rules).
+  void recompile() { compiled_ = PolicyCompiler::compile(policy_); }
+
+  // -- incremental operations (the §V-B use cases) ----------------------------
+
+  // Create a new filter, attach it to `contract`, compile the resulting
+  // rules for every pair using the contract, and push them.
+  FilterId deploy_new_filter(std::string name, std::vector<FilterEntry> entries,
+                             ContractId contract, DeployStats* stats = nullptr);
+
+  // Record-only mutation: mark an object as recently modified (models an
+  // admin action whose rules are unchanged or pushed elsewhere).
+  void record_benign_change(ObjectRef object);
+
+  // Remove a filter from a contract and push the corresponding rule
+  // removals to the affected switches.
+  void undeploy_filter(ContractId contract, FilterId filter,
+                       DeployStats* stats = nullptr);
+
+  // VM migration: re-attach `ep` to `to`, recompile, and resync the two
+  // switches whose rule sets changed (the old and the new attachment
+  // points). Returns combined push statistics.
+  DeployStats migrate_endpoint(EndpointId ep, SwitchId to);
+
+  // -- control-channel management ---------------------------------------------
+  void disconnect_switch(SwitchId sw);
+  void reconnect_switch(SwitchId sw);
+
+  // -- state reconciliation -----------------------------------------------------
+  // Full resync of one switch: wipe its TCAM and logical view and replay
+  // the compiled ruleset. This is how a production controller recovers a
+  // reconnected or replaced device. Returns push statistics.
+  DeployStats resync_switch(SwitchId sw);
+
+  // Stopgap remediation (paper §III-C: "simply reinstalling those missing
+  // rules is a stopgap, not a fundamental solution"): push exactly the
+  // given missing rules back to their switches without a full resync.
+  DeployStats reinstall_rules(std::span<const LogicalRule> missing);
+
+ private:
+  // Push one instruction to one agent honouring channel state; updates
+  // stats and raises unreachable faults on loss.
+  void push(SwitchAgent& agent, const Instruction& ins, DeployStats& stats);
+  void note_unreachable(SwitchId sw);
+
+  NetworkPolicy policy_;
+  SimClock* clock_;
+  ChangeLog change_log_;
+  FaultLog fault_log_;
+  ControlChannel channel_;
+  CompiledPolicy compiled_;
+  std::unordered_map<SwitchId, SwitchAgent*> agents_;
+  std::unordered_map<SwitchId, std::uint32_t> next_priority_;
+  std::unordered_map<SwitchId, std::size_t> open_unreachable_;
+};
+
+}  // namespace scout

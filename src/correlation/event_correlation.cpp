@@ -1,0 +1,127 @@
+#include "src/correlation/event_correlation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scout {
+
+std::string_view to_string(RootCauseType t) noexcept {
+  switch (t) {
+    case RootCauseType::kTcamOverflow:
+      return "TCAM overflow";
+    case RootCauseType::kSwitchUnreachable:
+      return "switch unreachable";
+    case RootCauseType::kAgentCrash:
+      return "agent crash";
+    case RootCauseType::kTcamCorruption:
+      return "TCAM corruption";
+    case RootCauseType::kRuleEviction:
+      return "rule eviction";
+    case RootCauseType::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+EventCorrelationEngine::EventCorrelationEngine() {
+  signatures_ = {
+      {"tcam-overflow", FaultCode::kTcamOverflow, FaultSeverity::kWarning,
+       RootCauseType::kTcamOverflow},
+      {"switch-unreachable", FaultCode::kSwitchUnreachable,
+       FaultSeverity::kWarning, RootCauseType::kSwitchUnreachable},
+      {"agent-crash", FaultCode::kAgentCrash, FaultSeverity::kWarning,
+       RootCauseType::kAgentCrash},
+      {"tcam-parity", FaultCode::kTcamParityError, FaultSeverity::kWarning,
+       RootCauseType::kTcamCorruption},
+      {"rule-eviction", FaultCode::kRuleEviction, FaultSeverity::kInfo,
+       RootCauseType::kRuleEviction},
+  };
+}
+
+const FaultSignature* EventCorrelationEngine::match(
+    const FaultRecord& record) const noexcept {
+  for (const auto& sig : signatures_) {
+    if (sig.code == record.code &&
+        static_cast<int>(record.severity) >=
+            static_cast<int>(sig.min_severity)) {
+      return &sig;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<RootCause> EventCorrelationEngine::correlate(
+    std::span<const ObjectRef> hypothesis, const ChangeLog& change_log,
+    const FaultLog& fault_log, const ObjectScope& scope) const {
+  std::vector<RootCause> out;
+  out.reserve(hypothesis.size());
+
+  for (const ObjectRef obj : hypothesis) {
+    RootCause rc;
+    rc.object = obj;
+
+    // A switch in the hypothesis (controller risk model) is matched against
+    // its own fault records directly — it *is* the physical object.
+    if (obj.type() == ObjectType::kSwitch) {
+      const SwitchId sw = obj.as_switch();
+      for (const auto& rec : fault_log.records()) {
+        if (rec.sw != sw) continue;
+        if (const FaultSignature* sig = match(rec); sig != nullptr) {
+          rc.type = sig->cause;
+          rc.sw = sw;
+          std::ostringstream os;
+          os << "switch fault '" << to_string(rec.code) << "' (" << rec.detail
+             << ") raised at " << rec.raised;
+          rc.explanation = os.str();
+          break;
+        }
+      }
+      if (rc.type == RootCauseType::kUnknown) {
+        rc.explanation = "no fault log matched any signature for this switch";
+      }
+      out.push_back(std::move(rc));
+      continue;
+    }
+
+    // (i) change records for this object, (ii) fault records active at the
+    // change timestamps, (iii) signature match.
+    const std::vector<ChangeRecord> changes = change_log.history(obj);
+    const auto scope_it = scope.find(obj);
+
+    bool matched = false;
+    for (const ChangeRecord& change : changes) {
+      for (const auto& rec : fault_log.records()) {
+        if (!rec.active_at(change.time)) continue;
+        if (scope_it != scope.end()) {
+          const auto& switches = scope_it->second;
+          if (std::find(switches.begin(), switches.end(), rec.sw) ==
+              switches.end()) {
+            continue;  // fault on a switch this object never deploys to
+          }
+        }
+        if (const FaultSignature* sig = match(rec); sig != nullptr) {
+          rc.type = sig->cause;
+          rc.sw = rec.sw;
+          std::ostringstream os;
+          os << "fault '" << to_string(rec.code) << "' on switch " << rec.sw
+             << " active when object changed at " << change.time << " ("
+             << rec.detail << ')';
+          rc.explanation = os.str();
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    if (!matched) {
+      rc.explanation =
+          changes.empty()
+              ? "object has no change-log records; no signature matched"
+              : "no active fault matched a signature at change time";
+    }
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+}  // namespace scout

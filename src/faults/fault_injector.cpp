@@ -1,0 +1,161 @@
+#include "src/faults/fault_injector.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/tcam/rule_key.h"
+
+namespace scout {
+
+void ObjectFaultInjector::ensure_index() {
+  if (index_built_) return;
+  index_built_ = true;
+  for (const auto& [sw, rules] : controller_->compiled().per_switch) {
+    for (const LogicalRule& lr : rules) {
+      if (!lr.prov.contract.valid()) continue;
+      by_object_[ObjectRef::of(lr.prov.vrf)].push_back(&lr);
+      by_object_[ObjectRef::of(lr.prov.pair.a)].push_back(&lr);
+      if (lr.prov.pair.b != lr.prov.pair.a) {
+        by_object_[ObjectRef::of(lr.prov.pair.b)].push_back(&lr);
+      }
+      by_object_[ObjectRef::of(lr.prov.contract)].push_back(&lr);
+      by_object_[ObjectRef::of(lr.prov.filter)].push_back(&lr);
+      by_object_[ObjectRef::of(lr.prov.sw)].push_back(&lr);
+    }
+  }
+}
+
+InjectedFault ObjectFaultInjector::inject(ObjectRef object,
+                                          std::optional<SwitchId> scope,
+                                          bool full) {
+  InjectedFault fault;
+  fault.object = object;
+  fault.full = full;
+  ensure_index();
+
+  // Gather the object's rules per (switch, pair) element from the compiled
+  // policy (the ground truth of what should be in each TCAM).
+  struct ElementKey {
+    SwitchId sw;
+    EpgPair pair;
+    bool operator==(const ElementKey&) const noexcept = default;
+  };
+  struct ElementKeyHash {
+    std::size_t operator()(const ElementKey& k) const noexcept {
+      return hash_all(k.sw, k.pair);
+    }
+  };
+
+  std::unordered_map<ElementKey, std::vector<const LogicalRule*>,
+                     ElementKeyHash>
+      by_element;
+  if (const auto it = by_object_.find(object); it != by_object_.end()) {
+    for (const LogicalRule* lr : it->second) {
+      if (scope.has_value() && lr->prov.sw != *scope) continue;
+      by_element[ElementKey{lr->prov.sw, lr->prov.pair}].push_back(lr);
+    }
+  }
+  if (by_element.empty()) return fault;  // object deploys nothing here
+
+  // Choose which dependent elements to break.
+  std::vector<ElementKey> elements;
+  elements.reserve(by_element.size());
+  for (const auto& [key, rules] : by_element) elements.push_back(key);
+  // Deterministic order before sampling (hash-map order is unspecified).
+  std::sort(elements.begin(), elements.end(),
+            [](const ElementKey& a, const ElementKey& b) {
+              return std::tie(a.sw, a.pair.a, a.pair.b) <
+                     std::tie(b.sw, b.pair.a, b.pair.b);
+            });
+
+  if (!full && elements.size() > 1) {
+    const double fraction = options_.sampled_fraction
+                                ? 0.1 + 0.8 * rng_->uniform()
+                                : options_.partial_fraction;
+    const std::size_t keep_broken = std::clamp<std::size_t>(
+        static_cast<std::size_t>(fraction *
+                                 static_cast<double>(elements.size())),
+        1, elements.size() - 1);
+    const auto picked =
+        rng_->sample_indices(elements.size(), keep_broken);
+    std::vector<ElementKey> subset;
+    subset.reserve(picked.size());
+    for (const std::size_t i : picked) subset.push_back(elements[i]);
+    elements = std::move(subset);
+  } else {
+    fault.full = true;  // single-element objects degrade to full faults
+  }
+
+  // Remove the selected rules from the TCAMs: one batched remove_if per
+  // switch so a big fault doesn't degrade to O(rules * table).
+  std::unordered_map<SwitchId,
+                     std::unordered_set<RuleMatchKey, RuleMatchKeyHash>>
+      targets;
+  std::unordered_set<SwitchId> touched;
+  for (const ElementKey& key : elements) {
+    for (const LogicalRule* lr : by_element[key]) {
+      targets[key.sw].insert(RuleMatchKey::of(lr->rule));
+    }
+    touched.insert(key.sw);
+    ++fault.elements_affected;
+  }
+  for (const auto& [sw, keys] : targets) {
+    SwitchAgent* agent = controller_->agent(sw);
+    if (agent == nullptr) continue;
+    fault.rules_removed += agent->tcam().remove_if(
+        [&keys](const TcamRule& r) {
+          return keys.contains(RuleMatchKey::of(r));
+        });
+  }
+  fault.switches.assign(touched.begin(), touched.end());
+  std::sort(fault.switches.begin(), fault.switches.end());
+
+  if (options_.record_change) {
+    controller_->record_benign_change(object);
+  }
+  return fault;
+}
+
+InjectedFault ObjectFaultInjector::inject_full(ObjectRef object,
+                                               std::optional<SwitchId> scope) {
+  return inject(object, scope, /*full=*/true);
+}
+
+InjectedFault ObjectFaultInjector::inject_partial(
+    ObjectRef object, std::optional<SwitchId> scope) {
+  return inject(object, scope, /*full=*/false);
+}
+
+std::vector<ObjectRef> ObjectFaultInjector::sample_objects(
+    std::size_t count, bool include_vrfs, std::optional<SwitchId> scope) {
+  ensure_index();
+  // Candidate pool: objects that actually produce rules somewhere (or on
+  // the scoped switch).
+  std::vector<ObjectRef> pool;
+  for (const auto& [obj, rules] : by_object_) {
+    if (obj.type() == ObjectType::kSwitch) continue;  // physical, not policy
+    if (obj.type() == ObjectType::kVrf && !include_vrfs) continue;
+    if (scope.has_value()) {
+      const bool on_scope =
+          std::any_of(rules.begin(), rules.end(),
+                      [&](const LogicalRule* lr) {
+                        return lr->prov.sw == *scope;
+                      });
+      if (!on_scope) continue;
+    }
+    pool.push_back(obj);
+  }
+  std::sort(pool.begin(), pool.end());
+
+  if (count >= pool.size()) return pool;
+  std::vector<ObjectRef> out;
+  out.reserve(count);
+  for (const std::size_t i : rng_->sample_indices(pool.size(), count)) {
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+}  // namespace scout

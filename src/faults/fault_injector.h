@@ -1,0 +1,93 @@
+// Object-fault injection (paper §VI-A "Fault injection").
+//
+// Two fault types create policy/TCAM inconsistency:
+//  * full object fault    — every TCAM rule derived from the object is
+//    missing (e.g. the object was never pushed / dropped everywhere);
+//  * partial object fault — the rules of a subset of the EPG pairs that
+//    depend on the object are missing (e.g. rules installed later than the
+//    rest hit a failure window), producing the low-hit-ratio cases SCORE
+//    mishandles.
+//
+// Injection removes rules from agents' TCAM tables only; the controller's
+// policy and the agents' logical views are untouched — exactly the state
+// mismatch §II-B describes. Each injected fault records a change-log
+// 'modify' for the object (faults surface during policy churn; this is what
+// SCOUT's stage 2 keys on), and experiments add benign change noise so the
+// change log is not an oracle.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+#include "src/policy/object_ref.h"
+
+namespace scout {
+
+struct InjectedFault {
+  ObjectRef object;
+  bool full = true;
+  std::vector<SwitchId> switches;  // switches where rules were removed
+  std::size_t rules_removed = 0;
+  std::size_t elements_affected = 0;  // distinct (switch, pair) elements
+};
+
+class ObjectFaultInjector {
+ public:
+  struct Options {
+    // Partial faults remove this fraction of the object's dependent
+    // (switch, pair) elements, clamped to [1, n-1]. If sampled_fraction is
+    // true, the fraction is drawn uniformly from [0.1, 0.9] per fault,
+    // reproducing the paper's observation that hit ratios vary wildly
+    // (0.01 to 0.95, §IV-B).
+    double partial_fraction = 0.5;
+    bool sampled_fraction = true;
+    // Record a change-log entry for each injected object.
+    bool record_change = true;
+  };
+
+  ObjectFaultInjector(Controller& controller, Rng& rng)
+      : controller_(&controller), rng_(&rng) {}
+  ObjectFaultInjector(Controller& controller, Rng& rng, Options options)
+      : controller_(&controller), rng_(&rng), options_(options) {}
+
+  // Remove all rules derived from `object`. When `scope` is set, only on
+  // that switch (switch-risk-model experiments); otherwise on every switch
+  // the object deploys to (controller-risk-model experiments).
+  InjectedFault inject_full(ObjectRef object,
+                            std::optional<SwitchId> scope = std::nullopt);
+
+  // Remove the rules of a sampled subset of the object's dependent
+  // elements. Falls back to a full fault when the object has only one
+  // dependent element.
+  InjectedFault inject_partial(ObjectRef object,
+                               std::optional<SwitchId> scope = std::nullopt);
+
+  // Sample `count` distinct fault-eligible objects (objects with at least
+  // one deployed rule), type-weighted by object population. VRFs are
+  // excluded by default: a full VRF fault wipes most of the fabric and
+  // makes accuracy experiments degenerate (the paper's §VI faults are
+  // EPG/contract/filter-grade; VRF faults appear in the Fig. 3 discussion).
+  // `scope` restricts the pool to objects with rules deployed on that
+  // switch (switch-risk-model experiments inject all faults on one switch).
+  [[nodiscard]] std::vector<ObjectRef> sample_objects(
+      std::size_t count, bool include_vrfs = false,
+      std::optional<SwitchId> scope = std::nullopt);
+
+ private:
+  InjectedFault inject(ObjectRef object, std::optional<SwitchId> scope,
+                       bool full);
+  void ensure_index();
+
+  Controller* controller_;
+  Rng* rng_;
+  Options options_;
+  // object -> compiled rules derived from it, built lazily on first use.
+  // The injector assumes the controller's compiled snapshot is stable for
+  // its lifetime; construct a fresh injector after recompiling.
+  std::unordered_map<ObjectRef, std::vector<const LogicalRule*>> by_object_;
+  bool index_built_ = false;
+};
+
+}  // namespace scout

@@ -1,0 +1,74 @@
+#include "src/faults/physical_faults.h"
+
+#include <sstream>
+
+namespace scout {
+namespace {
+
+ScenarioOutcome push_filters(Controller& controller, ContractId contract,
+                             std::size_t n_filters, std::uint16_t first_port,
+                             const char* name_prefix,
+                             bool stop_on_overflow = false) {
+  ScenarioOutcome outcome;
+  for (std::size_t i = 0; i < n_filters; ++i) {
+    std::ostringstream name;
+    name << name_prefix << '-' << i;
+    DeployStats stats;
+    const auto port = static_cast<std::uint16_t>(first_port + i);
+    outcome.filters_added.push_back(controller.deploy_new_filter(
+        name.str(), {FilterEntry::allow_tcp(port)}, contract, &stats));
+    outcome.instructions_pushed += stats.total();
+    outcome.instructions_lost += stats.lost + stats.crashed;
+    outcome.tcam_rejections += stats.tcam_overflow;
+    if (stop_on_overflow && stats.tcam_overflow > 0) break;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+ScenarioOutcome run_tcam_overflow_scenario(Controller& controller,
+                                           ContractId contract,
+                                           std::size_t max_filters,
+                                           std::uint16_t first_port) {
+  return push_filters(controller, contract, max_filters, first_port,
+                      "overflow-filter", /*stop_on_overflow=*/true);
+}
+
+ScenarioOutcome run_unresponsive_switch_scenario(Controller& controller,
+                                                 SwitchId sw,
+                                                 ContractId contract,
+                                                 std::size_t n_filters,
+                                                 std::uint16_t first_port) {
+  SwitchAgent* agent = controller.agent(sw);
+  if (agent != nullptr) agent->set_responsive(false);
+  return push_filters(controller, contract, n_filters, first_port,
+                      "late-filter");
+}
+
+ScenarioOutcome run_agent_crash_scenario(Controller& controller, SwitchId sw,
+                                         ContractId contract,
+                                         std::size_t n_filters,
+                                         std::size_t apply_before_crash,
+                                         std::uint16_t first_port) {
+  SwitchAgent* agent = controller.agent(sw);
+  if (agent != nullptr) agent->crash_after(apply_before_crash);
+  return push_filters(controller, contract, n_filters, first_port,
+                      "crash-filter");
+}
+
+std::size_t run_tcam_corruption_scenario(Controller& controller, SwitchId sw,
+                                         std::size_t bits, Rng& rng,
+                                         double detection_probability) {
+  SwitchAgent* agent = controller.agent(sw);
+  if (agent == nullptr) return 0;
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (agent->corrupt_tcam_bit(rng, controller.now(), detection_probability)) {
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace scout

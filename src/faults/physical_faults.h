@@ -1,0 +1,60 @@
+// Physical-fault scenario orchestration (paper §V-B use cases).
+//
+// These helpers script the end-to-end failure stories against a live
+// Controller + agents: TCAM overflow via continuous filter additions,
+// an unresponsive switch during instruction push, agent crash mid-update
+// and TCAM corruption. Each leaves behind realistic state: missing TCAM
+// rules, change-log records at the controller and fault-log records on the
+// devices — everything the SCOUT pipeline consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+
+namespace scout {
+
+struct ScenarioOutcome {
+  std::size_t instructions_pushed = 0;
+  std::size_t instructions_lost = 0;
+  std::size_t tcam_rejections = 0;
+  std::vector<FilterId> filters_added;
+};
+
+// Use case 1 — TCAM overflow: keep adding one new single-port filter to
+// `contract` until the TCAM of some switch rejects rules (or `max_filters`
+// is reached). Overflow raises TCAM_OVERFLOW fault logs on the device.
+ScenarioOutcome run_tcam_overflow_scenario(Controller& controller,
+                                           ContractId contract,
+                                           std::size_t max_filters,
+                                           std::uint16_t first_port = 10'000);
+
+// Use case 2 — unresponsive switch: silence `sw` (its agent drops
+// instructions), then push `n_filters` new filters through `contract`.
+// Rules for other switches land; rules for `sw` vanish. The controller's
+// keepalive raises SWITCH_UNREACHABLE. The switch stays unresponsive on
+// return (callers decide when to recover it).
+ScenarioOutcome run_unresponsive_switch_scenario(Controller& controller,
+                                                 SwitchId sw,
+                                                 ContractId contract,
+                                                 std::size_t n_filters,
+                                                 std::uint16_t first_port =
+                                                     20'000);
+
+// Agent crash mid-deploy: schedule the agent of `sw` to crash after
+// `apply_before_crash` applied instructions, then push filters.
+ScenarioOutcome run_agent_crash_scenario(Controller& controller, SwitchId sw,
+                                         ContractId contract,
+                                         std::size_t n_filters,
+                                         std::size_t apply_before_crash,
+                                         std::uint16_t first_port = 30'000);
+
+// TCAM corruption: flip `bits` random TCAM bits on `sw`; each flip is
+// detected (logged as a parity error) with `detection_probability`.
+std::size_t run_tcam_corruption_scenario(Controller& controller, SwitchId sw,
+                                         std::size_t bits, Rng& rng,
+                                         double detection_probability = 0.5);
+
+}  // namespace scout

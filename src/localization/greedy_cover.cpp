@@ -1,0 +1,98 @@
+#include "src/localization/greedy_cover.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace scout {
+
+namespace {
+constexpr double kRatioEpsilon = 1e-12;
+}  // namespace
+
+GreedyCoverOutcome run_greedy_cover(const RiskModel& model,
+                                    double hit_threshold) {
+  GreedyCoverOutcome out;
+
+  std::vector<bool> alive(model.element_count(), true);
+  // Unexplained observations P.
+  std::vector<RiskModel::ElementIdx> unexplained = model.failure_signature();
+  out.observations_total = unexplained.size();
+
+  while (!unexplained.empty()) {
+    ++out.iterations;
+
+    // K: risks with a failed edge to an unexplained observation.
+    std::unordered_set<RiskModel::RiskIdx> candidate_set;
+    for (const auto e : unexplained) {
+      for (const auto r : model.failed_risks_of(e)) candidate_set.insert(r);
+    }
+
+    // Utilities over the *alive* sub-model.
+    double best_cov = -1.0;
+    std::vector<RiskModel::RiskIdx> faulty_set;
+    // Deterministic iteration: sort candidates.
+    std::vector<RiskModel::RiskIdx> candidates(candidate_set.begin(),
+                                               candidate_set.end());
+    std::sort(candidates.begin(), candidates.end());
+
+    for (const auto r : candidates) {
+      std::size_t dependent = 0;  // |G_i| among alive elements
+      std::size_t observed = 0;   // |O_i| among alive elements
+      for (const auto e : model.elements_of(r)) {
+        if (!alive[e]) continue;
+        ++dependent;
+        if (model.edge_failed(e, r)) ++observed;
+      }
+      if (dependent == 0 || observed == 0) continue;
+      const double hit =
+          static_cast<double>(observed) / static_cast<double>(dependent);
+      if (hit + kRatioEpsilon < hit_threshold) continue;
+      const double cov = static_cast<double>(observed) /
+                         static_cast<double>(unexplained.size());
+      if (cov > best_cov + kRatioEpsilon) {
+        best_cov = cov;
+        faulty_set.assign(1, r);
+      } else if (cov > best_cov - kRatioEpsilon) {
+        faulty_set.push_back(r);
+      }
+    }
+
+    if (faulty_set.empty()) break;  // nothing clears the threshold
+
+    // Prune every element adjacent to a picked risk; observations among
+    // them become explained.
+    std::unordered_set<RiskModel::ElementIdx> affected;
+    for (const auto r : faulty_set) {
+      out.hypothesis.push_back(model.risk(r));
+      for (const auto e : model.elements_of(r)) {
+        if (alive[e]) affected.insert(e);
+      }
+    }
+    for (const auto e : affected) alive[e] = false;
+    std::erase_if(unexplained, [&affected](RiskModel::ElementIdx e) {
+      return affected.contains(e);
+    });
+  }
+
+  out.unexplained = std::move(unexplained);
+  return out;
+}
+
+std::vector<RiskUtility> initial_utilities(const RiskModel& model) {
+  const auto signature = model.failure_signature();
+  const double f_size = static_cast<double>(signature.size());
+  std::vector<RiskUtility> out(model.risk_count());
+  for (RiskModel::RiskIdx r = 0; r < model.risk_count(); ++r) {
+    RiskUtility& u = out[r];
+    u.dependent = model.elements_of(r).size();
+    u.observed = model.failed_degree(r);
+    u.hit_ratio = u.dependent == 0 ? 0.0
+                                   : static_cast<double>(u.observed) /
+                                         static_cast<double>(u.dependent);
+    u.coverage_ratio =
+        f_size == 0.0 ? 0.0 : static_cast<double>(u.observed) / f_size;
+  }
+  return out;
+}
+
+}  // namespace scout

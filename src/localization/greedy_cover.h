@@ -1,0 +1,34 @@
+// Shared greedy max-coverage engine (the common core of SCORE and SCOUT
+// stage 1). Each iteration computes hit/coverage utilities for the risks
+// with failed edges to unexplained observations, keeps risks whose hit
+// ratio clears the threshold, picks the maximum-coverage ones (all ties:
+// risks explaining identical observation sets are indistinguishable, cf.
+// EPG:Web vs Contract:Web-App in paper Figure 4(a)), prunes every element
+// adjacent to a picked risk, and repeats.
+#pragma once
+
+#include <vector>
+
+#include "src/localization/localizer.h"
+#include "src/riskmodel/risk_model.h"
+
+namespace scout {
+
+struct GreedyCoverOutcome {
+  std::vector<ObjectRef> hypothesis;
+  // Observations (element indices) never explained by the cover.
+  std::vector<RiskModel::ElementIdx> unexplained;
+  std::size_t observations_total = 0;
+  std::size_t iterations = 0;
+};
+
+// `hit_threshold` in (0, 1]: SCOUT stage 1 uses exactly 1.0; SCORE sweeps it.
+[[nodiscard]] GreedyCoverOutcome run_greedy_cover(const RiskModel& model,
+                                                  double hit_threshold);
+
+// Utilities of every risk against the *initial* failure signature (used by
+// diagnostics and tests; the engine recomputes these per iteration).
+[[nodiscard]] std::vector<RiskUtility> initial_utilities(
+    const RiskModel& model);
+
+}  // namespace scout

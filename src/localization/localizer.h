@@ -1,0 +1,37 @@
+// Fault localization interfaces and shared result types (paper §IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/policy/object_ref.h"
+#include "src/riskmodel/risk_model.h"
+
+namespace scout {
+
+struct LocalizationResult {
+  // The hypothesis H: the minimal set of most-likely faulty objects.
+  std::vector<ObjectRef> hypothesis;
+  // Observations explained by stage-1 greedy cover vs. left unexplained.
+  std::size_t observations_total = 0;
+  std::size_t observations_explained = 0;
+  // SCOUT-only: objects contributed by the change-log stage.
+  std::size_t stage2_objects = 0;
+  // Greedy iterations executed (scalability introspection).
+  std::size_t iterations = 0;
+
+  [[nodiscard]] std::size_t unexplained() const noexcept {
+    return observations_total - observations_explained;
+  }
+  [[nodiscard]] bool contains(ObjectRef obj) const noexcept;
+};
+
+// Utility values of one shared risk at one iteration (paper §IV-B).
+struct RiskUtility {
+  double hit_ratio = 0.0;       // |O_i| / |G_i|
+  double coverage_ratio = 0.0;  // |O_i| / |F|
+  std::size_t observed = 0;     // |O_i|
+  std::size_t dependent = 0;    // |G_i|
+};
+
+}  // namespace scout

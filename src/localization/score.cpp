@@ -1,0 +1,33 @@
+#include "src/localization/score.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/localization/greedy_cover.h"
+
+namespace scout {
+
+bool LocalizationResult::contains(ObjectRef obj) const noexcept {
+  return std::find(hypothesis.begin(), hypothesis.end(), obj) !=
+         hypothesis.end();
+}
+
+ScoreLocalizer::ScoreLocalizer(double hit_threshold)
+    : threshold_(hit_threshold) {
+  if (threshold_ <= 0.0 || threshold_ > 1.0) {
+    throw std::invalid_argument{"SCORE hit threshold must be in (0, 1]"};
+  }
+}
+
+LocalizationResult ScoreLocalizer::localize(const RiskModel& model) const {
+  const GreedyCoverOutcome cover = run_greedy_cover(model, threshold_);
+  LocalizationResult result;
+  result.hypothesis = cover.hypothesis;
+  result.observations_total = cover.observations_total;
+  result.observations_explained =
+      cover.observations_total - cover.unexplained.size();
+  result.iterations = cover.iterations;
+  return result;
+}
+
+}  // namespace scout

@@ -1,0 +1,25 @@
+// SCORE baseline (Kompella et al., "Fault localization via risk modeling",
+// IEEE TDSC 2010; paper §IV-B). Greedy max-coverage with a configurable
+// hit-ratio threshold and no change-log stage: risks below the threshold
+// are treated as noise, which is precisely the limitation SCOUT fixes for
+// partial object faults.
+#pragma once
+
+#include "src/localization/localizer.h"
+
+namespace scout {
+
+class ScoreLocalizer {
+ public:
+  // The paper evaluates SCORE-0.6 and SCORE-1.
+  explicit ScoreLocalizer(double hit_threshold = 1.0);
+
+  [[nodiscard]] double hit_threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] LocalizationResult localize(const RiskModel& model) const;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace scout

@@ -1,0 +1,50 @@
+#include "src/localization/scout_localizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/localization/greedy_cover.h"
+
+namespace scout {
+
+LocalizationResult ScoutLocalizer::localize(const RiskModel& model,
+                                            const ChangeLog& change_log,
+                                            SimTime now) const {
+  // Stage 1 (Algorithm 1 lines 4-19 + Algorithm 2): greedy cover over
+  // hit-ratio-1 risks.
+  GreedyCoverOutcome cover =
+      run_greedy_cover(model, options_.stage1_threshold);
+
+  LocalizationResult result;
+  result.hypothesis = std::move(cover.hypothesis);
+  result.observations_total = cover.observations_total;
+  result.observations_explained =
+      cover.observations_total - cover.unexplained.size();
+  result.iterations = cover.iterations;
+
+  if (!options_.enable_stage2 || cover.unexplained.empty()) return result;
+
+  // Stage 2 (Algorithm 1 lines 20-25): for each unexplained observation,
+  // add the failed-edge objects with recent change-log activity.
+  const std::unordered_set<ObjectRef> recent =
+      change_log.changed_since(now, options_.change_window_ms);
+
+  std::unordered_set<ObjectRef> already(result.hypothesis.begin(),
+                                        result.hypothesis.end());
+  for (const auto e : cover.unexplained) {
+    bool explained = false;
+    for (const auto r : model.failed_risks_of(e)) {
+      const ObjectRef obj = model.risk(r);
+      if (!recent.contains(obj)) continue;
+      explained = true;
+      if (already.insert(obj).second) {
+        result.hypothesis.push_back(obj);
+        ++result.stage2_objects;
+      }
+    }
+    if (explained) ++result.observations_explained;
+  }
+  return result;
+}
+
+}  // namespace scout

@@ -1,0 +1,43 @@
+// SCOUT fault localization (paper Algorithm 1 + Algorithm 2).
+//
+// Stage 1: greedy max-coverage restricted to risks with hit ratio exactly 1
+// (all dependents failed). Stage 2: for observations stage 1 leaves
+// unexplained — typically partial object faults whose hit ratio < 1 — look
+// up the controller change log and add the failed-edge objects that were
+// recently modified. "Despite its simplicity, this heuristic makes huge
+// improvement in accuracy" (§IV-C).
+#pragma once
+
+#include "src/common/sim_clock.h"
+#include "src/localization/localizer.h"
+#include "src/policy/change_log.h"
+
+namespace scout {
+
+class ScoutLocalizer {
+ public:
+  struct Options {
+    // How far back "recently applied actions" reaches in the change log.
+    std::int64_t change_window_ms = 60'000;
+    // Stage-1 hit-ratio threshold. 1.0 per the paper; exposed for the
+    // ablation bench only.
+    double stage1_threshold = 1.0;
+    // Ablation switch: disable the change-log stage entirely.
+    bool enable_stage2 = true;
+  };
+
+  ScoutLocalizer() = default;
+  explicit ScoutLocalizer(Options options) : options_(options) {}
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  // `now` anchors the recency window into `change_log`.
+  [[nodiscard]] LocalizationResult localize(const RiskModel& model,
+                                            const ChangeLog& change_log,
+                                            SimTime now) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace scout

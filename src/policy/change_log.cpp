@@ -1,0 +1,53 @@
+#include "src/policy/change_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scout {
+
+std::string_view to_string(ChangeAction a) noexcept {
+  switch (a) {
+    case ChangeAction::kAdd:
+      return "add";
+    case ChangeAction::kModify:
+      return "modify";
+    case ChangeAction::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+void ChangeLog::record(SimTime t, ObjectRef object, ChangeAction action,
+                       std::vector<SwitchId> pushed_to) {
+  assert(records_.empty() || !(t < records_.back().time));
+  records_.push_back(ChangeRecord{t, object, action, std::move(pushed_to)});
+}
+
+std::vector<ChangeRecord> ChangeLog::history(ObjectRef object) const {
+  std::vector<ChangeRecord> out;
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->object == object) out.push_back(*it);
+  }
+  return out;
+}
+
+std::unordered_set<ObjectRef> ChangeLog::changed_since(
+    SimTime now, std::int64_t window_ms) const {
+  const SimTime cutoff{now.millis() - window_ms};
+  std::unordered_set<ObjectRef> out;
+  // Log is time-ordered; scan backwards and stop at the cutoff.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->time <= cutoff) break;
+    out.insert(it->object);
+  }
+  return out;
+}
+
+std::optional<ChangeRecord> ChangeLog::last_change(ObjectRef object) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->object == object) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace scout

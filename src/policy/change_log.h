@@ -1,0 +1,58 @@
+// Controller change log (paper §IV-C, §V-A). Every add/modify/delete the
+// controller applies to a policy object is recorded with a timestamp.
+// SCOUT's stage 2 consults this log for observations its stage-1 set cover
+// left unexplained, and the event-correlation engine joins it against
+// device fault logs to find physical root causes.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/sim_clock.h"
+#include "src/policy/object_ref.h"
+
+namespace scout {
+
+enum class ChangeAction : std::uint8_t { kAdd, kModify, kDelete };
+
+[[nodiscard]] std::string_view to_string(ChangeAction a) noexcept;
+
+struct ChangeRecord {
+  SimTime time;
+  ObjectRef object;
+  ChangeAction action = ChangeAction::kAdd;
+  // Switches the change was pushed to; empty = policy-wide (not yet
+  // deployed anywhere, e.g. an object created but unused).
+  std::vector<SwitchId> pushed_to;
+};
+
+class ChangeLog {
+ public:
+  void record(SimTime t, ObjectRef object, ChangeAction action,
+              std::vector<SwitchId> pushed_to = {});
+
+  [[nodiscard]] std::span<const ChangeRecord> records() const noexcept {
+    return records_;
+  }
+
+  // Records touching `object`, newest first.
+  [[nodiscard]] std::vector<ChangeRecord> history(ObjectRef object) const;
+
+  // Objects changed in the window (now - window_ms, now]. This is SCOUT's
+  // "recently applied actions" set (Algorithm 1, lines 21-24).
+  [[nodiscard]] std::unordered_set<ObjectRef> changed_since(
+      SimTime now, std::int64_t window_ms) const;
+
+  // Most recent change to `object`, if any.
+  [[nodiscard]] std::optional<ChangeRecord> last_change(ObjectRef object) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::vector<ChangeRecord> records_;  // append-only, time-ordered
+};
+
+}  // namespace scout

@@ -1,0 +1,29 @@
+#include "src/policy/filter.h"
+
+namespace scout {
+
+std::string_view to_string(IpProtocol p) noexcept {
+  switch (p) {
+    case IpProtocol::kAny:
+      return "any";
+    case IpProtocol::kTcp:
+      return "tcp";
+    case IpProtocol::kUdp:
+      return "udp";
+    case IpProtocol::kIcmp:
+      return "icmp";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const FilterEntry& e) {
+  os << to_string(e.protocol) << '/';
+  if (e.single_port()) {
+    os << e.port_lo;
+  } else {
+    os << e.port_lo << '-' << e.port_hi;
+  }
+  return os << '/' << (e.action == FilterAction::kAllow ? "allow" : "deny");
+}
+
+}  // namespace scout

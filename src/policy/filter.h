@@ -1,0 +1,55 @@
+// Filters govern access control between EPGs (paper §II-A). A filter is a
+// named list of entries; each entry matches an L4 protocol and destination
+// port range and carries an allow/deny action. The paper's examples are
+// single-port allows ("Filter: port 80/allow"); we support ranges because
+// range→ternary expansion is a real TCAM behaviour the substrate models.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace scout {
+
+enum class IpProtocol : std::uint8_t {
+  kAny = 0,
+  kTcp = 6,
+  kUdp = 17,
+  kIcmp = 1,
+};
+
+[[nodiscard]] std::string_view to_string(IpProtocol p) noexcept;
+
+enum class FilterAction : std::uint8_t { kAllow, kDeny };
+
+struct FilterEntry {
+  IpProtocol protocol = IpProtocol::kTcp;
+  std::uint16_t port_lo = 0;
+  std::uint16_t port_hi = 0;  // inclusive; lo == hi for a single port
+  FilterAction action = FilterAction::kAllow;
+
+  [[nodiscard]] bool single_port() const noexcept { return port_lo == port_hi; }
+  [[nodiscard]] bool valid() const noexcept { return port_lo <= port_hi; }
+
+  static FilterEntry allow_tcp(std::uint16_t port) noexcept {
+    return {IpProtocol::kTcp, port, port, FilterAction::kAllow};
+  }
+  static FilterEntry allow_range(std::uint16_t lo, std::uint16_t hi) noexcept {
+    return {IpProtocol::kTcp, lo, hi, FilterAction::kAllow};
+  }
+
+  friend constexpr auto operator<=>(const FilterEntry&,
+                                    const FilterEntry&) noexcept = default;
+  friend std::ostream& operator<<(std::ostream& os, const FilterEntry& e);
+};
+
+struct Filter {
+  FilterId id;
+  std::string name;
+  std::vector<FilterEntry> entries;
+};
+
+}  // namespace scout

@@ -1,0 +1,266 @@
+#include "src/policy/network_policy.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/hash.h"
+
+namespace scout {
+namespace {
+
+template <typename T, typename IdT>
+const T& at_or_throw(const std::vector<T>& v, IdT id, const char* what) {
+  if (!id.valid() || id.value() >= v.size()) {
+    std::ostringstream os;
+    os << what << " id " << id.value() << " out of range (size " << v.size()
+       << ')';
+    throw std::out_of_range{os.str()};
+  }
+  return v[id.value()];
+}
+
+}  // namespace
+
+TenantId NetworkPolicy::add_tenant(std::string name) {
+  const TenantId id{static_cast<std::uint32_t>(tenants_.size())};
+  tenants_.push_back(Tenant{id, std::move(name)});
+  return id;
+}
+
+VrfId NetworkPolicy::add_vrf(std::string name, TenantId tenant) {
+  at_or_throw(tenants_, tenant, "tenant");
+  const VrfId id{static_cast<std::uint32_t>(vrfs_.size())};
+  vrfs_.push_back(Vrf{id, std::move(name), tenant});
+  return id;
+}
+
+EpgId NetworkPolicy::add_epg(std::string name, VrfId vrf) {
+  at_or_throw(vrfs_, vrf, "vrf");
+  const EpgId id{static_cast<std::uint32_t>(epgs_.size())};
+  epgs_.push_back(Epg{id, std::move(name), vrf, {}});
+  return id;
+}
+
+EndpointId NetworkPolicy::add_endpoint(std::string name, EpgId epg,
+                                       SwitchId sw) {
+  at_or_throw(epgs_, epg, "epg");
+  const EndpointId id{static_cast<std::uint32_t>(endpoints_.size())};
+  endpoints_.push_back(Endpoint{id, std::move(name), epg, sw});
+  epgs_[epg.value()].endpoints.push_back(id);
+  return id;
+}
+
+FilterId NetworkPolicy::add_filter(std::string name,
+                                   std::vector<FilterEntry> entries) {
+  const FilterId id{static_cast<std::uint32_t>(filters_.size())};
+  filters_.push_back(Filter{id, std::move(name), std::move(entries)});
+  return id;
+}
+
+ContractId NetworkPolicy::add_contract(std::string name,
+                                       std::vector<FilterId> filters) {
+  for (FilterId f : filters) at_or_throw(filters_, f, "filter");
+  const ContractId id{static_cast<std::uint32_t>(contracts_.size())};
+  contracts_.push_back(Contract{id, std::move(name), std::move(filters)});
+  return id;
+}
+
+void NetworkPolicy::link(EpgId consumer, EpgId provider, ContractId contract) {
+  at_or_throw(epgs_, consumer, "epg");
+  at_or_throw(epgs_, provider, "epg");
+  at_or_throw(contracts_, contract, "contract");
+  const ContractLink l{consumer, provider, contract};
+  if (std::find(links_.begin(), links_.end(), l) == links_.end()) {
+    links_.push_back(l);
+  }
+}
+
+void NetworkPolicy::unlink(EpgId consumer, EpgId provider,
+                           ContractId contract) {
+  const ContractLink l{consumer, provider, contract};
+  links_.erase(std::remove(links_.begin(), links_.end(), l), links_.end());
+}
+
+void NetworkPolicy::add_filter_to_contract(ContractId contract,
+                                           FilterId filter) {
+  at_or_throw(filters_, filter, "filter");
+  auto& c = contracts_.at(contract.value());
+  if (std::find(c.filters.begin(), c.filters.end(), filter) ==
+      c.filters.end()) {
+    c.filters.push_back(filter);
+  }
+}
+
+void NetworkPolicy::remove_filter_from_contract(ContractId contract,
+                                                FilterId filter) {
+  auto& c = contracts_.at(contract.value());
+  c.filters.erase(std::remove(c.filters.begin(), c.filters.end(), filter),
+                  c.filters.end());
+}
+
+void NetworkPolicy::add_entry_to_filter(FilterId filter, FilterEntry entry) {
+  filters_.at(filter.value()).entries.push_back(entry);
+}
+
+void NetworkPolicy::move_endpoint(EndpointId ep, SwitchId to) {
+  at_or_throw(endpoints_, ep, "endpoint");
+  endpoints_[ep.value()].attached_switch = to;
+}
+
+const Tenant& NetworkPolicy::tenant(TenantId id) const {
+  return at_or_throw(tenants_, id, "tenant");
+}
+const Vrf& NetworkPolicy::vrf(VrfId id) const {
+  return at_or_throw(vrfs_, id, "vrf");
+}
+const Epg& NetworkPolicy::epg(EpgId id) const {
+  return at_or_throw(epgs_, id, "epg");
+}
+const Endpoint& NetworkPolicy::endpoint(EndpointId id) const {
+  return at_or_throw(endpoints_, id, "endpoint");
+}
+const Contract& NetworkPolicy::contract(ContractId id) const {
+  return at_or_throw(contracts_, id, "contract");
+}
+const Filter& NetworkPolicy::filter(FilterId id) const {
+  return at_or_throw(filters_, id, "filter");
+}
+
+std::vector<EpgPair> NetworkPolicy::epg_pairs() const {
+  std::unordered_set<EpgPair> seen;
+  std::vector<EpgPair> out;
+  for (const auto& l : links_) {
+    const EpgPair p{l.consumer, l.provider};
+    if (seen.insert(p).second) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ContractId> NetworkPolicy::contracts_between(
+    const EpgPair& pair) const {
+  std::vector<ContractId> out;
+  for (const auto& l : links_) {
+    if (EpgPair{l.consumer, l.provider} == pair &&
+        std::find(out.begin(), out.end(), l.contract) == out.end()) {
+      out.push_back(l.contract);
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectRef> NetworkPolicy::objects_for_pair(
+    const EpgPair& pair) const {
+  std::vector<ObjectRef> out;
+  const Epg& a = epg(pair.a);
+  out.push_back(ObjectRef::of(a.vrf));
+  out.push_back(ObjectRef::of(pair.a));
+  if (pair.b != pair.a) out.push_back(ObjectRef::of(pair.b));
+  std::unordered_set<FilterId> seen_filters;
+  for (ContractId c : contracts_between(pair)) {
+    out.push_back(ObjectRef::of(c));
+    for (FilterId f : contract(c).filters) {
+      if (seen_filters.insert(f).second) out.push_back(ObjectRef::of(f));
+    }
+  }
+  return out;
+}
+
+std::vector<SwitchId> NetworkPolicy::switches_hosting(EpgId id) const {
+  std::unordered_set<SwitchId> seen;
+  std::vector<SwitchId> out;
+  for (EndpointId ep : epg(id).endpoints) {
+    const SwitchId sw = endpoint(ep).attached_switch;
+    if (seen.insert(sw).second) out.push_back(sw);
+  }
+  return out;
+}
+
+std::vector<SwitchId> NetworkPolicy::switches_for_pair(
+    const EpgPair& pair) const {
+  std::unordered_set<SwitchId> seen;
+  std::vector<SwitchId> out;
+  for (EpgId e : {pair.a, pair.b}) {
+    for (SwitchId sw : switches_hosting(e)) {
+      if (seen.insert(sw).second) out.push_back(sw);
+    }
+    if (pair.b == pair.a) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EpgPair> NetworkPolicy::epg_pairs_on_switch(SwitchId sw) const {
+  std::vector<EpgPair> out;
+  for (const EpgPair& p : epg_pairs()) {
+    const auto switches = switches_for_pair(p);
+    if (std::find(switches.begin(), switches.end(), sw) != switches.end()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> NetworkPolicy::validate() const {
+  std::vector<std::string> violations;
+  auto complain = [&violations](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    violations.push_back(os.str());
+  };
+
+  for (const auto& v : vrfs_) {
+    if (!v.tenant.valid() || v.tenant.value() >= tenants_.size())
+      complain("vrf ", v.id, " references missing tenant ", v.tenant);
+  }
+  for (const auto& e : epgs_) {
+    if (!e.vrf.valid() || e.vrf.value() >= vrfs_.size())
+      complain("epg ", e.id, " references missing vrf ", e.vrf);
+    for (EndpointId ep : e.endpoints) {
+      if (ep.value() >= endpoints_.size()) {
+        complain("epg ", e.id, " references missing endpoint ", ep);
+      } else if (endpoints_[ep.value()].epg != e.id) {
+        complain("endpoint ", ep, " does not reference epg ", e.id, " back");
+      }
+    }
+  }
+  for (const auto& c : contracts_) {
+    if (c.filters.empty()) complain("contract ", c.id, " has no filters");
+    for (FilterId f : c.filters) {
+      if (f.value() >= filters_.size())
+        complain("contract ", c.id, " references missing filter ", f);
+    }
+  }
+  for (const auto& f : filters_) {
+    if (f.entries.empty()) complain("filter ", f.id, " has no entries");
+    for (const auto& e : f.entries) {
+      if (!e.valid())
+        complain("filter ", f.id, " has inverted port range ", e.port_lo, '-',
+                 e.port_hi);
+    }
+  }
+  for (const auto& l : links_) {
+    if (l.consumer.value() >= epgs_.size() ||
+        l.provider.value() >= epgs_.size() ||
+        l.contract.value() >= contracts_.size()) {
+      complain("dangling contract link");
+      continue;
+    }
+    // Same-VRF requirement keeps one VRF per rule (Figure 2's rule format);
+    // APIC inter-VRF contracts exist but the paper's model scopes EPG pairs
+    // within a VRF.
+    if (epgs_[l.consumer.value()].vrf != epgs_[l.provider.value()].vrf) {
+      complain("link ", l.consumer, "<->", l.provider,
+               " crosses VRFs; unsupported");
+    }
+  }
+  return violations;
+}
+
+NetworkPolicy::Counts NetworkPolicy::counts() const noexcept {
+  return Counts{tenants_.size(), vrfs_.size(),      epgs_.size(),
+                endpoints_.size(), contracts_.size(), filters_.size(),
+                links_.size()};
+}
+
+}  // namespace scout

@@ -1,0 +1,123 @@
+// NetworkPolicy: the controller's authoritative store of policy objects and
+// their relationships (paper Figure 1(b)). This is the "desired state" of
+// the network; the compiler renders it into per-switch logical views and
+// L-type rules, and the risk models are built from its dependency structure.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/policy/filter.h"
+#include "src/policy/object_ref.h"
+#include "src/policy/objects.h"
+
+namespace scout {
+
+class NetworkPolicy {
+ public:
+  // -- construction ---------------------------------------------------------
+  TenantId add_tenant(std::string name);
+  VrfId add_vrf(std::string name, TenantId tenant);
+  EpgId add_epg(std::string name, VrfId vrf);
+  EndpointId add_endpoint(std::string name, EpgId epg, SwitchId sw);
+  FilterId add_filter(std::string name, std::vector<FilterEntry> entries);
+  ContractId add_contract(std::string name, std::vector<FilterId> filters);
+
+  // Declare that `consumer` and `provider` communicate under `contract`.
+  void link(EpgId consumer, EpgId provider, ContractId contract);
+  void unlink(EpgId consumer, EpgId provider, ContractId contract);
+
+  // -- mutation (the §V-B use cases mutate a live policy) -------------------
+  void add_filter_to_contract(ContractId contract, FilterId filter);
+  void remove_filter_from_contract(ContractId contract, FilterId filter);
+  void add_entry_to_filter(FilterId filter, FilterEntry entry);
+  // VM migration: the endpoint re-attaches to another leaf.
+  void move_endpoint(EndpointId ep, SwitchId to);
+
+  // -- lookup ----------------------------------------------------------------
+  [[nodiscard]] const Tenant& tenant(TenantId id) const;
+  [[nodiscard]] const Vrf& vrf(VrfId id) const;
+  [[nodiscard]] const Epg& epg(EpgId id) const;
+  [[nodiscard]] const Endpoint& endpoint(EndpointId id) const;
+  [[nodiscard]] const Contract& contract(ContractId id) const;
+  [[nodiscard]] const Filter& filter(FilterId id) const;
+
+  [[nodiscard]] std::span<const Tenant> tenants() const noexcept {
+    return tenants_;
+  }
+  [[nodiscard]] std::span<const Vrf> vrfs() const noexcept { return vrfs_; }
+  [[nodiscard]] std::span<const Epg> epgs() const noexcept { return epgs_; }
+  [[nodiscard]] std::span<const Endpoint> endpoints() const noexcept {
+    return endpoints_;
+  }
+  [[nodiscard]] std::span<const Contract> contracts() const noexcept {
+    return contracts_;
+  }
+  [[nodiscard]] std::span<const Filter> filters() const noexcept {
+    return filters_;
+  }
+  [[nodiscard]] std::span<const ContractLink> links() const noexcept {
+    return links_;
+  }
+
+  // -- derived queries -------------------------------------------------------
+  // All distinct EPG pairs with at least one contract link.
+  [[nodiscard]] std::vector<EpgPair> epg_pairs() const;
+
+  // Contracts linking the two EPGs of `pair` (either direction).
+  [[nodiscard]] std::vector<ContractId> contracts_between(
+      const EpgPair& pair) const;
+
+  // Every policy object the pair relies on for connectivity: the shared
+  // risks of the pair (paper §III): VRF, both EPGs, contracts, filters.
+  [[nodiscard]] std::vector<ObjectRef> objects_for_pair(
+      const EpgPair& pair) const;
+
+  // Switches that host at least one endpoint of `epg`.
+  [[nodiscard]] std::vector<SwitchId> switches_hosting(EpgId epg) const;
+
+  // Switches involved in deploying rules for `pair`: the union of switches
+  // hosting either EPG (the controller pushes the pair's rules to each).
+  [[nodiscard]] std::vector<SwitchId> switches_for_pair(
+      const EpgPair& pair) const;
+
+  // EPG pairs whose rules are deployed on `sw`.
+  [[nodiscard]] std::vector<EpgPair> epg_pairs_on_switch(SwitchId sw) const;
+
+  // -- integrity -------------------------------------------------------------
+  // Referential validation; returns human-readable violations (empty = OK).
+  // Checks: ids resolve; linked EPGs share a VRF; contracts are non-empty;
+  // filter entries are well-formed; endpoints reference their EPG back.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  struct Counts {
+    std::size_t tenants, vrfs, epgs, endpoints, contracts, filters, links;
+  };
+  [[nodiscard]] Counts counts() const noexcept;
+
+ private:
+  [[nodiscard]] bool has(EpgId id) const noexcept {
+    return id.value() < epgs_.size();
+  }
+  [[nodiscard]] bool has(ContractId id) const noexcept {
+    return id.value() < contracts_.size();
+  }
+  [[nodiscard]] bool has(FilterId id) const noexcept {
+    return id.value() < filters_.size();
+  }
+
+  std::vector<Tenant> tenants_;
+  std::vector<Vrf> vrfs_;
+  std::vector<Epg> epgs_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<Contract> contracts_;
+  std::vector<Filter> filters_;
+  std::vector<ContractLink> links_;
+};
+
+}  // namespace scout

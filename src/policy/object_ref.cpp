@@ -1,0 +1,29 @@
+#include "src/policy/object_ref.h"
+
+namespace scout {
+
+std::string_view to_string(ObjectType t) noexcept {
+  switch (t) {
+    case ObjectType::kTenant:
+      return "Tenant";
+    case ObjectType::kVrf:
+      return "VRF";
+    case ObjectType::kEpg:
+      return "EPG";
+    case ObjectType::kEndpoint:
+      return "EP";
+    case ObjectType::kContract:
+      return "Contract";
+    case ObjectType::kFilter:
+      return "Filter";
+    case ObjectType::kSwitch:
+      return "Switch";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, ObjectRef ref) {
+  return os << to_string(ref.type()) << ':' << ref.raw();
+}
+
+}  // namespace scout

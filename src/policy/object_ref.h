@@ -1,0 +1,91 @@
+// ObjectRef: a typed handle to any policy or physical object that can act as
+// a *shared risk* in the paper's risk models (§III): VRFs, EPGs, contracts,
+// filters and switches. Risk-model nodes, hypotheses, change logs and
+// ground-truth fault sets are all sets of ObjectRefs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "src/common/hash.h"
+#include "src/common/ids.h"
+
+namespace scout {
+
+enum class ObjectType : std::uint8_t {
+  kTenant,
+  kVrf,
+  kEpg,
+  kEndpoint,
+  kContract,
+  kFilter,
+  kSwitch,
+};
+
+[[nodiscard]] std::string_view to_string(ObjectType t) noexcept;
+
+class ObjectRef {
+ public:
+  constexpr ObjectRef() noexcept = default;
+  constexpr ObjectRef(ObjectType type, std::uint32_t raw) noexcept
+      : type_(type), raw_(raw) {}
+
+  // Implicit-free factories keep call sites readable and type-safe.
+  static constexpr ObjectRef of(TenantId id) noexcept {
+    return {ObjectType::kTenant, id.value()};
+  }
+  static constexpr ObjectRef of(VrfId id) noexcept {
+    return {ObjectType::kVrf, id.value()};
+  }
+  static constexpr ObjectRef of(EpgId id) noexcept {
+    return {ObjectType::kEpg, id.value()};
+  }
+  static constexpr ObjectRef of(EndpointId id) noexcept {
+    return {ObjectType::kEndpoint, id.value()};
+  }
+  static constexpr ObjectRef of(ContractId id) noexcept {
+    return {ObjectType::kContract, id.value()};
+  }
+  static constexpr ObjectRef of(FilterId id) noexcept {
+    return {ObjectType::kFilter, id.value()};
+  }
+  static constexpr ObjectRef of(SwitchId id) noexcept {
+    return {ObjectType::kSwitch, id.value()};
+  }
+
+  [[nodiscard]] constexpr ObjectType type() const noexcept { return type_; }
+  [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return raw_; }
+
+  [[nodiscard]] constexpr VrfId as_vrf() const noexcept { return VrfId{raw_}; }
+  [[nodiscard]] constexpr EpgId as_epg() const noexcept { return EpgId{raw_}; }
+  [[nodiscard]] constexpr ContractId as_contract() const noexcept {
+    return ContractId{raw_};
+  }
+  [[nodiscard]] constexpr FilterId as_filter() const noexcept {
+    return FilterId{raw_};
+  }
+  [[nodiscard]] constexpr SwitchId as_switch() const noexcept {
+    return SwitchId{raw_};
+  }
+
+  friend constexpr auto operator<=>(ObjectRef, ObjectRef) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, ObjectRef ref);
+
+ private:
+  ObjectType type_ = ObjectType::kTenant;
+  std::uint32_t raw_ = 0xFFFFFFFFU;
+};
+
+}  // namespace scout
+
+namespace std {
+template <>
+struct hash<scout::ObjectRef> {
+  size_t operator()(scout::ObjectRef r) const noexcept {
+    return scout::hash_all(static_cast<unsigned>(r.type()), r.raw());
+  }
+};
+}  // namespace std

@@ -1,0 +1,90 @@
+// The remaining APIC-style policy objects (paper §II-A, Figure 1(b)):
+// tenant, VRF, endpoint group (EPG), endpoint and contract, plus the
+// contract link (which EPG pair a contract glues together).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/ids.h"
+
+namespace scout {
+
+struct Tenant {
+  TenantId id;
+  std::string name;
+};
+
+// Layer-3 VPN scope for a set of EPGs (realized as a VRF object).
+struct Vrf {
+  VrfId id;
+  std::string name;
+  TenantId tenant;
+};
+
+// A set of endpoints belonging to the same application tier.
+struct Epg {
+  EpgId id;
+  std::string name;
+  VrfId vrf;
+  std::vector<EndpointId> endpoints;
+};
+
+// A server/VM attached to a leaf switch.
+struct Endpoint {
+  EndpointId id;
+  std::string name;
+  EpgId epg;
+  SwitchId attached_switch;
+};
+
+// A contract bundles filters and is provided/consumed by EPGs.
+struct Contract {
+  ContractId id;
+  std::string name;
+  std::vector<FilterId> filters;
+};
+
+// "EPG A talks to EPG B under contract C." Consumer/provider distinction is
+// kept for fidelity to the APIC model; rule generation is bidirectional
+// (Figure 2 installs both directions per filter entry).
+struct ContractLink {
+  EpgId consumer;
+  EpgId provider;
+  ContractId contract;
+
+  friend constexpr auto operator<=>(const ContractLink&,
+                                    const ContractLink&) noexcept = default;
+};
+
+// Canonical unordered EPG pair: the "element" of the switch risk model.
+struct EpgPair {
+  EpgId a;  // invariant: a.value() <= b.value()
+  EpgId b;
+
+  EpgPair() = default;
+  EpgPair(EpgId x, EpgId y) noexcept {
+    if (y < x) std::swap(x, y);
+    a = x;
+    b = y;
+  }
+
+  friend constexpr auto operator<=>(const EpgPair&,
+                                    const EpgPair&) noexcept = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const EpgPair& p) {
+  return os << "EPGpair(" << p.a << ',' << p.b << ')';
+}
+
+}  // namespace scout
+
+namespace std {
+template <>
+struct hash<scout::EpgPair> {
+  size_t operator()(const scout::EpgPair& p) const noexcept {
+    return scout::hash_all(p.a, p.b);
+  }
+};
+}  // namespace std

@@ -1,0 +1,104 @@
+#include "src/policy/policy_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace scout {
+
+PolicyIndex::PolicyIndex(const NetworkPolicy& policy) : policy_(&policy) {
+  // pair -> contracts (link order, deduped)
+  for (const ContractLink& l : policy.links()) {
+    const EpgPair pair{l.consumer, l.provider};
+    auto [it, inserted] = pair_idx_.try_emplace(pair, pairs_.size());
+    if (inserted) {
+      pairs_.push_back(pair);
+      contracts_.emplace_back();
+    }
+    auto& cs = contracts_[it->second];
+    if (std::find(cs.begin(), cs.end(), l.contract) == cs.end()) {
+      cs.push_back(l.contract);
+    }
+  }
+
+  // epg -> switches, one endpoint scan
+  std::unordered_map<EpgId, std::vector<SwitchId>> epg_switches;
+  for (const Endpoint& ep : policy.endpoints()) {
+    auto& v = epg_switches[ep.epg];
+    if (std::find(v.begin(), v.end(), ep.attached_switch) == v.end()) {
+      v.push_back(ep.attached_switch);
+    }
+  }
+
+  objects_.resize(pairs_.size());
+  switches_.resize(pairs_.size());
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const EpgPair& pair = pairs_[i];
+
+    // Objects: VRF, EPGs, contracts, filters (deduped, stable order).
+    auto& objs = objects_[i];
+    objs.push_back(ObjectRef::of(policy.epg(pair.a).vrf));
+    objs.push_back(ObjectRef::of(pair.a));
+    if (pair.b != pair.a) objs.push_back(ObjectRef::of(pair.b));
+    std::unordered_set<FilterId> seen_filters;
+    for (ContractId c : contracts_[i]) {
+      objs.push_back(ObjectRef::of(c));
+      for (FilterId f : policy.contract(c).filters) {
+        if (seen_filters.insert(f).second) objs.push_back(ObjectRef::of(f));
+      }
+    }
+
+    // Switches: union over both EPGs, sorted for determinism.
+    auto& sws = switches_[i];
+    for (const EpgId e : {pair.a, pair.b}) {
+      const auto it = epg_switches.find(e);
+      if (it != epg_switches.end()) {
+        for (SwitchId sw : it->second) {
+          if (std::find(sws.begin(), sws.end(), sw) == sws.end()) {
+            sws.push_back(sw);
+          }
+        }
+      }
+      if (pair.a == pair.b) break;
+    }
+    std::sort(sws.begin(), sws.end());
+    for (SwitchId sw : sws) by_switch_[sw].push_back(pair);
+  }
+}
+
+std::size_t PolicyIndex::pair_index(const EpgPair& p) const {
+  const auto it = pair_idx_.find(p);
+  if (it == pair_idx_.end()) {
+    throw std::out_of_range{"PolicyIndex: unknown EPG pair"};
+  }
+  return it->second;
+}
+
+const std::vector<ContractId>& PolicyIndex::contracts_of(
+    const EpgPair& p) const {
+  return contracts_[pair_index(p)];
+}
+
+const std::vector<ObjectRef>& PolicyIndex::objects_of(const EpgPair& p) const {
+  return objects_[pair_index(p)];
+}
+
+const std::vector<SwitchId>& PolicyIndex::switches_of(const EpgPair& p) const {
+  return switches_[pair_index(p)];
+}
+
+const std::vector<EpgPair>& PolicyIndex::pairs_on_switch(SwitchId sw) const {
+  static const std::vector<EpgPair> kEmpty;
+  const auto it = by_switch_.find(sw);
+  return it == by_switch_.end() ? kEmpty : it->second;
+}
+
+std::vector<SwitchId> PolicyIndex::all_switches() const {
+  std::vector<SwitchId> out;
+  out.reserve(by_switch_.size());
+  for (const auto& [sw, pairs] : by_switch_) out.push_back(sw);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace scout

@@ -1,0 +1,49 @@
+// PolicyIndex: one-pass precomputed views of a NetworkPolicy.
+//
+// NetworkPolicy's ad-hoc queries (contracts_between, switches_for_pair) scan
+// the link/endpoint lists per call, which is fine interactively but
+// quadratic when building risk models over tens of thousands of EPG pairs.
+// The index computes pair -> contracts/objects/switches and
+// switch -> pairs maps in a single pass and is immutable thereafter: build
+// it after the policy stops changing.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/policy/network_policy.h"
+
+namespace scout {
+
+class PolicyIndex {
+ public:
+  explicit PolicyIndex(const NetworkPolicy& policy);
+
+  [[nodiscard]] std::span<const EpgPair> pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] std::size_t pair_index(const EpgPair& p) const;
+
+  [[nodiscard]] const std::vector<ContractId>& contracts_of(
+      const EpgPair& p) const;
+  // Shared-risk objects of the pair: VRF, both EPGs, contracts, filters.
+  [[nodiscard]] const std::vector<ObjectRef>& objects_of(
+      const EpgPair& p) const;
+  // Switches the pair's rules are deployed to.
+  [[nodiscard]] const std::vector<SwitchId>& switches_of(
+      const EpgPair& p) const;
+  [[nodiscard]] const std::vector<EpgPair>& pairs_on_switch(SwitchId sw) const;
+  [[nodiscard]] std::vector<SwitchId> all_switches() const;
+
+ private:
+  const NetworkPolicy* policy_;
+  std::vector<EpgPair> pairs_;
+  std::unordered_map<EpgPair, std::size_t> pair_idx_;
+  std::vector<std::vector<ContractId>> contracts_;   // by pair index
+  std::vector<std::vector<ObjectRef>> objects_;      // by pair index
+  std::vector<std::vector<SwitchId>> switches_;      // by pair index
+  std::unordered_map<SwitchId, std::vector<EpgPair>> by_switch_;
+};
+
+}  // namespace scout

@@ -1,0 +1,100 @@
+#include "src/policy/policy_json.h"
+
+#include <sstream>
+
+#include "src/common/json_writer.h"
+
+namespace scout {
+
+std::string policy_to_json(const NetworkPolicy& policy) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("tenants").begin_array();
+  for (const Tenant& t : policy.tenants()) {
+    w.begin_object()
+        .field("id", static_cast<std::uint64_t>(t.id.value()))
+        .field("name", t.name)
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("vrfs").begin_array();
+  for (const Vrf& v : policy.vrfs()) {
+    w.begin_object()
+        .field("id", static_cast<std::uint64_t>(v.id.value()))
+        .field("name", v.name)
+        .field("tenant", static_cast<std::uint64_t>(v.tenant.value()))
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("epgs").begin_array();
+  for (const Epg& e : policy.epgs()) {
+    w.begin_object()
+        .field("id", static_cast<std::uint64_t>(e.id.value()))
+        .field("name", e.name)
+        .field("vrf", static_cast<std::uint64_t>(e.vrf.value()));
+    w.key("endpoints").begin_array();
+    for (const EndpointId ep : e.endpoints) {
+      w.value(static_cast<std::uint64_t>(ep.value()));
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+
+  w.key("endpoints").begin_array();
+  for (const Endpoint& ep : policy.endpoints()) {
+    w.begin_object()
+        .field("id", static_cast<std::uint64_t>(ep.id.value()))
+        .field("name", ep.name)
+        .field("epg", static_cast<std::uint64_t>(ep.epg.value()))
+        .field("switch",
+               static_cast<std::uint64_t>(ep.attached_switch.value()))
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("filters").begin_array();
+  for (const Filter& f : policy.filters()) {
+    w.begin_object()
+        .field("id", static_cast<std::uint64_t>(f.id.value()))
+        .field("name", f.name);
+    w.key("entries").begin_array();
+    for (const FilterEntry& e : f.entries) {
+      std::ostringstream text;
+      text << e;
+      w.value(text.str());
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+
+  w.key("contracts").begin_array();
+  for (const Contract& c : policy.contracts()) {
+    w.begin_object()
+        .field("id", static_cast<std::uint64_t>(c.id.value()))
+        .field("name", c.name);
+    w.key("filters").begin_array();
+    for (const FilterId f : c.filters) {
+      w.value(static_cast<std::uint64_t>(f.value()));
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+
+  w.key("links").begin_array();
+  for (const ContractLink& l : policy.links()) {
+    w.begin_object()
+        .field("consumer", static_cast<std::uint64_t>(l.consumer.value()))
+        .field("provider", static_cast<std::uint64_t>(l.provider.value()))
+        .field("contract", static_cast<std::uint64_t>(l.contract.value()))
+        .end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace scout

@@ -1,0 +1,15 @@
+// JSON dump of a NetworkPolicy — lets operators inspect generated or live
+// policies and diff snapshots out-of-band. Dump only (the simulator never
+// needs to load one back; experiments regenerate deterministically from
+// seeds).
+#pragma once
+
+#include <string>
+
+#include "src/policy/network_policy.h"
+
+namespace scout {
+
+[[nodiscard]] std::string policy_to_json(const NetworkPolicy& policy);
+
+}  // namespace scout

@@ -1,0 +1,72 @@
+#include "src/riskmodel/risk_model_dot.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace scout {
+
+std::string risk_model_to_dot(const RiskModel& model,
+                              const DotOptions& options) {
+  // Pick the elements to render: failures first, then healthy ones.
+  std::vector<RiskModel::ElementIdx> elements;
+  for (RiskModel::ElementIdx e = 0; e < model.element_count(); ++e) {
+    if (model.element_failed(e)) elements.push_back(e);
+  }
+  for (RiskModel::ElementIdx e = 0; e < model.element_count(); ++e) {
+    if (!model.element_failed(e)) elements.push_back(e);
+  }
+  if (options.max_elements > 0 && elements.size() > options.max_elements) {
+    elements.resize(options.max_elements);
+  }
+  const std::unordered_set<RiskModel::ElementIdx> kept(elements.begin(),
+                                                       elements.end());
+
+  std::ostringstream os;
+  os << "digraph riskmodel {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"Helvetica\"];\n"
+     << "  subgraph cluster_elements {\n"
+     << "    label=\""
+     << (model.kind() == RiskModelKind::kSwitch ? "EPG pairs"
+                                                : "switch-EPG-pair triplets")
+     << "\";\n";
+  for (const auto e : elements) {
+    os << "    e" << e << " [shape=box,label=\"" << model.element(e)
+       << '"' << (model.element_failed(e) ? ",color=red,fontcolor=red" : "")
+       << "];\n";
+  }
+  os << "  }\n"
+     << "  subgraph cluster_risks {\n    label=\"shared risks\";\n";
+  for (RiskModel::RiskIdx r = 0; r < model.risk_count(); ++r) {
+    bool referenced = options.include_isolated_risks;
+    if (!referenced) {
+      for (const auto e : model.elements_of(r)) {
+        if (kept.contains(e)) {
+          referenced = true;
+          break;
+        }
+      }
+    }
+    if (!referenced) continue;
+    os << "    r" << r << " [shape=ellipse,label=\"" << model.risk(r)
+       << '"' << (model.failed_degree(r) > 0 ? ",color=red,fontcolor=red"
+                                             : "")
+       << "];\n";
+  }
+  os << "  }\n";
+  for (const auto e : elements) {
+    for (const auto r : model.risks_of(e)) {
+      os << "  e" << e << " -> r" << r;
+      if (model.edge_failed(e, r)) {
+        os << " [color=red,style=dashed,label=\"fail\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace scout

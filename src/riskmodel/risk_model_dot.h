@@ -1,0 +1,23 @@
+// Graphviz export of risk models — renders the paper's Figure 4 style
+// bipartite diagrams for debugging and documentation. Failed edges are
+// drawn red/dashed, observations (failed elements) red, exactly like the
+// paper's figures.
+#pragma once
+
+#include <string>
+
+#include "src/riskmodel/risk_model.h"
+
+namespace scout {
+
+struct DotOptions {
+  // Cap the number of elements rendered (big models are unreadable as
+  // graphs); 0 = no cap. Elements with failed edges are kept first.
+  std::size_t max_elements = 0;
+  bool include_isolated_risks = false;
+};
+
+[[nodiscard]] std::string risk_model_to_dot(const RiskModel& model,
+                                            const DotOptions& options = {});
+
+}  // namespace scout

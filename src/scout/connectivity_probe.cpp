@@ -1,0 +1,102 @@
+#include "src/scout/connectivity_probe.h"
+
+#include "src/policy/policy_index.h"
+
+namespace scout {
+namespace {
+
+PacketHeader make_header(const NetworkPolicy& policy, EndpointId src,
+                         EndpointId dst, IpProtocol proto,
+                         std::uint16_t dst_port) {
+  const Endpoint& s = policy.endpoint(src);
+  const Endpoint& d = policy.endpoint(dst);
+  PacketHeader h;
+  h.vrf = static_cast<std::uint16_t>(policy.epg(s.epg).vrf.value());
+  h.src_epg = static_cast<std::uint16_t>(s.epg.value());
+  h.dst_epg = static_cast<std::uint16_t>(d.epg.value());
+  h.proto = static_cast<std::uint8_t>(proto);
+  h.dst_port = dst_port;
+  return h;
+}
+
+bool leaf_allows(SimNetwork& net, SwitchId leaf, const PacketHeader& h) {
+  SwitchAgent* agent = net.controller().agent(leaf);
+  if (agent == nullptr) return false;  // unmanaged leaf: fail closed
+  return agent->tcam().lookup(h) == RuleAction::kAllow;
+}
+
+}  // namespace
+
+ProbeResult probe_flow(SimNetwork& net, EndpointId src, EndpointId dst,
+                       IpProtocol proto, std::uint16_t dst_port) {
+  const NetworkPolicy& policy = net.controller().policy();
+  ProbeResult result;
+  result.forward_leaf = policy.endpoint(src).attached_switch;
+  result.reverse_leaf = policy.endpoint(dst).attached_switch;
+  result.forward_allowed =
+      leaf_allows(net, result.forward_leaf,
+                  make_header(policy, src, dst, proto, dst_port));
+  result.reverse_allowed =
+      leaf_allows(net, result.reverse_leaf,
+                  make_header(policy, dst, src, proto, dst_port));
+  return result;
+}
+
+bool intent_allows(const NetworkPolicy& policy, EndpointId src,
+                   EndpointId dst, IpProtocol proto,
+                   std::uint16_t dst_port) {
+  const EpgId src_epg = policy.endpoint(src).epg;
+  const EpgId dst_epg = policy.endpoint(dst).epg;
+  if (policy.epg(src_epg).vrf != policy.epg(dst_epg).vrf) return false;
+  // Whitelist evaluation: first matching entry across the pair's contracts
+  // decides; default deny.
+  for (const ContractId c :
+       policy.contracts_between(EpgPair{src_epg, dst_epg})) {
+    for (const FilterId f : policy.contract(c).filters) {
+      for (const FilterEntry& e : policy.filter(f).entries) {
+        const bool proto_ok =
+            e.protocol == IpProtocol::kAny || e.protocol == proto;
+        if (proto_ok && dst_port >= e.port_lo && dst_port <= e.port_hi) {
+          return e.action == FilterAction::kAllow;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+DivergenceSummary probe_all_intents(SimNetwork& net) {
+  const NetworkPolicy& policy = net.controller().policy();
+  const PolicyIndex index{policy};
+  DivergenceSummary summary;
+
+  for (const EpgPair& pair : index.pairs()) {
+    const auto& a_eps = policy.epg(pair.a).endpoints;
+    const auto& b_eps = policy.epg(pair.b).endpoints;
+    if (a_eps.empty() || b_eps.empty()) continue;
+    // One representative endpoint per side; policy is EPG-granular, so any
+    // endpoint pair behaves identically modulo its attachment leaf. Probe
+    // every distinct filter entry the pair's contracts reference.
+    for (const ContractId c : index.contracts_of(pair)) {
+      for (const FilterId f : policy.contract(c).filters) {
+        const Filter& filter = policy.filter(f);
+        for (const FilterEntry& entry : filter.entries) {
+          const IpProtocol proto = entry.protocol == IpProtocol::kAny
+                                       ? IpProtocol::kTcp
+                                       : entry.protocol;
+          ++summary.flows_probed;
+          const bool intended = intent_allows(policy, a_eps.front(),
+                                              b_eps.front(), proto,
+                                              entry.port_lo);
+          const ProbeResult probe = probe_flow(net, a_eps.front(),
+                                               b_eps.front(), proto,
+                                               entry.port_lo);
+          if (probe.bidirectional() != intended) ++summary.flows_diverging;
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace scout

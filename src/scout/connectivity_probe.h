@@ -1,0 +1,51 @@
+// Connectivity probes: the operator-facing entry point of the paper's
+// story. A trouble ticket says "these endpoints cannot talk"; a probe
+// reproduces that observation against the *deployed* TCAM state (not the
+// policy), and its divergence from policy intent is what triggers the
+// SCOUT pipeline.
+//
+// Enforcement model: policy ACLs are evaluated at the source endpoint's
+// leaf (ingress enforcement, the common APIC configuration). A flow is
+// allowed iff the ingress leaf's TCAM allows it; the reverse direction is
+// probed at the destination's leaf.
+#pragma once
+
+#include "src/policy/filter.h"
+#include "src/scout/sim_network.h"
+
+namespace scout {
+
+struct ProbeResult {
+  bool forward_allowed = false;  // src -> dst at src's leaf
+  bool reverse_allowed = false;  // dst -> src at dst's leaf
+  SwitchId forward_leaf;
+  SwitchId reverse_leaf;
+
+  [[nodiscard]] bool bidirectional() const noexcept {
+    return forward_allowed && reverse_allowed;
+  }
+};
+
+// Probe a single (src EP, dst EP, proto, dst port) flow against deployed
+// TCAM state. Throws std::out_of_range for unknown endpoints.
+[[nodiscard]] ProbeResult probe_flow(SimNetwork& net, EndpointId src,
+                                     EndpointId dst, IpProtocol proto,
+                                     std::uint16_t dst_port);
+
+// Does the *policy* intend this flow to be allowed? (Evaluates contracts
+// and filters, not TCAMs.) A probe that disagrees with the intent is an
+// observation in the paper's sense.
+[[nodiscard]] bool intent_allows(const NetworkPolicy& policy, EndpointId src,
+                                 EndpointId dst, IpProtocol proto,
+                                 std::uint16_t dst_port);
+
+// Sweep every linked EPG pair's filter entries and count flows whose
+// deployed behaviour diverges from intent — a cheap fabric-wide health
+// indicator an operator can alert on.
+struct DivergenceSummary {
+  std::size_t flows_probed = 0;
+  std::size_t flows_diverging = 0;
+};
+[[nodiscard]] DivergenceSummary probe_all_intents(SimNetwork& net);
+
+}  // namespace scout

@@ -1,0 +1,285 @@
+#include "src/scout/experiment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "src/faults/fault_injector.h"
+#include "src/localization/score.h"
+#include "src/localization/scout_localizer.h"
+#include "src/scout/metrics.h"
+#include "src/scout/scout_system.h"
+#include "src/scout/sim_network.h"
+
+namespace scout {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The leaf carrying the most compiled rules: switch-model experiments
+// inject every fault there so its risk model sees all of them.
+SwitchId busiest_switch(const Controller& controller) {
+  SwitchId best{};
+  std::size_t best_rules = 0;
+  for (const auto& [sw, rules] : controller.compiled().per_switch) {
+    if (rules.size() > best_rules) {
+      best_rules = rules.size();
+      best = sw;
+    }
+  }
+  return best;
+}
+
+LocalizationResult run_algorithm(const AlgorithmSpec& spec,
+                                 const RiskModel& model,
+                                 const ChangeLog& change_log, SimTime now,
+                                 std::int64_t window_ms) {
+  if (spec.kind == AlgorithmKind::kScore) {
+    return ScoreLocalizer{spec.score_threshold}.localize(model);
+  }
+  ScoutLocalizer::Options opts;
+  opts.change_window_ms = window_ms;
+  opts.enable_stage2 = spec.scout_stage2;
+  return ScoutLocalizer{opts}.localize(model, change_log, now);
+}
+
+}  // namespace
+
+std::vector<AccuracySeries> run_accuracy_sweep(
+    const AccuracyOptions& options,
+    std::span<const AlgorithmSpec> algorithms) {
+  std::vector<AccuracySeries> series(algorithms.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    series[a].name = algorithms[a].name;
+    series[a].by_faults.resize(options.max_faults);
+  }
+  // Accumulators: [algorithm][faults-1] -> sums over runs.
+  std::vector<std::vector<double>> precision_sum(
+      algorithms.size(), std::vector<double>(options.max_faults, 0.0));
+  std::vector<std::vector<double>> recall_sum = precision_sum;
+
+  const ScoutSystem system{
+      ScoutSystem::Options{options.check_mode, ScoutLocalizer::Options{}}};
+
+  // One fixed policy per sweep (the paper evaluates against a single
+  // production dataset); randomness across runs is fault selection only.
+  Rng rng{options.seed};
+  GeneratedNetwork generated = generate_network(options.profile, rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);  // age out deploy-time change records
+
+  ObjectFaultInjector injector{net.controller(), rng};
+  const bool switch_scoped = options.model == RiskModelKind::kSwitch;
+  const std::optional<SwitchId> scope =
+      switch_scoped ? std::optional{busiest_switch(net.controller())}
+                    : std::nullopt;
+
+  const PolicyIndex index{net.controller().policy()};
+  RiskModel model = switch_scoped
+                        ? RiskModel::build_switch_model(index, *scope)
+                        : RiskModel::build_controller_model(index);
+
+  for (std::size_t n_faults = 1; n_faults <= options.max_faults; ++n_faults) {
+    for (std::size_t run = 0; run < options.runs; ++run) {
+      // Benign change-log noise inside the recency window.
+      for (const ObjectRef obj :
+           injector.sample_objects(options.benign_changes,
+                                   /*include_vrfs=*/true)) {
+        net.controller().record_benign_change(obj);
+      }
+
+      // Ground truth: n distinct objects, each faulted fully or partially
+      // with equal probability (paper §VI-A).
+      const std::vector<ObjectRef> truth_vec =
+          injector.sample_objects(n_faults, /*include_vrfs=*/false, scope);
+      std::unordered_set<ObjectRef> truth(truth_vec.begin(), truth_vec.end());
+      std::unordered_set<SwitchId> touched;
+      for (const ObjectRef obj : truth_vec) {
+        const InjectedFault fault = rng.chance(0.5)
+                                        ? injector.inject_full(obj, scope)
+                                        : injector.inject_partial(obj, scope);
+        touched.insert(fault.switches.begin(), fault.switches.end());
+      }
+
+      // Collect + check + augment once; every algorithm sees the same model.
+      const std::vector<LogicalRule> missing = system.find_missing_rules(net);
+      model.clear_failures();
+      model.augment(missing);
+
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        const LocalizationResult result =
+            run_algorithm(algorithms[a], model, net.controller().change_log(),
+                          net.clock().now(), options.change_window_ms);
+        const PrecisionRecall pr =
+            evaluate_hypothesis(result.hypothesis, truth);
+        precision_sum[a][n_faults - 1] += pr.precision;
+        recall_sum[a][n_faults - 1] += pr.recall;
+      }
+
+      // Repair the deployment and age the change log past the window so
+      // this run's records don't leak into the next.
+      for (const SwitchId sw : touched) {
+        SwitchAgent* agent = net.controller().agent(sw);
+        if (agent == nullptr) continue;
+        agent->tcam().clear();
+        for (const LogicalRule& lr :
+             net.controller().compiled().rules_for(sw)) {
+          (void)agent->tcam().install(lr.rule);
+        }
+      }
+      net.clock().advance(options.change_window_ms * 2);
+    }
+  }
+
+  const double runs = static_cast<double>(options.runs);
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    for (std::size_t f = 0; f < options.max_faults; ++f) {
+      series[a].by_faults[f] = AccuracyCell{precision_sum[a][f] / runs,
+                                            recall_sum[a][f] / runs};
+    }
+  }
+  return series;
+}
+
+std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options) {
+  Rng rng{options.seed};
+  GeneratedNetwork generated = generate_network(options.profile, rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+
+  const PolicyIndex index{net.controller().policy()};
+  RiskModel model = RiskModel::build_controller_model(index);
+  const EquivalenceChecker checker{CheckMode::kSyntactic};
+  ObjectFaultInjector injector{net.controller(), rng};
+
+  // Bucket scaffolding.
+  std::vector<GammaBucket> buckets;
+  std::size_t lo = 1;
+  for (const std::size_t hi : options.bucket_bounds) {
+    buckets.push_back(GammaBucket{lo, hi, 0.0, 0.0, 0});
+    lo = hi;
+  }
+  std::vector<double> gamma_sums(buckets.size(), 0.0);
+
+  const std::vector<ObjectRef> pool =
+      injector.sample_objects(options.faults, /*include_vrfs=*/false);
+
+  for (std::size_t i = 0; i < options.faults; ++i) {
+    const ObjectRef obj = pool[i % pool.size()];
+    InjectedFault fault = rng.chance(0.5) ? injector.inject_full(obj)
+                                          : injector.inject_partial(obj);
+    if (fault.rules_removed == 0) continue;
+
+    // Check only the switches this fault touched (the others are known
+    // clean: each iteration repairs its own damage below).
+    std::vector<LogicalRule> missing;
+    for (const SwitchId sw : fault.switches) {
+      SwitchAgent* agent = net.controller().agent(sw);
+      if (agent == nullptr) continue;
+      CheckResult result =
+          checker.check(net.controller().compiled().rules_for(sw),
+                        agent->tcam().rules());
+      missing.insert(missing.end(),
+                     std::make_move_iterator(result.missing.begin()),
+                     std::make_move_iterator(result.missing.end()));
+    }
+    model.clear_failures();
+    model.augment(missing);
+
+    const std::size_t suspects = model.suspect_set().size();
+    ScoutLocalizer::Options lopts;
+    lopts.change_window_ms = 60'000;
+    const LocalizationResult result = ScoutLocalizer{lopts}.localize(
+        model, net.controller().change_log(), net.clock().now());
+    const double gamma =
+        suspect_reduction(result.hypothesis.size(), suspects);
+
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (suspects >= buckets[b].lo && suspects < buckets[b].hi) {
+        gamma_sums[b] += gamma;
+        buckets[b].max_hypothesis = std::max(
+            buckets[b].max_hypothesis,
+            static_cast<double>(result.hypothesis.size()));
+        ++buckets[b].samples;
+        break;
+      }
+    }
+
+    // Repair: reinstall the faulted switches' rules from the compiled
+    // policy so the next fault starts from a clean deployment, and age
+    // the change log so this fault's record leaves the recency window.
+    for (const SwitchId sw : fault.switches) {
+      SwitchAgent* agent = net.controller().agent(sw);
+      if (agent == nullptr) continue;
+      agent->tcam().clear();
+      for (const LogicalRule& lr :
+           net.controller().compiled().rules_for(sw)) {
+        (void)agent->tcam().install(lr.rule);
+      }
+    }
+    net.clock().advance(120'000);
+  }
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b].samples > 0) {
+      buckets[b].mean_gamma =
+          gamma_sums[b] / static_cast<double>(buckets[b].samples);
+    }
+  }
+  return buckets;
+}
+
+ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
+                                 std::size_t n_faults,
+                                 std::size_t pairs_per_switch) {
+  ScalePoint point;
+  point.switches = switches;
+
+  GeneratorProfile profile = GeneratorProfile::scaled(switches);
+  profile.target_pairs = switches * pairs_per_switch;
+
+  Rng rng{seed};
+  GeneratedNetwork generated = generate_network(profile, rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+
+  ObjectFaultInjector injector{net.controller(), rng};
+  for (const ObjectRef obj : injector.sample_objects(n_faults)) {
+    injector.inject_full(obj);
+  }
+
+  const ScoutSystem system{ScoutSystem::Options{CheckMode::kSyntactic,
+                                                ScoutLocalizer::Options{}}};
+  auto t0 = Clock::now();
+  const std::vector<LogicalRule> missing = system.find_missing_rules(net);
+  point.check_seconds = seconds_since(t0);
+
+  const PolicyIndex index{net.controller().policy()};
+  point.epg_pairs = index.pairs().size();
+
+  t0 = Clock::now();
+  RiskModel model = RiskModel::build_controller_model(index);
+  model.augment(missing);
+  point.model_build_seconds = seconds_since(t0);
+  point.elements = model.element_count();
+  point.risks = model.risk_count();
+  point.edges = model.edge_count();
+
+  t0 = Clock::now();
+  ScoutLocalizer::Options lopts;
+  lopts.change_window_ms = 60'000;
+  const LocalizationResult result = ScoutLocalizer{lopts}.localize(
+      model, net.controller().change_log(), net.clock().now());
+  point.localize_seconds = seconds_since(t0);
+  (void)result;
+  return point;
+}
+
+}  // namespace scout

@@ -1,0 +1,106 @@
+// Experiment drivers for the paper's evaluation (§VI). Each bench binary is
+// a thin printer over these functions, so tests can pin the experiment
+// logic itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/checker/equivalence_checker.h"
+#include "src/riskmodel/risk_model.h"
+#include "src/workload/policy_generator.h"
+
+namespace scout {
+
+// ---------------------------------------------------------------------------
+// Accuracy sweeps (Figures 8, 9, 10)
+// ---------------------------------------------------------------------------
+
+enum class AlgorithmKind : std::uint8_t { kScout, kScore };
+
+struct AlgorithmSpec {
+  std::string name;          // e.g. "SCOUT", "SCORE-0.6"
+  AlgorithmKind kind = AlgorithmKind::kScout;
+  double score_threshold = 1.0;  // SCORE hit-ratio threshold
+  bool scout_stage2 = true;      // ablation knob (A1)
+};
+
+struct AccuracyOptions {
+  GeneratorProfile profile;
+  RiskModelKind model = RiskModelKind::kSwitch;
+  std::size_t runs = 30;        // paper: 30 (simulation), 10 (testbed)
+  std::size_t max_faults = 10;  // x-axis: 1..max_faults simultaneous faults
+  // Change-log noise: benign modifications recorded before injection so
+  // SCOUT's stage 2 cannot treat the change log as an oracle.
+  std::size_t benign_changes = 20;
+  std::int64_t change_window_ms = 60'000;
+  // Checker mode. Accuracy sweeps default to the syntactic diff (exact for
+  // the compiler's non-overlapping rulesets; hundreds of BDD builds would
+  // dominate wall time); integration tests pin BDD/syntactic agreement.
+  CheckMode check_mode = CheckMode::kSyntactic;
+  std::uint64_t seed = 42;
+};
+
+struct AccuracyCell {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+struct AccuracySeries {
+  std::string name;
+  std::vector<AccuracyCell> by_faults;  // index i = i+1 simultaneous faults
+};
+
+[[nodiscard]] std::vector<AccuracySeries> run_accuracy_sweep(
+    const AccuracyOptions& options, std::span<const AlgorithmSpec> algorithms);
+
+// ---------------------------------------------------------------------------
+// Suspect-set reduction (Figure 7)
+// ---------------------------------------------------------------------------
+
+struct GammaOptions {
+  GeneratorProfile profile;
+  std::size_t faults = 1500;  // paper: 1500 simulated, 200 testbed
+  std::uint64_t seed = 7;
+  // Bucket upper bounds over the suspect-set size, e.g. {10, 50, 100, 500,
+  // 1000} reproduces Figure 7(b)'s x-axis.
+  std::vector<std::size_t> bucket_bounds{10, 50, 100, 500, 1000};
+};
+
+struct GammaBucket {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  double mean_gamma = 0.0;
+  double max_hypothesis = 0.0;
+  std::size_t samples = 0;
+};
+
+[[nodiscard]] std::vector<GammaBucket> run_gamma_experiment(
+    const GammaOptions& options);
+
+// ---------------------------------------------------------------------------
+// Scalability (§VI "Scalability")
+// ---------------------------------------------------------------------------
+
+struct ScalePoint {
+  std::size_t switches = 0;
+  std::size_t epg_pairs = 0;
+  std::size_t elements = 0;
+  std::size_t risks = 0;
+  std::size_t edges = 0;
+  double model_build_seconds = 0.0;
+  double check_seconds = 0.0;
+  double localize_seconds = 0.0;
+};
+
+// Full pipeline timing at `switches` leaves (controller risk model):
+// generate + deploy + inject `n_faults` + check + build + localize.
+[[nodiscard]] ScalePoint run_scalability_point(std::size_t switches,
+                                               std::uint64_t seed,
+                                               std::size_t n_faults = 5,
+                                               std::size_t pairs_per_switch =
+                                                   200);
+
+}  // namespace scout

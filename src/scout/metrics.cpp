@@ -1,0 +1,38 @@
+#include "src/scout/metrics.h"
+
+namespace scout {
+
+PrecisionRecall evaluate_hypothesis(
+    std::span<const ObjectRef> hypothesis,
+    const std::unordered_set<ObjectRef>& ground_truth) {
+  PrecisionRecall pr;
+  std::unordered_set<ObjectRef> hit;
+  for (const ObjectRef obj : hypothesis) {
+    if (ground_truth.contains(obj)) {
+      hit.insert(obj);
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  pr.true_positives = hit.size();
+  pr.false_negatives = ground_truth.size() - hit.size();
+
+  const std::size_t h = pr.true_positives + pr.false_positives;
+  pr.precision =
+      h == 0 ? 1.0 : static_cast<double>(pr.true_positives) /
+                         static_cast<double>(h);
+  pr.recall = ground_truth.empty()
+                  ? 1.0
+                  : static_cast<double>(pr.true_positives) /
+                        static_cast<double>(ground_truth.size());
+  return pr;
+}
+
+double suspect_reduction(std::size_t hypothesis_size,
+                         std::size_t suspect_set_size) noexcept {
+  if (suspect_set_size == 0) return 0.0;
+  return static_cast<double>(hypothesis_size) /
+         static_cast<double>(suspect_set_size);
+}
+
+}  // namespace scout

@@ -1,0 +1,34 @@
+// Evaluation metrics (paper §VI): precision |G∩H|/|H|, recall |G∩H|/|G|,
+// and suspect-set reduction γ = |H| / |suspect set|.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+
+#include "src/policy/object_ref.h"
+
+namespace scout {
+
+struct PrecisionRecall {
+  double precision = 1.0;  // empty hypothesis: no false positives
+  double recall = 1.0;     // empty ground truth: nothing to find
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  [[nodiscard]] double f1() const noexcept {
+    const double denom = precision + recall;
+    return denom == 0.0 ? 0.0 : 2.0 * precision * recall / denom;
+  }
+};
+
+[[nodiscard]] PrecisionRecall evaluate_hypothesis(
+    std::span<const ObjectRef> hypothesis,
+    const std::unordered_set<ObjectRef>& ground_truth);
+
+// γ: fraction of the naive suspect set an admin still has to examine.
+// Degenerate inputs: empty suspect set (no observations) yields 0.
+[[nodiscard]] double suspect_reduction(std::size_t hypothesis_size,
+                                       std::size_t suspect_set_size) noexcept;
+
+}  // namespace scout

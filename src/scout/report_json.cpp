@@ -1,0 +1,90 @@
+#include "src/scout/report_json.h"
+
+#include <sstream>
+
+#include "src/common/json_writer.h"
+
+namespace scout {
+namespace {
+
+std::string to_text(ObjectRef obj) {
+  std::ostringstream os;
+  os << obj;
+  return os.str();
+}
+
+}  // namespace
+
+std::string report_to_json(const ScoutReport& report,
+                           std::size_t max_missing_rules) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("checker").begin_object();
+  w.field("switches_checked", report.switches_checked);
+  w.field("switches_inconsistent", report.switches_inconsistent);
+  w.field("missing_rule_count", report.missing_rules.size());
+  w.key("missing_rules_sample").begin_array();
+  const std::size_t n =
+      std::min(report.missing_rules.size(), max_missing_rules);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LogicalRule& lr = report.missing_rules[i];
+    std::ostringstream rule_text;
+    rule_text << lr.rule;
+    w.begin_object();
+    w.field("switch", static_cast<std::uint64_t>(lr.prov.sw.value()));
+    w.field("epg_a", static_cast<std::uint64_t>(lr.prov.pair.a.value()));
+    w.field("epg_b", static_cast<std::uint64_t>(lr.prov.pair.b.value()));
+    w.field("contract",
+            static_cast<std::uint64_t>(lr.prov.contract.value()));
+    w.field("filter", static_cast<std::uint64_t>(lr.prov.filter.value()));
+    w.field("rule", rule_text.str());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // checker
+
+  w.key("impact").begin_object();
+  w.field("extra_rule_count", report.extra_rule_count);
+  w.field("distinct_pairs_affected", report.distinct_pairs_affected);
+  w.field("endpoint_pairs_affected", report.endpoint_pairs_affected);
+  w.end_object();
+
+  w.key("risk_model").begin_object();
+  w.field("observations", report.observations);
+  w.field("suspect_set_size", report.suspect_set_size);
+  w.end_object();
+
+  w.key("localization").begin_object();
+  w.field("gamma", report.gamma);
+  w.field("observations_explained",
+          report.localization.observations_explained);
+  w.field("stage2_objects", report.localization.stage2_objects);
+  w.field("iterations", report.localization.iterations);
+  w.key("hypothesis").begin_array();
+  for (const ObjectRef obj : report.localization.hypothesis) {
+    w.value(to_text(obj));
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("root_causes").begin_array();
+  for (const RootCause& rc : report.root_causes) {
+    w.begin_object();
+    w.field("object", to_text(rc.object));
+    w.field("cause", std::string{to_string(rc.type)});
+    if (rc.sw.has_value()) {
+      w.field("switch", static_cast<std::uint64_t>(rc.sw->value()));
+    } else {
+      w.key("switch").null();
+    }
+    w.field("explanation", rc.explanation);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace scout

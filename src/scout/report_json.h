@@ -1,0 +1,17 @@
+// JSON serialization of ScoutReport — machine-readable output for the
+// scoutctl tool and for shipping reports into ticketing/alerting systems.
+#pragma once
+
+#include <string>
+
+#include "src/scout/scout_system.h"
+
+namespace scout {
+
+// Serialize a full report. `max_missing_rules` caps the embedded missing
+// rule list (use-case 3 produces hundreds of thousands); the total count
+// is always present.
+[[nodiscard]] std::string report_to_json(const ScoutReport& report,
+                                         std::size_t max_missing_rules = 50);
+
+}  // namespace scout

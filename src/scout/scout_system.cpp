@@ -1,0 +1,134 @@
+#include "src/scout/scout_system.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/scout/metrics.h"
+
+namespace scout {
+
+std::vector<LogicalRule> ScoutSystem::find_missing_rules(
+    SimNetwork& net) const {
+  std::vector<LogicalRule> all_missing;
+  const CompiledPolicy& compiled = net.controller().compiled();
+  for (const auto& agent : net.agents()) {
+    const auto& logical = compiled.rules_for(agent->id());
+    if (logical.empty() && agent->tcam().size() == 0) continue;
+    const std::vector<TcamRule> deployed = agent->collect_tcam();
+    CheckResult result = checker_.check(logical, deployed);
+    all_missing.insert(all_missing.end(),
+                       std::make_move_iterator(result.missing.begin()),
+                       std::make_move_iterator(result.missing.end()));
+  }
+  return all_missing;
+}
+
+ObjectScope ScoutSystem::build_object_scope(const SimNetwork& net) {
+  ObjectScope scope;
+  auto note = [&scope](ObjectRef obj, SwitchId sw) {
+    auto& v = scope[obj];
+    if (std::find(v.begin(), v.end(), sw) == v.end()) v.push_back(sw);
+  };
+  for (const auto& [sw, rules] :
+       net.controller().compiled().per_switch) {
+    for (const LogicalRule& lr : rules) {
+      if (!lr.prov.contract.valid()) continue;
+      for (const ObjectRef obj : lr.prov.policy_objects()) note(obj, sw);
+    }
+  }
+  return scope;
+}
+
+ScoutReport ScoutSystem::analyze(SimNetwork& net, RiskModel model) const {
+  ScoutReport report;
+
+  // Stage 1-2: collect + check.
+  const CompiledPolicy& compiled = net.controller().compiled();
+  report.switches_checked = net.agents().size();
+  {
+    std::vector<SwitchId> bad;
+    for (const auto& agent : net.agents()) {
+      const auto& logical = compiled.rules_for(agent->id());
+      if (logical.empty() && agent->tcam().size() == 0) continue;
+      CheckResult result = checker_.check(logical, agent->collect_tcam());
+      report.extra_rule_count += result.extra_rules.size();
+      if (!result.equivalent) bad.push_back(agent->id());
+      report.missing_rules.insert(
+          report.missing_rules.end(),
+          std::make_move_iterator(result.missing.begin()),
+          std::make_move_iterator(result.missing.end()));
+    }
+    report.switches_inconsistent = bad.size();
+  }
+
+  // Blast radius: distinct pairs and the endpoint pairs inside them.
+  {
+    const NetworkPolicy& policy = net.controller().policy();
+    std::unordered_set<EpgPair> pairs;
+    for (const LogicalRule& lr : report.missing_rules) {
+      pairs.insert(lr.prov.pair);
+    }
+    report.distinct_pairs_affected = pairs.size();
+    for (const EpgPair& pair : pairs) {
+      report.endpoint_pairs_affected +=
+          policy.epg(pair.a).endpoints.size() *
+          policy.epg(pair.b).endpoints.size();
+    }
+  }
+
+  // Stage 3: augment the risk model.
+  model.augment(report.missing_rules);
+  report.observations = model.failure_signature().size();
+  report.suspect_set_size = model.suspect_set().size();
+
+  // Stage 4: localize.
+  const ScoutLocalizer localizer{options_.localizer};
+  report.localization = localizer.localize(
+      model, net.controller().change_log(), net.clock().now());
+  report.gamma = suspect_reduction(report.localization.hypothesis.size(),
+                                   report.suspect_set_size);
+
+  // Stage 5: correlate with fault logs.
+  const FaultLog faults = net.collect_fault_logs();
+  const ObjectScope scope = build_object_scope(net);
+  report.root_causes =
+      correlation_.correlate(report.localization.hypothesis,
+                             net.controller().change_log(), faults, scope);
+  return report;
+}
+
+std::size_t ScoutSystem::remediate(SimNetwork& net,
+                                   const ScoutReport& report) const {
+  (void)net.controller().reinstall_rules(report.missing_rules);
+  return find_missing_rules(net).size();
+}
+
+ScoutReport ScoutSystem::analyze_controller(SimNetwork& net) const {
+  const PolicyIndex index{net.controller().policy()};
+  return analyze(net, RiskModel::build_controller_model(index));
+}
+
+ScoutReport ScoutSystem::analyze_switch(SimNetwork& net, SwitchId sw) const {
+  const PolicyIndex index{net.controller().policy()};
+  return analyze(net, RiskModel::build_switch_model(index, sw));
+}
+
+std::vector<std::pair<SwitchId, ScoutReport>>
+ScoutSystem::analyze_inconsistent_switches(SimNetwork& net) const {
+  // One global collection pass decides which switches need a local model.
+  std::vector<SwitchId> bad;
+  for (const LogicalRule& lr : find_missing_rules(net)) {
+    if (std::find(bad.begin(), bad.end(), lr.prov.sw) == bad.end()) {
+      bad.push_back(lr.prov.sw);
+    }
+  }
+  std::sort(bad.begin(), bad.end());
+  std::vector<std::pair<SwitchId, ScoutReport>> out;
+  out.reserve(bad.size());
+  for (const SwitchId sw : bad) {
+    out.emplace_back(sw, analyze_switch(net, sw));
+  }
+  return out;
+}
+
+}  // namespace scout

@@ -1,0 +1,94 @@
+// ScoutSystem: the end-to-end pipeline of paper Figure 6.
+//
+//   collect TCAM (T) + compiled policy (L)
+//     -> L-T equivalence checker -> missing rules
+//     -> risk model (switch or controller) + augmentation
+//     -> SCOUT fault localization -> hypothesis
+//     -> event correlation (change log x fault logs) -> root causes
+#pragma once
+
+#include <vector>
+
+#include "src/checker/equivalence_checker.h"
+#include "src/correlation/event_correlation.h"
+#include "src/localization/scout_localizer.h"
+#include "src/riskmodel/risk_model.h"
+#include "src/scout/sim_network.h"
+
+namespace scout {
+
+struct ScoutReport {
+  // Checker stage.
+  std::size_t switches_checked = 0;
+  std::size_t switches_inconsistent = 0;
+  std::vector<LogicalRule> missing_rules;
+  // Device-only rules admitting packets the policy does not allow
+  // (stale/corrupted state; these have no provenance).
+  std::size_t extra_rule_count = 0;
+  // Risk-model stage.
+  std::size_t observations = 0;
+  std::size_t suspect_set_size = 0;
+  // Blast radius: distinct EPG pairs with at least one missing rule, and
+  // the number of endpoint pairs inside them (the paper's motivation: one
+  // faulty object can take out connectivity for thousands of endpoints).
+  std::size_t distinct_pairs_affected = 0;
+  std::size_t endpoint_pairs_affected = 0;
+  // Localization stage.
+  LocalizationResult localization;
+  double gamma = 0.0;  // |H| / suspect set
+  // Correlation stage.
+  std::vector<RootCause> root_causes;
+};
+
+class ScoutSystem {
+ public:
+  struct Options {
+    CheckMode check_mode = CheckMode::kExactBdd;
+    ScoutLocalizer::Options localizer{};
+  };
+
+  ScoutSystem() = default;
+  explicit ScoutSystem(Options options)
+      : options_(options), checker_(options.check_mode) {}
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  // Collect TCAMs from every agent, check against compiled L-rules, and
+  // return all missing rules (the failure signature source).
+  [[nodiscard]] std::vector<LogicalRule> find_missing_rules(
+      SimNetwork& net) const;
+
+  // Full pipeline on the controller risk model (global analysis).
+  [[nodiscard]] ScoutReport analyze_controller(SimNetwork& net) const;
+
+  // Full pipeline on one switch's risk model (local analysis).
+  [[nodiscard]] ScoutReport analyze_switch(SimNetwork& net, SwitchId sw) const;
+
+  // Fleet sweep: one switch-risk-model analysis per *inconsistent* switch
+  // (consistent switches are skipped — their models have empty failure
+  // signatures). This is how an operator runs the paper's switch model in
+  // practice: global check first, local localization where it hurts.
+  [[nodiscard]] std::vector<std::pair<SwitchId, ScoutReport>>
+  analyze_inconsistent_switches(SimNetwork& net) const;
+
+  // Deployment scope of every policy object (object -> switches), from the
+  // compiled policy; feeds the correlation engine.
+  [[nodiscard]] static ObjectScope build_object_scope(const SimNetwork& net);
+
+  // Stopgap remediation (paper §III-C): reinstall the report's missing
+  // rules and re-check. Returns the number of rules still missing after
+  // the pass — non-zero when the underlying physical fault persists (an
+  // unresponsive switch keeps losing the pushes), which is exactly why the
+  // paper calls this a stopgap rather than a fix.
+  [[nodiscard]] std::size_t remediate(SimNetwork& net,
+                                      const ScoutReport& report) const;
+
+ private:
+  [[nodiscard]] ScoutReport analyze(SimNetwork& net, RiskModel model) const;
+
+  Options options_;
+  EquivalenceChecker checker_;
+  EventCorrelationEngine correlation_;
+};
+
+}  // namespace scout

@@ -1,0 +1,35 @@
+#include "src/scout/sim_network.h"
+
+#include <stdexcept>
+
+namespace scout {
+
+SimNetwork::SimNetwork(Fabric fabric, NetworkPolicy policy)
+    : fabric_(std::move(fabric)) {
+  controller_ = std::make_unique<Controller>(std::move(policy), clock_);
+  std::vector<SwitchAgent*> raw;
+  for (const SwitchInfo& info : fabric_.switches()) {
+    if (info.role != SwitchRole::kLeaf) continue;  // policy TCAM on leaves
+    agents_.push_back(
+        std::make_unique<SwitchAgent>(info, info.tcam_capacity));
+    raw.push_back(agents_.back().get());
+  }
+  controller_->attach_agents(raw);
+}
+
+SwitchAgent& SimNetwork::agent(SwitchId sw) {
+  SwitchAgent* a = controller_->agent(sw);
+  if (a == nullptr) throw std::out_of_range{"SimNetwork::agent: unknown"};
+  return *a;
+}
+
+DeployStats SimNetwork::deploy() { return controller_->deploy_full(); }
+
+FaultLog SimNetwork::collect_fault_logs() const {
+  FaultLog merged;
+  merged.merge_from(controller_->fault_log());
+  for (const auto& a : agents_) merged.merge_from(a->fault_log());
+  return merged;
+}
+
+}  // namespace scout

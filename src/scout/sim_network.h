@@ -1,0 +1,52 @@
+// SimNetwork: one self-contained deployment simulation — fabric, clock,
+// switch agents and controller wired together. This is the "testbed" the
+// examples, tests and benches operate on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/agent/switch_agent.h"
+#include "src/common/sim_clock.h"
+#include "src/controller/controller.h"
+#include "src/policy/network_policy.h"
+#include "src/topology/fabric.h"
+
+namespace scout {
+
+class SimNetwork {
+ public:
+  SimNetwork(Fabric fabric, NetworkPolicy policy);
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Controller& controller() noexcept { return *controller_; }
+  [[nodiscard]] const Controller& controller() const noexcept {
+    return *controller_;
+  }
+  [[nodiscard]] SwitchAgent& agent(SwitchId sw);
+  [[nodiscard]] std::span<const std::unique_ptr<SwitchAgent>> agents()
+      const noexcept {
+    return agents_;
+  }
+
+  // Compile + push the whole policy.
+  DeployStats deploy();
+
+  // Device fault logs merged with the controller's own (the correlation
+  // engine consumes the union, paper Figure 6).
+  [[nodiscard]] FaultLog collect_fault_logs() const;
+
+ private:
+  Fabric fabric_;
+  SimClock clock_;
+  std::vector<std::unique_ptr<SwitchAgent>> agents_;
+  std::unique_ptr<Controller> controller_;
+};
+
+}  // namespace scout

@@ -1,0 +1,56 @@
+#include "src/tcam/range_expansion.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scout {
+
+std::vector<TernaryField> expand_port_range(std::uint32_t lo, std::uint32_t hi,
+                                            int width) {
+  if (width <= 0 || width > 31) {
+    throw std::invalid_argument{"expand_port_range: width out of range"};
+  }
+  const std::uint64_t full = (1ULL << width) - 1ULL;
+  if (lo > hi || hi > full) {
+    throw std::invalid_argument{"expand_port_range: bad interval"};
+  }
+
+  std::vector<TernaryField> cubes;
+  std::uint64_t cur = lo;
+  const std::uint64_t end = hi;
+  while (cur <= end) {
+    // Largest aligned power-of-two block starting at `cur` that fits in the
+    // remaining interval.
+    int k = 0;
+    while (k < width) {
+      const std::uint64_t block_mask = (1ULL << (k + 1)) - 1ULL;
+      if ((cur & block_mask) != 0) break;          // not aligned for k+1
+      if (cur + block_mask > end) break;           // overshoots the interval
+      ++k;
+    }
+    const std::uint64_t low_bits = (1ULL << k) - 1ULL;
+    cubes.push_back(TernaryField{static_cast<std::uint32_t>(cur),
+                                 static_cast<std::uint32_t>(full & ~low_bits)});
+    cur += low_bits + 1ULL;
+    if (cur == 0) break;  // wrapped (only possible at width boundaries)
+  }
+  return cubes;
+}
+
+bool cubes_cover_exactly(const std::vector<TernaryField>& cubes,
+                         std::uint32_t lo, std::uint32_t hi, int width) {
+  // Brute-force membership check; widths here are small (<= 16 in practice).
+  const std::uint64_t full = (1ULL << width) - 1ULL;
+  for (std::uint64_t v = 0; v <= full; ++v) {
+    std::size_t hits = 0;
+    for (const auto& c : cubes) {
+      if (c.matches(static_cast<std::uint32_t>(v))) ++hits;
+    }
+    const bool inside = v >= lo && v <= hi;
+    if (inside && hits != 1) return false;   // must be covered exactly once
+    if (!inside && hits != 0) return false;  // must not be covered
+  }
+  return true;
+}
+
+}  // namespace scout

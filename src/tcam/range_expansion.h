@@ -1,0 +1,29 @@
+// Port-range to ternary-prefix expansion.
+//
+// TCAMs match value/mask cubes, not intervals. A filter entry with a port
+// range [lo, hi] must be expanded into a set of prefix cubes whose union is
+// exactly the interval. The classic worst case for a w-bit field is 2w-2
+// cubes (e.g. [1, 65534] for w=16 needs 30).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+// Minimal prefix-cube cover of [lo, hi] (inclusive) over a `width`-bit
+// field. Returned cubes are disjoint and sorted by value. Requires
+// lo <= hi < 2^width.
+[[nodiscard]] std::vector<TernaryField> expand_port_range(std::uint32_t lo,
+                                                          std::uint32_t hi,
+                                                          int width = 16);
+
+// True iff `cubes` cover exactly [lo, hi] with no overlap — used by the
+// property tests and by TCAM audit tooling.
+[[nodiscard]] bool cubes_cover_exactly(const std::vector<TernaryField>& cubes,
+                                       std::uint32_t lo, std::uint32_t hi,
+                                       int width = 16);
+
+}  // namespace scout

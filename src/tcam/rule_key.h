@@ -1,0 +1,34 @@
+// Hashable match-key for TCAM rules (fields + action, priority excluded).
+// Used wherever rules must be set-matched in bulk: syntactic L-T diffing
+// and batched fault-injection removal.
+#pragma once
+
+#include <functional>
+
+#include "src/common/hash.h"
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+struct RuleMatchKey {
+  TernaryField vrf, src_epg, dst_epg, proto, dst_port;
+  RuleAction action = RuleAction::kAllow;
+
+  bool operator==(const RuleMatchKey&) const noexcept = default;
+
+  static RuleMatchKey of(const TcamRule& r) noexcept {
+    return RuleMatchKey{r.vrf, r.src_epg, r.dst_epg, r.proto, r.dst_port,
+                        r.action};
+  }
+};
+
+struct RuleMatchKeyHash {
+  std::size_t operator()(const RuleMatchKey& k) const noexcept {
+    return hash_all(k.vrf.value, k.vrf.mask, k.src_epg.value, k.src_epg.mask,
+                    k.dst_epg.value, k.dst_epg.mask, k.proto.value,
+                    k.proto.mask, k.dst_port.value, k.dst_port.mask,
+                    static_cast<unsigned>(k.action));
+  }
+};
+
+}  // namespace scout

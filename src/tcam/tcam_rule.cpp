@@ -1,0 +1,62 @@
+#include "src/tcam/tcam_rule.h"
+
+#include <iomanip>
+
+namespace scout {
+namespace {
+
+void print_field(std::ostream& os, TernaryField f, int width) {
+  const std::uint32_t full = width >= 32 ? 0xFFFFFFFFU : ((1U << width) - 1U);
+  if (f.mask == 0) {
+    os << '*';
+  } else if (f.mask == full) {
+    os << f.value;
+  } else {
+    os << f.value << "&0x" << std::hex << f.mask << std::dec;
+  }
+}
+
+}  // namespace
+
+TcamRule TcamRule::exact_allow(std::uint32_t priority, std::uint16_t vrf,
+                               std::uint16_t src_epg, std::uint16_t dst_epg,
+                               std::uint8_t proto, TernaryField port) noexcept {
+  TcamRule r;
+  r.priority = priority;
+  r.vrf = TernaryField::exact(vrf, FieldWidths::kVrf);
+  r.src_epg = TernaryField::exact(src_epg, FieldWidths::kEpg);
+  r.dst_epg = TernaryField::exact(dst_epg, FieldWidths::kEpg);
+  r.proto = TernaryField::exact(proto, FieldWidths::kProto);
+  r.dst_port = port;
+  r.action = RuleAction::kAllow;
+  return r;
+}
+
+TcamRule TcamRule::default_deny(std::uint32_t priority) noexcept {
+  TcamRule r;
+  r.priority = priority;
+  r.vrf = TernaryField::wildcard();
+  r.src_epg = TernaryField::wildcard();
+  r.dst_epg = TernaryField::wildcard();
+  r.proto = TernaryField::wildcard();
+  r.dst_port = TernaryField::wildcard();
+  r.action = RuleAction::kDeny;
+  return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const TcamRule& r) {
+  os << "[p" << r.priority << " vrf=";
+  print_field(os, r.vrf, FieldWidths::kVrf);
+  os << " src=";
+  print_field(os, r.src_epg, FieldWidths::kEpg);
+  os << " dst=";
+  print_field(os, r.dst_epg, FieldWidths::kEpg);
+  os << " proto=";
+  print_field(os, r.proto, FieldWidths::kProto);
+  os << " port=";
+  print_field(os, r.dst_port, FieldWidths::kPort);
+  return os << ' ' << (r.action == RuleAction::kAllow ? "allow" : "deny")
+            << ']';
+}
+
+}  // namespace scout

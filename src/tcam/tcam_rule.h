@@ -1,0 +1,96 @@
+// Ternary rule model. A TCAM rule matches a packet header on
+// (VRF, source EPG class, destination EPG class, IP protocol, destination
+// port), each field as value/mask ternary (mask bit set = care). This is the
+// rule shape of paper Figure 2: "VRF:101, Web, App, Port80 -> Allow", plus a
+// catch-all deny at lowest priority.
+//
+// Field widths are fixed and documented; they bound the BDD variable count
+// in the equivalence checker (12+16+16+8+16 = 68 variables).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/common/hash.h"
+#include "src/common/ids.h"
+#include "src/policy/filter.h"
+
+namespace scout {
+
+// Concrete packet header in the policy-relevant fields. Endpoint-level
+// IP/MAC matching is abstracted to EPG class ids, which is exactly how
+// APIC-style fabrics match policy TCAM (source/dest class id).
+struct PacketHeader {
+  std::uint16_t vrf = 0;      // 12 significant bits
+  std::uint16_t src_epg = 0;  // 16 bits
+  std::uint16_t dst_epg = 0;  // 16 bits
+  std::uint8_t proto = 0;     // 8 bits
+  std::uint16_t dst_port = 0; // 16 bits
+};
+
+struct TernaryField {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;  // 1-bit = care; value bits outside mask are 0
+
+  [[nodiscard]] constexpr bool matches(std::uint32_t v) const noexcept {
+    return (v & mask) == value;
+  }
+  [[nodiscard]] static constexpr TernaryField exact(std::uint32_t v,
+                                                    int width) noexcept {
+    const std::uint32_t m =
+        width >= 32 ? 0xFFFFFFFFU : ((1U << width) - 1U);
+    return TernaryField{v & m, m};
+  }
+  [[nodiscard]] static constexpr TernaryField wildcard() noexcept {
+    return TernaryField{0, 0};
+  }
+  friend constexpr auto operator<=>(TernaryField, TernaryField) noexcept =
+      default;
+};
+
+enum class RuleAction : std::uint8_t { kAllow, kDeny };
+
+struct FieldWidths {
+  static constexpr int kVrf = 12;
+  static constexpr int kEpg = 16;
+  static constexpr int kProto = 8;
+  static constexpr int kPort = 16;
+  static constexpr int kTotal = kVrf + 2 * kEpg + kProto + kPort;  // 68
+};
+
+struct TcamRule {
+  // Lower number = matched first (hardware priority).
+  std::uint32_t priority = 0;
+  TernaryField vrf;
+  TernaryField src_epg;
+  TernaryField dst_epg;
+  TernaryField proto;
+  TernaryField dst_port;
+  RuleAction action = RuleAction::kAllow;
+
+  [[nodiscard]] bool matches(const PacketHeader& p) const noexcept {
+    return vrf.matches(p.vrf) && src_epg.matches(p.src_epg) &&
+           dst_epg.matches(p.dst_epg) && proto.matches(p.proto) &&
+           dst_port.matches(p.dst_port);
+  }
+
+  // Match-key equality ignoring priority (used by diff bookkeeping).
+  [[nodiscard]] bool same_match(const TcamRule& o) const noexcept {
+    return vrf == o.vrf && src_epg == o.src_epg && dst_epg == o.dst_epg &&
+           proto == o.proto && dst_port == o.dst_port && action == o.action;
+  }
+
+  // Fully-specified allow rule with an exact port cube.
+  static TcamRule exact_allow(std::uint32_t priority, std::uint16_t vrf,
+                              std::uint16_t src_epg, std::uint16_t dst_epg,
+                              std::uint8_t proto, TernaryField port) noexcept;
+
+  // The implicit whitelist default: "*,*,*,* -> Deny" (Figure 2, rule 7).
+  static TcamRule default_deny(std::uint32_t priority) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const TcamRule& r);
+};
+
+}  // namespace scout

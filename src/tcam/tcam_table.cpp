@@ -1,0 +1,83 @@
+#include "src/tcam/tcam_table.h"
+
+#include <algorithm>
+
+namespace scout {
+
+InstallStatus TcamTable::install(const TcamRule& rule) {
+  if (rules_.size() >= capacity_) return InstallStatus::kOverflow;
+  // Insert before the first rule with a strictly greater priority so equal
+  // priorities preserve install order (hardware tie-break).
+  const auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const TcamRule& a, const TcamRule& b) {
+        return a.priority < b.priority;
+      });
+  rules_.insert(pos, rule);
+  return InstallStatus::kOk;
+}
+
+std::size_t TcamTable::remove_if(
+    const std::function<bool(const TcamRule&)>& pred) {
+  const auto it = std::remove_if(rules_.begin(), rules_.end(), pred);
+  const auto removed = static_cast<std::size_t>(rules_.end() - it);
+  rules_.erase(it, rules_.end());
+  return removed;
+}
+
+std::optional<RuleAction> TcamTable::lookup(
+    const PacketHeader& p) const noexcept {
+  for (const auto& r : rules_) {
+    if (r.matches(p)) return r.action;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TcamTable::corrupt_random_bit(Rng& rng) {
+  // Collect indices of rules that are not the catch-all default (corrupting
+  // the default deny is possible in hardware but makes every experiment
+  // trivially detect "everything broke"; the paper's corruption scenario is
+  // bit errors on specific rule fields).
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].vrf.mask != 0 || rules_[i].src_epg.mask != 0) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  const std::size_t idx = candidates[rng.below(candidates.size())];
+  TcamRule& r = rules_[idx];
+
+  TernaryField* fields[] = {&r.vrf, &r.src_epg, &r.dst_epg, &r.proto,
+                            &r.dst_port};
+  const int widths[] = {FieldWidths::kVrf, FieldWidths::kEpg, FieldWidths::kEpg,
+                        FieldWidths::kProto, FieldWidths::kPort};
+  const std::size_t f = rng.below(5);
+  const auto bit = static_cast<std::uint32_t>(rng.below(
+      static_cast<std::uint64_t>(widths[f])));
+  if (rng.chance(0.5)) {
+    fields[f]->value ^= (1U << bit);
+    // Keep the value/mask invariant: value bits outside the mask stay 0.
+    fields[f]->value &= fields[f]->mask;
+  } else {
+    fields[f]->mask ^= (1U << bit);
+    fields[f]->value &= fields[f]->mask;
+  }
+  return idx;
+}
+
+std::optional<TcamRule> TcamTable::evict_one() {
+  // The last rule is the lowest priority; skip a trailing catch-all deny.
+  for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
+    const bool is_default = it->vrf.mask == 0 && it->src_epg.mask == 0 &&
+                            it->dst_epg.mask == 0 && it->proto.mask == 0 &&
+                            it->dst_port.mask == 0;
+    if (is_default) continue;
+    const TcamRule evicted = *it;
+    rules_.erase(std::next(it).base());
+    return evicted;
+  }
+  return std::nullopt;
+}
+
+}  // namespace scout

@@ -1,0 +1,69 @@
+// TCAM table model: priority-ordered rule storage with a hard capacity,
+// first-match semantics, utilization accounting, local rule eviction and
+// bit-level corruption injection. These are exactly the §II-B failure
+// sources: "TCAM has insufficient space", "the agent may run a local rule
+// eviction mechanism", "TCAM is simply corrupted due to hardware failure".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+enum class InstallStatus : std::uint8_t { kOk, kOverflow };
+
+class TcamTable {
+ public:
+  explicit TcamTable(std::size_t capacity) : capacity_(capacity) {}
+
+  // Install keeps rules sorted by priority (stable for equal priorities).
+  [[nodiscard]] InstallStatus install(const TcamRule& rule);
+
+  // Remove all rules for which `pred` holds; returns how many were removed.
+  std::size_t remove_if(const std::function<bool(const TcamRule&)>& pred);
+
+  // First-match lookup; nullopt when nothing matches (no default rule
+  // installed). The deployment always installs a catch-all deny, so in a
+  // healthy table this never returns nullopt.
+  [[nodiscard]] std::optional<RuleAction> lookup(
+      const PacketHeader& p) const noexcept;
+
+  [[nodiscard]] std::span<const TcamRule> rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double utilization() const noexcept {
+    return capacity_ == 0
+               ? 1.0
+               : static_cast<double>(rules_.size()) /
+                     static_cast<double>(capacity_);
+  }
+  [[nodiscard]] bool full() const noexcept { return rules_.size() >= capacity_; }
+
+  // --- fault injection hooks (used by src/faults) ---------------------------
+
+  // Flip one random bit in the value or mask of one random field of one
+  // random non-default rule. Models TCAM hardware corruption; returns the
+  // index of the corrupted rule, or nullopt if the table has no
+  // corruptible rule.
+  std::optional<std::size_t> corrupt_random_bit(Rng& rng);
+
+  // Evict the lowest-priority (= last) non-default rule, as a local agent
+  // eviction mechanism would. Returns the evicted rule.
+  std::optional<TcamRule> evict_one();
+
+  void clear() noexcept { rules_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TcamRule> rules_;  // invariant: sorted by priority ascending
+};
+
+}  // namespace scout

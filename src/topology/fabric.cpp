@@ -1,0 +1,70 @@
+#include "src/topology/fabric.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace scout {
+
+SwitchId Fabric::add_switch(std::string name, SwitchRole role,
+                            std::size_t tcam_capacity) {
+  const SwitchId id{static_cast<std::uint32_t>(switches_.size())};
+  switches_.push_back(SwitchInfo{id, std::move(name), role, tcam_capacity});
+  return id;
+}
+
+const SwitchInfo& Fabric::info(SwitchId id) const {
+  if (!id.valid() || id.value() >= switches_.size()) {
+    throw std::out_of_range{"Fabric::info: unknown switch"};
+  }
+  return switches_[id.value()];
+}
+
+std::vector<SwitchId> Fabric::leaves() const {
+  std::vector<SwitchId> out;
+  for (const auto& s : switches_) {
+    if (s.role == SwitchRole::kLeaf) out.push_back(s.id);
+  }
+  return out;
+}
+
+Fabric Fabric::leaf_spine(std::size_t n_leaves, std::size_t n_spines,
+                          std::size_t tcam_capacity) {
+  Fabric f;
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    std::ostringstream name;
+    name << "leaf-" << i;
+    f.add_switch(name.str(), SwitchRole::kLeaf, tcam_capacity);
+  }
+  for (std::size_t i = 0; i < n_spines; ++i) {
+    std::ostringstream name;
+    name << "spine-" << i;
+    f.add_switch(name.str(), SwitchRole::kSpine, tcam_capacity);
+  }
+  return f;
+}
+
+void ControlChannel::disconnect(SwitchId sw, SimTime at) {
+  if (open_outage_.contains(sw)) return;  // already down
+  open_outage_[sw] = outages_.size();
+  outages_.push_back(Outage{sw, at, std::nullopt});
+}
+
+void ControlChannel::reconnect(SwitchId sw, SimTime at) {
+  auto it = open_outage_.find(sw);
+  if (it == open_outage_.end()) return;  // already up
+  outages_[it->second].end = at;
+  open_outage_.erase(it);
+}
+
+bool ControlChannel::connected(SwitchId sw) const noexcept {
+  return !open_outage_.contains(sw);
+}
+
+bool ControlChannel::was_down_at(SwitchId sw, SimTime t) const noexcept {
+  for (const auto& o : outages_) {
+    if (o.sw == sw && o.covers(t)) return true;
+  }
+  return false;
+}
+
+}  // namespace scout

@@ -1,0 +1,80 @@
+// Physical fabric model: the set of switches endpoints attach to, and the
+// controller-to-switch control channel state. The paper's cluster is ~30
+// Nexus 9000 leaf switches under one APIC; the scalability experiment grows
+// the leaf count to 500. Spines are modelled for topological completeness
+// but carry no policy TCAM state (ACL rules live on leaves, where endpoints
+// attach).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_clock.h"
+
+namespace scout {
+
+enum class SwitchRole : std::uint8_t { kLeaf, kSpine };
+
+struct SwitchInfo {
+  SwitchId id;
+  std::string name;
+  SwitchRole role = SwitchRole::kLeaf;
+  std::size_t tcam_capacity = 4096;  // ACL TCAM entries
+};
+
+class Fabric {
+ public:
+  SwitchId add_switch(std::string name, SwitchRole role = SwitchRole::kLeaf,
+                      std::size_t tcam_capacity = 4096);
+
+  [[nodiscard]] const SwitchInfo& info(SwitchId id) const;
+  [[nodiscard]] std::span<const SwitchInfo> switches() const noexcept {
+    return switches_;
+  }
+  [[nodiscard]] std::vector<SwitchId> leaves() const;
+  [[nodiscard]] std::size_t size() const noexcept { return switches_.size(); }
+
+  // Convenience factory: `n_leaves` leaves + `n_spines` spines.
+  static Fabric leaf_spine(std::size_t n_leaves, std::size_t n_spines,
+                           std::size_t tcam_capacity = 4096);
+
+ private:
+  std::vector<SwitchInfo> switches_;
+};
+
+// Controller-side view of control-channel liveness. Disconnections are the
+// physical fault behind the paper's "unresponsive switch" use case; the
+// outage intervals recorded here feed the controller's fault log.
+class ControlChannel {
+ public:
+  struct Outage {
+    SwitchId sw;
+    SimTime start;
+    std::optional<SimTime> end;  // nullopt = still down
+
+    [[nodiscard]] bool covers(SimTime t) const noexcept {
+      return start <= t && (!end.has_value() || t <= *end);
+    }
+  };
+
+  // Switches start connected implicitly.
+  void disconnect(SwitchId sw, SimTime at);
+  void reconnect(SwitchId sw, SimTime at);
+
+  [[nodiscard]] bool connected(SwitchId sw) const noexcept;
+  [[nodiscard]] std::span<const Outage> outages() const noexcept {
+    return outages_;
+  }
+  [[nodiscard]] bool was_down_at(SwitchId sw, SimTime t) const noexcept;
+
+ private:
+  std::unordered_map<SwitchId, std::size_t> open_outage_;  // sw -> index
+  std::vector<Outage> outages_;
+};
+
+}  // namespace scout

@@ -1,0 +1,69 @@
+// Statistical policy generator (paper §VI-A "Setup").
+//
+// The paper's simulation input is a proprietary production-cluster policy:
+// ~30 switches, 100s of servers, 6 VRFs, 615 EPGs, 386 contracts, 160
+// filters, with the heavy-tailed object-sharing structure of Figure 3
+// (most contracts/filters serve < 10 EPG pairs; some VRFs serve > 10,000;
+// ~50% of EPGs participate in > 100 pairs; ~80% of switches carry 1,000s
+// of pairs). We cannot ship that dataset, so this generator synthesizes
+// policies matching the published aggregate counts and Zipf-like sharing
+// distributions — the only structure the localization algorithms observe.
+//
+// The testbed profile matches §VI-A's testbed policy: 36 EPGs, 24
+// contracts, 9 filters, 100 EPG pairs, with deliberately low sharing.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/rng.h"
+#include "src/policy/network_policy.h"
+#include "src/topology/fabric.h"
+
+namespace scout {
+
+struct GeneratorProfile {
+  std::size_t switches = 30;
+  std::size_t vrfs = 6;
+  std::size_t epgs = 615;
+  std::size_t contracts = 386;
+  std::size_t filters = 160;
+  std::size_t target_pairs = 6000;
+
+  // Skews (Zipf exponents). Larger = heavier head. The production values
+  // are calibrated so the Figure 3 claims hold simultaneously: ~30k pairs
+  // over 386 contracts *and* 80% of contracts below 10 pairs forces a very
+  // heavy head (s~=2).
+  double epg_popularity_skew = 0.9;    // EPG participation in pairs
+  double contract_reuse_skew = 2.0;    // contract sharing across pairs
+  double filter_reuse_skew = 1.2;      // filter-rank jitter within contracts
+  double vrf_size_skew = 1.1;          // EPG distribution over VRFs
+  double switch_popularity_skew = 0.5; // endpoint placement over switches
+
+  std::size_t max_filters_per_contract = 3;
+  std::size_t max_entries_per_filter = 2;
+  std::size_t min_switches_per_epg = 1;
+  std::size_t max_switches_per_epg = 4;
+
+  std::size_t tcam_capacity = 1 << 17;  // large: overflow only when scripted
+
+  // Production-cluster scale (the paper's simulation dataset).
+  [[nodiscard]] static GeneratorProfile production();
+  // Testbed scale (the paper's hardware testbed policy).
+  [[nodiscard]] static GeneratorProfile testbed();
+  // Production shape scaled to `switches` leaves (the §VI scalability
+  // sweep grows the controller risk model by adding switch/EPG pairs).
+  [[nodiscard]] static GeneratorProfile scaled(std::size_t switches);
+};
+
+struct GeneratedNetwork {
+  Fabric fabric;
+  NetworkPolicy policy;
+};
+
+// Deterministic for a given (profile, rng state). The returned policy
+// always validates: every contract has >= 1 filter, every linked pair
+// shares a VRF, every filter/contract is used by >= 1 pair.
+[[nodiscard]] GeneratedNetwork generate_network(const GeneratorProfile& profile,
+                                                Rng& rng);
+
+}  // namespace scout

@@ -1,0 +1,33 @@
+#include "src/workload/three_tier.h"
+
+namespace scout {
+
+ThreeTierNetwork make_three_tier(std::size_t tcam_capacity) {
+  ThreeTierNetwork net;
+  net.s1 = net.fabric.add_switch("S1", SwitchRole::kLeaf, tcam_capacity);
+  net.s2 = net.fabric.add_switch("S2", SwitchRole::kLeaf, tcam_capacity);
+  net.s3 = net.fabric.add_switch("S3", SwitchRole::kLeaf, tcam_capacity);
+
+  NetworkPolicy& p = net.policy;
+  const TenantId tenant = p.add_tenant("web-service");
+  net.vrf = p.add_vrf("VRF:101", tenant);
+  net.web = p.add_epg("Web", net.vrf);
+  net.app = p.add_epg("App", net.vrf);
+  net.db = p.add_epg("DB", net.vrf);
+
+  p.add_endpoint("EP1", net.web, net.s1);
+  p.add_endpoint("EP2", net.app, net.s2);
+  p.add_endpoint("EP3", net.db, net.s3);
+
+  net.port80 = p.add_filter("port80-allow", {FilterEntry::allow_tcp(80)});
+  net.port700 = p.add_filter("port700-allow", {FilterEntry::allow_tcp(700)});
+
+  net.web_app = p.add_contract("Web-App", {net.port80});
+  net.app_db = p.add_contract("App-DB", {net.port80, net.port700});
+
+  p.link(net.web, net.app, net.web_app);
+  p.link(net.app, net.db, net.app_db);
+  return net;
+}
+
+}  // namespace scout

@@ -1,0 +1,27 @@
+// The paper's running example (Figure 1): a 3-tier web service — EPG:Web,
+// EPG:App, EPG:DB under VRF 101, Contract:Web-App (port 80) and
+// Contract:App-DB (ports 80 and 700), with EP1@S1, EP2@S2, EP3@S3.
+// Used by the quickstart example, the §V-B use cases and many tests.
+#pragma once
+
+#include "src/policy/network_policy.h"
+#include "src/topology/fabric.h"
+
+namespace scout {
+
+struct ThreeTierNetwork {
+  Fabric fabric;
+  NetworkPolicy policy;
+
+  SwitchId s1, s2, s3;
+  EpgId web, app, db;
+  VrfId vrf;
+  ContractId web_app, app_db;
+  FilterId port80, port700;
+};
+
+// `tcam_capacity` lets the TCAM-overflow use case build a small table.
+[[nodiscard]] ThreeTierNetwork make_three_tier(std::size_t tcam_capacity =
+                                                   4096);
+
+}  // namespace scout

@@ -1,0 +1,256 @@
+#include "src/bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace scout {
+namespace {
+
+TEST(Bdd, ConstantsAreTerminals) {
+  BddManager mgr{4};
+  EXPECT_TRUE(mgr.is_true(mgr.constant(true)));
+  EXPECT_TRUE(mgr.is_false(mgr.constant(false)));
+  EXPECT_EQ(mgr.node_count(), 2u);
+}
+
+TEST(Bdd, VarAndNvarAreComplements) {
+  BddManager mgr{4};
+  const BddRef x = mgr.var(1);
+  EXPECT_EQ(mgr.negate(x), mgr.nvar(1));
+  EXPECT_EQ(mgr.negate(mgr.nvar(1)), x);
+}
+
+TEST(Bdd, CanonicityIdenticalFunctionsShareNodes) {
+  BddManager mgr{4};
+  const BddRef a = mgr.apply_and(mgr.var(0), mgr.var(1));
+  const BddRef b = mgr.apply_and(mgr.var(1), mgr.var(0));
+  EXPECT_EQ(a, b);
+  const BddRef c = mgr.apply_or(mgr.negate(mgr.var(0)),
+                                mgr.negate(mgr.var(1)));
+  EXPECT_EQ(mgr.negate(a), c);  // De Morgan, canonically
+}
+
+TEST(Bdd, ContradictionAndTautology) {
+  BddManager mgr{4};
+  const BddRef x = mgr.var(2);
+  EXPECT_TRUE(mgr.is_false(mgr.apply_and(x, mgr.negate(x))));
+  EXPECT_TRUE(mgr.is_true(mgr.apply_or(x, mgr.negate(x))));
+}
+
+TEST(Bdd, XorBasics) {
+  BddManager mgr{4};
+  const BddRef x = mgr.var(0), y = mgr.var(1);
+  EXPECT_TRUE(mgr.is_false(mgr.apply_xor(x, x)));
+  EXPECT_EQ(mgr.apply_xor(x, mgr.constant(false)), x);
+  EXPECT_EQ(mgr.apply_xor(x, mgr.constant(true)), mgr.negate(x));
+  EXPECT_EQ(mgr.apply_xor(x, y), mgr.apply_xor(y, x));
+}
+
+TEST(Bdd, IteBasics) {
+  BddManager mgr{4};
+  const BddRef f = mgr.var(0), g = mgr.var(1), h = mgr.var(2);
+  EXPECT_EQ(mgr.ite(mgr.constant(true), g, h), g);
+  EXPECT_EQ(mgr.ite(mgr.constant(false), g, h), h);
+  EXPECT_EQ(mgr.ite(f, g, g), g);
+  EXPECT_EQ(mgr.ite(f, mgr.constant(true), mgr.constant(false)), f);
+  EXPECT_EQ(mgr.ite(f, mgr.constant(false), mgr.constant(true)),
+            mgr.negate(f));
+}
+
+TEST(Bdd, EvaluateFollowsAssignment) {
+  BddManager mgr{3};
+  // f = (x0 & x1) | !x2
+  const BddRef f = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)),
+                                mgr.nvar(2));
+  const bool t = true, o = false;
+  EXPECT_TRUE(mgr.evaluate(f, {t, t, t}));
+  EXPECT_TRUE(mgr.evaluate(f, {o, o, o}));
+  EXPECT_FALSE(mgr.evaluate(f, {o, t, t}));
+  EXPECT_FALSE(mgr.evaluate(f, {t, o, t}));
+}
+
+TEST(Bdd, CubeBuildsConjunction) {
+  BddManager mgr{4};
+  const BddRef c = mgr.cube({{0, true}, {2, false}, {3, true}});
+  const BddRef expected = mgr.apply_and(
+      mgr.apply_and(mgr.var(0), mgr.nvar(2)), mgr.var(3));
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Bdd, EmptyCubeIsTrue) {
+  BddManager mgr{4};
+  EXPECT_TRUE(mgr.is_true(mgr.cube({})));
+}
+
+TEST(Bdd, CubeRejectsDuplicateVariable) {
+  BddManager mgr{4};
+  EXPECT_THROW((void)mgr.cube({{1, true}, {1, false}}),
+               std::invalid_argument);
+}
+
+TEST(Bdd, CubeRejectsOutOfRangeVariable) {
+  BddManager mgr{4};
+  EXPECT_THROW((void)mgr.cube({{7, true}}), std::out_of_range);
+}
+
+TEST(Bdd, SatCountSimple) {
+  BddManager mgr{3};
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.constant(true)), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.constant(false)), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.var(0)), 4.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.apply_and(mgr.var(0), mgr.var(2))), 2.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.apply_or(mgr.var(0), mgr.var(1))), 6.0);
+}
+
+TEST(Bdd, IntersectsCubeAgreesWithConjunction) {
+  BddManager mgr{4};
+  const BddRef f = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)),
+                                mgr.apply_and(mgr.nvar(0), mgr.var(3)));
+  EXPECT_TRUE(mgr.intersects_cube(f, {{0, true}, {1, true}}));
+  EXPECT_FALSE(mgr.intersects_cube(f, {{0, true}, {1, false}}));
+  EXPECT_TRUE(mgr.intersects_cube(f, {{0, false}}));
+  EXPECT_FALSE(mgr.intersects_cube(mgr.constant(false), {}));
+  EXPECT_TRUE(mgr.intersects_cube(mgr.constant(true), {{2, false}}));
+}
+
+TEST(Bdd, ForeachCubeVisitsDisjointCover) {
+  BddManager mgr{3};
+  const BddRef f = mgr.apply_or(mgr.var(0), mgr.var(1));
+  double covered = 0.0;
+  mgr.foreach_cube(f, [&](std::span<const std::int8_t> cube) {
+    double weight = 1.0;
+    for (const std::int8_t v : cube) {
+      if (v == -1) weight *= 2.0;
+    }
+    covered += weight;
+    return true;
+  });
+  EXPECT_DOUBLE_EQ(covered, mgr.sat_count(f));
+}
+
+TEST(Bdd, ForeachCubeEarlyStop) {
+  BddManager mgr{4};
+  const BddRef f = mgr.constant(true);
+  std::size_t calls = 0;
+  const std::size_t visited = mgr.foreach_cube(f, [&](auto) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(Bdd, AnySatReturnsSatisfyingAssignment) {
+  BddManager mgr{4};
+  const BddRef f = mgr.cube({{0, true}, {3, false}});
+  const auto a = mgr.any_sat(f);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[3], 0);
+  EXPECT_THROW((void)mgr.any_sat(mgr.constant(false)),
+               std::invalid_argument);
+}
+
+TEST(Bdd, DagSizeCountsReachableNodes) {
+  BddManager mgr{4};
+  EXPECT_EQ(mgr.dag_size(mgr.constant(true)), 1u);
+  EXPECT_EQ(mgr.dag_size(mgr.var(0)), 3u);  // node + 2 terminals
+}
+
+// Property: BDD operations agree with brute-force truth-table evaluation
+// over random formulas on few variables.
+class BddBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BddBruteForce, RandomFormulasMatchTruthTables) {
+  constexpr std::uint32_t kVars = 6;
+  Rng rng{GetParam()};
+  BddManager mgr{kVars};
+
+  // Random formula as a vector of ops over a stack of sub-formulas, each
+  // tracked both as BDD and as a truth table (bitmask over 2^6 = 64 rows).
+  struct Entry {
+    BddRef bdd;
+    std::uint64_t table;
+  };
+  std::vector<Entry> stack;
+  auto var_table = [](std::uint32_t v) {
+    std::uint64_t t = 0;
+    for (std::uint32_t row = 0; row < 64; ++row) {
+      if ((row >> v) & 1U) t |= (1ULL << row);
+    }
+    return t;
+  };
+  for (std::uint32_t v = 0; v < kVars; ++v) {
+    stack.push_back({mgr.var(v), var_table(v)});
+  }
+
+  for (int step = 0; step < 300; ++step) {
+    const std::size_t i = rng.below(stack.size());
+    const std::size_t j = rng.below(stack.size());
+    const std::uint64_t op = rng.below(4);
+    Entry e{};
+    switch (op) {
+      case 0:
+        e = {mgr.apply_and(stack[i].bdd, stack[j].bdd),
+             stack[i].table & stack[j].table};
+        break;
+      case 1:
+        e = {mgr.apply_or(stack[i].bdd, stack[j].bdd),
+             stack[i].table | stack[j].table};
+        break;
+      case 2:
+        e = {mgr.apply_xor(stack[i].bdd, stack[j].bdd),
+             stack[i].table ^ stack[j].table};
+        break;
+      default:
+        e = {mgr.negate(stack[i].bdd), ~stack[i].table};
+        break;
+    }
+    stack.push_back(e);
+
+    // Verify by evaluating all 64 assignments.
+    for (std::uint32_t row = 0; row < 64; ++row) {
+      std::vector<bool> assignment(kVars);
+      for (std::uint32_t v = 0; v < kVars; ++v) {
+        assignment[v] = (row >> v) & 1U;
+      }
+      ASSERT_EQ(mgr.evaluate(e.bdd, assignment),
+                static_cast<bool>((e.table >> row) & 1ULL))
+          << "step " << step << " row " << row;
+    }
+    // And sat_count must equal popcount of the table.
+    ASSERT_DOUBLE_EQ(mgr.sat_count(e.bdd),
+                     static_cast<double>(__builtin_popcountll(e.table)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddBruteForce,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Bdd, IteMatchesExpandedForm) {
+  Rng rng{5};
+  BddManager mgr{5};
+  for (int i = 0; i < 100; ++i) {
+    // random cubes as f, g, h
+    auto random_func = [&]() {
+      BddRef acc = mgr.constant(rng.chance(0.5));
+      for (std::uint32_t v = 0; v < 5; ++v) {
+        if (rng.chance(0.4)) {
+          const BddRef lit = rng.chance(0.5) ? mgr.var(v) : mgr.nvar(v);
+          acc = rng.chance(0.5) ? mgr.apply_and(acc, lit)
+                                : mgr.apply_or(acc, lit);
+        }
+      }
+      return acc;
+    };
+    const BddRef f = random_func(), g = random_func(), h = random_func();
+    const BddRef expanded = mgr.apply_or(
+        mgr.apply_and(f, g), mgr.apply_and(mgr.negate(f), h));
+    ASSERT_EQ(mgr.ite(f, g, h), expanded);
+  }
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,86 @@
+#include "src/policy/change_log.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+const ObjectRef kFilter1 = ObjectRef::of(FilterId{1});
+const ObjectRef kFilter2 = ObjectRef::of(FilterId{2});
+const ObjectRef kEpg1 = ObjectRef::of(EpgId{1});
+
+TEST(ChangeLog, RecordsAccumulateInOrder) {
+  ChangeLog log;
+  log.record(SimTime{1}, kFilter1, ChangeAction::kAdd);
+  log.record(SimTime{2}, kFilter2, ChangeAction::kAdd);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].object, kFilter1);
+  EXPECT_EQ(log.records()[1].object, kFilter2);
+}
+
+TEST(ChangeLog, HistoryNewestFirst) {
+  ChangeLog log;
+  log.record(SimTime{1}, kFilter1, ChangeAction::kAdd);
+  log.record(SimTime{5}, kFilter1, ChangeAction::kModify);
+  log.record(SimTime{7}, kFilter2, ChangeAction::kAdd);
+  const auto history = log.history(kFilter1);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].action, ChangeAction::kModify);
+  EXPECT_EQ(history[1].action, ChangeAction::kAdd);
+}
+
+TEST(ChangeLog, ChangedSinceRespectsWindow) {
+  ChangeLog log;
+  log.record(SimTime{100}, kFilter1, ChangeAction::kAdd);
+  log.record(SimTime{900}, kFilter2, ChangeAction::kModify);
+  log.record(SimTime{950}, kEpg1, ChangeAction::kModify);
+
+  const auto recent = log.changed_since(SimTime{1000}, 200);
+  EXPECT_EQ(recent.size(), 2u);
+  EXPECT_TRUE(recent.contains(kFilter2));
+  EXPECT_TRUE(recent.contains(kEpg1));
+  EXPECT_FALSE(recent.contains(kFilter1));
+}
+
+TEST(ChangeLog, ChangedSinceExcludesCutoffBoundary) {
+  ChangeLog log;
+  log.record(SimTime{800}, kFilter1, ChangeAction::kModify);
+  // cutoff = 1000 - 200 = 800; records at exactly the cutoff are excluded
+  // (window is half-open (cutoff, now]).
+  EXPECT_TRUE(log.changed_since(SimTime{1000}, 200).empty());
+  EXPECT_EQ(log.changed_since(SimTime{1000}, 201).size(), 1u);
+}
+
+TEST(ChangeLog, LastChangeFindsNewest) {
+  ChangeLog log;
+  log.record(SimTime{1}, kFilter1, ChangeAction::kAdd);
+  log.record(SimTime{9}, kFilter1, ChangeAction::kDelete);
+  const auto last = log.last_change(kFilter1);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->time, SimTime{9});
+  EXPECT_EQ(last->action, ChangeAction::kDelete);
+  EXPECT_FALSE(log.last_change(kEpg1).has_value());
+}
+
+TEST(ChangeLog, PushedToSwitchesPreserved) {
+  ChangeLog log;
+  log.record(SimTime{1}, kFilter1, ChangeAction::kAdd,
+             {SwitchId{1}, SwitchId{3}});
+  EXPECT_EQ(log.records()[0].pushed_to.size(), 2u);
+}
+
+TEST(ChangeLog, ClearEmpties) {
+  ChangeLog log;
+  log.record(SimTime{1}, kFilter1, ChangeAction::kAdd);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(ChangeAction, Names) {
+  EXPECT_EQ(to_string(ChangeAction::kAdd), "add");
+  EXPECT_EQ(to_string(ChangeAction::kModify), "modify");
+  EXPECT_EQ(to_string(ChangeAction::kDelete), "delete");
+}
+
+}  // namespace
+}  // namespace scout

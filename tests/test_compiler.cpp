@@ -1,0 +1,196 @@
+#include "src/controller/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/policy/policy_index.h"
+#include "src/tcam/tcam_table.h"
+#include "src/workload/policy_generator.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TEST(Compiler, ThreeTierS2MatchesFigureTwo) {
+  // Figure 2: S2 (hosting App) carries 6 allow rules — both directions of
+  // Web-App port 80 and of App-DB ports 80 and 700 — plus the final deny.
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s2);
+  ASSERT_EQ(rules.size(), 7u);
+
+  const std::size_t allows = static_cast<std::size_t>(std::count_if(
+      rules.begin(), rules.end(), [](const LogicalRule& lr) {
+        return lr.rule.action == RuleAction::kAllow;
+      }));
+  EXPECT_EQ(allows, 6u);
+  EXPECT_EQ(rules.back().rule.action, RuleAction::kDeny);
+  EXPECT_EQ(rules.back().rule.priority, PolicyCompiler::kDefaultDenyPriority);
+}
+
+TEST(Compiler, EdgeSwitchesGetOnlyTheirPairs) {
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  // S1 hosts only Web: Web-App rules (2 allows) + deny.
+  EXPECT_EQ(compiled.rules_for(net.s1).size(), 3u);
+  // S3 hosts only DB: App-DB rules (4 allows) + deny.
+  EXPECT_EQ(compiled.rules_for(net.s3).size(), 5u);
+}
+
+TEST(Compiler, RulesAreBidirectional) {
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s1);
+  bool fwd = false, rev = false;
+  for (const LogicalRule& lr : rules) {
+    if (lr.rule.action != RuleAction::kAllow) continue;
+    if (lr.rule.src_epg.value == net.web.value()) fwd = true;
+    if (lr.rule.dst_epg.value == net.web.value()) rev = true;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(rev);
+}
+
+TEST(Compiler, PrioritiesStrictlyIncreasePerSwitch) {
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  for (const auto& [sw, rules] : compiled.per_switch) {
+    for (std::size_t i = 1; i < rules.size(); ++i) {
+      EXPECT_LT(rules[i - 1].rule.priority, rules[i].rule.priority);
+    }
+  }
+}
+
+TEST(Compiler, ProvenanceFieldsAreValid) {
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  for (const auto& [sw, rules] : compiled.per_switch) {
+    for (const LogicalRule& lr : rules) {
+      if (lr.rule.action == RuleAction::kDeny) continue;
+      EXPECT_EQ(lr.prov.sw, sw);
+      EXPECT_TRUE(lr.prov.vrf.valid());
+      EXPECT_TRUE(lr.prov.contract.valid());
+      EXPECT_TRUE(lr.prov.filter.valid());
+      // The rule's fields encode the provenance objects.
+      const EpgId src = lr.prov.reversed ? lr.prov.pair.b : lr.prov.pair.a;
+      const EpgId dst = lr.prov.reversed ? lr.prov.pair.a : lr.prov.pair.b;
+      EXPECT_EQ(lr.rule.src_epg.value, src.value());
+      EXPECT_EQ(lr.rule.dst_epg.value, dst.value());
+      EXPECT_EQ(lr.rule.vrf.value, lr.prov.vrf.value());
+    }
+  }
+}
+
+TEST(Compiler, PortRangeExpandsToMultipleRules) {
+  ThreeTierNetwork net = make_three_tier();
+  const FilterId range_filter = net.policy.add_filter(
+      "ephemeral", {FilterEntry::allow_range(1000, 1999)});
+  net.policy.add_filter_to_contract(net.web_app, range_filter);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s1);
+  const std::size_t range_rules = static_cast<std::size_t>(std::count_if(
+      rules.begin(), rules.end(), [&](const LogicalRule& lr) {
+        return lr.prov.filter == range_filter;
+      }));
+  // [1000, 1999] needs multiple prefix cubes, times 2 directions.
+  EXPECT_GT(range_rules, 4u);
+  EXPECT_EQ(range_rules % 2, 0u);
+}
+
+TEST(Compiler, DenyEntryProducesDenyRule) {
+  ThreeTierNetwork net = make_three_tier();
+  const FilterId deny_filter = net.policy.add_filter(
+      "block-23", {FilterEntry{IpProtocol::kTcp, 23, 23, FilterAction::kDeny}});
+  net.policy.add_filter_to_contract(net.web_app, deny_filter);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s1);
+  const bool has_deny = std::any_of(
+      rules.begin(), rules.end(), [&](const LogicalRule& lr) {
+        return lr.prov.filter == deny_filter &&
+               lr.rule.action == RuleAction::kDeny;
+      });
+  EXPECT_TRUE(has_deny);
+}
+
+TEST(Compiler, ProtoAnyBecomesWildcardField) {
+  ThreeTierNetwork net = make_three_tier();
+  const FilterId any_filter = net.policy.add_filter(
+      "all-protos",
+      {FilterEntry{IpProtocol::kAny, 80, 80, FilterAction::kAllow}});
+  net.policy.add_filter_to_contract(net.web_app, any_filter);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  for (const LogicalRule& lr : compiled.rules_for(net.s1)) {
+    if (lr.prov.filter == any_filter) {
+      EXPECT_EQ(lr.rule.proto.mask, 0u);
+    }
+  }
+}
+
+TEST(Compiler, CompiledRulesFitTcamAndLookupAllowsIntent) {
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  TcamTable tcam{4096};
+  for (const LogicalRule& lr : compiled.rules_for(net.s2)) {
+    ASSERT_EQ(tcam.install(lr.rule), InstallStatus::kOk);
+  }
+  const auto vrf = static_cast<std::uint16_t>(net.vrf.value());
+  const auto web = static_cast<std::uint16_t>(net.web.value());
+  const auto app = static_cast<std::uint16_t>(net.app.value());
+  const auto db = static_cast<std::uint16_t>(net.db.value());
+  // Intent (Figure 1a): Web<->App on 80; App<->DB on 80 and 700.
+  EXPECT_EQ(tcam.lookup({vrf, web, app, 6, 80}), RuleAction::kAllow);
+  EXPECT_EQ(tcam.lookup({vrf, app, web, 6, 80}), RuleAction::kAllow);
+  EXPECT_EQ(tcam.lookup({vrf, app, db, 6, 700}), RuleAction::kAllow);
+  EXPECT_EQ(tcam.lookup({vrf, db, app, 6, 700}), RuleAction::kAllow);
+  // Whitelist: anything else is denied.
+  EXPECT_EQ(tcam.lookup({vrf, web, db, 6, 80}), RuleAction::kDeny);
+  EXPECT_EQ(tcam.lookup({vrf, web, app, 6, 443}), RuleAction::kDeny);
+  EXPECT_EQ(tcam.lookup({vrf, app, db, 17, 700}), RuleAction::kDeny);
+}
+
+TEST(Compiler, GeneratedPolicyRulesLandOnHostingSwitchesOnly) {
+  Rng rng{77};
+  const GeneratedNetwork net =
+      generate_network(GeneratorProfile::testbed(), rng);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const PolicyIndex index{net.policy};
+
+  for (const auto& [sw, rules] : compiled.per_switch) {
+    for (const LogicalRule& lr : rules) {
+      if (!lr.prov.contract.valid()) continue;
+      const auto& switches = index.switches_of(lr.prov.pair);
+      EXPECT_NE(std::find(switches.begin(), switches.end(), sw),
+                switches.end())
+          << "rule for pair landed on a switch hosting neither EPG";
+    }
+  }
+}
+
+TEST(Compiler, EveryPairSwitchComboHasRules) {
+  Rng rng{78};
+  const GeneratedNetwork net =
+      generate_network(GeneratorProfile::testbed(), rng);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const PolicyIndex index{net.policy};
+
+  std::unordered_set<std::string> seen;
+  for (const auto& [sw, rules] : compiled.per_switch) {
+    for (const LogicalRule& lr : rules) {
+      if (!lr.prov.contract.valid()) continue;
+      seen.insert(std::to_string(sw.value()) + ":" +
+                  std::to_string(lr.prov.pair.a.value()) + "-" +
+                  std::to_string(lr.prov.pair.b.value()));
+    }
+  }
+  std::size_t expected = 0;
+  for (const EpgPair& pair : index.pairs()) {
+    expected += index.switches_of(pair).size();
+  }
+  EXPECT_EQ(seen.size(), expected);
+}
+
+}  // namespace
+}  // namespace scout

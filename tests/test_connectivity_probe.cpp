@@ -1,0 +1,124 @@
+#include "src/scout/connectivity_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/faults/fault_injector.h"
+#include "src/workload/policy_generator.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+struct ProbeFixture : ::testing::Test {
+  ProbeFixture()
+      : three(make_three_tier()),
+        net(std::move(three.fabric), std::move(three.policy)) {
+    net.deploy();
+  }
+
+  // EP1(Web)@S1=0, EP2(App)@S2=1, EP3(DB)@S3=2
+  static constexpr EndpointId kWeb{0}, kApp{1}, kDb{2};
+
+  ThreeTierNetwork three;
+  SimNetwork net;
+};
+
+TEST_F(ProbeFixture, IntentMatchesFigureOne) {
+  const NetworkPolicy& p = net.controller().policy();
+  EXPECT_TRUE(intent_allows(p, kWeb, kApp, IpProtocol::kTcp, 80));
+  EXPECT_TRUE(intent_allows(p, kApp, kWeb, IpProtocol::kTcp, 80));
+  EXPECT_TRUE(intent_allows(p, kApp, kDb, IpProtocol::kTcp, 80));
+  EXPECT_TRUE(intent_allows(p, kApp, kDb, IpProtocol::kTcp, 700));
+  // Whitelist: everything else denied.
+  EXPECT_FALSE(intent_allows(p, kWeb, kDb, IpProtocol::kTcp, 80));
+  EXPECT_FALSE(intent_allows(p, kWeb, kApp, IpProtocol::kTcp, 443));
+  EXPECT_FALSE(intent_allows(p, kWeb, kApp, IpProtocol::kUdp, 80));
+}
+
+TEST_F(ProbeFixture, DeployedProbeAgreesWithIntentWhenHealthy) {
+  for (const auto& [src, dst, port] :
+       {std::tuple{kWeb, kApp, std::uint16_t{80}},
+        std::tuple{kApp, kDb, std::uint16_t{700}},
+        std::tuple{kWeb, kDb, std::uint16_t{80}}}) {
+    const bool intended = intent_allows(net.controller().policy(), src, dst,
+                                        IpProtocol::kTcp, port);
+    const ProbeResult probe =
+        probe_flow(net, src, dst, IpProtocol::kTcp, port);
+    EXPECT_EQ(probe.bidirectional(), intended);
+  }
+}
+
+TEST_F(ProbeFixture, ProbeReportsEnforcementLeaves) {
+  const ProbeResult probe = probe_flow(net, kWeb, kApp, IpProtocol::kTcp, 80);
+  EXPECT_EQ(probe.forward_leaf, three.s1);
+  EXPECT_EQ(probe.reverse_leaf, three.s2);
+}
+
+TEST_F(ProbeFixture, FaultBreaksProbeDirectionally) {
+  // Remove App-DB port-700 rules only on S2 (App's leaf): the forward
+  // direction (probed at S2) fails, the reverse (probed at S3) still works.
+  Rng rng{1};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port700), three.s2);
+
+  const ProbeResult probe = probe_flow(net, kApp, kDb, IpProtocol::kTcp, 700);
+  EXPECT_FALSE(probe.forward_allowed);
+  EXPECT_TRUE(probe.reverse_allowed);
+  EXPECT_FALSE(probe.bidirectional());
+  // Port 80 between the same endpoints is untouched.
+  EXPECT_TRUE(probe_flow(net, kApp, kDb, IpProtocol::kTcp, 80)
+                  .bidirectional());
+}
+
+TEST_F(ProbeFixture, SweepIsCleanWhenHealthy) {
+  const DivergenceSummary summary = probe_all_intents(net);
+  EXPECT_GT(summary.flows_probed, 0u);
+  EXPECT_EQ(summary.flows_diverging, 0u);
+}
+
+TEST_F(ProbeFixture, SweepCountsDivergingFlows) {
+  Rng rng{2};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port700));
+  const DivergenceSummary summary = probe_all_intents(net);
+  EXPECT_GT(summary.flows_diverging, 0u);
+  EXPECT_LT(summary.flows_diverging, summary.flows_probed);
+}
+
+TEST_F(ProbeFixture, UnknownEndpointThrows) {
+  EXPECT_THROW((void)probe_flow(net, EndpointId{99}, kApp, IpProtocol::kTcp,
+                                80),
+               std::out_of_range);
+}
+
+TEST(ProbeGenerated, HealthyGeneratedFabricHasNoDivergence) {
+  for (const std::uint64_t seed : {31ULL, 32ULL}) {
+    Rng rng{seed};
+    GeneratedNetwork generated =
+        generate_network(GeneratorProfile::testbed(), rng);
+    SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+    net.deploy();
+    const DivergenceSummary summary = probe_all_intents(net);
+    EXPECT_GT(summary.flows_probed, 0u);
+    EXPECT_EQ(summary.flows_diverging, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ProbeGenerated, EveryInjectedFullFaultIsVisibleToTheSweep) {
+  Rng rng{33};
+  GeneratedNetwork generated =
+      generate_network(GeneratorProfile::testbed(), rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+
+  ObjectFaultInjector injector{net.controller(), rng};
+  const auto objs = injector.sample_objects(5);
+  for (const ObjectRef obj : objs) {
+    (void)injector.inject_full(obj);
+  }
+  const DivergenceSummary summary = probe_all_intents(net);
+  EXPECT_GT(summary.flows_diverging, 0u);
+}
+
+}  // namespace
+}  // namespace scout

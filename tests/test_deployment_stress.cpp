@@ -1,0 +1,164 @@
+// Randomized stress over the deployment substrate: interleave policy
+// mutations, physical faults and recoveries, then assert the reconciliation
+// invariant — after every switch is healthy and resynced, the L-T checker
+// finds the fabric fully consistent. This is the substrate-level analogue
+// of "the network eventually converges to the policy".
+#include <gtest/gtest.h>
+
+#include "src/faults/fault_injector.h"
+#include "src/scout/experiment.h"
+#include "src/scout/scout_system.h"
+#include "src/workload/policy_generator.h"
+
+namespace scout {
+namespace {
+
+class DeploymentStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeploymentStress, ResyncRestoresConsistencyAfterChaos) {
+  Rng rng{GetParam()};
+  GeneratedNetwork generated =
+      generate_network(GeneratorProfile::testbed(), rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+
+  Controller& controller = net.controller();
+  const std::vector<ContractId> contracts = [&] {
+    std::vector<ContractId> out;
+    for (const Contract& c : controller.policy().contracts()) {
+      out.push_back(c.id);
+    }
+    return out;
+  }();
+
+  std::vector<FilterId> added_filters;
+  // 60 random operations against a live fabric.
+  for (int op = 0; op < 60; ++op) {
+    net.clock().advance(1'000);
+    switch (rng.below(8)) {
+      case 0: {  // add a new filter to a random contract
+        const auto port = static_cast<std::uint16_t>(20'000 + op);
+        added_filters.push_back(controller.deploy_new_filter(
+            "stress-filter", {FilterEntry::allow_tcp(port)},
+            contracts[rng.below(contracts.size())], nullptr));
+        break;
+      }
+      case 1: {  // undeploy a previously added filter
+        if (added_filters.empty()) break;
+        const FilterId f = added_filters[rng.below(added_filters.size())];
+        for (const Contract& c : controller.policy().contracts()) {
+          const auto& fs = c.filters;
+          if (std::find(fs.begin(), fs.end(), f) != fs.end()) {
+            controller.undeploy_filter(c.id, f);
+            break;
+          }
+        }
+        break;
+      }
+      case 2: {  // migrate a random endpoint to a random leaf
+        const auto& endpoints = controller.policy().endpoints();
+        const auto& ep = endpoints[rng.below(endpoints.size())];
+        const auto leaves = net.fabric().leaves();
+        (void)controller.migrate_endpoint(ep.id,
+                                          leaves[rng.below(leaves.size())]);
+        break;
+      }
+      case 3: {  // drop the control channel to a random switch
+        const auto& agents = net.agents();
+        controller.disconnect_switch(
+            agents[rng.below(agents.size())]->id());
+        break;
+      }
+      case 4: {  // agent becomes unresponsive
+        const auto& agents = net.agents();
+        agents[rng.below(agents.size())]->set_responsive(false);
+        break;
+      }
+      case 5: {  // local eviction
+        const auto& agents = net.agents();
+        (void)agents[rng.below(agents.size())]->evict_rules(
+            1 + rng.below(3), net.clock().now());
+        break;
+      }
+      case 6: {  // TCAM corruption
+        const auto& agents = net.agents();
+        (void)agents[rng.below(agents.size())]->corrupt_tcam_bit(
+            rng, net.clock().now(), 0.5);
+        break;
+      }
+      default: {  // object fault
+        ObjectFaultInjector injector{controller, rng};
+        const auto objs = injector.sample_objects(1);
+        if (!objs.empty()) (void)injector.inject_full(objs[0]);
+        break;
+      }
+    }
+  }
+
+  // Recovery: heal every channel and agent, then resync everything.
+  for (const auto& agent : net.agents()) {
+    controller.reconnect_switch(agent->id());
+    agent->set_responsive(true);
+    agent->recover(net.clock().now());
+  }
+  controller.recompile();
+  for (const auto& agent : net.agents()) {
+    const DeployStats stats = controller.resync_switch(agent->id());
+    EXPECT_EQ(stats.lost + stats.crashed, 0u);
+    EXPECT_EQ(stats.tcam_overflow, 0u);
+  }
+
+  // Invariant: the fabric is exactly the policy again.
+  const ScoutSystem system{ScoutSystem::Options{CheckMode::kExactBdd, {}}};
+  const std::vector<LogicalRule> missing = system.find_missing_rules(net);
+  EXPECT_TRUE(missing.empty()) << missing.size() << " rules still missing";
+  for (const auto& agent : net.agents()) {
+    EXPECT_EQ(agent->tcam().size(),
+              net.controller().compiled().rules_for(agent->id()).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeploymentStress,
+                         ::testing::Range<std::uint64_t>(500, 508));
+
+// Determinism regression: identical seeds produce identical experiment
+// results, bit for bit. Reproducibility is a design requirement (every
+// figure in EXPERIMENTS.md must be regenerable).
+TEST(Determinism, AccuracySweepIsBitStable) {
+  AccuracyOptions opts;
+  opts.profile = GeneratorProfile::testbed();
+  opts.model = RiskModelKind::kController;
+  opts.runs = 3;
+  opts.max_faults = 3;
+  opts.benign_changes = 4;
+  opts.seed = 77;
+  const std::vector<AlgorithmSpec> algorithms{
+      {"SCOUT", AlgorithmKind::kScout, 1.0, true}};
+
+  const auto a = run_accuracy_sweep(opts, algorithms);
+  const auto b = run_accuracy_sweep(opts, algorithms);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a[0].by_faults.size(); ++f) {
+    EXPECT_EQ(a[0].by_faults[f].precision, b[0].by_faults[f].precision);
+    EXPECT_EQ(a[0].by_faults[f].recall, b[0].by_faults[f].recall);
+  }
+}
+
+TEST(Determinism, GammaExperimentIsBitStable) {
+  GammaOptions opts;
+  opts.profile = GeneratorProfile::testbed();
+  opts.faults = 20;
+  opts.seed = 9;
+  opts.bucket_bounds = {10, 20, 40};
+  const auto a = run_gamma_experiment(opts);
+  const auto b = run_gamma_experiment(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].samples, b[i].samples);
+    EXPECT_EQ(a[i].mean_gamma, b[i].mean_gamma);
+  }
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,120 @@
+// Cross-module edge cases that don't fit a single module's suite:
+// degenerate inputs, unmanaged switches, empty policies, boundary sizes.
+#include <gtest/gtest.h>
+
+#include "src/bdd/bdd.h"
+#include "src/checker/packet_encoding.h"
+#include "src/common/stats.h"
+#include "src/controller/compiler.h"
+#include "src/scout/scout_system.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TEST(EdgeCases, EmptyPolicyCompilesToNothing) {
+  NetworkPolicy policy;
+  const CompiledPolicy compiled = PolicyCompiler::compile(policy);
+  EXPECT_TRUE(compiled.per_switch.empty());
+  EXPECT_EQ(compiled.total_rules(), 0u);
+}
+
+TEST(EdgeCases, PolicyWithoutLinksCompilesToNothing) {
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.unlink(net.web, net.app, net.web_app);
+  net.policy.unlink(net.app, net.db, net.app_db);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  EXPECT_EQ(compiled.total_rules(), 0u);
+}
+
+TEST(EdgeCases, DeployNewFilterOnUnlinkedContractPushesNothing) {
+  ThreeTierNetwork three = make_three_tier();
+  const ContractId orphan = three.policy.add_contract(
+      "orphan", {three.port80});
+  SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+  net.deploy();
+  DeployStats stats;
+  (void)net.controller().deploy_new_filter(
+      "unused", {FilterEntry::allow_tcp(9999)}, orphan, &stats);
+  EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(EdgeCases, EndpointOnUnmanagedSwitchIsSkippedAtDeploy) {
+  // An endpoint attached to a switch with no agent (e.g. an unmodelled
+  // device): the compiler emits rules for it but the controller skips the
+  // push instead of crashing.
+  ThreeTierNetwork three = make_three_tier();
+  three.policy.add_endpoint("EP4", three.web, SwitchId{77});
+  SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+  const DeployStats stats = net.deploy();
+  EXPECT_GT(stats.applied, 0u);
+  EXPECT_GT(net.controller().compiled().rules_for(SwitchId{77}).size(), 0u);
+  // The checker only iterates managed agents, so the fabric checks clean.
+  const ScoutSystem system;
+  EXPECT_TRUE(system.find_missing_rules(net).empty());
+}
+
+TEST(EdgeCases, SelfPairCompilesOneDirection) {
+  // An EPG linked to itself (intra-EPG permit) emits a single direction.
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.link(net.app, net.app, net.web_app);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  std::size_t self_rules = 0;
+  for (const LogicalRule& lr : compiled.rules_for(net.s2)) {
+    if (lr.prov.pair.a == net.app && lr.prov.pair.b == net.app) {
+      ++self_rules;
+      EXPECT_EQ(lr.rule.src_epg.value, lr.rule.dst_epg.value);
+    }
+  }
+  EXPECT_EQ(self_rules, 1u);  // one filter entry, one direction
+}
+
+TEST(EdgeCases, EmptyCdfIsInert) {
+  const EmpiricalCdf cdf{{}};
+  EXPECT_EQ(cdf.sample_count(), 0u);
+  EXPECT_EQ(cdf.at(5.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+}
+
+TEST(EdgeCases, SingleVariableBddManagerWorks) {
+  BddManager mgr{1};
+  const BddRef x = mgr.var(0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(x), 1.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.constant(true)), 2.0);
+  EXPECT_TRUE(mgr.is_false(mgr.apply_and(x, mgr.nvar(0))));
+}
+
+TEST(EdgeCases, FullWidthCubeIsSinglePacket) {
+  BddManager mgr{PacketVars::kCount};
+  const TcamRule r = TcamRule::exact_allow(
+      1, 4095, 65535, 65535, 255,
+      TernaryField::exact(65535, FieldWidths::kPort));
+  const BddRef f = mgr.cube(rule_to_cube(r));
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 1.0);
+  const PacketHeader p = assignment_to_packet(mgr.any_sat(f));
+  EXPECT_EQ(p.vrf, 4095);
+  EXPECT_EQ(p.dst_port, 65535);
+}
+
+TEST(EdgeCases, ZeroCapacityTcamRejectsEverything) {
+  TcamTable t{0};
+  EXPECT_EQ(t.install(TcamRule::default_deny(1)), InstallStatus::kOverflow);
+  EXPECT_DOUBLE_EQ(t.utilization(), 1.0);
+  EXPECT_TRUE(t.full());
+}
+
+TEST(EdgeCases, AnalyzeEmptyFabricYieldsEmptyReport) {
+  NetworkPolicy policy;
+  (void)policy.add_tenant("t");
+  Fabric fabric = Fabric::leaf_spine(2, 0);
+  SimNetwork net{std::move(fabric), std::move(policy)};
+  net.deploy();
+  const ScoutSystem system;
+  const ScoutReport report = system.analyze_controller(net);
+  EXPECT_EQ(report.observations, 0u);
+  EXPECT_TRUE(report.localization.hypothesis.empty());
+  EXPECT_EQ(report.gamma, 0.0);
+}
+
+}  // namespace
+}  // namespace scout

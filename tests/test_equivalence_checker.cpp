@@ -1,0 +1,198 @@
+#include "src/checker/equivalence_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/controller/compiler.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+// Compile the 3-tier policy and return (L-rules, matching T-rules) for S2.
+struct Deployed {
+  std::vector<LogicalRule> logical;
+  std::vector<TcamRule> tcam;
+};
+
+Deployed deploy_s2() {
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  Deployed d;
+  d.logical = compiled.rules_for(net.s2);
+  for (const LogicalRule& lr : d.logical) d.tcam.push_back(lr.rule);
+  return d;
+}
+
+class CheckerModes : public ::testing::TestWithParam<CheckMode> {};
+
+TEST_P(CheckerModes, CleanDeploymentIsEquivalent) {
+  const Deployed d = deploy_s2();
+  const EquivalenceChecker checker{GetParam()};
+  const CheckResult result = checker.check(d.logical, d.tcam);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_TRUE(result.missing.empty());
+}
+
+TEST_P(CheckerModes, SingleMissingRuleIsReported) {
+  Deployed d = deploy_s2();
+  // Remove the first allow rule from the TCAM.
+  const auto it = std::find_if(
+      d.tcam.begin(), d.tcam.end(),
+      [](const TcamRule& r) { return r.action == RuleAction::kAllow; });
+  ASSERT_NE(it, d.tcam.end());
+  const TcamRule removed = *it;
+  d.tcam.erase(it);
+
+  const EquivalenceChecker checker{GetParam()};
+  const CheckResult result = checker.check(d.logical, d.tcam);
+  EXPECT_FALSE(result.equivalent);
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_TRUE(result.missing[0].rule.same_match(removed));
+  // Provenance identifies the affected pair and objects.
+  EXPECT_TRUE(result.missing[0].prov.contract.valid());
+}
+
+TEST_P(CheckerModes, AllRulesMissingReportsEveryAllowRule) {
+  Deployed d = deploy_s2();
+  const std::size_t allow_count = static_cast<std::size_t>(
+      std::count_if(d.logical.begin(), d.logical.end(),
+                    [](const LogicalRule& lr) {
+                      return lr.rule.action == RuleAction::kAllow;
+                    }));
+  d.tcam.clear();
+  const EquivalenceChecker checker{GetParam()};
+  const CheckResult result = checker.check(d.logical, d.tcam);
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_EQ(result.missing.size(), allow_count);
+}
+
+TEST_P(CheckerModes, ExtraRuleDetected) {
+  Deployed d = deploy_s2();
+  const TcamRule stale = TcamRule::exact_allow(
+      500, 3000, 99, 98, 6, TernaryField::exact(1234, FieldWidths::kPort));
+  d.tcam.push_back(stale);
+  const EquivalenceChecker checker{GetParam()};
+  const CheckResult result = checker.check(d.logical, d.tcam);
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_TRUE(result.missing.empty());
+  EXPECT_GT(result.extra_packet_count, 0.0);
+  ASSERT_EQ(result.extra_rules.size(), 1u);
+  EXPECT_TRUE(result.extra_rules[0].same_match(stale));
+}
+
+TEST_P(CheckerModes, DuplicatedDeployedRuleIsNotExtra) {
+  // A duplicate of a legitimate rule allows no packets beyond L. The BDD
+  // mode correctly ignores it; the syntactic mode flags the surplus entry
+  // (a real operational signal: duplicated TCAM entries waste space).
+  Deployed d = deploy_s2();
+  const auto it = std::find_if(
+      d.tcam.begin(), d.tcam.end(),
+      [](const TcamRule& r) { return r.action == RuleAction::kAllow; });
+  ASSERT_NE(it, d.tcam.end());
+  d.tcam.push_back(*it);
+  const EquivalenceChecker checker{GetParam()};
+  const CheckResult result = checker.check(d.logical, d.tcam);
+  if (GetParam() == CheckMode::kExactBdd) {
+    EXPECT_TRUE(result.equivalent);
+    EXPECT_TRUE(result.extra_rules.empty());
+  } else {
+    EXPECT_FALSE(result.equivalent);
+    EXPECT_EQ(result.extra_rules.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CheckerModes,
+                         ::testing::Values(CheckMode::kExactBdd,
+                                           CheckMode::kSyntactic),
+                         [](const auto& info) {
+                           return info.param == CheckMode::kExactBdd
+                                      ? "ExactBdd"
+                                      : "Syntactic";
+                         });
+
+TEST(EquivalenceChecker, SyntacticIdenticalFastPath) {
+  const Deployed d = deploy_s2();
+  EXPECT_TRUE(EquivalenceChecker::syntactically_identical(d.logical, d.tcam));
+  auto shuffled = d.tcam;
+  std::rotate(shuffled.begin(), shuffled.begin() + 2, shuffled.end());
+  EXPECT_TRUE(
+      EquivalenceChecker::syntactically_identical(d.logical, shuffled));
+}
+
+TEST(EquivalenceChecker, SyntacticIdenticalRejectsMissingAndExtra) {
+  Deployed d = deploy_s2();
+  auto missing_one = d.tcam;
+  missing_one.pop_back();
+  EXPECT_FALSE(
+      EquivalenceChecker::syntactically_identical(d.logical, missing_one));
+  auto extra_one = d.tcam;
+  extra_one.push_back(TcamRule::exact_allow(
+      600, 1, 1, 1, 6, TernaryField::exact(1, FieldWidths::kPort)));
+  EXPECT_FALSE(
+      EquivalenceChecker::syntactically_identical(d.logical, extra_one));
+}
+
+// The semantic difference between modes: a missing rule whose packets are
+// fully covered by another *present* rule is a syntactic diff but not a
+// semantic one. The BDD mode must stay quiet; the syntactic mode reports it.
+TEST(EquivalenceChecker, BddModeIgnoresShadowedMissingRule) {
+  Deployed d = deploy_s2();
+  // Add a broad allow rule to L and T that covers everything in the VRF
+  // (id 0) between App(1) and DB(2) on any port...
+  TcamRule broad;
+  broad.priority = 400;
+  broad.vrf = TernaryField::exact(0, FieldWidths::kVrf);
+  broad.src_epg = TernaryField::exact(1, FieldWidths::kEpg);
+  broad.dst_epg = TernaryField::exact(2, FieldWidths::kEpg);
+  broad.proto = TernaryField::wildcard();
+  broad.dst_port = TernaryField::wildcard();
+  broad.action = RuleAction::kAllow;
+  LogicalRule broad_lr;
+  broad_lr.rule = broad;
+  broad_lr.prov = d.logical.front().prov;
+  d.logical.push_back(broad_lr);
+  d.tcam.push_back(broad);
+
+  // ...then drop the narrow App->DB port-80 rule from the TCAM only.
+  const auto narrow = std::find_if(
+      d.tcam.begin(), d.tcam.end(), [](const TcamRule& r) {
+        return r.action == RuleAction::kAllow &&
+               r.src_epg.value == 1 && r.dst_epg.value == 2 &&
+               r.dst_port.value == 80;
+      });
+  ASSERT_NE(narrow, d.tcam.end());
+  d.tcam.erase(narrow);
+
+  const CheckResult bdd =
+      EquivalenceChecker{CheckMode::kExactBdd}.check(d.logical, d.tcam);
+  EXPECT_TRUE(bdd.equivalent) << "broad rule shadows the missing narrow one";
+
+  const CheckResult syn =
+      EquivalenceChecker{CheckMode::kSyntactic}.check(d.logical, d.tcam);
+  EXPECT_FALSE(syn.equivalent);
+  EXPECT_EQ(syn.missing.size(), 1u);
+}
+
+TEST(EquivalenceChecker, MissingPacketCountMatchesRuleWidth) {
+  Deployed d = deploy_s2();
+  // Drop one exact (single-packet) allow rule.
+  const auto it = std::find_if(
+      d.tcam.begin(), d.tcam.end(),
+      [](const TcamRule& r) { return r.action == RuleAction::kAllow; });
+  d.tcam.erase(it);
+  const CheckResult result =
+      EquivalenceChecker{CheckMode::kExactBdd}.check(d.logical, d.tcam);
+  EXPECT_DOUBLE_EQ(result.missing_packet_count, 1.0);
+  EXPECT_DOUBLE_EQ(result.extra_packet_count, 0.0);
+}
+
+TEST(EquivalenceChecker, EmptyBothSidesIsEquivalent) {
+  const EquivalenceChecker checker{CheckMode::kExactBdd};
+  const CheckResult result = checker.check({}, {});
+  EXPECT_TRUE(result.equivalent);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,165 @@
+#include "src/correlation/event_correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+const ObjectRef kFilter = ObjectRef::of(FilterId{3});
+const SwitchId kSw1{1};
+const SwitchId kSw2{2};
+
+struct CorrelationFixture : ::testing::Test {
+  EventCorrelationEngine engine;
+  ChangeLog changes;
+  FaultLog faults;
+  ObjectScope scope;
+};
+
+TEST_F(CorrelationFixture, DefaultSignaturesCoverKnownFaults) {
+  EXPECT_EQ(engine.signatures().size(), 5u);
+}
+
+TEST_F(CorrelationFixture, TcamOverflowMatchedAtChangeTime) {
+  // Fault active from t=100; filter changed at t=150.
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kTcamOverflow,
+                     FaultSeverity::kCritical, "table full");
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  scope[kFilter] = {kSw1};
+
+  const auto causes =
+      engine.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                       scope);
+  ASSERT_EQ(causes.size(), 1u);
+  EXPECT_EQ(causes[0].type, RootCauseType::kTcamOverflow);
+  EXPECT_EQ(causes[0].sw, kSw1);
+  EXPECT_EQ(causes[0].object, kFilter);
+}
+
+TEST_F(CorrelationFixture, FaultClearedBeforeChangeDoesNotMatch) {
+  const std::size_t idx =
+      faults.raise(SimTime{100}, kSw1, FaultCode::kTcamOverflow,
+                   FaultSeverity::kCritical, "table full");
+  faults.clear(idx, SimTime{120});
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  scope[kFilter] = {kSw1};
+
+  const auto causes =
+      engine.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                       scope);
+  ASSERT_EQ(causes.size(), 1u);
+  EXPECT_EQ(causes[0].type, RootCauseType::kUnknown);
+}
+
+TEST_F(CorrelationFixture, FaultOutsideObjectScopeIgnored) {
+  // The fault is on sw2, but the filter only deploys to sw1.
+  (void)faults.raise(SimTime{100}, kSw2, FaultCode::kSwitchUnreachable,
+                     FaultSeverity::kCritical, "down");
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  scope[kFilter] = {kSw1};
+
+  const auto causes =
+      engine.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                       scope);
+  EXPECT_EQ(causes[0].type, RootCauseType::kUnknown);
+}
+
+TEST_F(CorrelationFixture, ObjectWithoutChangeRecordsIsUnknown) {
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kTcamOverflow,
+                     FaultSeverity::kCritical, "table full");
+  const auto causes =
+      engine.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                       scope);
+  ASSERT_EQ(causes.size(), 1u);
+  EXPECT_EQ(causes[0].type, RootCauseType::kUnknown);
+  EXPECT_NE(causes[0].explanation.find("no change-log records"),
+            std::string::npos);
+}
+
+TEST_F(CorrelationFixture, SwitchObjectMatchesItsOwnFaults) {
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kSwitchUnreachable,
+                     FaultSeverity::kCritical, "keepalive lost");
+  const ObjectRef sw_obj = ObjectRef::of(kSw1);
+  const auto causes = engine.correlate(std::vector<ObjectRef>{sw_obj},
+                                       changes, faults, scope);
+  ASSERT_EQ(causes.size(), 1u);
+  EXPECT_EQ(causes[0].type, RootCauseType::kSwitchUnreachable);
+  EXPECT_EQ(causes[0].sw, kSw1);
+}
+
+TEST_F(CorrelationFixture, SwitchObjectWithNoFaultsIsUnknown) {
+  const auto causes = engine.correlate(
+      std::vector<ObjectRef>{ObjectRef::of(kSw2)}, changes, faults, scope);
+  EXPECT_EQ(causes[0].type, RootCauseType::kUnknown);
+}
+
+TEST_F(CorrelationFixture, UnresponsiveSwitchSignature) {
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kSwitchUnreachable,
+                     FaultSeverity::kCritical, "down");
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  scope[kFilter] = {kSw1};
+  const auto causes =
+      engine.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                       scope);
+  EXPECT_EQ(causes[0].type, RootCauseType::kSwitchUnreachable);
+}
+
+TEST_F(CorrelationFixture, CustomSignatureExtendsEngine) {
+  // A custom signature requiring critical severity for eviction.
+  EventCorrelationEngine strict;
+  // Default eviction signature matches at kInfo; replace engine behaviour
+  // by adding a stricter one first won't help (first match wins), so build
+  // an engine and verify the additive API at least matches new codes.
+  strict.add_signature(FaultSignature{"custom", FaultCode::kRuleEviction,
+                                      FaultSeverity::kInfo,
+                                      RootCauseType::kRuleEviction});
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kRuleEviction,
+                     FaultSeverity::kInfo, "evicted 3");
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  scope[kFilter] = {kSw1};
+  const auto causes =
+      strict.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                       scope);
+  EXPECT_EQ(causes[0].type, RootCauseType::kRuleEviction);
+}
+
+TEST_F(CorrelationFixture, SeverityBelowSignatureMinimumIgnored) {
+  EventCorrelationEngine picky;
+  // Build an engine whose only overflow signature demands critical.
+  // (Default engine's min severity is kWarning; test the filter by raising
+  // an info-level overflow, which no signature accepts.)
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kTcamOverflow,
+                     FaultSeverity::kInfo, "advisory");
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  scope[kFilter] = {kSw1};
+  const auto causes =
+      picky.correlate(std::vector<ObjectRef>{kFilter}, changes, faults,
+                      scope);
+  EXPECT_EQ(causes[0].type, RootCauseType::kUnknown);
+}
+
+TEST_F(CorrelationFixture, MultipleObjectsEachGetACause) {
+  const ObjectRef other = ObjectRef::of(ContractId{8});
+  (void)faults.raise(SimTime{100}, kSw1, FaultCode::kTcamOverflow,
+                     FaultSeverity::kCritical, "full");
+  (void)faults.raise(SimTime{100}, kSw2, FaultCode::kAgentCrash,
+                     FaultSeverity::kCritical, "crash");
+  changes.record(SimTime{150}, kFilter, ChangeAction::kAdd);
+  changes.record(SimTime{151}, other, ChangeAction::kModify);
+  scope[kFilter] = {kSw1};
+  scope[other] = {kSw2};
+
+  const auto causes = engine.correlate(
+      std::vector<ObjectRef>{kFilter, other}, changes, faults, scope);
+  ASSERT_EQ(causes.size(), 2u);
+  EXPECT_EQ(causes[0].type, RootCauseType::kTcamOverflow);
+  EXPECT_EQ(causes[1].type, RootCauseType::kAgentCrash);
+}
+
+TEST(RootCauseType, Names) {
+  EXPECT_EQ(to_string(RootCauseType::kTcamOverflow), "TCAM overflow");
+  EXPECT_EQ(to_string(RootCauseType::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,86 @@
+#include "src/topology/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(Fabric, AddSwitchAssignsSequentialIds) {
+  Fabric f;
+  const SwitchId a = f.add_switch("a");
+  const SwitchId b = f.add_switch("b");
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(f.info(a).name, "a");
+}
+
+TEST(Fabric, LeafSpineFactory) {
+  const Fabric f = Fabric::leaf_spine(4, 2, 1024);
+  EXPECT_EQ(f.size(), 6u);
+  EXPECT_EQ(f.leaves().size(), 4u);
+  EXPECT_EQ(f.info(f.leaves()[0]).tcam_capacity, 1024u);
+  EXPECT_EQ(f.info(SwitchId{4}).role, SwitchRole::kSpine);
+}
+
+TEST(Fabric, InfoThrowsOnUnknown) {
+  const Fabric f = Fabric::leaf_spine(1, 0);
+  EXPECT_THROW((void)f.info(SwitchId{5}), std::out_of_range);
+  EXPECT_THROW((void)f.info(SwitchId{}), std::out_of_range);
+}
+
+TEST(ControlChannel, StartsConnected) {
+  ControlChannel ch;
+  EXPECT_TRUE(ch.connected(SwitchId{0}));
+}
+
+TEST(ControlChannel, DisconnectOpensOutage) {
+  ControlChannel ch;
+  ch.disconnect(SwitchId{1}, SimTime{10});
+  EXPECT_FALSE(ch.connected(SwitchId{1}));
+  EXPECT_TRUE(ch.connected(SwitchId{2}));
+  ASSERT_EQ(ch.outages().size(), 1u);
+  EXPECT_FALSE(ch.outages()[0].end.has_value());
+}
+
+TEST(ControlChannel, ReconnectClosesOutage) {
+  ControlChannel ch;
+  ch.disconnect(SwitchId{1}, SimTime{10});
+  ch.reconnect(SwitchId{1}, SimTime{50});
+  EXPECT_TRUE(ch.connected(SwitchId{1}));
+  ASSERT_EQ(ch.outages().size(), 1u);
+  EXPECT_EQ(ch.outages()[0].end, SimTime{50});
+}
+
+TEST(ControlChannel, DoubleDisconnectIsNoop) {
+  ControlChannel ch;
+  ch.disconnect(SwitchId{1}, SimTime{10});
+  ch.disconnect(SwitchId{1}, SimTime{20});
+  EXPECT_EQ(ch.outages().size(), 1u);
+}
+
+TEST(ControlChannel, ReconnectWithoutOutageIsNoop) {
+  ControlChannel ch;
+  ch.reconnect(SwitchId{1}, SimTime{10});
+  EXPECT_TRUE(ch.outages().empty());
+}
+
+TEST(ControlChannel, WasDownAtCoversInterval) {
+  ControlChannel ch;
+  ch.disconnect(SwitchId{1}, SimTime{10});
+  ch.reconnect(SwitchId{1}, SimTime{50});
+  EXPECT_FALSE(ch.was_down_at(SwitchId{1}, SimTime{9}));
+  EXPECT_TRUE(ch.was_down_at(SwitchId{1}, SimTime{10}));
+  EXPECT_TRUE(ch.was_down_at(SwitchId{1}, SimTime{30}));
+  EXPECT_TRUE(ch.was_down_at(SwitchId{1}, SimTime{50}));
+  EXPECT_FALSE(ch.was_down_at(SwitchId{1}, SimTime{51}));
+  EXPECT_FALSE(ch.was_down_at(SwitchId{2}, SimTime{30}));
+}
+
+TEST(ControlChannel, OpenOutageCoversForever) {
+  ControlChannel ch;
+  ch.disconnect(SwitchId{1}, SimTime{10});
+  EXPECT_TRUE(ch.was_down_at(SwitchId{1}, SimTime{1'000'000}));
+}
+
+}  // namespace
+}  // namespace scout

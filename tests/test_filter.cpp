@@ -1,0 +1,59 @@
+#include "src/policy/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scout {
+namespace {
+
+TEST(FilterEntry, SinglePortFactory) {
+  const FilterEntry e = FilterEntry::allow_tcp(80);
+  EXPECT_EQ(e.protocol, IpProtocol::kTcp);
+  EXPECT_TRUE(e.single_port());
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.port_lo, 80);
+  EXPECT_EQ(e.action, FilterAction::kAllow);
+}
+
+TEST(FilterEntry, RangeFactory) {
+  const FilterEntry e = FilterEntry::allow_range(8000, 8100);
+  EXPECT_FALSE(e.single_port());
+  EXPECT_TRUE(e.valid());
+}
+
+TEST(FilterEntry, InvertedRangeInvalid) {
+  FilterEntry e;
+  e.port_lo = 100;
+  e.port_hi = 50;
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(FilterEntry, PrintsSinglePort) {
+  std::ostringstream os;
+  os << FilterEntry::allow_tcp(700);
+  EXPECT_EQ(os.str(), "tcp/700/allow");
+}
+
+TEST(FilterEntry, PrintsRangeAndDeny) {
+  FilterEntry e = FilterEntry::allow_range(1, 10);
+  e.action = FilterAction::kDeny;
+  std::ostringstream os;
+  os << e;
+  EXPECT_EQ(os.str(), "tcp/1-10/deny");
+}
+
+TEST(FilterEntry, EqualityIsFieldwise) {
+  EXPECT_EQ(FilterEntry::allow_tcp(80), FilterEntry::allow_tcp(80));
+  EXPECT_NE(FilterEntry::allow_tcp(80), FilterEntry::allow_tcp(81));
+}
+
+TEST(IpProtocol, Names) {
+  EXPECT_EQ(to_string(IpProtocol::kTcp), "tcp");
+  EXPECT_EQ(to_string(IpProtocol::kUdp), "udp");
+  EXPECT_EQ(to_string(IpProtocol::kIcmp), "icmp");
+  EXPECT_EQ(to_string(IpProtocol::kAny), "any");
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,189 @@
+#include "src/localization/greedy_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace scout {
+namespace {
+
+// Hand-built reproduction of paper Figure 5: elements E1-E2 .. E6-E7,
+// risks C1, F1, F2, C2, C3, F3 with utilities
+//   C1 h=0 c=0; F1 h=1 c=0.4; F2 h=1 c=0.8; C2 h=1 c=0.4;
+//   C3 h=0.3 c=0.2; F3 h=0.3 c=0.2
+// against failure signature {E2-E3, E3-E4, E4-E5, E5-E6, E6-E7}.
+struct Figure5 {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  // element indices e[0] = E1-E2 ... e[5] = E6-E7
+  std::array<RiskModel::ElementIdx, 6> e{};
+  RiskModel::RiskIdx c1{}, f1{}, f2{}, c2{}, c3{}, f3{};
+
+  Figure5() {
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      e[i] = model.add_element(
+          RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 1}}});
+    }
+    c1 = model.add_risk(ObjectRef::of(ContractId{1}));
+    f1 = model.add_risk(ObjectRef::of(FilterId{1}));
+    f2 = model.add_risk(ObjectRef::of(FilterId{2}));
+    c2 = model.add_risk(ObjectRef::of(ContractId{2}));
+    c3 = model.add_risk(ObjectRef::of(ContractId{3}));
+    f3 = model.add_risk(ObjectRef::of(FilterId{3}));
+
+    // C1: depends only on the healthy E1-E2.
+    model.add_dependency(e[0], c1);
+    // F1: E2-E3, E3-E4 (both failed) -> h=1, c=2/5.
+    model.add_dependency(e[1], f1);
+    model.add_dependency(e[2], f1);
+    // F2: E2-E3..E5-E6 (all failed) -> h=1, c=4/5.
+    for (int i = 1; i <= 4; ++i) model.add_dependency(e[i], f2);
+    // C2: E4-E5, E5-E6 -> h=1, c=2/5.
+    model.add_dependency(e[3], c2);
+    model.add_dependency(e[4], c2);
+    // C3 and F3: {E1-E2, E5-E6, E6-E7}, failed edge only to E6-E7
+    // -> h=1/3, c=1/5.
+    for (const auto elem : {e[0], e[4], e[5]}) {
+      model.add_dependency(elem, c3);
+      model.add_dependency(elem, f3);
+    }
+
+    // Failure annotation: failed edges.
+    for (int i = 1; i <= 2; ++i) model.mark_edge_failed(e[i], f1);
+    for (int i = 1; i <= 4; ++i) model.mark_edge_failed(e[i], f2);
+    for (int i = 3; i <= 4; ++i) model.mark_edge_failed(e[i], c2);
+    model.mark_edge_failed(e[5], c3);
+    model.mark_edge_failed(e[5], f3);
+  }
+};
+
+TEST(GreedyCover, Figure5InitialUtilities) {
+  const Figure5 fig;
+  const auto utils = initial_utilities(fig.model);
+  EXPECT_DOUBLE_EQ(utils[fig.c1].hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(utils[fig.f1].hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(utils[fig.f1].coverage_ratio, 0.4);
+  EXPECT_DOUBLE_EQ(utils[fig.f2].hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(utils[fig.f2].coverage_ratio, 0.8);
+  EXPECT_DOUBLE_EQ(utils[fig.c2].hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(utils[fig.c2].coverage_ratio, 0.4);
+  EXPECT_NEAR(utils[fig.c3].hit_ratio, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(utils[fig.c3].coverage_ratio, 0.2);
+  EXPECT_NEAR(utils[fig.f3].hit_ratio, 1.0 / 3.0, 1e-9);
+}
+
+TEST(GreedyCover, Figure5Stage1PicksOnlyF2) {
+  const Figure5 fig;
+  const GreedyCoverOutcome out = run_greedy_cover(fig.model, 1.0);
+  // F2 explains 4 of 5; the pruning removes F1's and C2's elements too, so
+  // no hit-ratio-1 candidate remains for E6-E7.
+  ASSERT_EQ(out.hypothesis.size(), 1u);
+  EXPECT_EQ(out.hypothesis[0], ObjectRef::of(FilterId{2}));
+  ASSERT_EQ(out.unexplained.size(), 1u);
+  EXPECT_EQ(out.unexplained[0], fig.e[5]);
+  EXPECT_EQ(out.observations_total, 5u);
+}
+
+TEST(GreedyCover, LowerThresholdAlsoExplainsTail) {
+  const Figure5 fig;
+  // With threshold 0.3, C3/F3 qualify in round 2 (h=1/2 after pruning) and
+  // E6-E7 gets explained; both tie on coverage so both are picked.
+  const GreedyCoverOutcome out = run_greedy_cover(fig.model, 0.3);
+  EXPECT_TRUE(out.unexplained.empty());
+  EXPECT_TRUE(std::find(out.hypothesis.begin(), out.hypothesis.end(),
+                        ObjectRef::of(FilterId{3})) != out.hypothesis.end());
+  EXPECT_TRUE(std::find(out.hypothesis.begin(), out.hypothesis.end(),
+                        ObjectRef::of(ContractId{3})) != out.hypothesis.end());
+}
+
+TEST(GreedyCover, NoFailuresMeansEmptyOutcome) {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto e = model.add_element(
+      RiskElement{SwitchId{0}, EpgPair{EpgId{0}, EpgId{1}}});
+  const auto r = model.add_risk(ObjectRef::of(FilterId{0}));
+  model.add_dependency(e, r);
+  const GreedyCoverOutcome out = run_greedy_cover(model, 1.0);
+  EXPECT_TRUE(out.hypothesis.empty());
+  EXPECT_TRUE(out.unexplained.empty());
+  EXPECT_EQ(out.observations_total, 0u);
+  EXPECT_EQ(out.iterations, 0u);
+}
+
+TEST(GreedyCover, TiedRisksAreAllPicked) {
+  // Two risks, each with a failed edge to the same single observation:
+  // indistinguishable (EPG:Web vs Contract:Web-App in Figure 4(a)).
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto e = model.add_element(
+      RiskElement{SwitchId{0}, EpgPair{EpgId{0}, EpgId{1}}});
+  const auto r0 = model.add_risk(ObjectRef::of(EpgId{0}));
+  const auto r1 = model.add_risk(ObjectRef::of(ContractId{0}));
+  model.add_dependency(e, r0);
+  model.add_dependency(e, r1);
+  model.mark_edge_failed(e, r0);
+  model.mark_edge_failed(e, r1);
+
+  const GreedyCoverOutcome out = run_greedy_cover(model, 1.0);
+  EXPECT_EQ(out.hypothesis.size(), 2u);
+  EXPECT_TRUE(out.unexplained.empty());
+}
+
+TEST(GreedyCover, MultipleIndependentFaultsNeedMultipleIterations) {
+  // Two disjoint clusters, each fully explained by its own risk.
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto r0 = model.add_risk(ObjectRef::of(FilterId{0}));
+  const auto r1 = model.add_risk(ObjectRef::of(FilterId{1}));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto e = model.add_element(
+        RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 10}}});
+    model.add_dependency(e, r0);
+    model.mark_edge_failed(e, r0);
+  }
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const auto e = model.add_element(
+        RiskElement{SwitchId{0}, EpgPair{EpgId{i + 20}, EpgId{i + 30}}});
+    model.add_dependency(e, r1);
+    model.mark_edge_failed(e, r1);
+  }
+  const GreedyCoverOutcome out = run_greedy_cover(model, 1.0);
+  EXPECT_EQ(out.hypothesis.size(), 2u);
+  EXPECT_TRUE(out.unexplained.empty());
+  EXPECT_EQ(out.iterations, 2u);
+}
+
+TEST(GreedyCover, PruningUnlocksLaterCandidates) {
+  // r1's dependents include one element explained by r0; after r0's pick
+  // prunes it, r1 reaches hit ratio 1 and is picked in round 2.
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto r0 = model.add_risk(ObjectRef::of(FilterId{0}));
+  const auto r1 = model.add_risk(ObjectRef::of(FilterId{1}));
+
+  const auto shared = model.add_element(
+      RiskElement{SwitchId{0}, EpgPair{EpgId{0}, EpgId{1}}});
+  model.add_dependency(shared, r0);
+  model.add_dependency(shared, r1);
+  model.mark_edge_failed(shared, r0);  // failed via r0 only
+
+  const auto own0 = model.add_element(
+      RiskElement{SwitchId{0}, EpgPair{EpgId{2}, EpgId{3}}});
+  model.add_dependency(own0, r0);
+  model.mark_edge_failed(own0, r0);
+
+  const auto own1 = model.add_element(
+      RiskElement{SwitchId{0}, EpgPair{EpgId{4}, EpgId{5}}});
+  model.add_dependency(own1, r1);
+  model.mark_edge_failed(own1, r1);
+
+  const GreedyCoverOutcome out = run_greedy_cover(model, 1.0);
+  EXPECT_EQ(out.hypothesis.size(), 2u);
+  EXPECT_TRUE(out.unexplained.empty());
+}
+
+TEST(GreedyCover, InvalidUtilitiesForIsolatedRisk) {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  (void)model.add_risk(ObjectRef::of(FilterId{0}));
+  const auto utils = initial_utilities(model);
+  EXPECT_DOUBLE_EQ(utils[0].hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(utils[0].coverage_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace scout

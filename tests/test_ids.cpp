@@ -1,0 +1,81 @@
+#include "src/common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/policy/object_ref.h"
+
+namespace scout {
+namespace {
+
+TEST(Ids, DefaultConstructedIsInvalid) {
+  EpgId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, EpgId::invalid());
+}
+
+TEST(Ids, ExplicitValueIsValid) {
+  EpgId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, OrderingFollowsValue) {
+  EXPECT_LT(VrfId{1}, VrfId{2});
+  EXPECT_EQ(VrfId{3}, VrfId{3});
+  EXPECT_NE(VrfId{3}, VrfId{4});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<EpgId, VrfId>);
+  static_assert(!std::is_convertible_v<EpgId, VrfId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, EpgId>);
+}
+
+TEST(Ids, HashSpreadsConsecutiveIds) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<SwitchId>{}(SwitchId{i}));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Ids, StreamsAsValue) {
+  std::ostringstream os;
+  os << ContractId{42};
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(ObjectRef, FactoriesPreserveTypeAndValue) {
+  const ObjectRef r = ObjectRef::of(FilterId{9});
+  EXPECT_EQ(r.type(), ObjectType::kFilter);
+  EXPECT_EQ(r.raw(), 9u);
+  EXPECT_EQ(r.as_filter(), FilterId{9});
+}
+
+TEST(ObjectRef, EqualityRequiresTypeAndValue) {
+  EXPECT_NE(ObjectRef::of(EpgId{1}), ObjectRef::of(VrfId{1}));
+  EXPECT_EQ(ObjectRef::of(EpgId{1}), ObjectRef::of(EpgId{1}));
+  EXPECT_NE(ObjectRef::of(EpgId{1}), ObjectRef::of(EpgId{2}));
+}
+
+TEST(ObjectRef, HashDistinguishesTypes) {
+  std::unordered_set<ObjectRef> set;
+  set.insert(ObjectRef::of(EpgId{5}));
+  set.insert(ObjectRef::of(VrfId{5}));
+  set.insert(ObjectRef::of(ContractId{5}));
+  set.insert(ObjectRef::of(FilterId{5}));
+  set.insert(ObjectRef::of(SwitchId{5}));
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(ObjectRef, PrintsTypePrefix) {
+  std::ostringstream os;
+  os << ObjectRef::of(VrfId{101});
+  EXPECT_EQ(os.str(), "VRF:101");
+}
+
+}  // namespace
+}  // namespace scout

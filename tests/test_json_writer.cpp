@@ -1,0 +1,86 @@
+#include "src/common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray) {
+  JsonWriter w;
+  w.begin_array().end_array();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(JsonWriter, FieldsAreCommaSeparated) {
+  JsonWriter w;
+  w.begin_object().field("a", 1).field("b", 2).end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonWriter, ArrayElementsAreCommaSeparated) {
+  JsonWriter w;
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter w;
+  w.begin_object()
+      .key("list")
+      .begin_array()
+      .begin_object()
+      .field("x", 1)
+      .end_object()
+      .begin_object()
+      .field("y", 2)
+      .end_object()
+      .end_array()
+      .field("tail", true)
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"list\":[{\"x\":1},{\"y\":2}],\"tail\":true}");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter w;
+  w.begin_object().field("k", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, ControlCharactersUseUnicodeEscape) {
+  EXPECT_EQ(JsonWriter::escape(std::string{'\x01'}), "\\u0001");
+}
+
+TEST(JsonWriter, NumericFormats) {
+  JsonWriter w;
+  w.begin_array()
+      .value(0.5)
+      .value(std::int64_t{-7})
+      .value(std::uint64_t{18446744073709551615ULL})
+      .value(false)
+      .end_array();
+  EXPECT_EQ(w.str(), "[0.5,-7,18446744073709551615,false]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, ExplicitNull) {
+  JsonWriter w;
+  w.begin_object().key("missing").null().end_object();
+  EXPECT_EQ(w.str(), "{\"missing\":null}");
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,98 @@
+#include "src/scout/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+std::unordered_set<ObjectRef> truth(std::initializer_list<std::uint32_t> ids) {
+  std::unordered_set<ObjectRef> out;
+  for (const std::uint32_t id : ids) out.insert(ObjectRef::of(FilterId{id}));
+  return out;
+}
+
+std::vector<ObjectRef> hypo(std::initializer_list<std::uint32_t> ids) {
+  std::vector<ObjectRef> out;
+  for (const std::uint32_t id : ids) out.push_back(ObjectRef::of(FilterId{id}));
+  return out;
+}
+
+TEST(Metrics, PerfectHypothesis) {
+  const PrecisionRecall pr = evaluate_hypothesis(hypo({1, 2}), truth({1, 2}));
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 1.0);
+}
+
+TEST(Metrics, FalsePositiveLowersPrecisionOnly) {
+  const PrecisionRecall pr =
+      evaluate_hypothesis(hypo({1, 2, 3}), truth({1, 2}));
+  EXPECT_NEAR(pr.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_EQ(pr.false_positives, 1u);
+}
+
+TEST(Metrics, FalseNegativeLowersRecallOnly) {
+  const PrecisionRecall pr = evaluate_hypothesis(hypo({1}), truth({1, 2}));
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_EQ(pr.false_negatives, 1u);
+}
+
+TEST(Metrics, TypeMismatchIsFalsePositive) {
+  const std::vector<ObjectRef> h{ObjectRef::of(ContractId{1})};
+  const PrecisionRecall pr = evaluate_hypothesis(h, truth({1}));
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(Metrics, EmptyHypothesisAgainstNonEmptyTruth) {
+  const PrecisionRecall pr = evaluate_hypothesis({}, truth({1}));
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);  // vacuous: no false positives
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 0.0);
+}
+
+TEST(Metrics, EmptyTruthIsPerfectRecall) {
+  const PrecisionRecall pr = evaluate_hypothesis(hypo({1}), {});
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+}
+
+TEST(Metrics, DuplicatesInHypothesisCountedOncePositive) {
+  const PrecisionRecall pr =
+      evaluate_hypothesis(hypo({1, 1}), truth({1}));
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(Metrics, SuspectReductionBasics) {
+  EXPECT_DOUBLE_EQ(suspect_reduction(5, 100), 0.05);
+  EXPECT_DOUBLE_EQ(suspect_reduction(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(suspect_reduction(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(suspect_reduction(10, 10), 1.0);
+}
+
+TEST(Metrics, BoundsHoldForRandomInputs) {
+  for (std::uint32_t h = 0; h < 20; ++h) {
+    for (std::uint32_t g = 1; g < 20; ++g) {
+      std::vector<ObjectRef> hypothesis;
+      for (std::uint32_t i = 0; i < h; ++i) {
+        hypothesis.push_back(ObjectRef::of(FilterId{i}));
+      }
+      std::unordered_set<ObjectRef> ground;
+      for (std::uint32_t i = 10; i < 10 + g; ++i) {
+        ground.insert(ObjectRef::of(FilterId{i}));
+      }
+      const PrecisionRecall pr = evaluate_hypothesis(hypothesis, ground);
+      EXPECT_GE(pr.precision, 0.0);
+      EXPECT_LE(pr.precision, 1.0);
+      EXPECT_GE(pr.recall, 0.0);
+      EXPECT_LE(pr.recall, 1.0);
+      EXPECT_EQ(pr.true_positives + pr.false_negatives, ground.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

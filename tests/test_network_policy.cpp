@@ -1,0 +1,144 @@
+#include "src/policy/network_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TEST(NetworkPolicy, ThreeTierCounts) {
+  const ThreeTierNetwork net = make_three_tier();
+  const auto c = net.policy.counts();
+  EXPECT_EQ(c.tenants, 1u);
+  EXPECT_EQ(c.vrfs, 1u);
+  EXPECT_EQ(c.epgs, 3u);
+  EXPECT_EQ(c.endpoints, 3u);
+  EXPECT_EQ(c.contracts, 2u);
+  EXPECT_EQ(c.filters, 2u);
+  EXPECT_EQ(c.links, 2u);
+}
+
+TEST(NetworkPolicy, ThreeTierValidates) {
+  const ThreeTierNetwork net = make_three_tier();
+  EXPECT_TRUE(net.policy.validate().empty());
+}
+
+TEST(NetworkPolicy, EpgPairsAreCanonicalAndDeduped) {
+  ThreeTierNetwork net = make_three_tier();
+  // Add the reverse link; pair set must not grow.
+  net.policy.link(net.app, net.web, net.web_app);
+  const auto pairs = net.policy.epg_pairs();
+  EXPECT_EQ(pairs.size(), 2u);
+  for (const EpgPair& p : pairs) EXPECT_LE(p.a.value(), p.b.value());
+}
+
+TEST(NetworkPolicy, ContractsBetweenFindsEitherDirection) {
+  const ThreeTierNetwork net = make_three_tier();
+  const auto c1 = net.policy.contracts_between({net.web, net.app});
+  const auto c2 = net.policy.contracts_between({net.app, net.web});
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1[0], net.web_app);
+}
+
+TEST(NetworkPolicy, ObjectsForPairListsAllSharedRisks) {
+  const ThreeTierNetwork net = make_three_tier();
+  const auto objs = net.policy.objects_for_pair({net.app, net.db});
+  // VRF, 2 EPGs, 1 contract, 2 filters = 6 objects (paper §III example).
+  EXPECT_EQ(objs.size(), 6u);
+  auto has = [&objs](ObjectRef r) {
+    return std::find(objs.begin(), objs.end(), r) != objs.end();
+  };
+  EXPECT_TRUE(has(ObjectRef::of(net.vrf)));
+  EXPECT_TRUE(has(ObjectRef::of(net.app)));
+  EXPECT_TRUE(has(ObjectRef::of(net.db)));
+  EXPECT_TRUE(has(ObjectRef::of(net.app_db)));
+  EXPECT_TRUE(has(ObjectRef::of(net.port80)));
+  EXPECT_TRUE(has(ObjectRef::of(net.port700)));
+  EXPECT_FALSE(has(ObjectRef::of(net.web_app)));
+}
+
+TEST(NetworkPolicy, SwitchesForPairIsUnionOfHosts) {
+  const ThreeTierNetwork net = make_three_tier();
+  const auto switches = net.policy.switches_for_pair({net.web, net.app});
+  EXPECT_EQ(switches, (std::vector<SwitchId>{net.s1, net.s2}));
+}
+
+TEST(NetworkPolicy, EpgPairsOnSwitchSeesBothPairsAtS2) {
+  const ThreeTierNetwork net = make_three_tier();
+  // S2 hosts App, which participates in both pairs.
+  EXPECT_EQ(net.policy.epg_pairs_on_switch(net.s2).size(), 2u);
+  EXPECT_EQ(net.policy.epg_pairs_on_switch(net.s1).size(), 1u);
+}
+
+TEST(NetworkPolicy, UnlinkRemovesPair) {
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.unlink(net.web, net.app, net.web_app);
+  EXPECT_EQ(net.policy.epg_pairs().size(), 1u);
+}
+
+TEST(NetworkPolicy, AddFilterToContractIsIdempotent) {
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.add_filter_to_contract(net.web_app, net.port700);
+  net.policy.add_filter_to_contract(net.web_app, net.port700);
+  EXPECT_EQ(net.policy.contract(net.web_app).filters.size(), 2u);
+}
+
+TEST(NetworkPolicy, RemoveFilterFromContract) {
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.remove_filter_from_contract(net.app_db, net.port700);
+  EXPECT_EQ(net.policy.contract(net.app_db).filters,
+            std::vector<FilterId>{net.port80});
+}
+
+TEST(NetworkPolicy, ValidationCatchesEmptyContract) {
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.remove_filter_from_contract(net.web_app, net.port80);
+  const auto violations = net.policy.validate();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("no filters"), std::string::npos);
+}
+
+TEST(NetworkPolicy, ValidationCatchesCrossVrfLink) {
+  ThreeTierNetwork net = make_three_tier();
+  const VrfId other = net.policy.add_vrf("other", TenantId{0});
+  const EpgId alien = net.policy.add_epg("alien", other);
+  net.policy.link(net.web, alien, net.web_app);
+  const auto violations = net.policy.validate();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("crosses VRFs"), std::string::npos);
+}
+
+TEST(NetworkPolicy, ValidationCatchesBadPortRange) {
+  ThreeTierNetwork net = make_three_tier();
+  net.policy.add_entry_to_filter(net.port80,
+                                 FilterEntry{IpProtocol::kTcp, 90, 10,
+                                             FilterAction::kAllow});
+  EXPECT_FALSE(net.policy.validate().empty());
+}
+
+TEST(NetworkPolicy, LookupThrowsOnBadId) {
+  const ThreeTierNetwork net = make_three_tier();
+  EXPECT_THROW((void)net.policy.epg(EpgId{99}), std::out_of_range);
+  EXPECT_THROW((void)net.policy.filter(FilterId{99}), std::out_of_range);
+  EXPECT_THROW((void)net.policy.contract(ContractId{99}), std::out_of_range);
+  EXPECT_THROW((void)net.policy.vrf(VrfId{99}), std::out_of_range);
+}
+
+TEST(NetworkPolicy, AddEndpointRegistersInEpg) {
+  ThreeTierNetwork net = make_three_tier();
+  const EndpointId ep =
+      net.policy.add_endpoint("EP4", net.web, net.s3);
+  const auto& endpoints = net.policy.epg(net.web).endpoints;
+  EXPECT_NE(std::find(endpoints.begin(), endpoints.end(), ep),
+            endpoints.end());
+  // Web now also lives on S3.
+  const auto switches = net.policy.switches_hosting(net.web);
+  EXPECT_EQ(switches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scout

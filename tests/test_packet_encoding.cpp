@@ -1,0 +1,155 @@
+#include "src/checker/packet_encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tcam/range_expansion.h"
+#include "src/tcam/tcam_table.h"
+
+namespace scout {
+namespace {
+
+TcamRule allow(std::uint32_t priority, std::uint16_t vrf, std::uint16_t src,
+               std::uint16_t dst, std::uint16_t port) {
+  return TcamRule::exact_allow(priority, vrf, src, dst, 6,
+                               TernaryField::exact(port, FieldWidths::kPort));
+}
+
+TEST(PacketEncoding, VariableLayoutCovers68Bits) {
+  EXPECT_EQ(PacketVars::kCount, 68u);
+  EXPECT_EQ(PacketVars::kVrfBase, 0u);
+  EXPECT_EQ(PacketVars::kSrcEpgBase, 12u);
+  EXPECT_EQ(PacketVars::kDstEpgBase, 28u);
+  EXPECT_EQ(PacketVars::kProtoBase, 44u);
+  EXPECT_EQ(PacketVars::kPortBase, 52u);
+}
+
+TEST(PacketEncoding, ExactRuleCubeHasAllCareBits) {
+  const BddCube cube = rule_to_cube(allow(1, 101, 10, 20, 80));
+  EXPECT_EQ(cube.size(), 68u);
+}
+
+TEST(PacketEncoding, WildcardRuleCubeIsEmpty) {
+  const BddCube cube = rule_to_cube(TcamRule::default_deny(1));
+  EXPECT_TRUE(cube.empty());
+}
+
+TEST(PacketEncoding, PrefixMaskEncodesOnlyMaskedBits) {
+  TcamRule r = allow(1, 101, 10, 20, 0);
+  r.dst_port = TernaryField{0x100, 0xFF00};  // 8-bit prefix
+  const BddCube cube = rule_to_cube(r);
+  EXPECT_EQ(cube.size(), 12u + 16u + 16u + 8u + 8u);
+}
+
+TEST(PacketEncoding, RuleBddAcceptsExactlyMatchingPackets) {
+  BddManager mgr{PacketVars::kCount};
+  const TcamRule r = allow(1, 101, 10, 20, 80);
+  const BddRef f = ruleset_to_bdd(mgr, std::vector<TcamRule>{r});
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 1.0);  // exact rule = 1 packet
+}
+
+TEST(PacketEncoding, AssignmentRoundTripsToPacket) {
+  BddManager mgr{PacketVars::kCount};
+  const TcamRule r = allow(1, 101, 10, 20, 80);
+  const BddRef f = mgr.cube(rule_to_cube(r));
+  const PacketHeader p = assignment_to_packet(mgr.any_sat(f));
+  EXPECT_EQ(p.vrf, 101);
+  EXPECT_EQ(p.src_epg, 10);
+  EXPECT_EQ(p.dst_epg, 20);
+  EXPECT_EQ(p.proto, 6);
+  EXPECT_EQ(p.dst_port, 80);
+  EXPECT_TRUE(r.matches(p));
+}
+
+TEST(PacketEncoding, DenyOverridesLowerPriorityAllow) {
+  BddManager mgr{PacketVars::kCount};
+  TcamRule deny = allow(1, 101, 10, 20, 80);
+  deny.action = RuleAction::kDeny;
+  const TcamRule allow_rule = allow(2, 101, 10, 20, 80);
+  const BddRef f =
+      ruleset_to_bdd(mgr, std::vector<TcamRule>{deny, allow_rule});
+  EXPECT_TRUE(mgr.is_false(f));
+}
+
+TEST(PacketEncoding, AllowOverridesLowerPriorityDeny) {
+  BddManager mgr{PacketVars::kCount};
+  const TcamRule allow_rule = allow(1, 101, 10, 20, 80);
+  TcamRule deny = allow(2, 101, 10, 20, 80);
+  deny.action = RuleAction::kDeny;
+  const BddRef f =
+      ruleset_to_bdd(mgr, std::vector<TcamRule>{allow_rule, deny});
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), 1.0);
+}
+
+TEST(PacketEncoding, UnsortedInputIsSortedByPriority) {
+  BddManager mgr{PacketVars::kCount};
+  // Same rules, shuffled install order: BDDs must be identical.
+  const std::vector<TcamRule> a{allow(1, 101, 1, 2, 80),
+                                allow(2, 101, 1, 2, 81),
+                                TcamRule::default_deny(99)};
+  const std::vector<TcamRule> b{a[2], a[0], a[1]};
+  EXPECT_EQ(ruleset_to_bdd(mgr, a), ruleset_to_bdd(mgr, b));
+}
+
+// Property: the BDD of a ruleset agrees with TCAM first-match lookup for
+// random packets, including deny rules and port-range cubes.
+class EncodingSemantics : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncodingSemantics, BddAgreesWithFirstMatchLookup) {
+  Rng rng{GetParam()};
+  BddManager mgr{PacketVars::kCount};
+  TcamTable table{512};
+
+  std::vector<TcamRule> rules;
+  std::uint32_t priority = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto vrf = static_cast<std::uint16_t>(rng.below(4));
+    const auto src = static_cast<std::uint16_t>(rng.below(6));
+    const auto dst = static_cast<std::uint16_t>(rng.below(6));
+    const auto lo = static_cast<std::uint16_t>(rng.below(100));
+    const auto hi = static_cast<std::uint16_t>(lo + rng.below(20));
+    for (const TernaryField& cube : expand_port_range(lo, hi, 16)) {
+      TcamRule r = TcamRule::exact_allow(priority++, vrf, src, dst, 6, cube);
+      if (rng.chance(0.2)) r.action = RuleAction::kDeny;
+      rules.push_back(r);
+      (void)table.install(r);
+    }
+  }
+  rules.push_back(TcamRule::default_deny(priority));
+  (void)table.install(rules.back());
+
+  const BddRef f = ruleset_to_bdd(mgr, rules);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    PacketHeader p;
+    p.vrf = static_cast<std::uint16_t>(rng.below(4));
+    p.src_epg = static_cast<std::uint16_t>(rng.below(6));
+    p.dst_epg = static_cast<std::uint16_t>(rng.below(6));
+    p.proto = 6;
+    p.dst_port = static_cast<std::uint16_t>(rng.below(130));
+
+    // Evaluate the BDD under the packet's bit assignment.
+    std::vector<bool> bits(PacketVars::kCount, false);
+    auto set_field = [&bits](std::uint32_t base, int width, std::uint32_t v) {
+      for (int b = 0; b < width; ++b) {
+        bits[base + static_cast<std::uint32_t>(b)] =
+            (v >> (width - 1 - b)) & 1U;
+      }
+    };
+    set_field(PacketVars::kVrfBase, FieldWidths::kVrf, p.vrf);
+    set_field(PacketVars::kSrcEpgBase, FieldWidths::kEpg, p.src_epg);
+    set_field(PacketVars::kDstEpgBase, FieldWidths::kEpg, p.dst_epg);
+    set_field(PacketVars::kProtoBase, FieldWidths::kProto, p.proto);
+    set_field(PacketVars::kPortBase, FieldWidths::kPort, p.dst_port);
+
+    const bool bdd_allows = mgr.evaluate(f, bits);
+    const bool tcam_allows = table.lookup(p) == RuleAction::kAllow;
+    ASSERT_EQ(bdd_allows, tcam_allows) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingSemantics,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,99 @@
+#include "src/faults/physical_faults.h"
+
+#include <gtest/gtest.h>
+
+#include "src/scout/sim_network.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+// Small TCAM so the overflow scenario trips quickly.
+struct ScenarioFixture : ::testing::Test {
+  ScenarioFixture()
+      : three(make_three_tier(/*tcam_capacity=*/24)),
+        net(std::move(three.fabric), std::move(three.policy)) {
+    net.deploy();
+    net.clock().advance(1000);
+  }
+
+  ThreeTierNetwork three;
+  SimNetwork net;
+};
+
+TEST_F(ScenarioFixture, TcamOverflowScenarioRaisesDeviceFault) {
+  const ScenarioOutcome outcome =
+      run_tcam_overflow_scenario(net.controller(), three.app_db,
+                                 /*max_filters=*/100);
+  EXPECT_GT(outcome.tcam_rejections, 0u);
+  EXPECT_LT(outcome.filters_added.size(), 100u) << "stopped at overflow";
+
+  bool overflow_logged = false;
+  for (const auto& agent : net.agents()) {
+    for (const FaultRecord& rec : agent->fault_log().records()) {
+      if (rec.code == FaultCode::kTcamOverflow) overflow_logged = true;
+    }
+  }
+  EXPECT_TRUE(overflow_logged);
+}
+
+TEST_F(ScenarioFixture, TcamOverflowLeavesStateMismatch) {
+  (void)run_tcam_overflow_scenario(net.controller(), three.app_db, 100);
+  // Some agent's logical view is now larger than its TCAM.
+  bool mismatch = false;
+  for (const auto& agent : net.agents()) {
+    if (agent->logical_view().size() > agent->tcam().size()) mismatch = true;
+  }
+  EXPECT_TRUE(mismatch);
+}
+
+TEST_F(ScenarioFixture, UnresponsiveSwitchLosesItsRules) {
+  const std::size_t s2_before = net.agent(three.s2).tcam().size();
+  const ScenarioOutcome outcome = run_unresponsive_switch_scenario(
+      net.controller(), three.s2, three.app_db, /*n_filters=*/3);
+  EXPECT_EQ(outcome.instructions_lost, 6u);  // 2 rules x 3 filters on S2
+  EXPECT_EQ(net.agent(three.s2).tcam().size(), s2_before);
+  // S3 (also App-DB) received its rules.
+  EXPECT_GT(net.agent(three.s3).tcam().size(), 0u);
+
+  // Controller noticed the keepalive loss.
+  bool unreachable = false;
+  for (const FaultRecord& rec : net.controller().fault_log().records()) {
+    if (rec.code == FaultCode::kSwitchUnreachable && rec.sw == three.s2) {
+      unreachable = true;
+    }
+  }
+  EXPECT_TRUE(unreachable);
+}
+
+TEST_F(ScenarioFixture, AgentCrashScenarioStopsMidBatch) {
+  const ScenarioOutcome outcome = run_agent_crash_scenario(
+      net.controller(), three.s3, three.app_db, /*n_filters=*/5,
+      /*apply_before_crash=*/3);
+  EXPECT_GT(outcome.instructions_lost, 0u);
+  EXPECT_TRUE(net.agent(three.s3).crashed());
+  bool crash_logged = false;
+  for (const FaultRecord& rec : net.agent(three.s3).fault_log().records()) {
+    if (rec.code == FaultCode::kAgentCrash) crash_logged = true;
+  }
+  EXPECT_TRUE(crash_logged);
+}
+
+TEST_F(ScenarioFixture, CorruptionScenarioFlipsBits) {
+  Rng rng{3};
+  const std::size_t corrupted = run_tcam_corruption_scenario(
+      net.controller(), three.s2, /*bits=*/3, rng,
+      /*detection_probability=*/1.0);
+  EXPECT_EQ(corrupted, 3u);
+  EXPECT_EQ(net.agent(three.s2).fault_log().size(), 3u);
+}
+
+TEST_F(ScenarioFixture, CorruptionOnUnknownSwitchIsZero) {
+  Rng rng{3};
+  EXPECT_EQ(run_tcam_corruption_scenario(net.controller(), SwitchId{42}, 3,
+                                         rng, 1.0),
+            0u);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,163 @@
+// Whole-pipeline property tests: for randomized policies and fault mixes,
+// the DESIGN.md §7 invariants must hold at every stage. TEST_P sweeps
+// seeds; each seed is an independent deployment + fault + analysis cycle.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/faults/fault_injector.h"
+#include "src/localization/score.h"
+#include "src/scout/metrics.h"
+#include "src/scout/scout_system.h"
+#include "src/workload/policy_generator.h"
+
+namespace scout {
+namespace {
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, InvariantsHoldEndToEnd) {
+  Rng rng{GetParam()};
+  GeneratedNetwork generated =
+      generate_network(GeneratorProfile::testbed(), rng);
+  ASSERT_TRUE(generated.policy.validate().empty());
+
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  const DeployStats stats = net.deploy();
+  ASSERT_EQ(stats.lost + stats.crashed + stats.tcam_overflow, 0u);
+  net.clock().advance(3'600'000);
+
+  // Clean network: checker finds nothing anywhere.
+  const ScoutSystem system{ScoutSystem::Options{CheckMode::kExactBdd, {}}};
+  ASSERT_TRUE(system.find_missing_rules(net).empty());
+
+  // Inject a random mix of 1..4 faults.
+  ObjectFaultInjector injector{net.controller(), rng};
+  const std::size_t n_faults = 1 + rng.below(4);
+  const auto truth_vec = injector.sample_objects(n_faults);
+  std::unordered_set<ObjectRef> truth(truth_vec.begin(), truth_vec.end());
+  std::size_t removed = 0;
+  for (const ObjectRef obj : truth_vec) {
+    removed += (rng.chance(0.5) ? injector.inject_full(obj)
+                                : injector.inject_partial(obj))
+                   .rules_removed;
+  }
+  if (removed == 0) GTEST_SKIP() << "overlapping faults removed nothing";
+
+  const ScoutReport report = system.analyze_controller(net);
+
+  // Checker invariants: every missing rule has valid provenance whose
+  // objects exist in the policy; the count is bounded by what we removed.
+  const NetworkPolicy& policy = net.controller().policy();
+  for (const LogicalRule& lr : report.missing_rules) {
+    ASSERT_TRUE(lr.prov.contract.valid());
+    ASSERT_NO_THROW((void)policy.contract(lr.prov.contract));
+    ASSERT_NO_THROW((void)policy.filter(lr.prov.filter));
+    ASSERT_NO_THROW((void)policy.epg(lr.prov.pair.a));
+    ASSERT_NO_THROW((void)policy.epg(lr.prov.pair.b));
+    ASSERT_NO_THROW((void)policy.vrf(lr.prov.vrf));
+  }
+  ASSERT_EQ(report.missing_rules.size(), removed)
+      << "compiler emits non-overlapping rules, so the semantic diff must "
+         "equal the removed set";
+
+  // Risk model invariants.
+  ASSERT_GT(report.observations, 0u);
+  ASSERT_GE(report.suspect_set_size, report.localization.hypothesis.size());
+  ASSERT_GT(report.distinct_pairs_affected, 0u);
+  ASSERT_GE(report.endpoint_pairs_affected, report.distinct_pairs_affected);
+
+  // Localization invariants.
+  ASSERT_LE(report.localization.observations_explained,
+            report.localization.observations_total);
+  ASSERT_EQ(report.localization.observations_total, report.observations);
+  ASSERT_GT(report.gamma, 0.0);
+  ASSERT_LE(report.gamma, 1.0);
+
+  // Hypothesis objects must all be suspects (they have failed edges).
+  const PolicyIndex index{policy};
+  RiskModel model = RiskModel::build_controller_model(index);
+  model.augment(report.missing_rules);
+  const auto suspects = model.suspect_set();
+  std::unordered_set<ObjectRef> suspect_objs;
+  for (const auto r : suspects) suspect_objs.insert(model.risk(r));
+  for (const ObjectRef obj : report.localization.hypothesis) {
+    ASSERT_TRUE(suspect_objs.contains(obj)) << obj;
+  }
+
+  // SCOUT recall dominates SCORE-1 recall on the same model.
+  const LocalizationResult score = ScoreLocalizer{1.0}.localize(model);
+  const PrecisionRecall scout_pr =
+      evaluate_hypothesis(report.localization.hypothesis, truth);
+  const PrecisionRecall score_pr = evaluate_hypothesis(score.hypothesis, truth);
+  ASSERT_GE(scout_pr.recall + 1e-9, score_pr.recall);
+
+  // Remediation restores full consistency (no physical fault persists).
+  ASSERT_EQ(system.remediate(net, report), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+class CorruptionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// TCAM corruption end-to-end: bit flips produce missing and/or extra
+// rules; the checker must notice, and the risk models must keep the
+// search scope bounded even without fault logs (the paper's "not all
+// faults create fault logs" note).
+TEST_P(CorruptionProperty, CorruptionIsDetectedAndBounded) {
+  Rng rng{GetParam()};
+  GeneratedNetwork generated =
+      generate_network(GeneratorProfile::testbed(), rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+
+  // Corrupt a handful of bits on one busy switch, silently.
+  SwitchAgent& victim = *net.agents().front();
+  std::size_t flips = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (victim.corrupt_tcam_bit(rng, net.clock().now(), 0.0)) ++flips;
+  }
+  ASSERT_GT(flips, 0u);
+  ASSERT_EQ(victim.fault_log().size(), 0u);  // silent
+
+  const ScoutSystem system{ScoutSystem::Options{CheckMode::kExactBdd, {}}};
+  const ScoutReport report = system.analyze_controller(net);
+
+  // A flipped bit changes a rule's match: semantically that is a missing
+  // rule, an extra rule, or both. (Rarely, a flip can shadow into another
+  // deployed rule's space and stay invisible; require detection only when
+  // the checker reports inconsistency.)
+  if (report.missing_rules.empty() && report.extra_rule_count == 0) {
+    GTEST_SKIP() << "corruption landed in semantically-neutral bits";
+  }
+
+  if (!report.missing_rules.empty()) {
+    // Localization bounds the scope: every missing rule is on the victim,
+    // and the suspect set is confined to objects deployed there.
+    for (const LogicalRule& lr : report.missing_rules) {
+      ASSERT_EQ(lr.prov.sw, victim.id());
+    }
+    ASSERT_GT(report.observations, 0u);
+    ASSERT_GT(report.suspect_set_size, 0u);
+    // Silent corruption has no change-log entry, so SCOUT's hypothesis is
+    // typically *empty* here (stage 1 sees hit ratios < 1, stage 2 sees no
+    // recent changes): the algorithm is honest about what it cannot
+    // attribute, and the operator falls back to the bounded suspect set —
+    // exactly the paper's "reducing the search scope" remark (§V-B).
+    ASSERT_LE(report.localization.hypothesis.size(),
+              report.suspect_set_size);
+    ASSERT_EQ(report.root_causes.size(),
+              report.localization.hypothesis.size());
+    ASSERT_EQ(report.localization.unexplained() +
+                  report.localization.observations_explained,
+              report.observations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionProperty,
+                         ::testing::Range<std::uint64_t>(200, 208));
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,88 @@
+#include "src/policy/policy_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/workload/policy_generator.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TEST(PolicyIndex, ThreeTierPairs) {
+  const ThreeTierNetwork net = make_three_tier();
+  const PolicyIndex index{net.policy};
+  EXPECT_EQ(index.pairs().size(), 2u);
+}
+
+TEST(PolicyIndex, AgreesWithDirectQueriesOnThreeTier) {
+  const ThreeTierNetwork net = make_three_tier();
+  const PolicyIndex index{net.policy};
+  for (const EpgPair& pair : net.policy.epg_pairs()) {
+    EXPECT_EQ(index.contracts_of(pair), net.policy.contracts_between(pair));
+    EXPECT_EQ(index.objects_of(pair), net.policy.objects_for_pair(pair));
+    EXPECT_EQ(index.switches_of(pair), net.policy.switches_for_pair(pair));
+  }
+}
+
+TEST(PolicyIndex, PairsOnSwitchMatchesDirectQuery) {
+  const ThreeTierNetwork net = make_three_tier();
+  const PolicyIndex index{net.policy};
+  for (const SwitchInfo& sw : net.fabric.switches()) {
+    auto direct = net.policy.epg_pairs_on_switch(sw.id);
+    auto indexed = index.pairs_on_switch(sw.id);
+    std::sort(direct.begin(), direct.end());
+    std::sort(indexed.begin(), indexed.end());
+    EXPECT_EQ(indexed, direct);
+  }
+}
+
+TEST(PolicyIndex, UnknownPairThrows) {
+  const ThreeTierNetwork net = make_three_tier();
+  const PolicyIndex index{net.policy};
+  EXPECT_THROW((void)index.objects_of(EpgPair{net.web, net.db}),
+               std::out_of_range);
+}
+
+// Property: on a generated policy, the index agrees with the (slow)
+// NetworkPolicy queries for a sample of pairs.
+TEST(PolicyIndex, AgreesWithDirectQueriesOnGeneratedPolicy) {
+  Rng rng{2024};
+  GeneratorProfile profile = GeneratorProfile::testbed();
+  const GeneratedNetwork net = generate_network(profile, rng);
+  const PolicyIndex index{net.policy};
+
+  const auto pairs = net.policy.epg_pairs();
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(index.pairs().size(), pairs.size());
+
+  for (std::size_t i = 0; i < pairs.size(); i += 7) {
+    const EpgPair& pair = pairs[i];
+    auto direct_contracts = net.policy.contracts_between(pair);
+    auto indexed_contracts = index.contracts_of(pair);
+    std::sort(direct_contracts.begin(), direct_contracts.end());
+    std::sort(indexed_contracts.begin(), indexed_contracts.end());
+    EXPECT_EQ(indexed_contracts, direct_contracts);
+    EXPECT_EQ(index.switches_of(pair), net.policy.switches_for_pair(pair));
+  }
+}
+
+TEST(PolicyIndex, AllSwitchesCoversEveryPairSwitch) {
+  Rng rng{2025};
+  const GeneratedNetwork net =
+      generate_network(GeneratorProfile::testbed(), rng);
+  const PolicyIndex index{net.policy};
+  const auto all = index.all_switches();
+  const std::set<SwitchId> all_set(all.begin(), all.end());
+  for (const EpgPair& pair : index.pairs()) {
+    for (const SwitchId sw : index.switches_of(pair)) {
+      EXPECT_TRUE(all_set.contains(sw));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,60 @@
+#include "src/policy/policy_json.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/workload/policy_generator.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TEST(PolicyJson, ThreeTierContainsAllSections) {
+  const ThreeTierNetwork net = make_three_tier();
+  const std::string json = policy_to_json(net.policy);
+  for (const char* section : {"\"tenants\":", "\"vrfs\":", "\"epgs\":",
+                              "\"endpoints\":", "\"filters\":",
+                              "\"contracts\":", "\"links\":"}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(json.find("\"name\":\"Web\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"VRF:101\""), std::string::npos);
+  EXPECT_NE(json.find("tcp/700/allow"), std::string::npos);
+}
+
+TEST(PolicyJson, BalancedDelimiters) {
+  Rng rng{5};
+  const GeneratedNetwork net =
+      generate_network(GeneratorProfile::testbed(), rng);
+  const std::string json = policy_to_json(net.policy);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(PolicyJson, DumpIsDeterministic) {
+  Rng a{7}, b{7};
+  const GeneratedNetwork na =
+      generate_network(GeneratorProfile::testbed(), a);
+  const GeneratedNetwork nb =
+      generate_network(GeneratorProfile::testbed(), b);
+  EXPECT_EQ(policy_to_json(na.policy), policy_to_json(nb.policy));
+}
+
+TEST(PolicyJson, LinkCountMatchesPolicy) {
+  const ThreeTierNetwork net = make_three_tier();
+  const std::string json = policy_to_json(net.policy);
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"consumer\"");
+       pos != std::string::npos;
+       pos = json.find("\"consumer\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, net.policy.links().size());
+}
+
+}  // namespace
+}  // namespace scout

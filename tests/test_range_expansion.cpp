@@ -1,0 +1,95 @@
+#include "src/tcam/range_expansion.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace scout {
+namespace {
+
+TEST(RangeExpansion, SinglePortIsOneExactCube) {
+  const auto cubes = expand_port_range(80, 80, 16);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0].value, 80u);
+  EXPECT_EQ(cubes[0].mask, 0xFFFFu);
+}
+
+TEST(RangeExpansion, FullRangeIsOneWildcard) {
+  const auto cubes = expand_port_range(0, 0xFFFF, 16);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0].mask, 0u);
+  EXPECT_EQ(cubes[0].value, 0u);
+}
+
+TEST(RangeExpansion, AlignedBlockIsOnePrefix) {
+  // [256, 511] = prefix 0b0000000１... value 256 mask 0xFF00.
+  const auto cubes = expand_port_range(256, 511, 16);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0].value, 256u);
+  EXPECT_EQ(cubes[0].mask, 0xFF00u);
+}
+
+TEST(RangeExpansion, WorstCaseHitsKnownBound) {
+  // [1, 2^16 - 2] is the classic worst case: 2w - 2 = 30 cubes.
+  const auto cubes = expand_port_range(1, 65534, 16);
+  EXPECT_EQ(cubes.size(), 30u);
+  EXPECT_TRUE(cubes_cover_exactly(cubes, 1, 65534, 16));
+}
+
+TEST(RangeExpansion, RejectsBadInput) {
+  EXPECT_THROW((void)expand_port_range(10, 5, 16), std::invalid_argument);
+  EXPECT_THROW((void)expand_port_range(0, 1 << 12, 12),
+               std::invalid_argument);
+  EXPECT_THROW((void)expand_port_range(0, 1, 0), std::invalid_argument);
+}
+
+TEST(RangeExpansion, ExactCoverSmallExamples) {
+  EXPECT_TRUE(cubes_cover_exactly(expand_port_range(3, 9, 8), 3, 9, 8));
+  EXPECT_TRUE(cubes_cover_exactly(expand_port_range(0, 6, 8), 0, 6, 8));
+  EXPECT_TRUE(cubes_cover_exactly(expand_port_range(100, 200, 8), 100, 200, 8));
+  EXPECT_TRUE(cubes_cover_exactly(expand_port_range(0, 255, 8), 0, 255, 8));
+}
+
+TEST(RangeExpansion, CubesAreSortedAndDisjoint) {
+  const auto cubes = expand_port_range(17, 200, 8);
+  for (std::size_t i = 1; i < cubes.size(); ++i) {
+    EXPECT_LT(cubes[i - 1].value, cubes[i].value);
+  }
+}
+
+// Property sweep: every interval over an 8-bit field expands to a cover
+// that is exact (each value in [lo,hi] covered exactly once, none outside)
+// and within the 2w-2 bound.
+class RangeExpansionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeExpansionProperty, RandomIntervalsAreExactCovers) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto lo = static_cast<std::uint32_t>(rng.below(256));
+    const auto hi =
+        static_cast<std::uint32_t>(lo + rng.below(256 - lo));
+    const auto cubes = expand_port_range(lo, hi, 8);
+    EXPECT_TRUE(cubes_cover_exactly(cubes, lo, hi, 8))
+        << "interval [" << lo << ", " << hi << "]";
+    EXPECT_LE(cubes.size(), 2u * 8u - 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeExpansionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// Exhaustive check on a 6-bit field: all (lo, hi) intervals.
+TEST(RangeExpansion, ExhaustiveSixBitField) {
+  for (std::uint32_t lo = 0; lo < 64; ++lo) {
+    for (std::uint32_t hi = lo; hi < 64; ++hi) {
+      const auto cubes = expand_port_range(lo, hi, 6);
+      ASSERT_TRUE(cubes_cover_exactly(cubes, lo, hi, 6))
+          << "interval [" << lo << ", " << hi << "]";
+      ASSERT_LE(cubes.size(), 2u * 6u - 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

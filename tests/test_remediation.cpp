@@ -1,0 +1,177 @@
+// Tests for the operational loop around localization: undeploying filters,
+// endpoint migration, switch resync, and stopgap remediation of missing
+// rules (paper §III-C calls reinstalling "a stopgap, not a fundamental
+// solution" — the tests pin both halves of that sentence).
+#include <gtest/gtest.h>
+
+#include "src/faults/fault_injector.h"
+#include "src/scout/report_json.h"
+#include "src/scout/scout_system.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+struct RemediationFixture : ::testing::Test {
+  RemediationFixture()
+      : three(make_three_tier()),
+        net(std::move(three.fabric), std::move(three.policy)) {
+    net.deploy();
+    net.clock().advance(3'600'000);
+  }
+
+  ThreeTierNetwork three;
+  SimNetwork net;
+  ScoutSystem system;
+};
+
+TEST_F(RemediationFixture, ReinstallRestoresConsistency) {
+  Rng rng{1};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port700));
+
+  const ScoutReport report = system.analyze_controller(net);
+  ASSERT_EQ(report.missing_rules.size(), 4u);
+
+  const std::size_t left = system.remediate(net, report);
+  EXPECT_EQ(left, 0u);
+  // And a fresh analysis is clean.
+  const ScoutReport after = system.analyze_controller(net);
+  EXPECT_TRUE(after.missing_rules.empty());
+}
+
+TEST_F(RemediationFixture, ReinstallIsAStopgapUnderPersistentFault) {
+  // The physical fault persists: the switch stays unresponsive, so the
+  // remediation pushes are lost and the rules stay missing.
+  net.agent(three.s2).set_responsive(false);
+  net.agent(three.s2).tcam().clear();
+
+  const ScoutReport report = system.analyze_controller(net);
+  ASSERT_FALSE(report.missing_rules.empty());
+
+  const std::size_t left = system.remediate(net, report);
+  EXPECT_EQ(left, report.missing_rules.size());
+}
+
+TEST_F(RemediationFixture, ReinstallDoesNotDuplicateRules) {
+  Rng rng{2};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port700));
+  const ScoutReport report = system.analyze_controller(net);
+
+  const std::size_t s2_expected =
+      net.controller().compiled().rules_for(three.s2).size();
+  (void)system.remediate(net, report);
+  EXPECT_EQ(net.agent(three.s2).tcam().size(), s2_expected);
+  // Remediating an already-clean network changes nothing.
+  (void)system.remediate(net, report);
+  EXPECT_EQ(net.agent(three.s2).tcam().size(), s2_expected);
+}
+
+TEST_F(RemediationFixture, ResyncRebuildsWipedSwitch) {
+  net.agent(three.s2).tcam().clear();
+  const DeployStats stats = net.controller().resync_switch(three.s2);
+  EXPECT_GT(stats.applied, 0u);
+  EXPECT_EQ(net.agent(three.s2).tcam().size(),
+            net.controller().compiled().rules_for(three.s2).size());
+  EXPECT_EQ(net.agent(three.s2).logical_view().size(),
+            net.agent(three.s2).tcam().size());
+
+  const ScoutReport report = system.analyze_controller(net);
+  EXPECT_TRUE(report.missing_rules.empty());
+}
+
+TEST_F(RemediationFixture, ResyncUnknownSwitchIsNoop) {
+  const DeployStats stats = net.controller().resync_switch(SwitchId{99});
+  EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST_F(RemediationFixture, UndeployFilterRemovesRulesEverywhere) {
+  DeployStats stats;
+  net.controller().undeploy_filter(three.app_db, three.port700, &stats);
+  EXPECT_EQ(stats.applied, 4u);  // 2 rules on S2 + 2 on S3 removed
+
+  for (const auto& agent : net.agents()) {
+    for (const TcamRule& r : agent->tcam().rules()) {
+      EXPECT_NE(r.dst_port.value, 700u);
+    }
+  }
+  // Policy and compiled snapshot agree; the network is consistent.
+  const ScoutReport report = system.analyze_controller(net);
+  EXPECT_TRUE(report.missing_rules.empty());
+
+  // The change log shows delete(filter) + modify(contract).
+  const auto& records = net.controller().change_log().records();
+  EXPECT_EQ(records[records.size() - 2].action, ChangeAction::kDelete);
+  EXPECT_EQ(records.back().action, ChangeAction::kModify);
+}
+
+TEST_F(RemediationFixture, MigrateEndpointMovesRules) {
+  // EP2 (App) moves from S2 to S1. Web-App and App-DB rules follow it.
+  const EndpointId ep2{1};
+  ASSERT_EQ(net.controller().policy().endpoint(ep2).attached_switch,
+            three.s2);
+  const DeployStats stats = net.controller().migrate_endpoint(ep2, three.s1);
+  EXPECT_GT(stats.applied, 0u);
+
+  // S2 hosts nothing anymore; S1 now carries both pairs' rules.
+  EXPECT_EQ(net.controller().compiled().rules_for(three.s2).size(), 0u);
+  EXPECT_EQ(net.agent(three.s2).tcam().size(), 0u);
+  EXPECT_EQ(net.agent(three.s1).tcam().size(), 7u);  // Figure 2 ruleset
+
+  const ScoutReport report = system.analyze_controller(net);
+  EXPECT_TRUE(report.missing_rules.empty());
+}
+
+TEST_F(RemediationFixture, MigrationToUnresponsiveSwitchIsLocalized) {
+  net.agent(three.s3).set_responsive(false);
+  const EndpointId ep2{1};
+  (void)net.controller().migrate_endpoint(ep2, three.s3);
+
+  const ScoutReport report = system.analyze_controller(net);
+  ASSERT_FALSE(report.missing_rules.empty());
+  // Every missing rule is on the unresponsive switch.
+  for (const LogicalRule& lr : report.missing_rules) {
+    EXPECT_EQ(lr.prov.sw, three.s3);
+  }
+  bool unreachable = false;
+  for (const RootCause& rc : report.root_causes) {
+    if (rc.type == RootCauseType::kSwitchUnreachable) unreachable = true;
+  }
+  EXPECT_TRUE(unreachable);
+}
+
+TEST_F(RemediationFixture, ReportSerializesToJson) {
+  Rng rng{3};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port700));
+  const ScoutReport report = system.analyze_controller(net);
+
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"missing_rule_count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"Filter:1\""), std::string::npos);
+  EXPECT_NE(json.find("\"hypothesis\":["), std::string::npos);
+  EXPECT_NE(json.find("\"root_causes\":["), std::string::npos);
+  // Balanced braces (crude well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(RemediationFixture, JsonCapsMissingRuleSample) {
+  Rng rng{4};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.app));
+  const ScoutReport report = system.analyze_controller(net);
+  ASSERT_GT(report.missing_rules.size(), 2u);
+
+  const std::string json = report_to_json(report, /*max_missing_rules=*/2);
+  // The full count is still reported even though the sample is capped.
+  std::ostringstream expect_count;
+  expect_count << "\"missing_rule_count\":" << report.missing_rules.size();
+  EXPECT_NE(json.find(expect_count.str()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scout

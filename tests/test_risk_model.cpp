@@ -1,0 +1,191 @@
+#include "src/riskmodel/risk_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/controller/compiler.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+struct RiskModelFixture : ::testing::Test {
+  RiskModelFixture()
+      : net(make_three_tier()), index(net.policy) {}
+
+  ThreeTierNetwork net;
+  PolicyIndex index;
+};
+
+TEST_F(RiskModelFixture, SwitchModelForS2MatchesFigure4a) {
+  const RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  // Elements: Web-App and App-DB (both deployed on S2, which hosts App).
+  EXPECT_EQ(model.element_count(), 2u);
+  // Risks: VRF, Web, App, DB, 2 contracts, 2 filters.
+  EXPECT_EQ(model.risk_count(), 8u);
+  // Web-App depends on 5 objects; App-DB on 6.
+  EXPECT_EQ(model.edge_count(), 11u);
+  EXPECT_EQ(model.kind(), RiskModelKind::kSwitch);
+}
+
+TEST_F(RiskModelFixture, SwitchModelForEdgeSwitchHasOnePair) {
+  const RiskModel model = RiskModel::build_switch_model(index, net.s1);
+  EXPECT_EQ(model.element_count(), 1u);
+  EXPECT_EQ(model.risk_count(), 5u);
+}
+
+TEST_F(RiskModelFixture, ControllerModelHasTripletElements) {
+  const RiskModel model = RiskModel::build_controller_model(index);
+  // Web-App deploys on {S1, S2}; App-DB on {S2, S3}: 4 triplets.
+  EXPECT_EQ(model.element_count(), 4u);
+  // 8 policy objects + 3 switch risks.
+  EXPECT_EQ(model.risk_count(), 11u);
+  // Policy edges (5+5+6+6) + one switch edge per element.
+  EXPECT_EQ(model.edge_count(), 26u);
+  EXPECT_EQ(model.kind(), RiskModelKind::kController);
+}
+
+TEST_F(RiskModelFixture, SharedObjectHasOneNodeAcrossSwitches) {
+  const RiskModel model = RiskModel::build_controller_model(index);
+  const auto r = model.risk_index(ObjectRef::of(net.vrf));
+  // The VRF is shared by all 4 triplets.
+  EXPECT_EQ(model.elements_of(r).size(), 4u);
+}
+
+TEST_F(RiskModelFixture, AugmentMarksEdgesOfMissingRuleProvenance) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  // Take the Web->App port-80 rule as missing (paper Figure 4(a) scenario).
+  const auto& rules = compiled.rules_for(net.s2);
+  const auto missing = std::find_if(
+      rules.begin(), rules.end(), [&](const LogicalRule& lr) {
+        return lr.prov.contract == net.web_app && !lr.prov.reversed;
+      });
+  ASSERT_NE(missing, rules.end());
+  model.augment(std::vector<LogicalRule>{*missing});
+
+  const auto signature = model.failure_signature();
+  ASSERT_EQ(signature.size(), 1u);
+  const auto failed_elem = signature[0];
+  EXPECT_EQ(model.element(failed_elem).pair, (EpgPair{net.web, net.app}));
+
+  // Exactly the 5 provenance objects have failed edges.
+  EXPECT_EQ(model.failed_risks_of(failed_elem).size(), 5u);
+  EXPECT_TRUE(model.edge_failed(
+      failed_elem, model.risk_index(ObjectRef::of(net.web_app))));
+  EXPECT_TRUE(model.edge_failed(
+      failed_elem, model.risk_index(ObjectRef::of(net.port80))));
+  EXPECT_FALSE(model.edge_failed(
+      failed_elem, model.risk_index(ObjectRef::of(net.port700))));
+
+  // The healthy App-DB pair has no failed edges.
+  EXPECT_EQ(model.failure_signature().size(), 1u);
+}
+
+TEST_F(RiskModelFixture, AugmentInControllerModelAlsoMarksSwitchRisk) {
+  RiskModel model = RiskModel::build_controller_model(index);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s2);
+  model.augment(std::vector<LogicalRule>{rules.front()});
+
+  const auto signature = model.failure_signature();
+  ASSERT_EQ(signature.size(), 1u);
+  EXPECT_TRUE(model.edge_failed(
+      signature[0], model.risk_index(ObjectRef::of(net.s2))));
+}
+
+TEST_F(RiskModelFixture, AugmentIgnoresRulesOutsideModelScope) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s1);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  // S3's rules belong to App-DB, which has no element in S1's model.
+  model.augment(compiled.rules_for(net.s3));
+  EXPECT_TRUE(model.failure_signature().empty());
+}
+
+TEST_F(RiskModelFixture, AugmentIgnoresDefaultDeny) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  std::vector<LogicalRule> just_deny{compiled.rules_for(net.s2).back()};
+  ASSERT_EQ(just_deny[0].rule.action, RuleAction::kDeny);
+  model.augment(just_deny);
+  EXPECT_TRUE(model.failure_signature().empty());
+}
+
+TEST_F(RiskModelFixture, FailedDegreeCountsElementsNotEdges) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s2);
+  // Both directions of the same (pair, filter) rule: one failed element.
+  std::vector<LogicalRule> missing;
+  for (const LogicalRule& lr : rules) {
+    if (lr.prov.contract == net.web_app) missing.push_back(lr);
+  }
+  ASSERT_EQ(missing.size(), 2u);
+  model.augment(missing);
+  const auto r = model.risk_index(ObjectRef::of(net.web_app));
+  EXPECT_EQ(model.failed_degree(r), 1u);
+}
+
+TEST_F(RiskModelFixture, SuspectSetIsRisksAdjacentToFailures) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  model.augment(std::vector<LogicalRule>{compiled.rules_for(net.s2).front()});
+  // All 5 objects of the Web-App pair are suspects (its full dependency
+  // set), even though only some edges are marked failed... they all are
+  // here since the rule's provenance covers the pair's objects.
+  EXPECT_EQ(model.suspect_set().size(), 5u);
+}
+
+TEST_F(RiskModelFixture, ClearFailuresResets) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  model.augment(std::vector<LogicalRule>{compiled.rules_for(net.s2).front()});
+  ASSERT_FALSE(model.failure_signature().empty());
+  model.clear_failures();
+  EXPECT_TRUE(model.failure_signature().empty());
+  EXPECT_TRUE(model.suspect_set().empty());
+  for (RiskModel::RiskIdx r = 0; r < model.risk_count(); ++r) {
+    EXPECT_EQ(model.failed_degree(r), 0u);
+  }
+}
+
+TEST_F(RiskModelFixture, UnknownLookupsThrow) {
+  const RiskModel model = RiskModel::build_switch_model(index, net.s1);
+  EXPECT_THROW((void)model.risk_index(ObjectRef::of(net.port700)),
+               std::out_of_range);
+  EXPECT_THROW((void)model.element_index(
+                   RiskElement{net.s1, EpgPair{net.app, net.db}}),
+               std::out_of_range);
+  EXPECT_FALSE(model.has_risk(ObjectRef::of(net.port700)));
+}
+
+TEST(RiskModelCustom, HandBuiltGraphBehaves) {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto e0 =
+      model.add_element(RiskElement{SwitchId{0}, EpgPair{EpgId{0}, EpgId{1}}});
+  const auto e1 =
+      model.add_element(RiskElement{SwitchId{0}, EpgPair{EpgId{1}, EpgId{2}}});
+  const auto r0 = model.add_risk(ObjectRef::of(FilterId{0}));
+  const auto r1 = model.add_risk(ObjectRef::of(FilterId{1}));
+  model.add_dependency(e0, r0);
+  model.add_dependency(e1, r0);
+  model.add_dependency(e1, r1);
+
+  model.mark_edge_failed(e1, r1);
+  EXPECT_TRUE(model.element_failed(e1));
+  EXPECT_FALSE(model.element_failed(e0));
+  EXPECT_EQ(model.failed_degree(r1), 1u);
+  EXPECT_EQ(model.failed_degree(r0), 0u);
+
+  // Marking a non-existent edge is a no-op.
+  model.mark_edge_failed(e0, r1);
+  EXPECT_FALSE(model.element_failed(e0));
+
+  // Marking twice does not double count.
+  model.mark_edge_failed(e1, r1);
+  EXPECT_EQ(model.failed_degree(r1), 1u);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,71 @@
+#include "src/riskmodel/risk_model_dot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/controller/compiler.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+struct DotFixture : ::testing::Test {
+  DotFixture() : net(make_three_tier()), index(net.policy) {}
+
+  ThreeTierNetwork net;
+  PolicyIndex index;
+};
+
+TEST_F(DotFixture, HealthyModelRendersAllNodes) {
+  const RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const std::string dot = risk_model_to_dot(model);
+  EXPECT_NE(dot.find("digraph riskmodel"), std::string::npos);
+  EXPECT_NE(dot.find("EPG pairs"), std::string::npos);
+  EXPECT_NE(dot.find("shared risks"), std::string::npos);
+  // 2 elements + 8 risks declared.
+  EXPECT_NE(dot.find("e0 "), std::string::npos);
+  EXPECT_NE(dot.find("e1 "), std::string::npos);
+  EXPECT_NE(dot.find("r7 "), std::string::npos);
+  // No failures: no red anywhere.
+  EXPECT_EQ(dot.find("color=red"), std::string::npos);
+  EXPECT_EQ(dot.find("fail"), std::string::npos);
+}
+
+TEST_F(DotFixture, FailedEdgesAreMarked) {
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  model.augment(std::vector<LogicalRule>{compiled.rules_for(net.s2).front()});
+  const std::string dot = risk_model_to_dot(model);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST_F(DotFixture, ControllerModelLabelsTriplets) {
+  const RiskModel model = RiskModel::build_controller_model(index);
+  const std::string dot = risk_model_to_dot(model);
+  EXPECT_NE(dot.find("switch-EPG-pair triplets"), std::string::npos);
+}
+
+TEST_F(DotFixture, MaxElementsCapsOutputAndKeepsFailuresFirst) {
+  RiskModel model = RiskModel::build_controller_model(index);
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  // Fail an S3 rule so one specific element is an observation.
+  model.augment(std::vector<LogicalRule>{compiled.rules_for(net.s3).front()});
+
+  DotOptions opts;
+  opts.max_elements = 1;
+  const std::string dot = risk_model_to_dot(model, opts);
+  // Exactly one element box: the failed one, rendered red.
+  EXPECT_NE(dot.find("shape=box,label=\"S2-EPGpair(1,2)\",color=red"),
+            std::string::npos);
+  EXPECT_EQ(dot.find("S0-"), std::string::npos);
+}
+
+TEST_F(DotFixture, BalancedBraces) {
+  const RiskModel model = RiskModel::build_controller_model(index);
+  const std::string dot = risk_model_to_dot(model);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,161 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace scout {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng{99};
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (const auto& [bucket, count] : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, BetweenCoversBothEndpoints) {
+  Rng rng{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.between(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng{17};
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, kDraws * 0.25, kDraws * 0.02);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng{21};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng{31};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_indices(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (const std::size_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng{37};
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng{41};
+  EXPECT_THROW((void)rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng{43};
+  ZipfDistribution zipf{100, 1.0};
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  Rng rng{47};
+  ZipfDistribution zipf{10, 0.0};
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf(rng)];
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Zipf, AlwaysInRange) {
+  Rng rng{53};
+  ZipfDistribution zipf{7, 1.5};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 7u);
+}
+
+TEST(Zipf, RejectsEmptySupport) {
+  EXPECT_THROW((ZipfDistribution{0, 1.0}), std::invalid_argument);
+}
+
+// Zipf frequency of rank r should be ~ (r+1)^-s; check the ratio between
+// rank 0 and rank 9 for s=1 is about 10.
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  Rng rng{59};
+  ZipfDistribution zipf{50, 1.0};
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 500000; ++i) ++counts[zipf(rng)];
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_NEAR(ratio, 10.0, 2.0);
+}
+
+}  // namespace
+}  // namespace scout

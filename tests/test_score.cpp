@@ -1,0 +1,93 @@
+#include "src/localization/score.h"
+
+#include <gtest/gtest.h>
+
+#include "src/checker/equivalence_checker.h"
+#include "src/controller/compiler.h"
+#include "src/faults/fault_injector.h"
+#include "src/scout/sim_network.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TEST(Score, RejectsBadThreshold) {
+  EXPECT_THROW(ScoreLocalizer{0.0}, std::invalid_argument);
+  EXPECT_THROW(ScoreLocalizer{1.5}, std::invalid_argument);
+  EXPECT_NO_THROW(ScoreLocalizer{0.6});
+  EXPECT_NO_THROW(ScoreLocalizer{1.0});
+}
+
+TEST(Score, ThresholdIsStored) {
+  EXPECT_DOUBLE_EQ(ScoreLocalizer{0.6}.hit_threshold(), 0.6);
+}
+
+// SCORE-1 on a full object fault localizes it (plus hit-ratio-1 ties).
+TEST(Score, FullFaultLocalized) {
+  ThreeTierNetwork three = make_three_tier();
+  SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+  net.deploy();
+
+  Rng rng{1};
+  ObjectFaultInjector injector{net.controller(), rng};
+  const ObjectRef target = ObjectRef::of(three.port700);
+  const InjectedFault fault = injector.inject_full(target);
+  EXPECT_GT(fault.rules_removed, 0u);
+
+  // Build + augment the controller model.
+  const PolicyIndex index{net.controller().policy()};
+  RiskModel model = RiskModel::build_controller_model(index);
+  EquivalenceChecker checker{CheckMode::kExactBdd};
+  for (const auto& agent : net.agents()) {
+    auto result = checker.check(
+        net.controller().compiled().rules_for(agent->id()),
+        agent->collect_tcam());
+    model.augment(result.missing);
+  }
+
+  const LocalizationResult result = ScoreLocalizer{1.0}.localize(model);
+  EXPECT_TRUE(result.contains(target));
+  EXPECT_EQ(result.unexplained(), 0u);
+}
+
+// A partial object fault (hit ratio < threshold) is missed by SCORE-1:
+// the observations stay unexplained — the paper's core criticism (§IV-B).
+TEST(Score, PartialFaultBelowThresholdIsMissed) {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto r = model.add_risk(ObjectRef::of(FilterId{7}));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const auto e = model.add_element(
+        RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 100}}});
+    model.add_dependency(e, r);
+    if (i == 0) model.mark_edge_failed(e, r);  // hit ratio 0.1
+  }
+  const LocalizationResult at_1 = ScoreLocalizer{1.0}.localize(model);
+  EXPECT_TRUE(at_1.hypothesis.empty());
+  EXPECT_EQ(at_1.unexplained(), 1u);
+
+  const LocalizationResult at_06 = ScoreLocalizer{0.6}.localize(model);
+  EXPECT_TRUE(at_06.hypothesis.empty());
+
+  // Only a very low threshold catches it.
+  const LocalizationResult at_01 = ScoreLocalizer{0.1}.localize(model);
+  EXPECT_TRUE(at_01.contains(ObjectRef::of(FilterId{7})));
+}
+
+TEST(Score, ExplainedCountsAreConsistent) {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto r = model.add_risk(ObjectRef::of(FilterId{1}));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto e = model.add_element(
+        RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 10}}});
+    model.add_dependency(e, r);
+    model.mark_edge_failed(e, r);
+  }
+  const LocalizationResult result = ScoreLocalizer{1.0}.localize(model);
+  EXPECT_EQ(result.observations_total, 4u);
+  EXPECT_EQ(result.observations_explained, 4u);
+  EXPECT_EQ(result.unexplained(), 0u);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace scout

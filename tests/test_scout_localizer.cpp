@@ -1,0 +1,203 @@
+#include "src/localization/scout_localizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/controller/compiler.h"
+#include "src/localization/score.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+// Figure 5 fixture (same as test_greedy_cover) plus a change log in which
+// F3 was recently modified.
+struct Figure5WithLog {
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  std::array<RiskModel::ElementIdx, 6> e{};
+  ChangeLog log;
+  SimTime now{10'000};
+
+  Figure5WithLog() {
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      e[i] = model.add_element(
+          RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 1}}});
+    }
+    const auto c1 = model.add_risk(ObjectRef::of(ContractId{1}));
+    const auto f1 = model.add_risk(ObjectRef::of(FilterId{1}));
+    const auto f2 = model.add_risk(ObjectRef::of(FilterId{2}));
+    const auto c2 = model.add_risk(ObjectRef::of(ContractId{2}));
+    const auto c3 = model.add_risk(ObjectRef::of(ContractId{3}));
+    const auto f3 = model.add_risk(ObjectRef::of(FilterId{3}));
+
+    model.add_dependency(e[0], c1);
+    model.add_dependency(e[1], f1);
+    model.add_dependency(e[2], f1);
+    for (int i = 1; i <= 4; ++i) model.add_dependency(e[i], f2);
+    model.add_dependency(e[3], c2);
+    model.add_dependency(e[4], c2);
+    for (const auto elem : {e[0], e[4], e[5]}) {
+      model.add_dependency(elem, c3);
+      model.add_dependency(elem, f3);
+    }
+
+    for (int i = 1; i <= 2; ++i) model.mark_edge_failed(e[i], f1);
+    for (int i = 1; i <= 4; ++i) model.mark_edge_failed(e[i], f2);
+    for (int i = 3; i <= 4; ++i) model.mark_edge_failed(e[i], c2);
+    model.mark_edge_failed(e[5], c3);
+    model.mark_edge_failed(e[5], f3);
+
+    // F3 modified 5 s ago (inside the 60 s window); C3 untouched; an
+    // unrelated filter changed long ago.
+    log.record(SimTime{100}, ObjectRef::of(FilterId{99}),
+               ChangeAction::kModify);
+    log.record(SimTime{9'995}, ObjectRef::of(FilterId{3}),
+               ChangeAction::kModify);
+  }
+};
+
+TEST(ScoutLocalizer, Figure5HypothesisIsF2AndF3) {
+  const Figure5WithLog fig;
+  const LocalizationResult result =
+      ScoutLocalizer{}.localize(fig.model, fig.log, fig.now);
+  // Exactly the paper's outcome: H = {F2, F3}.
+  ASSERT_EQ(result.hypothesis.size(), 2u);
+  EXPECT_EQ(result.hypothesis[0], ObjectRef::of(FilterId{2}));
+  EXPECT_EQ(result.hypothesis[1], ObjectRef::of(FilterId{3}));
+  EXPECT_EQ(result.stage2_objects, 1u);
+  EXPECT_EQ(result.observations_total, 5u);
+  EXPECT_EQ(result.observations_explained, 5u);
+}
+
+TEST(ScoutLocalizer, Stage2DisabledLeavesTailUnexplained) {
+  const Figure5WithLog fig;
+  ScoutLocalizer::Options opts;
+  opts.enable_stage2 = false;
+  const LocalizationResult result =
+      ScoutLocalizer{opts}.localize(fig.model, fig.log, fig.now);
+  EXPECT_EQ(result.hypothesis.size(), 1u);
+  EXPECT_EQ(result.unexplained(), 1u);
+  EXPECT_EQ(result.stage2_objects, 0u);
+}
+
+TEST(ScoutLocalizer, Stage2RespectsChangeWindow) {
+  const Figure5WithLog fig;
+  ScoutLocalizer::Options opts;
+  opts.change_window_ms = 2;  // F3's change (5 ms ago) falls outside
+  const LocalizationResult result =
+      ScoutLocalizer{opts}.localize(fig.model, fig.log, fig.now);
+  EXPECT_EQ(result.hypothesis.size(), 1u);
+  EXPECT_EQ(result.unexplained(), 1u);
+}
+
+TEST(ScoutLocalizer, Stage2AddsAllRecentFailedEdgeObjects) {
+  Figure5WithLog fig;
+  // C3 also changed recently: both C3 and F3 become stage-2 picks.
+  fig.log.record(SimTime{9'998}, ObjectRef::of(ContractId{3}),
+                 ChangeAction::kModify);
+  const LocalizationResult result =
+      ScoutLocalizer{}.localize(fig.model, fig.log, fig.now);
+  EXPECT_EQ(result.hypothesis.size(), 3u);
+  EXPECT_EQ(result.stage2_objects, 2u);
+}
+
+TEST(ScoutLocalizer, Stage2DoesNotDuplicateStage1Objects) {
+  Figure5WithLog fig;
+  // F2 (already a stage-1 pick) also appears in the change log; it must
+  // not be added twice.
+  fig.log.record(SimTime{9'999}, ObjectRef::of(FilterId{2}),
+                 ChangeAction::kModify);
+  const LocalizationResult result =
+      ScoutLocalizer{}.localize(fig.model, fig.log, fig.now);
+  const auto count = std::count(result.hypothesis.begin(),
+                                result.hypothesis.end(),
+                                ObjectRef::of(FilterId{2}));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ScoutLocalizer, SubsumesScore1Stage1) {
+  // SCOUT's stage 1 is exactly SCORE with threshold 1: on a model where
+  // everything is explained at threshold 1, the hypotheses agree.
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto r0 = model.add_risk(ObjectRef::of(FilterId{0}));
+  const auto r1 = model.add_risk(ObjectRef::of(ContractId{1}));
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto e = model.add_element(
+        RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 50}}});
+    model.add_dependency(e, i < 3 ? r0 : r1);
+    model.mark_edge_failed(e, i < 3 ? r0 : r1);
+  }
+  ChangeLog empty_log;
+  const LocalizationResult scout_result =
+      ScoutLocalizer{}.localize(model, empty_log, SimTime{0});
+  const LocalizationResult score_result = ScoreLocalizer{1.0}.localize(model);
+  EXPECT_EQ(scout_result.hypothesis, score_result.hypothesis);
+}
+
+// Paper Figure 4(a) + §III-C Occam's razor discussion, end to end: when
+// the 1st TCAM rule (Web->App port 80) is missing from S2, "EPG:Web and
+// Contract:Web-App would explain the problem best as they are solely used
+// by the Web-App EPG pair", while VRF:101 and EPG:App are exonerated by
+// the healthy App-DB pair.
+TEST(ScoutLocalizer, Figure4aOccamsRazor) {
+  const ThreeTierNetwork net = make_three_tier();
+  const PolicyIndex index{net.policy};
+  RiskModel model = RiskModel::build_switch_model(index, net.s2);
+
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  const auto& rules = compiled.rules_for(net.s2);
+  const auto first = std::find_if(
+      rules.begin(), rules.end(), [&](const LogicalRule& lr) {
+        return lr.prov.contract == net.web_app && !lr.prov.reversed;
+      });
+  ASSERT_NE(first, rules.end());
+  model.augment(std::vector<LogicalRule>{*first});
+
+  ChangeLog quiet_log;
+  const LocalizationResult result =
+      ScoutLocalizer{}.localize(model, quiet_log, SimTime{0});
+
+  // Hypothesis: exactly the objects solely owned by the Web-App pair.
+  // (The filter port80 is shared with App-DB, which is healthy, so its hit
+  // ratio is 1/2 and it is correctly excluded.)
+  std::vector<ObjectRef> expected{ObjectRef::of(net.web),
+                                  ObjectRef::of(net.web_app)};
+  std::vector<ObjectRef> actual = result.hypothesis;
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(actual, expected);
+  EXPECT_FALSE(result.contains(ObjectRef::of(net.vrf)));
+  EXPECT_FALSE(result.contains(ObjectRef::of(net.app)));
+  EXPECT_FALSE(result.contains(ObjectRef::of(net.port80)));
+  EXPECT_EQ(result.unexplained(), 0u);
+}
+
+TEST(ScoutLocalizer, EmptyModelYieldsEmptyResult) {
+  const RiskModel model = RiskModel::empty(RiskModelKind::kController);
+  ChangeLog log;
+  const LocalizationResult result =
+      ScoutLocalizer{}.localize(model, log, SimTime{0});
+  EXPECT_TRUE(result.hypothesis.empty());
+  EXPECT_EQ(result.observations_total, 0u);
+}
+
+TEST(ScoutLocalizer, UnexplainedObservationWithoutRecentChangeStaysOpen) {
+  // Partial fault, no change log entry at all: stage 2 cannot explain it.
+  RiskModel model = RiskModel::empty(RiskModelKind::kSwitch);
+  const auto r = model.add_risk(ObjectRef::of(FilterId{5}));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto e = model.add_element(
+        RiskElement{SwitchId{0}, EpgPair{EpgId{i}, EpgId{i + 10}}});
+    model.add_dependency(e, r);
+    if (i == 0) model.mark_edge_failed(e, r);
+  }
+  ChangeLog log;
+  const LocalizationResult result =
+      ScoutLocalizer{}.localize(model, log, SimTime{1000});
+  EXPECT_TRUE(result.hypothesis.empty());
+  EXPECT_EQ(result.unexplained(), 1u);
+}
+
+}  // namespace
+}  // namespace scout

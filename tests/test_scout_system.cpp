@@ -1,0 +1,190 @@
+// End-to-end integration tests of the full SCOUT pipeline (paper Figure 6):
+// deploy -> inject -> collect -> check (exact BDD) -> risk model -> localize
+// -> correlate.
+#include "src/scout/scout_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/faults/fault_injector.h"
+#include "src/faults/physical_faults.h"
+#include "src/workload/policy_generator.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+struct SystemFixture : ::testing::Test {
+  SystemFixture()
+      : three(make_three_tier()),
+        net(std::move(three.fabric), std::move(three.policy)) {
+    net.deploy();
+    net.clock().advance(3'600'000);
+  }
+
+  ThreeTierNetwork three;
+  SimNetwork net;
+  ScoutSystem system;  // default: exact BDD checker
+};
+
+TEST_F(SystemFixture, CleanDeploymentProducesEmptyReport) {
+  const ScoutReport report = system.analyze_controller(net);
+  EXPECT_TRUE(report.missing_rules.empty());
+  EXPECT_EQ(report.observations, 0u);
+  EXPECT_TRUE(report.localization.hypothesis.empty());
+  EXPECT_EQ(report.switches_inconsistent, 0u);
+  EXPECT_EQ(report.switches_checked, 3u);
+}
+
+TEST_F(SystemFixture, FullFilterFaultLocalizedOnControllerModel) {
+  Rng rng{1};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port700));
+
+  const ScoutReport report = system.analyze_controller(net);
+  EXPECT_EQ(report.missing_rules.size(), 4u);
+  EXPECT_EQ(report.switches_inconsistent, 2u);  // S2 and S3
+  EXPECT_EQ(report.observations, 2u);           // 2 triplets of App-DB
+  EXPECT_TRUE(report.localization.contains(ObjectRef::of(three.port700)));
+  EXPECT_GT(report.gamma, 0.0);
+  EXPECT_LE(report.gamma, 1.0);
+  // Hypothesis is much smaller than the suspect set.
+  EXPECT_LT(report.localization.hypothesis.size(), report.suspect_set_size);
+}
+
+TEST_F(SystemFixture, SwitchScopedFaultLocalizedOnSwitchModel) {
+  Rng rng{2};
+  ObjectFaultInjector injector{net.controller(), rng};
+  (void)injector.inject_full(ObjectRef::of(three.port80), three.s2);
+
+  const ScoutReport report = system.analyze_switch(net, three.s2);
+  // port80 on S2 affects both Web-App and App-DB pairs.
+  EXPECT_EQ(report.observations, 2u);
+  EXPECT_TRUE(report.localization.contains(ObjectRef::of(three.port80)));
+}
+
+TEST_F(SystemFixture, RootCauseForTcamOverflowUseCase) {
+  // §V-B use case 1 end-to-end on a tiny-TCAM deployment.
+  ThreeTierNetwork small = make_three_tier(/*tcam_capacity=*/24);
+  SimNetwork tiny{std::move(small.fabric), std::move(small.policy)};
+  tiny.deploy();
+  tiny.clock().advance(3'600'000);
+
+  (void)run_tcam_overflow_scenario(tiny.controller(), small.app_db, 100);
+
+  const ScoutReport report = system.analyze_controller(tiny);
+  ASSERT_FALSE(report.localization.hypothesis.empty());
+  // The faulty objects are the late filters; the engine must attribute at
+  // least one of them to TCAM overflow.
+  bool overflow_found = false;
+  for (const RootCause& rc : report.root_causes) {
+    if (rc.type == RootCauseType::kTcamOverflow) overflow_found = true;
+  }
+  EXPECT_TRUE(overflow_found);
+}
+
+TEST_F(SystemFixture, RootCauseForUnresponsiveSwitchUseCase) {
+  (void)run_unresponsive_switch_scenario(net.controller(), three.s2,
+                                         three.app_db, 3);
+  const ScoutReport report = system.analyze_controller(net);
+  ASSERT_FALSE(report.localization.hypothesis.empty());
+  bool unreachable_found = false;
+  for (const RootCause& rc : report.root_causes) {
+    if (rc.type == RootCauseType::kSwitchUnreachable &&
+        rc.sw == three.s2) {
+      unreachable_found = true;
+    }
+  }
+  EXPECT_TRUE(unreachable_found);
+}
+
+TEST_F(SystemFixture, ObjectScopeMapsObjectsToSwitches) {
+  const ObjectScope scope = ScoutSystem::build_object_scope(net);
+  const auto& port700_switches = scope.at(ObjectRef::of(three.port700));
+  EXPECT_EQ(port700_switches.size(), 2u);  // S2, S3
+  const auto& vrf_switches = scope.at(ObjectRef::of(three.vrf));
+  EXPECT_EQ(vrf_switches.size(), 3u);
+}
+
+TEST_F(SystemFixture, SyntacticAndBddModesAgreeOnGeneratedPolicy) {
+  Rng rng{3};
+  GeneratedNetwork generated =
+      generate_network(GeneratorProfile::testbed(), rng);
+  SimNetwork sim{std::move(generated.fabric), std::move(generated.policy)};
+  sim.deploy();
+  sim.clock().advance(3'600'000);
+
+  ObjectFaultInjector injector{sim.controller(), rng};
+  for (const ObjectRef obj : injector.sample_objects(3)) {
+    (void)injector.inject_full(obj);
+  }
+
+  const ScoutSystem bdd{ScoutSystem::Options{CheckMode::kExactBdd, {}}};
+  const ScoutSystem syn{ScoutSystem::Options{CheckMode::kSyntactic, {}}};
+  auto m_bdd = bdd.find_missing_rules(sim);
+  auto m_syn = syn.find_missing_rules(sim);
+  ASSERT_EQ(m_bdd.size(), m_syn.size());
+  // Same rules (compare priorities per switch as identity proxy).
+  auto key = [](const LogicalRule& lr) {
+    return std::make_tuple(lr.prov.sw.value(), lr.rule.priority);
+  };
+  std::vector<std::tuple<std::uint32_t, std::uint32_t>> ka, kb;
+  for (const auto& lr : m_bdd) ka.push_back(key(lr));
+  for (const auto& lr : m_syn) kb.push_back(key(lr));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+TEST_F(SystemFixture, InconsistentSwitchSweepCoversExactlyFaultySwitches) {
+  Rng rng{5};
+  ObjectFaultInjector injector{net.controller(), rng};
+  // port700 deploys on S2 and S3; fault it everywhere.
+  (void)injector.inject_full(ObjectRef::of(three.port700));
+
+  const auto per_switch = system.analyze_inconsistent_switches(net);
+  ASSERT_EQ(per_switch.size(), 2u);
+  EXPECT_EQ(per_switch[0].first, three.s2);
+  EXPECT_EQ(per_switch[1].first, three.s3);
+  for (const auto& [sw, report] : per_switch) {
+    EXPECT_TRUE(report.localization.contains(ObjectRef::of(three.port700)))
+        << "switch " << sw;
+    // The per-switch model only sees its own observations.
+    EXPECT_EQ(report.observations, 1u);
+  }
+}
+
+TEST_F(SystemFixture, SweepOnHealthyFabricIsEmpty) {
+  EXPECT_TRUE(system.analyze_inconsistent_switches(net).empty());
+}
+
+TEST_F(SystemFixture, PartialFaultRecoveredViaChangeLogStage) {
+  // Partial faults leave hit ratio < 1; stage 2 must catch the object via
+  // its injection-time change record.
+  Rng rng{4};
+  GeneratedNetwork generated =
+      generate_network(GeneratorProfile::testbed(), rng);
+  SimNetwork sim{std::move(generated.fabric), std::move(generated.policy)};
+  sim.deploy();
+  sim.clock().advance(3'600'000);
+
+  ObjectFaultInjector injector{sim.controller(), rng};
+  // Find an object that actually splits (partial, not degraded to full).
+  ObjectRef target{};
+  bool found = false;
+  for (const ObjectRef obj : injector.sample_objects(40)) {
+    const InjectedFault fault = injector.inject_partial(obj);
+    if (fault.rules_removed > 0 && !fault.full) {
+      target = obj;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const ScoutReport report = system.analyze_controller(sim);
+  EXPECT_TRUE(report.localization.contains(target));
+  EXPECT_GE(report.localization.stage2_objects, 0u);
+}
+
+}  // namespace
+}  // namespace scout

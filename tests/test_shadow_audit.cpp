@@ -1,0 +1,107 @@
+#include "src/checker/shadow_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/controller/compiler.h"
+#include "src/tcam/range_expansion.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+TcamRule allow(std::uint32_t priority, std::uint16_t port) {
+  return TcamRule::exact_allow(priority, 101, 1, 2, 6,
+                               TernaryField::exact(port, FieldWidths::kPort));
+}
+
+TEST(ShadowAudit, EmptyRulesetIsClean) {
+  const ShadowAuditResult result = audit_shadowing({});
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.fully_shadowed, 0u);
+}
+
+TEST(ShadowAudit, DisjointRulesAreAllActive) {
+  const std::vector<TcamRule> rules{allow(1, 80), allow(2, 443),
+                                    allow(3, 700)};
+  const ShadowAuditResult result = audit_shadowing(rules);
+  for (const ShadowEntry& e : result.entries) {
+    EXPECT_EQ(e.state, ShadowState::kActive);
+    EXPECT_DOUBLE_EQ(e.covered_fraction, 0.0);
+  }
+  EXPECT_EQ(result.fully_shadowed, 0u);
+  EXPECT_EQ(result.partially_shadowed, 0u);
+}
+
+TEST(ShadowAudit, DuplicateRuleIsFullyShadowed) {
+  const std::vector<TcamRule> rules{allow(1, 80), allow(2, 80)};
+  const ShadowAuditResult result = audit_shadowing(rules);
+  EXPECT_EQ(result.entries[0].state, ShadowState::kActive);
+  EXPECT_EQ(result.entries[1].state, ShadowState::kFullyShadowed);
+  EXPECT_DOUBLE_EQ(result.entries[1].covered_fraction, 1.0);
+  EXPECT_EQ(result.fully_shadowed, 1u);
+}
+
+TEST(ShadowAudit, BroadRuleShadowsNarrowerOne) {
+  TcamRule broad = allow(1, 0);
+  broad.dst_port = TernaryField::wildcard();  // all ports
+  const std::vector<TcamRule> rules{broad, allow(2, 80)};
+  const ShadowAuditResult result = audit_shadowing(rules);
+  EXPECT_EQ(result.entries[1].state, ShadowState::kFullyShadowed);
+}
+
+TEST(ShadowAudit, NarrowRuleOnlyPartiallyShadowsBroadOne) {
+  TcamRule broad = allow(2, 0);
+  broad.dst_port = TernaryField{0, 0xFFF0};  // ports 0-15
+  const std::vector<TcamRule> rules{allow(1, 3), broad};
+  const ShadowAuditResult result = audit_shadowing(rules);
+  EXPECT_EQ(result.entries[0].state, ShadowState::kActive);
+  EXPECT_EQ(result.entries[1].state, ShadowState::kPartiallyShadowed);
+  EXPECT_NEAR(result.entries[1].covered_fraction, 1.0 / 16.0, 1e-9);
+}
+
+TEST(ShadowAudit, InputOrderDoesNotMatterPriorityDoes) {
+  // Same rules, reversed vector order: same per-rule verdicts.
+  const std::vector<TcamRule> fwd{allow(1, 80), allow(2, 80)};
+  const std::vector<TcamRule> rev{allow(2, 80), allow(1, 80)};
+  const ShadowAuditResult a = audit_shadowing(fwd);
+  const ShadowAuditResult b = audit_shadowing(rev);
+  EXPECT_EQ(a.entries[1].state, ShadowState::kFullyShadowed);
+  EXPECT_EQ(b.entries[0].state, ShadowState::kFullyShadowed);
+  EXPECT_EQ(b.entries[1].state, ShadowState::kActive);
+}
+
+TEST(ShadowAudit, DefaultDenyIsPartiallyShadowedByAllowRules) {
+  const std::vector<TcamRule> rules{allow(1, 80),
+                                    TcamRule::default_deny(100)};
+  const ShadowAuditResult result = audit_shadowing(rules);
+  // Detected by exact BDD identity; the covered fraction itself (1 packet
+  // of 2^68) underflows a double and reads as ~0.
+  EXPECT_EQ(result.entries[1].state, ShadowState::kPartiallyShadowed);
+  EXPECT_LT(result.entries[1].covered_fraction, 1e-9);
+}
+
+TEST(ShadowAudit, CompiledPolicyHasNoDeadRules) {
+  // The compiler must never emit shadowed rules for a clean policy.
+  const ThreeTierNetwork net = make_three_tier();
+  const CompiledPolicy compiled = PolicyCompiler::compile(net.policy);
+  for (const auto& [sw, rules] : compiled.per_switch) {
+    std::vector<TcamRule> raw;
+    for (const LogicalRule& lr : rules) raw.push_back(lr.rule);
+    const ShadowAuditResult result = audit_shadowing(raw);
+    EXPECT_EQ(result.fully_shadowed, 0u) << "switch " << sw;
+  }
+}
+
+TEST(ShadowAudit, RangeExpansionCubesNeverShadowEachOther) {
+  std::vector<TcamRule> rules;
+  std::uint32_t priority = 0;
+  for (const TernaryField& cube : expand_port_range(100, 9000, 16)) {
+    rules.push_back(TcamRule::exact_allow(priority++, 1, 2, 3, 6, cube));
+  }
+  const ShadowAuditResult result = audit_shadowing(rules);
+  EXPECT_EQ(result.fully_shadowed, 0u);
+  EXPECT_EQ(result.partially_shadowed, 0u);
+}
+
+}  // namespace
+}  // namespace scout

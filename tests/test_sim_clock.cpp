@@ -1,0 +1,51 @@
+#include "src/common/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scout {
+namespace {
+
+TEST(SimTime, DefaultIsZero) { EXPECT_EQ(SimTime{}.millis(), 0); }
+
+TEST(SimTime, ArithmeticAndOrdering) {
+  const SimTime t{100};
+  EXPECT_EQ((t + 50).millis(), 150);
+  EXPECT_EQ(SimTime{150} - t, 50);
+  EXPECT_LT(t, SimTime{101});
+  EXPECT_EQ(t, SimTime{100});
+}
+
+TEST(SimTime, Streams) {
+  std::ostringstream os;
+  os << SimTime{42};
+  EXPECT_EQ(os.str(), "42ms");
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  clock.advance(10);
+  clock.advance(5);
+  EXPECT_EQ(clock.now().millis(), 15);
+}
+
+TEST(SimClock, TickReturnsPostAdvanceTime) {
+  SimClock clock;
+  EXPECT_EQ(clock.tick().millis(), 1);
+  EXPECT_EQ(clock.tick(9).millis(), 10);
+  EXPECT_EQ(clock.now().millis(), 10);
+}
+
+TEST(SimClock, TicksAreStrictlyIncreasing) {
+  SimClock clock;
+  SimTime prev = clock.now();
+  for (int i = 0; i < 100; ++i) {
+    const SimTime t = clock.tick();
+    EXPECT_LT(prev, t);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace scout

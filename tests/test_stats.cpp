@@ -1,0 +1,100 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scout {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, KnownDistribution) {
+  const Summary s = summarize({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_NEAR(s.stddev, 3.0277, 1e-3);
+  EXPECT_DOUBLE_EQ(s.p50, 5.5);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 10.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(EmpiricalCdf, CollapsesDuplicates) {
+  const EmpiricalCdf cdf{{1, 1, 1, 2}};
+  ASSERT_EQ(cdf.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.points()[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.points()[0].cumulative_probability, 0.75);
+  EXPECT_DOUBLE_EQ(cdf.points()[1].cumulative_probability, 1.0);
+}
+
+TEST(EmpiricalCdf, AtEvaluatesStepFunction) {
+  const EmpiricalCdf cdf{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileIsInverse) {
+  const EmpiricalCdf cdf{{10, 20, 30, 40, 50}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, LastPointAlwaysOne) {
+  const EmpiricalCdf cdf{{5, 7, 7, 9, 12, 100}};
+  EXPECT_DOUBLE_EQ(cdf.points().back().cumulative_probability, 1.0);
+}
+
+TEST(EmpiricalCdf, TableContainsHeaderAndRows) {
+  const EmpiricalCdf cdf{{1, 2}};
+  const std::string table = cdf.to_table("value");
+  EXPECT_NE(table.find("value"), std::string::npos);
+  EXPECT_NE(table.find("CDF"), std::string::npos);
+  EXPECT_NE(table.find("1.0000"), std::string::npos);
+}
+
+TEST(RunningStat, MatchesBatchComputation) {
+  RunningStat rs;
+  const std::vector<double> values{3, 1, 4, 1, 5, 9, 2, 6};
+  for (const double v : values) rs.add(v);
+  const Summary s = summarize(values);
+  EXPECT_EQ(rs.count(), s.count);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace scout

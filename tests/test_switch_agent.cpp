@@ -1,0 +1,192 @@
+#include "src/agent/switch_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "src/controller/compiler.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+Instruction add_rule(const LogicalRule& lr) {
+  return Instruction{InstructionOp::kAddRule, lr};
+}
+
+Instruction remove_rule(const LogicalRule& lr) {
+  return Instruction{InstructionOp::kRemoveRule, lr};
+}
+
+struct AgentFixture : ::testing::Test {
+  AgentFixture()
+      : net(make_three_tier()),
+        compiled(PolicyCompiler::compile(net.policy)),
+        agent(net.fabric.info(net.s2), 16) {}
+
+  ThreeTierNetwork net;
+  CompiledPolicy compiled;
+  SwitchAgent agent;
+};
+
+TEST_F(AgentFixture, AddRuleInstallsInTcamAndLogicalView) {
+  const auto& rules = compiled.rules_for(net.s2);
+  for (const LogicalRule& lr : rules) {
+    EXPECT_EQ(agent.apply(add_rule(lr), SimTime{1}), ApplyStatus::kApplied);
+  }
+  EXPECT_EQ(agent.tcam().size(), rules.size());
+  EXPECT_EQ(agent.logical_view().size(), rules.size());
+}
+
+TEST_F(AgentFixture, RemoveRuleDeletesFromBoth) {
+  const auto& rules = compiled.rules_for(net.s2);
+  for (const LogicalRule& lr : rules) {
+    (void)agent.apply(add_rule(lr), SimTime{1});
+  }
+  (void)agent.apply(remove_rule(rules.front()), SimTime{2});
+  EXPECT_EQ(agent.tcam().size(), rules.size() - 1);
+  EXPECT_EQ(agent.logical_view().size(), rules.size() - 1);
+}
+
+TEST_F(AgentFixture, UnresponsiveAgentLosesInstructions) {
+  agent.set_responsive(false);
+  const auto& rules = compiled.rules_for(net.s2);
+  EXPECT_EQ(agent.apply(add_rule(rules[0]), SimTime{1}), ApplyStatus::kLost);
+  EXPECT_EQ(agent.tcam().size(), 0u);
+  EXPECT_EQ(agent.logical_view().size(), 0u);
+
+  agent.set_responsive(true);
+  EXPECT_EQ(agent.apply(add_rule(rules[0]), SimTime{2}),
+            ApplyStatus::kApplied);
+}
+
+TEST_F(AgentFixture, CrashAfterCountdownRaisesFaultLog) {
+  agent.crash_after(2);
+  const auto& rules = compiled.rules_for(net.s2);
+  EXPECT_EQ(agent.apply(add_rule(rules[0]), SimTime{1}),
+            ApplyStatus::kApplied);
+  EXPECT_EQ(agent.apply(add_rule(rules[1]), SimTime{2}),
+            ApplyStatus::kApplied);
+  EXPECT_EQ(agent.apply(add_rule(rules[2]), SimTime{3}),
+            ApplyStatus::kCrashed);
+  EXPECT_TRUE(agent.crashed());
+  ASSERT_EQ(agent.fault_log().size(), 1u);
+  EXPECT_EQ(agent.fault_log().records()[0].code, FaultCode::kAgentCrash);
+  EXPECT_FALSE(agent.fault_log().records()[0].cleared.has_value());
+  // TCAM holds only the pre-crash rules.
+  EXPECT_EQ(agent.tcam().size(), 2u);
+}
+
+TEST_F(AgentFixture, RecoverClearsCrashRecord) {
+  agent.crash_after(0);
+  (void)agent.apply(add_rule(compiled.rules_for(net.s2)[0]), SimTime{1});
+  ASSERT_TRUE(agent.crashed());
+  agent.recover(SimTime{10});
+  EXPECT_FALSE(agent.crashed());
+  EXPECT_EQ(agent.fault_log().records()[0].cleared, SimTime{10});
+  EXPECT_EQ(agent.apply(add_rule(compiled.rules_for(net.s2)[0]), SimTime{11}),
+            ApplyStatus::kApplied);
+}
+
+TEST_F(AgentFixture, TcamOverflowLogsAndRejects) {
+  SwitchAgent tiny{net.fabric.info(net.s2), 3};
+  const auto& rules = compiled.rules_for(net.s2);
+  ASSERT_GT(rules.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(tiny.apply(add_rule(rules[i]), SimTime{1}),
+              ApplyStatus::kApplied);
+  }
+  EXPECT_EQ(tiny.apply(add_rule(rules[3]), SimTime{2}),
+            ApplyStatus::kTcamOverflow);
+  EXPECT_EQ(tiny.tcam().size(), 3u);
+  // Logical view got the rule (agent accepted it); TCAM did not — that is
+  // the §II-B state mismatch.
+  EXPECT_EQ(tiny.logical_view().size(), 4u);
+  ASSERT_EQ(tiny.fault_log().size(), 1u);
+  EXPECT_EQ(tiny.fault_log().records()[0].code, FaultCode::kTcamOverflow);
+}
+
+TEST_F(AgentFixture, VrfRewriteBugCorruptsHardwareOnly) {
+  agent.set_vrf_rewrite_bug(999);
+  const LogicalRule& lr = compiled.rules_for(net.s2)[0];
+  (void)agent.apply(add_rule(lr), SimTime{1});
+  // Logical view keeps the correct rule; TCAM has the wrong VRF.
+  EXPECT_EQ(agent.logical_view()[0].rule.vrf.value, lr.rule.vrf.value);
+  EXPECT_EQ(agent.tcam().rules()[0].vrf.value, 999u);
+}
+
+TEST_F(AgentFixture, EvictionRemovesRulesAndLogs) {
+  const auto& rules = compiled.rules_for(net.s2);
+  for (const LogicalRule& lr : rules) {
+    (void)agent.apply(add_rule(lr), SimTime{1});
+  }
+  const std::size_t evicted = agent.evict_rules(2, SimTime{5});
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(agent.tcam().size(), rules.size() - 2);
+  // Logical view unchanged: the controller is unaware (§II-B).
+  EXPECT_EQ(agent.logical_view().size(), rules.size());
+  ASSERT_EQ(agent.fault_log().size(), 1u);
+  EXPECT_EQ(agent.fault_log().records()[0].code, FaultCode::kRuleEviction);
+}
+
+TEST_F(AgentFixture, CorruptionDetectionIsProbabilistic) {
+  const auto& rules = compiled.rules_for(net.s2);
+  for (const LogicalRule& lr : rules) {
+    (void)agent.apply(add_rule(lr), SimTime{1});
+  }
+  Rng rng{5};
+  // Silent corruption: never logged.
+  EXPECT_TRUE(agent.corrupt_tcam_bit(rng, SimTime{2}, 0.0));
+  EXPECT_EQ(agent.fault_log().size(), 0u);
+  // Always-detected corruption: logged as parity error.
+  EXPECT_TRUE(agent.corrupt_tcam_bit(rng, SimTime{3}, 1.0));
+  ASSERT_EQ(agent.fault_log().size(), 1u);
+  EXPECT_EQ(agent.fault_log().records()[0].code,
+            FaultCode::kTcamParityError);
+}
+
+TEST_F(AgentFixture, CollectTcamReturnsCopy) {
+  const auto& rules = compiled.rules_for(net.s2);
+  (void)agent.apply(add_rule(rules[0]), SimTime{1});
+  auto collected = agent.collect_tcam();
+  ASSERT_EQ(collected.size(), 1u);
+  collected.clear();
+  EXPECT_EQ(agent.tcam().size(), 1u);
+}
+
+TEST(FaultLog, ActiveAtRespectsClearTime) {
+  FaultLog log;
+  const std::size_t idx = log.raise(SimTime{10}, SwitchId{1},
+                                    FaultCode::kTcamOverflow,
+                                    FaultSeverity::kCritical, "full");
+  EXPECT_FALSE(log.records()[idx].active_at(SimTime{9}));
+  EXPECT_TRUE(log.records()[idx].active_at(SimTime{10}));
+  EXPECT_TRUE(log.records()[idx].active_at(SimTime{1000}));
+  log.clear(idx, SimTime{50});
+  EXPECT_TRUE(log.records()[idx].active_at(SimTime{50}));
+  EXPECT_FALSE(log.records()[idx].active_at(SimTime{51}));
+}
+
+TEST(FaultLog, MergeCombinesRecords) {
+  FaultLog a, b;
+  (void)a.raise(SimTime{1}, SwitchId{1}, FaultCode::kAgentCrash,
+                FaultSeverity::kCritical, "x");
+  (void)b.raise(SimTime{2}, SwitchId{2}, FaultCode::kTcamOverflow,
+                FaultSeverity::kWarning, "y");
+  a.merge_from(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(FaultLog, ActiveAtFilters) {
+  FaultLog log;
+  (void)log.raise(SimTime{1}, SwitchId{1}, FaultCode::kAgentCrash,
+                  FaultSeverity::kCritical, "x");
+  const std::size_t second =
+      log.raise(SimTime{5}, SwitchId{2}, FaultCode::kTcamOverflow,
+                FaultSeverity::kWarning, "y");
+  log.clear(second, SimTime{6});
+  EXPECT_EQ(log.active_at(SimTime{3}).size(), 1u);
+  EXPECT_EQ(log.active_at(SimTime{5}).size(), 2u);
+  EXPECT_EQ(log.active_at(SimTime{7}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace scout

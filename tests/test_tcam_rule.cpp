@@ -1,0 +1,109 @@
+#include "src/tcam/tcam_rule.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/tcam/rule_key.h"
+
+namespace scout {
+namespace {
+
+TEST(TernaryField, ExactMatchesOnlyValue) {
+  const TernaryField f = TernaryField::exact(80, 16);
+  EXPECT_TRUE(f.matches(80));
+  EXPECT_FALSE(f.matches(81));
+  EXPECT_FALSE(f.matches(0));
+}
+
+TEST(TernaryField, WildcardMatchesEverything) {
+  const TernaryField f = TernaryField::wildcard();
+  EXPECT_TRUE(f.matches(0));
+  EXPECT_TRUE(f.matches(0xFFFF));
+}
+
+TEST(TernaryField, PrefixMaskMatchesBlock) {
+  // value 0b1010_0000, mask 0b1111_0000: matches 0xA0-0xAF.
+  const TernaryField f{0xA0, 0xF0};
+  for (std::uint32_t v = 0xA0; v <= 0xAF; ++v) EXPECT_TRUE(f.matches(v));
+  EXPECT_FALSE(f.matches(0x9F));
+  EXPECT_FALSE(f.matches(0xB0));
+}
+
+TEST(TernaryField, ExactTruncatesToWidth) {
+  const TernaryField f = TernaryField::exact(0xFFFF, 12);
+  EXPECT_EQ(f.value, 0xFFFu);
+  EXPECT_EQ(f.mask, 0xFFFu);
+}
+
+TEST(TcamRule, ExactAllowMatchesPacket) {
+  const TcamRule r = TcamRule::exact_allow(
+      1, 101, 10, 20, 6, TernaryField::exact(80, FieldWidths::kPort));
+  const PacketHeader hit{101, 10, 20, 6, 80};
+  EXPECT_TRUE(r.matches(hit));
+
+  PacketHeader miss = hit;
+  miss.dst_port = 81;
+  EXPECT_FALSE(r.matches(miss));
+  miss = hit;
+  miss.src_epg = 11;
+  EXPECT_FALSE(r.matches(miss));
+  miss = hit;
+  miss.vrf = 102;
+  EXPECT_FALSE(r.matches(miss));
+  miss = hit;
+  miss.proto = 17;
+  EXPECT_FALSE(r.matches(miss));
+}
+
+TEST(TcamRule, DefaultDenyMatchesEverything) {
+  const TcamRule r = TcamRule::default_deny(100);
+  EXPECT_TRUE(r.matches(PacketHeader{}));
+  EXPECT_TRUE(r.matches(PacketHeader{4095, 65535, 65535, 255, 65535}));
+  EXPECT_EQ(r.action, RuleAction::kDeny);
+}
+
+TEST(TcamRule, SameMatchIgnoresPriority) {
+  TcamRule a = TcamRule::exact_allow(1, 1, 2, 3, 6,
+                                     TernaryField::exact(80, 16));
+  TcamRule b = a;
+  b.priority = 99;
+  EXPECT_TRUE(a.same_match(b));
+  b.action = RuleAction::kDeny;
+  EXPECT_FALSE(a.same_match(b));
+}
+
+TEST(TcamRule, Prints) {
+  const TcamRule r = TcamRule::exact_allow(5, 101, 10, 20, 6,
+                                           TernaryField::exact(80, 16));
+  std::ostringstream os;
+  os << r;
+  EXPECT_NE(os.str().find("vrf=101"), std::string::npos);
+  EXPECT_NE(os.str().find("allow"), std::string::npos);
+
+  std::ostringstream os2;
+  os2 << TcamRule::default_deny(1);
+  EXPECT_NE(os2.str().find("vrf=*"), std::string::npos);
+  EXPECT_NE(os2.str().find("deny"), std::string::npos);
+}
+
+TEST(RuleMatchKey, HashAndEqualityAgreeWithSameMatch) {
+  const TcamRule a = TcamRule::exact_allow(1, 1, 2, 3, 6,
+                                           TernaryField::exact(80, 16));
+  TcamRule b = a;
+  b.priority = 50;
+  EXPECT_EQ(RuleMatchKey::of(a), RuleMatchKey::of(b));
+  EXPECT_EQ(RuleMatchKeyHash{}(RuleMatchKey::of(a)),
+            RuleMatchKeyHash{}(RuleMatchKey::of(b)));
+
+  TcamRule c = a;
+  c.dst_port = TernaryField::exact(81, 16);
+  EXPECT_NE(RuleMatchKey::of(a), RuleMatchKey::of(c));
+}
+
+TEST(FieldWidths, TotalIs68) {
+  EXPECT_EQ(FieldWidths::kTotal, 68);
+}
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,145 @@
+#include "src/tcam/tcam_table.h"
+
+#include <gtest/gtest.h>
+
+namespace scout {
+namespace {
+
+TcamRule allow(std::uint32_t priority, std::uint16_t port) {
+  return TcamRule::exact_allow(priority, 101, 1, 2, 6,
+                               TernaryField::exact(port, FieldWidths::kPort));
+}
+
+PacketHeader packet(std::uint16_t port) { return {101, 1, 2, 6, port}; }
+
+TEST(TcamTable, InstallKeepsPriorityOrder) {
+  TcamTable t{10};
+  ASSERT_EQ(t.install(allow(5, 80)), InstallStatus::kOk);
+  ASSERT_EQ(t.install(allow(1, 81)), InstallStatus::kOk);
+  ASSERT_EQ(t.install(allow(3, 82)), InstallStatus::kOk);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.rules()[0].priority, 1u);
+  EXPECT_EQ(t.rules()[1].priority, 3u);
+  EXPECT_EQ(t.rules()[2].priority, 5u);
+}
+
+TEST(TcamTable, OverflowRejectsBeyondCapacity) {
+  TcamTable t{2};
+  EXPECT_EQ(t.install(allow(1, 80)), InstallStatus::kOk);
+  EXPECT_EQ(t.install(allow(2, 81)), InstallStatus::kOk);
+  EXPECT_EQ(t.install(allow(3, 82)), InstallStatus::kOverflow);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.full());
+}
+
+TEST(TcamTable, UtilizationTracksFill) {
+  TcamTable t{4};
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+  (void)t.install(allow(1, 80));
+  (void)t.install(allow(2, 81));
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.5);
+}
+
+TEST(TcamTable, FirstMatchWins) {
+  TcamTable t{10};
+  TcamRule deny_80 = allow(1, 80);
+  deny_80.action = RuleAction::kDeny;
+  (void)t.install(deny_80);
+  (void)t.install(allow(2, 80));  // shadowed by the deny
+  EXPECT_EQ(t.lookup(packet(80)), RuleAction::kDeny);
+}
+
+TEST(TcamTable, LookupFallsThroughToDefaultDeny) {
+  TcamTable t{10};
+  (void)t.install(allow(1, 80));
+  (void)t.install(TcamRule::default_deny(100));
+  EXPECT_EQ(t.lookup(packet(80)), RuleAction::kAllow);
+  EXPECT_EQ(t.lookup(packet(443)), RuleAction::kDeny);
+}
+
+TEST(TcamTable, LookupWithoutAnyMatchIsNullopt) {
+  TcamTable t{10};
+  (void)t.install(allow(1, 80));
+  EXPECT_EQ(t.lookup(packet(443)), std::nullopt);
+}
+
+TEST(TcamTable, RemoveIfReturnsCount) {
+  TcamTable t{10};
+  (void)t.install(allow(1, 80));
+  (void)t.install(allow(2, 81));
+  (void)t.install(allow(3, 80));
+  const std::size_t removed = t.remove_if(
+      [](const TcamRule& r) { return r.dst_port.value == 80; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TcamTable, EvictSkipsCatchAllDeny) {
+  TcamTable t{10};
+  (void)t.install(allow(1, 80));
+  (void)t.install(allow(2, 81));
+  (void)t.install(TcamRule::default_deny(100));
+  const auto evicted = t.evict_one();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->dst_port.value, 81u);  // lowest-priority non-default
+  EXPECT_EQ(t.size(), 2u);
+  // Default deny still present.
+  EXPECT_EQ(t.lookup(packet(9999)), RuleAction::kDeny);
+}
+
+TEST(TcamTable, EvictOnEmptyOrDenyOnlyTableFails) {
+  TcamTable t{10};
+  EXPECT_FALSE(t.evict_one().has_value());
+  (void)t.install(TcamRule::default_deny(100));
+  EXPECT_FALSE(t.evict_one().has_value());
+}
+
+TEST(TcamTable, CorruptionChangesExactlyOneRule) {
+  TcamTable t{10};
+  (void)t.install(allow(1, 80));
+  (void)t.install(allow(2, 81));
+  (void)t.install(TcamRule::default_deny(100));
+  const std::vector<TcamRule> before(t.rules().begin(), t.rules().end());
+
+  Rng rng{1};
+  const auto idx = t.corrupt_random_bit(rng);
+  ASSERT_TRUE(idx.has_value());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (!before[i].same_match(t.rules()[i])) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(TcamTable, CorruptionPreservesValueMaskInvariant) {
+  TcamTable t{100};
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    (void)t.install(allow(i, static_cast<std::uint16_t>(1000 + i)));
+  }
+  Rng rng{7};
+  for (int i = 0; i < 200; ++i) (void)t.corrupt_random_bit(rng);
+  for (const TcamRule& r : t.rules()) {
+    EXPECT_EQ(r.vrf.value & ~r.vrf.mask, 0u);
+    EXPECT_EQ(r.src_epg.value & ~r.src_epg.mask, 0u);
+    EXPECT_EQ(r.dst_epg.value & ~r.dst_epg.mask, 0u);
+    EXPECT_EQ(r.proto.value & ~r.proto.mask, 0u);
+    EXPECT_EQ(r.dst_port.value & ~r.dst_port.mask, 0u);
+  }
+}
+
+TEST(TcamTable, CorruptionOnEmptyTableReturnsNullopt) {
+  TcamTable t{10};
+  Rng rng{1};
+  EXPECT_FALSE(t.corrupt_random_bit(rng).has_value());
+}
+
+TEST(TcamTable, ClearEmptiesTable) {
+  TcamTable t{10};
+  (void)t.install(allow(1, 80));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.full());
+}
+
+}  // namespace
+}  // namespace scout
