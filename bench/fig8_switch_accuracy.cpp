@@ -4,11 +4,13 @@
 //
 // Paper result: SCOUT recall 20-30% above SCORE at comparable precision
 // (~0.9); SCORE's threshold setting changes little.
+#include <chrono>
 #include <cstdio>
 
+#include "bench/bench_cli.h"
 #include "src/scout/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scout;
 
   AccuracyOptions opts;
@@ -26,10 +28,17 @@ int main() {
       {"SCORE-1", AlgorithmKind::kScore, 1.0, true},
   };
 
+  const auto executor = bench::executor_from_flags(argc, argv);
+
   std::printf("=== Figure 8: fault localization on switch risk model "
-              "(%zu runs/point) ===\n\n",
-              opts.runs);
-  const auto series = run_accuracy_sweep(opts, algorithms);
+              "(%zu runs/point, %zu thread%s) ===\n\n",
+              opts.runs, executor->workers(),
+              executor->workers() == 1 ? "" : "s");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto series = run_accuracy_sweep(opts, algorithms, *executor);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
   std::printf("(a) precision\n  %-7s", "faults");
   for (const auto& s : series) std::printf(" %-10s", s.name.c_str());
@@ -67,5 +76,6 @@ int main() {
               scout_recall, best_score_recall,
               100.0 * (scout_recall - best_score_recall) /
                   best_score_recall);
+  std::printf("sweep wall clock: %.1f s\n", wall_s);
   return 0;
 }

@@ -2,11 +2,13 @@
 // the *controller risk model*, with faults injected across switches.
 // Same algorithms and run count as Figure 8; the paper observes "similar
 // trends for the controller risk model".
+#include <chrono>
 #include <cstdio>
 
+#include "bench/bench_cli.h"
 #include "src/scout/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scout;
 
   AccuracyOptions opts;
@@ -24,10 +26,17 @@ int main() {
       {"SCORE-1", AlgorithmKind::kScore, 1.0, true},
   };
 
+  const auto executor = bench::executor_from_flags(argc, argv);
+
   std::printf("=== Figure 9: fault localization on controller risk model, "
-              "faults across switches (%zu runs/point) ===\n\n",
-              opts.runs);
-  const auto series = run_accuracy_sweep(opts, algorithms);
+              "faults across switches (%zu runs/point, %zu thread%s) ===\n\n",
+              opts.runs, executor->workers(),
+              executor->workers() == 1 ? "" : "s");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto series = run_accuracy_sweep(opts, algorithms, *executor);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
   for (const auto metric : {0, 1}) {
     std::printf("%s\n  %-7s", metric == 0 ? "(a) precision" : "\n(b) recall",
@@ -53,5 +62,6 @@ int main() {
               "[paper: similar trends to Fig. 8]\n",
               scout_recall / static_cast<double>(opts.max_faults),
               score1_recall / static_cast<double>(opts.max_faults));
+  std::printf("sweep wall clock: %.1f s\n", wall_s);
   return 0;
 }

@@ -1,39 +1,122 @@
 // §VI "Scalability" — SCOUT runtime on the controller risk model as the
-// fabric grows from 10 to 500 leaf switches (the paper scales its
-// production policy "by adding new EPG and switch pairs").
+// fabric grows (the paper scales its production policy "by adding new EPG
+// and switch pairs"), now fanned out as a campaign over the parallel
+// experiment runtime.
 //
-// Paper reference (1 kLOC Python prototype, 4-core 2.6 GHz): ~45 s at 200
-// switches, ~130 s at 500. Absolute numbers differ for a native
-// implementation; the reproduction target is the near-linear growth.
+// Default: a (switch-count x rep) grid of independently seeded full
+// pipelines, run once per thread count. Without --threads the campaign is
+// swept at 1, 2 and 4 workers so one invocation produces the full
+// threads -> wall-ms mapping; --threads N measures just N. Results go to
+// stdout plus BENCH_scalability.json (one row per thread count) so future
+// PRs have a machine-readable perf trajectory to compare against.
+//
+// --paper reproduces the original single-rep deep sweep up to 500 leaves
+// (paper reference, 1 kLOC Python prototype on 4 cores: ~45 s at 200
+// switches, ~130 s at 500; the reproduction target is near-linear growth).
+#include <chrono>
 #include <cstdio>
 
+#include "bench/bench_cli.h"
+#include "src/runtime/result_sink.h"
 #include "src/scout/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scout;
+  using Clock = std::chrono::steady_clock;
 
-  std::printf("=== Scalability: controller risk model, full pipeline ===\n");
+  const bool paper_mode = bench::bool_flag(argc, argv, "paper");
+
+  ScaleCampaignOptions options;
+  options.switch_counts = bench::list_flag(
+      argc, argv, "sizes",
+      paper_mode ? std::vector<std::size_t>{10, 30, 50, 100, 200, 350, 500}
+                 : std::vector<std::size_t>{10, 30, 50, 100});
+  // 4 reps per count: divisible by 1/2/4 workers, so the static round-robin
+  // shard assignment stays balanced at the usual thread counts.
+  options.reps = bench::size_flag(argc, argv, "reps", paper_mode ? 1 : 4,
+                                  /*min=*/1, /*max=*/1000);
+  options.seed = bench::size_flag(argc, argv, "seed", 5);
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (bench::flag_value(argc, argv, "threads") != nullptr) {
+    thread_counts = {bench::size_flag(argc, argv, "threads", 1,
+                                      /*min=*/1, bench::kMaxBenchThreads)};
+  }
+
+  runtime::BenchRecorder recorder{"scalability"};
+  std::vector<ScalePoint> points;  // structurally identical across sweeps
+
+  for (const std::size_t threads : thread_counts) {
+    const auto executor = runtime::make_executor(threads);
+    const auto wall_start = Clock::now();
+    points = run_scalability_campaign(options, *executor);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
+            .count();
+    std::printf("campaign wall clock: %8.0f ms over %zu tasks "
+                "(%zu thread%s)\n",
+                wall_ms, points.size(), executor->workers(),
+                executor->workers() == 1 ? "" : "s");
+    recorder.add_row({{"threads", static_cast<double>(executor->workers())},
+                      {"wall_ms", wall_ms},
+                      {"tasks", static_cast<double>(points.size())}});
+  }
+
+  std::printf("\n=== Scalability: controller risk model, full pipeline "
+              "(%zu counts x %zu reps; per-task means from the last "
+              "sweep) ===\n",
+              options.switch_counts.size(), options.reps);
   std::printf("  %-9s %-10s %-10s %-10s %-10s %-9s %-9s %-9s\n", "switches",
               "pairs", "elements", "risks", "edges", "check(s)", "build(s)",
               "scout(s)");
-
   double t200 = 0.0, t500 = 0.0;
-  for (const std::size_t switches : {10, 30, 50, 100, 200, 350, 500}) {
-    const ScalePoint p =
-        run_scalability_point(switches, /*seed=*/5, /*n_faults=*/5,
-                              /*pairs_per_switch=*/200);
+  for (std::size_t c = 0; c < options.switch_counts.size(); ++c) {
+    // Mean over this count's reps (grid is count-major).
+    ScalePoint mean{};
+    for (std::size_t r = 0; r < options.reps; ++r) {
+      const ScalePoint& p = points[c * options.reps + r];
+      mean.switches = p.switches;
+      mean.epg_pairs += p.epg_pairs;
+      mean.elements += p.elements;
+      mean.risks += p.risks;
+      mean.edges += p.edges;
+      mean.check_seconds += p.check_seconds;
+      mean.model_build_seconds += p.model_build_seconds;
+      mean.localize_seconds += p.localize_seconds;
+    }
+    const double reps = static_cast<double>(options.reps);
+    mean.epg_pairs /= options.reps;
+    mean.elements /= options.reps;
+    mean.risks /= options.reps;
+    mean.edges /= options.reps;
+    mean.check_seconds /= reps;
+    mean.model_build_seconds /= reps;
+    mean.localize_seconds /= reps;
+
     std::printf("  %-9zu %-10zu %-10zu %-10zu %-10zu %-9.3f %-9.3f %-9.3f\n",
-                p.switches, p.epg_pairs, p.elements, p.risks, p.edges,
-                p.check_seconds, p.model_build_seconds, p.localize_seconds);
-    const double total =
-        p.check_seconds + p.model_build_seconds + p.localize_seconds;
-    if (switches == 200) t200 = total;
-    if (switches == 500) t500 = total;
+                mean.switches, mean.epg_pairs, mean.elements, mean.risks,
+                mean.edges, mean.check_seconds, mean.model_build_seconds,
+                mean.localize_seconds);
+    const double total = mean.check_seconds + mean.model_build_seconds +
+                         mean.localize_seconds;
+    if (mean.switches == 200) t200 = total;
+    if (mean.switches == 500) t500 = total;
   }
 
-  std::printf("\nend-to-end analysis: %.2f s at 200 switches, %.2f s at 500 "
-              "(paper's Python prototype: ~45 s / ~130 s; shape target is "
-              "near-linear growth: x2.5 switches -> x%.1f time)\n",
-              t200, t500, t500 / t200);
+  if (t200 > 0.0 && t500 > 0.0) {
+    std::printf("\nend-to-end analysis: %.2f s at 200 switches, %.2f s at "
+                "500 (paper's Python prototype: ~45 s / ~130 s; shape "
+                "target is near-linear growth: x2.5 switches -> x%.1f "
+                "time)\n",
+                t200, t500, t500 / t200);
+  }
+
+  const std::string json_path = bench::string_flag(
+      argc, argv, "json", "BENCH_scalability.json");
+  if (!recorder.write_file(json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -1,11 +1,14 @@
 // Minimal leveled logger. Experiments run millions of simulated operations;
 // logging defaults to Warn so benches stay quiet, and tests can raise the
-// level to debug a failure. Not thread-safe by design — the simulator is
-// single-threaded and deterministic.
+// level to debug a failure. The level is set once at startup and read-only
+// while experiment campaigns run; each message is emitted as a single
+// stream insertion so lines from concurrent runtime workers don't
+// interleave mid-line.
 #pragma once
 
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace scout {
@@ -28,8 +31,11 @@ class Logger {
     if (!enabled(lvl)) return;
     static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
                                                  "ERROR"};
-    std::clog << '[' << names[static_cast<int>(lvl)] << "] " << component
-              << ": " << message << '\n';
+    std::string line;
+    line.reserve(message.size() + component.size() + 16);
+    line.append("[").append(names[static_cast<int>(lvl)]).append("] ");
+    line.append(component).append(": ").append(message).append("\n");
+    std::clog << line;
   }
 };
 

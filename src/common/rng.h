@@ -20,6 +20,17 @@ namespace scout {
   return z ^ (z >> 31);
 }
 
+// Deterministic seed derivation for experiment fan-out: folds `value` into
+// `seed` with a full splitmix64 round. Chainable —
+// derive_seed(derive_seed(base, cell), run) — so a task's seed is a pure
+// function of its grid coordinates, never of thread count or execution
+// order. The +1 keeps derive_seed(s, 0) != splitmix64(s).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t value) noexcept {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (value + 1));
+  return splitmix64(s);
+}
+
 // xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
 class Rng {
  public:

@@ -1,0 +1,73 @@
+#include "src/runtime/campaign.h"
+
+#include <stdexcept>
+
+#include "src/common/rng.h"
+
+namespace scout::runtime {
+
+void SerialExecutor::run(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& task) {
+  for (std::size_t i = 0; i < count; ++i) task(i, 0);
+}
+
+void ThreadPoolExecutor::run(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& task) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t worker = i % pool_.size();
+    pool_.submit(worker, [&task, i, worker] { task(i, worker); });
+  }
+  pool_.wait();
+}
+
+std::unique_ptr<Executor> make_executor(std::size_t threads) {
+  if (threads <= 1) return std::make_unique<SerialExecutor>();
+  return std::make_unique<ThreadPoolExecutor>(threads);
+}
+
+CampaignGrid::CampaignGrid(std::uint64_t base_seed, std::vector<GridDim> dims)
+    : base_seed_(base_seed), dims_(std::move(dims)) {
+  for (const GridDim& dim : dims_) {
+    if (dim.size == 0) {
+      throw std::invalid_argument{"CampaignGrid: dimension '" + dim.name +
+                                  "' has size 0"};
+    }
+    task_count_ *= dim.size;
+  }
+}
+
+std::vector<std::size_t> CampaignGrid::coords(std::size_t index) const {
+  if (index >= task_count_) {
+    throw std::out_of_range{"CampaignGrid::coords: index out of range"};
+  }
+  std::vector<std::size_t> out(dims_.size(), 0);
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    out[d] = index % dims_[d].size;
+    index /= dims_[d].size;
+  }
+  return out;
+}
+
+std::uint64_t CampaignGrid::cell_seed(
+    const std::vector<std::size_t>& coords) const noexcept {
+  std::uint64_t seed = base_seed_;
+  for (const std::size_t c : coords) seed = derive_seed(seed, c);
+  return seed;
+}
+
+void run_campaign(Executor& executor, const CampaignGrid& grid,
+                  const std::function<void(const CampaignTask&)>& body) {
+  executor.run(grid.task_count(),
+               [&grid, &body](std::size_t index, std::size_t worker) {
+                 CampaignTask task;
+                 task.index = index;
+                 task.worker = worker;
+                 task.coords = grid.coords(index);
+                 task.seed = grid.cell_seed(task.coords);
+                 body(task);
+               });
+}
+
+}  // namespace scout::runtime

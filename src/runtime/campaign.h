@@ -1,0 +1,121 @@
+// Campaign scheduler: deterministic fan-out of an experiment grid.
+//
+// A campaign is a cartesian grid of named dimensions (profile x fault-count
+// x algorithm x run, ...). Every cell becomes one task with
+//   * a flat index (mixed-radix over the dimensions, first dim slowest),
+//   * coordinates decoded from that index, and
+//   * a seed derived by chaining common/rng derive_seed over the base seed
+//     and the coordinates.
+// Because the seed is a pure function of the coordinates, a cell computes
+// the same result no matter which executor, worker or ordering ran it —
+// the invariant the whole parallel experiment runtime rests on.
+//
+// Executor is the strategy for running the indexed batch: SerialExecutor
+// (tests, reference results) and ThreadPoolExecutor (sharded round-robin
+// over runtime/thread_pool.h) must be observationally identical for pure
+// tasks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace scout::runtime {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  // Run task(index, worker) for every index in [0, count), each exactly
+  // once, with worker in [0, workers()). Blocks until all tasks finished;
+  // rethrows the first task exception. Tasks must not assume any ordering
+  // across workers.
+  virtual void run(
+      std::size_t count,
+      const std::function<void(std::size_t index, std::size_t worker)>& task) = 0;
+
+  [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+};
+
+// Runs tasks inline, in index order, all on worker 0. The reference
+// executor: parallel results are validated against its output.
+class SerialExecutor final : public Executor {
+ public:
+  void run(std::size_t count,
+           const std::function<void(std::size_t, std::size_t)>& task) override;
+  [[nodiscard]] std::size_t workers() const noexcept override { return 1; }
+};
+
+// Fans indices over a sharded ThreadPool, index i on shard i % workers().
+// The static round-robin keeps the task -> worker map deterministic.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  explicit ThreadPoolExecutor(std::size_t threads) : pool_(threads) {}
+
+  void run(std::size_t count,
+           const std::function<void(std::size_t, std::size_t)>& task) override;
+  [[nodiscard]] std::size_t workers() const noexcept override {
+    return pool_.size();
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+// threads <= 1 -> SerialExecutor, else ThreadPoolExecutor{threads}.
+[[nodiscard]] std::unique_ptr<Executor> make_executor(std::size_t threads);
+
+// ---------------------------------------------------------------------------
+// Campaign grid
+// ---------------------------------------------------------------------------
+
+struct GridDim {
+  std::string name;
+  std::size_t size = 1;
+};
+
+struct CampaignTask {
+  std::size_t index = 0;   // flat cell index in [0, task_count())
+  std::size_t worker = 0;  // executing worker in [0, executor.workers())
+  std::uint64_t seed = 0;  // derive_seed chain over (base_seed, coords...)
+  std::vector<std::size_t> coords;  // one entry per grid dimension
+};
+
+class CampaignGrid {
+ public:
+  CampaignGrid(std::uint64_t base_seed, std::vector<GridDim> dims);
+
+  [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_seed_; }
+  [[nodiscard]] const std::vector<GridDim>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] std::size_t task_count() const noexcept { return task_count_; }
+
+  // Mixed-radix decode of a flat index; first dimension varies slowest.
+  [[nodiscard]] std::vector<std::size_t> coords(std::size_t index) const;
+
+  // Seed of the cell at `coords`: derive_seed folded over each coordinate.
+  [[nodiscard]] std::uint64_t cell_seed(
+      const std::vector<std::size_t>& coords) const noexcept;
+  [[nodiscard]] std::uint64_t task_seed(std::size_t index) const {
+    return cell_seed(coords(index));
+  }
+
+ private:
+  std::uint64_t base_seed_ = 0;
+  std::vector<GridDim> dims_;
+  std::size_t task_count_ = 1;
+};
+
+// Fan every grid cell out over the executor. `body` receives a fully
+// populated CampaignTask; results should go into per-task slots
+// (runtime/result_sink.h) and be merged in index order after this returns.
+void run_campaign(Executor& executor, const CampaignGrid& grid,
+                  const std::function<void(const CampaignTask&)>& body);
+
+}  // namespace scout::runtime

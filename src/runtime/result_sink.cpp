@@ -1,0 +1,42 @@
+#include "src/runtime/result_sink.h"
+
+#include <fstream>
+
+#include "src/common/json_writer.h"
+
+namespace scout::runtime {
+
+void BenchRecorder::add_row(
+    std::initializer_list<std::pair<std::string_view, double>> fields) {
+  std::vector<std::pair<std::string, double>> row;
+  row.reserve(fields.size());
+  for (const auto& [key, value] : fields) {
+    row.emplace_back(std::string{key}, value);
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string BenchRecorder::to_json() const {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.field("bench", name_);
+  writer.key("rows");
+  writer.begin_array();
+  for (const auto& row : rows_) {
+    writer.begin_object();
+    for (const auto& [key, value] : row) writer.field(key, value);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return writer.str();
+}
+
+bool BenchRecorder::write_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace scout::runtime

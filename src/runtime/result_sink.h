@@ -1,0 +1,102 @@
+// Result collection for campaign fan-out.
+//
+// Two disciplines, by determinism requirement:
+//
+//  * ResultSlots<T> — one pre-allocated slot per task index, written exactly
+//    once by the task that owns the index. No synchronization needed, and a
+//    reduction in index order is bit-identical no matter how many workers
+//    ran the campaign. Anything that flows into experiment *results* must
+//    go through slots.
+//
+//  * WorkerLocal<T> — one cache-line-padded accumulator per worker, touched
+//    lock-free by its owner and merged after the join in worker order. The
+//    merged value depends on the task -> worker assignment (and float
+//    accumulation order), so it changes with the thread count: use it for
+//    diagnostics only (task tallies, wall time), never for results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scout::runtime {
+
+template <typename T>
+class ResultSlots {
+ public:
+  explicit ResultSlots(std::size_t count) : slots_(count) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] T& operator[](std::size_t index) noexcept {
+    return slots_[index];
+  }
+  [[nodiscard]] const T& operator[](std::size_t index) const noexcept {
+    return slots_[index];
+  }
+
+  // Index-order iteration for the post-join reduction.
+  [[nodiscard]] auto begin() const noexcept { return slots_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return slots_.end(); }
+
+  [[nodiscard]] std::vector<T> take() noexcept { return std::move(slots_); }
+
+ private:
+  std::vector<T> slots_;
+};
+
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(std::size_t workers, T init = T{})
+      : slots_(workers ? workers : 1, Padded{std::move(init)}) {}
+
+  [[nodiscard]] std::size_t workers() const noexcept { return slots_.size(); }
+  [[nodiscard]] T& local(std::size_t worker) noexcept {
+    return slots_[worker].value;
+  }
+
+  // Fold all per-worker values in worker order: merge(acc, worker_value).
+  template <typename Merge>
+  [[nodiscard]] T merge(Merge&& merge_fn) const {
+    T acc = slots_.front().value;
+    for (std::size_t w = 1; w < slots_.size(); ++w) {
+      acc = merge_fn(std::move(acc), slots_[w].value);
+    }
+    return acc;
+  }
+
+ private:
+  struct alignas(64) Padded {
+    T value;
+  };
+  std::vector<Padded> slots_;
+};
+
+// Machine-readable bench output: flat numeric rows dumped as JSON through
+// common/json_writer, e.g. BENCH_scalability.json mapping threads to
+// wall-clock ms. write_file replaces the file — each bench run emits its
+// complete mapping, and cross-PR trajectories come from comparing the file
+// across checkouts/CI runs.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void add_row(
+      std::initializer_list<std::pair<std::string_view, double>> fields);
+
+  [[nodiscard]] std::string to_json() const;
+
+  // Write to_json() to `path`; false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
+
+}  // namespace scout::runtime

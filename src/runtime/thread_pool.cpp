@@ -1,0 +1,94 @@
+#include "src/runtime/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace scout::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  shards_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(threads);
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    // Thread spawn failed partway (EAGAIN / thread limit). The workers
+    // already running are parked in their shard cv; destroying a joinable
+    // std::thread terminates the process, so wind them down and let the
+    // caller see the original exception.
+    stop_and_join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() { stop_and_join(); }
+
+void ThreadPool::stop_and_join() {
+  for (auto& shard : shards_) {
+    std::lock_guard lk{shard->mu};
+    stopping_ = true;
+    shard->cv.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::submit(std::size_t shard_index, std::function<void()> task) {
+  {
+    std::lock_guard lk{done_mu_};
+    ++pending_;
+  }
+  Shard& shard = *shards_[shard_index % shards_.size()];
+  {
+    std::lock_guard lk{shard.mu};
+    shard.tasks.push_back(std::move(task));
+  }
+  shard.cv.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lk{done_mu_};
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  Shard& shard = *shards_[index];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk{shard.mu};
+      shard.cv.wait(lk, [&] { return stopping_ || !shard.tasks.empty(); });
+      // Drain remaining work even when stopping: wait() may still be
+      // blocked on it, and destruction must not drop submitted tasks.
+      if (shard.tasks.empty()) return;
+      task = std::move(shard.tasks.front());
+      shard.tasks.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish_task(std::move(error));
+  }
+}
+
+void ThreadPool::finish_task(std::exception_ptr error) {
+  std::lock_guard lk{done_mu_};
+  if (error && !first_error_) first_error_ = std::move(error);
+  --pending_;
+  if (pending_ == 0) done_cv_.notify_all();
+}
+
+}  // namespace scout::runtime

@@ -1,0 +1,79 @@
+// Sharded thread pool (no work stealing, by design).
+//
+// Each worker owns exactly one task queue and submitters name the target
+// shard explicitly, so the task -> worker assignment is a pure function of
+// the submission sequence — there is no scheduling race that could move a
+// task between workers. Combined with per-task seeds (common/rng
+// derive_seed) and per-task result slots (runtime/result_sink.h), this is
+// what makes parallel experiment campaigns bit-identical to serial ones:
+// nothing observable depends on which worker ran a task or when.
+//
+// The trade-off is load imbalance when task costs are skewed; campaigns
+// deal with that by round-robining the grid over shards (neighbouring grid
+// cells have similar cost), not by stealing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scout::runtime {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  // Drains outstanding work (equivalent to wait()) and joins all workers.
+  // A pending exception that was never observed via wait() is dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueue `task` onto shard `shard % size()`. Never blocks. Tasks on one
+  // shard run in submission order; tasks on different shards run
+  // concurrently.
+  void submit(std::size_t shard, std::function<void()> task);
+
+  // Block until every submitted task has finished, then rethrow the first
+  // exception (in task-completion order) any task raised, if one did.
+  void wait();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  void finish_task(std::exception_ptr error);
+  // Flip stopping_ under each shard mutex, wake and join every spawned
+  // worker. Used by the destructor and by constructor unwind.
+  void stop_and_join();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;            // guarded by done_mu_
+  std::exception_ptr first_error_;     // guarded by done_mu_
+  // Atomic because the destructor flips it once while workers read it under
+  // their own shard mutex; the per-shard lock around the flip + notify is
+  // what prevents missed wakeups.
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::thread> workers_;   // started last, joined in dtor
+};
+
+}  // namespace scout::runtime

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <unordered_set>
 
+#include "src/common/logging.h"
 #include "src/faults/fault_injector.h"
 #include "src/localization/score.h"
 #include "src/localization/scout_localizer.h"
+#include "src/runtime/result_sink.h"
 #include "src/scout/metrics.h"
 #include "src/scout/scout_system.h"
 #include "src/scout/sim_network.h"
@@ -47,83 +50,237 @@ LocalizationResult run_algorithm(const AlgorithmSpec& spec,
   return ScoutLocalizer{opts}.localize(model, change_log, now);
 }
 
+// Every campaign cell rebuilds the sweep network from the *base* seed: the
+// paper evaluates one fixed production dataset, so the policy is identical
+// across cells and only fault selection (driven by the per-cell seed)
+// varies. SimNetwork is neither copyable nor movable, so cells construct it
+// in place rather than receiving a prototype.
+GeneratedNetwork make_sweep_network(const GeneratorProfile& profile,
+                                    std::uint64_t seed) {
+  Rng rng{seed};
+  return generate_network(profile, rng);
+}
+
 }  // namespace
 
 std::vector<AccuracySeries> run_accuracy_sweep(
-    const AccuracyOptions& options,
-    std::span<const AlgorithmSpec> algorithms) {
+    const AccuracyOptions& options, std::span<const AlgorithmSpec> algorithms,
+    runtime::Executor& executor) {
+  const runtime::CampaignGrid grid{
+      options.seed,
+      {{"faults", options.max_faults}, {"run", options.runs}}};
+
+  // One slot per (fault-count, run) cell: per-algorithm precision/recall.
+  runtime::ResultSlots<std::vector<PrecisionRecall>> slots{grid.task_count()};
+  // Diagnostics only (load balance); never feeds results.
+  runtime::WorkerLocal<double> busy_seconds{executor.workers()};
+
+  runtime::run_campaign(executor, grid, [&](const runtime::CampaignTask&
+                                                task) {
+    const auto task_start = Clock::now();
+    const std::size_t n_faults = task.coords[0] + 1;
+
+    GeneratedNetwork generated =
+        make_sweep_network(options.profile, options.seed);
+    SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+    net.deploy();
+    net.clock().advance(3'600'000);  // age out deploy-time change records
+
+    // All randomness below this line comes from the per-cell seed.
+    Rng rng{task.seed};
+    ObjectFaultInjector injector{net.controller(), rng};
+    const bool switch_scoped = options.model == RiskModelKind::kSwitch;
+    const std::optional<SwitchId> scope =
+        switch_scoped ? std::optional{busiest_switch(net.controller())}
+                      : std::nullopt;
+
+    const PolicyIndex index{net.controller().policy()};
+    RiskModel model = switch_scoped
+                          ? RiskModel::build_switch_model(index, *scope)
+                          : RiskModel::build_controller_model(index);
+
+    // Benign change-log noise inside the recency window.
+    for (const ObjectRef obj : injector.sample_objects(
+             options.benign_changes, /*include_vrfs=*/true)) {
+      net.controller().record_benign_change(obj);
+    }
+
+    // Ground truth: n distinct objects, each faulted fully or partially
+    // with equal probability (paper §VI-A).
+    const std::vector<ObjectRef> truth_vec =
+        injector.sample_objects(n_faults, /*include_vrfs=*/false, scope);
+    const std::unordered_set<ObjectRef> truth(truth_vec.begin(),
+                                              truth_vec.end());
+    for (const ObjectRef obj : truth_vec) {
+      if (rng.chance(0.5)) {
+        (void)injector.inject_full(obj, scope);
+      } else {
+        (void)injector.inject_partial(obj, scope);
+      }
+    }
+
+    // Collect + check + augment once; every algorithm sees the same model.
+    const ScoutSystem system{
+        ScoutSystem::Options{options.check_mode, ScoutLocalizer::Options{}}};
+    model.augment(system.find_missing_rules(net));
+
+    std::vector<PrecisionRecall> cell(algorithms.size());
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const LocalizationResult result =
+          run_algorithm(algorithms[a], model, net.controller().change_log(),
+                        net.clock().now(), options.change_window_ms);
+      cell[a] = evaluate_hypothesis(result.hypothesis, truth);
+    }
+    slots[task.index] = std::move(cell);
+    busy_seconds.local(task.worker) += seconds_since(task_start);
+  });
+
+  SCOUT_LOG(LogLevel::kDebug, "experiment",
+            "accuracy sweep: " << grid.task_count() << " cells over "
+                << executor.workers() << " workers; busy "
+                << busy_seconds.merge(
+                       [](double a, double b) { return a + b; })
+                << " s total, "
+                << busy_seconds.merge([](double a, double b) {
+                     return a > b ? a : b;
+                   })
+                << " s on the slowest worker");
+
+  // Reduce in cell-index order — bit-identical for any executor.
   std::vector<AccuracySeries> series(algorithms.size());
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
     series[a].name = algorithms[a].name;
     series[a].by_faults.resize(options.max_faults);
   }
-  // Accumulators: [algorithm][faults-1] -> sums over runs.
-  std::vector<std::vector<double>> precision_sum(
-      algorithms.size(), std::vector<double>(options.max_faults, 0.0));
-  std::vector<std::vector<double>> recall_sum = precision_sum;
-
-  const ScoutSystem system{
-      ScoutSystem::Options{options.check_mode, ScoutLocalizer::Options{}}};
-
-  // One fixed policy per sweep (the paper evaluates against a single
-  // production dataset); randomness across runs is fault selection only.
-  Rng rng{options.seed};
-  GeneratedNetwork generated = generate_network(options.profile, rng);
-  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
-  net.deploy();
-  net.clock().advance(3'600'000);  // age out deploy-time change records
-
-  ObjectFaultInjector injector{net.controller(), rng};
-  const bool switch_scoped = options.model == RiskModelKind::kSwitch;
-  const std::optional<SwitchId> scope =
-      switch_scoped ? std::optional{busiest_switch(net.controller())}
-                    : std::nullopt;
-
-  const PolicyIndex index{net.controller().policy()};
-  RiskModel model = switch_scoped
-                        ? RiskModel::build_switch_model(index, *scope)
-                        : RiskModel::build_controller_model(index);
-
-  for (std::size_t n_faults = 1; n_faults <= options.max_faults; ++n_faults) {
-    for (std::size_t run = 0; run < options.runs; ++run) {
-      // Benign change-log noise inside the recency window.
-      for (const ObjectRef obj :
-           injector.sample_objects(options.benign_changes,
-                                   /*include_vrfs=*/true)) {
-        net.controller().record_benign_change(obj);
+  const double runs = static_cast<double>(options.runs);
+  for (std::size_t f = 0; f < options.max_faults; ++f) {
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      double precision_sum = 0.0;
+      double recall_sum = 0.0;
+      for (std::size_t run = 0; run < options.runs; ++run) {
+        const PrecisionRecall& pr = slots[f * options.runs + run][a];
+        precision_sum += pr.precision;
+        recall_sum += pr.recall;
       }
+      series[a].by_faults[f] =
+          AccuracyCell{precision_sum / runs, recall_sum / runs};
+    }
+  }
+  return series;
+}
 
-      // Ground truth: n distinct objects, each faulted fully or partially
-      // with equal probability (paper §VI-A).
-      const std::vector<ObjectRef> truth_vec =
-          injector.sample_objects(n_faults, /*include_vrfs=*/false, scope);
-      std::unordered_set<ObjectRef> truth(truth_vec.begin(), truth_vec.end());
-      std::unordered_set<SwitchId> touched;
-      for (const ObjectRef obj : truth_vec) {
-        const InjectedFault fault = rng.chance(0.5)
-                                        ? injector.inject_full(obj, scope)
-                                        : injector.inject_partial(obj, scope);
-        touched.insert(fault.switches.begin(), fault.switches.end());
+std::vector<AccuracySeries> run_accuracy_sweep(
+    const AccuracyOptions& options,
+    std::span<const AlgorithmSpec> algorithms) {
+  runtime::SerialExecutor executor;
+  return run_accuracy_sweep(options, algorithms, executor);
+}
+
+std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options,
+                                              runtime::Executor& executor) {
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+  const runtime::CampaignGrid grid{options.seed, {{"shard", shards}}};
+
+  struct ShardStats {
+    std::vector<double> gamma_sums;
+    std::vector<double> max_hypothesis;
+    std::vector<std::size_t> samples;
+  };
+  runtime::ResultSlots<ShardStats> slots{shards};
+
+  // Bucket scaffolding, shared shape across shards.
+  std::vector<GammaBucket> buckets;
+  {
+    std::size_t lo = 1;
+    for (const std::size_t hi : options.bucket_bounds) {
+      buckets.push_back(GammaBucket{lo, hi, 0.0, 0.0, 0});
+      lo = hi;
+    }
+  }
+  const std::size_t n_buckets = buckets.size();
+
+  runtime::run_campaign(executor, grid, [&](const runtime::CampaignTask&
+                                                task) {
+    const std::size_t shard = task.coords[0];
+    // Even split of the fault stream; the first (faults % shards) shards
+    // carry one extra.
+    const std::size_t count = options.faults / shards +
+                              (shard < options.faults % shards ? 1 : 0);
+
+    ShardStats stats;
+    stats.gamma_sums.assign(n_buckets, 0.0);
+    stats.max_hypothesis.assign(n_buckets, 0.0);
+    stats.samples.assign(n_buckets, 0);
+    if (count == 0) {
+      slots[task.index] = std::move(stats);
+      return;
+    }
+
+    GeneratedNetwork generated =
+        make_sweep_network(options.profile, options.seed);
+    SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+    net.deploy();
+    net.clock().advance(3'600'000);
+
+    Rng rng{task.seed};
+    const PolicyIndex index{net.controller().policy()};
+    RiskModel model = RiskModel::build_controller_model(index);
+    const EquivalenceChecker checker{CheckMode::kSyntactic};
+    ObjectFaultInjector injector{net.controller(), rng};
+
+    const std::vector<ObjectRef> pool =
+        injector.sample_objects(count, /*include_vrfs=*/false);
+    if (pool.empty()) {
+      slots[task.index] = std::move(stats);
+      return;
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+      const ObjectRef obj = pool[i % pool.size()];
+      const InjectedFault fault = rng.chance(0.5)
+                                      ? injector.inject_full(obj)
+                                      : injector.inject_partial(obj);
+      if (fault.rules_removed == 0) continue;
+
+      // Check only the switches this fault touched (the others are known
+      // clean: each iteration repairs its own damage below).
+      std::vector<LogicalRule> missing;
+      for (const SwitchId sw : fault.switches) {
+        SwitchAgent* agent = net.controller().agent(sw);
+        if (agent == nullptr) continue;
+        CheckResult result =
+            checker.check(net.controller().compiled().rules_for(sw),
+                          agent->tcam().rules());
+        missing.insert(missing.end(),
+                       std::make_move_iterator(result.missing.begin()),
+                       std::make_move_iterator(result.missing.end()));
       }
-
-      // Collect + check + augment once; every algorithm sees the same model.
-      const std::vector<LogicalRule> missing = system.find_missing_rules(net);
       model.clear_failures();
       model.augment(missing);
 
-      for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        const LocalizationResult result =
-            run_algorithm(algorithms[a], model, net.controller().change_log(),
-                          net.clock().now(), options.change_window_ms);
-        const PrecisionRecall pr =
-            evaluate_hypothesis(result.hypothesis, truth);
-        precision_sum[a][n_faults - 1] += pr.precision;
-        recall_sum[a][n_faults - 1] += pr.recall;
+      const std::size_t suspects = model.suspect_set().size();
+      ScoutLocalizer::Options lopts;
+      lopts.change_window_ms = 60'000;
+      const LocalizationResult result = ScoutLocalizer{lopts}.localize(
+          model, net.controller().change_log(), net.clock().now());
+      const double gamma =
+          suspect_reduction(result.hypothesis.size(), suspects);
+
+      for (std::size_t b = 0; b < n_buckets; ++b) {
+        if (suspects >= buckets[b].lo && suspects < buckets[b].hi) {
+          stats.gamma_sums[b] += gamma;
+          stats.max_hypothesis[b] = std::max(
+              stats.max_hypothesis[b],
+              static_cast<double>(result.hypothesis.size()));
+          ++stats.samples[b];
+          break;
+        }
       }
 
-      // Repair the deployment and age the change log past the window so
-      // this run's records don't leak into the next.
-      for (const SwitchId sw : touched) {
+      // Repair: reinstall the faulted switches' rules from the compiled
+      // policy so the next fault starts from a clean deployment, and age
+      // the change log so this fault's record leaves the recency window.
+      for (const SwitchId sw : fault.switches) {
         SwitchAgent* agent = net.controller().agent(sw);
         if (agent == nullptr) continue;
         agent->tcam().clear();
@@ -132,107 +289,33 @@ std::vector<AccuracySeries> run_accuracy_sweep(
           (void)agent->tcam().install(lr.rule);
         }
       }
-      net.clock().advance(options.change_window_ms * 2);
+      net.clock().advance(120'000);
+    }
+    slots[task.index] = std::move(stats);
+  });
+
+  // Merge shard partials in shard order (deterministic float accumulation).
+  std::vector<double> gamma_sums(n_buckets, 0.0);
+  for (const auto& stats : slots) {
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      gamma_sums[b] += stats.gamma_sums[b];
+      buckets[b].max_hypothesis =
+          std::max(buckets[b].max_hypothesis, stats.max_hypothesis[b]);
+      buckets[b].samples += stats.samples[b];
     }
   }
-
-  const double runs = static_cast<double>(options.runs);
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    for (std::size_t f = 0; f < options.max_faults; ++f) {
-      series[a].by_faults[f] = AccuracyCell{precision_sum[a][f] / runs,
-                                            recall_sum[a][f] / runs};
-    }
-  }
-  return series;
-}
-
-std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options) {
-  Rng rng{options.seed};
-  GeneratedNetwork generated = generate_network(options.profile, rng);
-  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
-  net.deploy();
-  net.clock().advance(3'600'000);
-
-  const PolicyIndex index{net.controller().policy()};
-  RiskModel model = RiskModel::build_controller_model(index);
-  const EquivalenceChecker checker{CheckMode::kSyntactic};
-  ObjectFaultInjector injector{net.controller(), rng};
-
-  // Bucket scaffolding.
-  std::vector<GammaBucket> buckets;
-  std::size_t lo = 1;
-  for (const std::size_t hi : options.bucket_bounds) {
-    buckets.push_back(GammaBucket{lo, hi, 0.0, 0.0, 0});
-    lo = hi;
-  }
-  std::vector<double> gamma_sums(buckets.size(), 0.0);
-
-  const std::vector<ObjectRef> pool =
-      injector.sample_objects(options.faults, /*include_vrfs=*/false);
-
-  for (std::size_t i = 0; i < options.faults; ++i) {
-    const ObjectRef obj = pool[i % pool.size()];
-    InjectedFault fault = rng.chance(0.5) ? injector.inject_full(obj)
-                                          : injector.inject_partial(obj);
-    if (fault.rules_removed == 0) continue;
-
-    // Check only the switches this fault touched (the others are known
-    // clean: each iteration repairs its own damage below).
-    std::vector<LogicalRule> missing;
-    for (const SwitchId sw : fault.switches) {
-      SwitchAgent* agent = net.controller().agent(sw);
-      if (agent == nullptr) continue;
-      CheckResult result =
-          checker.check(net.controller().compiled().rules_for(sw),
-                        agent->tcam().rules());
-      missing.insert(missing.end(),
-                     std::make_move_iterator(result.missing.begin()),
-                     std::make_move_iterator(result.missing.end()));
-    }
-    model.clear_failures();
-    model.augment(missing);
-
-    const std::size_t suspects = model.suspect_set().size();
-    ScoutLocalizer::Options lopts;
-    lopts.change_window_ms = 60'000;
-    const LocalizationResult result = ScoutLocalizer{lopts}.localize(
-        model, net.controller().change_log(), net.clock().now());
-    const double gamma =
-        suspect_reduction(result.hypothesis.size(), suspects);
-
-    for (std::size_t b = 0; b < buckets.size(); ++b) {
-      if (suspects >= buckets[b].lo && suspects < buckets[b].hi) {
-        gamma_sums[b] += gamma;
-        buckets[b].max_hypothesis = std::max(
-            buckets[b].max_hypothesis,
-            static_cast<double>(result.hypothesis.size()));
-        ++buckets[b].samples;
-        break;
-      }
-    }
-
-    // Repair: reinstall the faulted switches' rules from the compiled
-    // policy so the next fault starts from a clean deployment, and age
-    // the change log so this fault's record leaves the recency window.
-    for (const SwitchId sw : fault.switches) {
-      SwitchAgent* agent = net.controller().agent(sw);
-      if (agent == nullptr) continue;
-      agent->tcam().clear();
-      for (const LogicalRule& lr :
-           net.controller().compiled().rules_for(sw)) {
-        (void)agent->tcam().install(lr.rule);
-      }
-    }
-    net.clock().advance(120'000);
-  }
-
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
+  for (std::size_t b = 0; b < n_buckets; ++b) {
     if (buckets[b].samples > 0) {
       buckets[b].mean_gamma =
           gamma_sums[b] / static_cast<double>(buckets[b].samples);
     }
   }
   return buckets;
+}
+
+std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options) {
+  runtime::SerialExecutor executor;
+  return run_gamma_experiment(options, executor);
 }
 
 ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
@@ -280,6 +363,22 @@ ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
   point.localize_seconds = seconds_since(t0);
   (void)result;
   return point;
+}
+
+std::vector<ScalePoint> run_scalability_campaign(
+    const ScaleCampaignOptions& options, runtime::Executor& executor) {
+  const runtime::CampaignGrid grid{
+      options.seed,
+      {{"switches", options.switch_counts.size()}, {"rep", options.reps}}};
+  runtime::ResultSlots<ScalePoint> slots{grid.task_count()};
+
+  runtime::run_campaign(
+      executor, grid, [&](const runtime::CampaignTask& task) {
+        slots[task.index] = run_scalability_point(
+            options.switch_counts[task.coords[0]], task.seed,
+            options.n_faults, options.pairs_per_switch);
+      });
+  return slots.take();
 }
 
 }  // namespace scout

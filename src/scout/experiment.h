@@ -1,6 +1,12 @@
 // Experiment drivers for the paper's evaluation (§VI). Each bench binary is
 // a thin printer over these functions, so tests can pin the experiment
 // logic itself.
+//
+// Every driver fans its grid out over a runtime::Executor. A grid cell is a
+// pure function of (options, coordinates): it builds its own network, BDD
+// manager and RNG (seeded via derive_seed over the coordinates), so serial
+// and multi-threaded executions produce bit-identical results and the
+// reduction happens in cell-index order after the join.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 
 #include "src/checker/equivalence_checker.h"
 #include "src/riskmodel/risk_model.h"
+#include "src/runtime/campaign.h"
 #include "src/workload/policy_generator.h"
 
 namespace scout {
@@ -53,6 +60,13 @@ struct AccuracySeries {
   std::vector<AccuracyCell> by_faults;  // index i = i+1 simultaneous faults
 };
 
+// Fan the (fault-count x run) grid out over `executor`. Results are
+// bit-identical for any executor / thread count.
+[[nodiscard]] std::vector<AccuracySeries> run_accuracy_sweep(
+    const AccuracyOptions& options, std::span<const AlgorithmSpec> algorithms,
+    runtime::Executor& executor);
+
+// Serial convenience overload (tests, existing callers).
 [[nodiscard]] std::vector<AccuracySeries> run_accuracy_sweep(
     const AccuracyOptions& options, std::span<const AlgorithmSpec> algorithms);
 
@@ -67,6 +81,10 @@ struct GammaOptions {
   // Bucket upper bounds over the suspect-set size, e.g. {10, 50, 100, 500,
   // 1000} reproduces Figure 7(b)'s x-axis.
   std::vector<std::size_t> bucket_bounds{10, 50, 100, 500, 1000};
+  // Fault stream is split into this many independent shards (each with its
+  // own network and derived seed). Fixed by options — not by thread count —
+  // so results do not depend on the executor.
+  std::size_t shards = 8;
 };
 
 struct GammaBucket {
@@ -76,6 +94,9 @@ struct GammaBucket {
   double max_hypothesis = 0.0;
   std::size_t samples = 0;
 };
+
+[[nodiscard]] std::vector<GammaBucket> run_gamma_experiment(
+    const GammaOptions& options, runtime::Executor& executor);
 
 [[nodiscard]] std::vector<GammaBucket> run_gamma_experiment(
     const GammaOptions& options);
@@ -102,5 +123,19 @@ struct ScalePoint {
                                                std::size_t n_faults = 5,
                                                std::size_t pairs_per_switch =
                                                    200);
+
+// Campaign form: (switch-count x rep) grid fanned over the executor, one
+// independently seeded full pipeline per cell. Returned in grid index order
+// (switch-count major, rep minor).
+struct ScaleCampaignOptions {
+  std::vector<std::size_t> switch_counts{10, 30, 50, 100};
+  std::size_t reps = 1;  // independent seeded repetitions per count
+  std::uint64_t seed = 5;
+  std::size_t n_faults = 5;
+  std::size_t pairs_per_switch = 200;
+};
+
+[[nodiscard]] std::vector<ScalePoint> run_scalability_campaign(
+    const ScaleCampaignOptions& options, runtime::Executor& executor);
 
 }  // namespace scout

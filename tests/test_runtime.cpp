@@ -1,0 +1,253 @@
+// Runtime subsystem tests: sharded pool semantics (every task exactly once,
+// exception propagation, drain-on-destruction), campaign grid seed
+// derivation, and the headline invariant of the parallel experiment
+// runtime — serial and multi-threaded sweeps are bit-identical.
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/runtime/campaign.h"
+#include "src/runtime/result_sink.h"
+#include "src/runtime/thread_pool.h"
+#include "src/scout/experiment.h"
+
+namespace scout {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  {
+    runtime::ThreadPool pool{4};
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit(i, [&hits, i] { ++hits[i]; });
+    }
+    pool.wait();
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, WaitPropagatesTaskException) {
+  runtime::ThreadPool pool{2};
+  std::atomic<int> survivors{0};
+  pool.submit(0, [] { throw std::runtime_error{"boom"}; });
+  for (std::size_t i = 1; i < 16; ++i) {
+    pool.submit(i, [&survivors] { ++survivors; });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure does not cancel other submitted work.
+  pool.wait();
+  EXPECT_EQ(survivors.load(), 15);
+}
+
+TEST(ThreadPool, DestructionDrainsSubmittedWork) {
+  std::atomic<int> done{0};
+  {
+    runtime::ThreadPool pool{3};
+    for (std::size_t i = 0; i < 64; ++i) {
+      pool.submit(i, [&done] { ++done; });
+    }
+    // No wait(): the destructor must drain and join, not drop tasks.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(Executor, SerialRunsInIndexOrderOnWorkerZero) {
+  runtime::SerialExecutor executor;
+  std::vector<std::size_t> order;
+  executor.run(5, [&order](std::size_t index, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(index);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, ThreadPoolRunsEachIndexOnceOnItsShard) {
+  runtime::ThreadPoolExecutor executor{4};
+  constexpr std::size_t kTasks = 101;
+  std::vector<std::atomic<int>> hits(kTasks);
+  executor.run(kTasks, [&hits](std::size_t index, std::size_t worker) {
+    EXPECT_EQ(worker, index % 4);  // static round-robin assignment
+    ++hits[index];
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(Executor, ThreadPoolPropagatesException) {
+  runtime::ThreadPoolExecutor executor{2};
+  EXPECT_THROW(executor.run(8,
+                            [](std::size_t index, std::size_t) {
+                              if (index == 5) {
+                                throw std::runtime_error{"task failed"};
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(CampaignGrid, DecodesCoordsFirstDimSlowest) {
+  const runtime::CampaignGrid grid{1, {{"a", 3}, {"b", 4}}};
+  ASSERT_EQ(grid.task_count(), 12u);
+  EXPECT_EQ(grid.coords(0), (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(grid.coords(5), (std::vector<std::size_t>{1, 1}));
+  EXPECT_EQ(grid.coords(11), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(CampaignGrid, SeedsArePureAndDistinctPerCell) {
+  const runtime::CampaignGrid grid{42, {{"faults", 4}, {"run", 8}}};
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < grid.task_count(); ++i) {
+    seeds.push_back(grid.task_seed(i));
+    EXPECT_EQ(grid.task_seed(i), seeds.back());  // pure function of index
+  }
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << i << " vs " << j;
+    }
+  }
+  // Different base seed -> different stream.
+  const runtime::CampaignGrid other{43, {{"faults", 4}, {"run", 8}}};
+  EXPECT_NE(other.task_seed(0), grid.task_seed(0));
+}
+
+TEST(ResultSink, WorkerLocalMergesInWorkerOrder) {
+  runtime::WorkerLocal<std::size_t> counters{4};
+  for (std::size_t w = 0; w < 4; ++w) counters.local(w) = w + 1;
+  const std::size_t total = counters.merge(
+      [](std::size_t acc, std::size_t v) { return acc + v; });
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ResultSink, BenchRecorderEmitsRows) {
+  runtime::BenchRecorder recorder{"demo"};
+  recorder.add_row({{"threads", 4.0}, {"wall_ms", 123.5}});
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"bench\":\"demo\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"threads\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ms\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// The headline invariant: parallel == serial, bit for bit.
+// ---------------------------------------------------------------------------
+
+AccuracyOptions sweep_options() {
+  AccuracyOptions opts;
+  opts.profile = GeneratorProfile::testbed();
+  opts.model = RiskModelKind::kController;
+  opts.runs = 6;
+  opts.max_faults = 3;
+  opts.benign_changes = 5;
+  opts.seed = 1234;
+  return opts;
+}
+
+const std::vector<AlgorithmSpec> kAlgorithms{
+    {"SCOUT", AlgorithmKind::kScout, 1.0, true},
+    {"SCORE-1", AlgorithmKind::kScore, 1.0, true},
+};
+
+void expect_bitwise_equal(const std::vector<AccuracySeries>& a,
+                          const std::vector<AccuracySeries>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].name, b[s].name);
+    ASSERT_EQ(a[s].by_faults.size(), b[s].by_faults.size());
+    for (std::size_t f = 0; f < a[s].by_faults.size(); ++f) {
+      // Bit-identical, not approximately equal: memcmp on the doubles.
+      EXPECT_EQ(std::memcmp(&a[s].by_faults[f], &b[s].by_faults[f],
+                            sizeof(AccuracyCell)),
+                0)
+          << "series " << s << " faults " << f + 1 << ": "
+          << a[s].by_faults[f].precision << "/" << a[s].by_faults[f].recall
+          << " vs " << b[s].by_faults[f].precision << "/"
+          << b[s].by_faults[f].recall;
+    }
+  }
+}
+
+TEST(Determinism, AccuracySweepSerialEqualsFourThreads) {
+  const AccuracyOptions opts = sweep_options();
+  runtime::SerialExecutor serial;
+  const auto reference = run_accuracy_sweep(opts, kAlgorithms, serial);
+
+  runtime::ThreadPoolExecutor parallel{4};
+  const auto threaded = run_accuracy_sweep(opts, kAlgorithms, parallel);
+  expect_bitwise_equal(reference, threaded);
+
+  // And again: re-running the parallel sweep is stable, too.
+  runtime::ThreadPoolExecutor parallel2{3};
+  expect_bitwise_equal(reference,
+                       run_accuracy_sweep(opts, kAlgorithms, parallel2));
+}
+
+TEST(Determinism, SwitchModelSweepSerialEqualsFourThreads) {
+  AccuracyOptions opts = sweep_options();
+  opts.model = RiskModelKind::kSwitch;
+  runtime::SerialExecutor serial;
+  runtime::ThreadPoolExecutor parallel{4};
+  expect_bitwise_equal(run_accuracy_sweep(opts, kAlgorithms, serial),
+                       run_accuracy_sweep(opts, kAlgorithms, parallel));
+}
+
+TEST(Determinism, GammaExperimentSerialEqualsFourThreads) {
+  GammaOptions opts;
+  opts.profile = GeneratorProfile::testbed();
+  opts.faults = 48;
+  opts.seed = 3;
+  opts.bucket_bounds = {10, 20, 40, 60};
+  opts.shards = 6;
+
+  runtime::SerialExecutor serial;
+  runtime::ThreadPoolExecutor parallel{4};
+  const auto reference = run_gamma_experiment(opts, serial);
+  const auto threaded = run_gamma_experiment(opts, parallel);
+  ASSERT_EQ(reference.size(), threaded.size());
+  for (std::size_t b = 0; b < reference.size(); ++b) {
+    EXPECT_EQ(std::memcmp(&reference[b], &threaded[b], sizeof(GammaBucket)),
+              0)
+        << "bucket " << b;
+  }
+}
+
+TEST(Determinism, ScalabilityCampaignStructureMatchesSerial) {
+  ScaleCampaignOptions opts;
+  opts.switch_counts = {5, 10};
+  opts.reps = 2;
+  opts.n_faults = 2;
+  opts.pairs_per_switch = 30;
+
+  runtime::SerialExecutor serial;
+  runtime::ThreadPoolExecutor parallel{4};
+  const auto reference = run_scalability_campaign(opts, serial);
+  const auto threaded = run_scalability_campaign(opts, parallel);
+  ASSERT_EQ(reference.size(), 4u);
+  ASSERT_EQ(threaded.size(), 4u);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Timings are wall-clock and legitimately differ; the derived model
+    // structure must not.
+    EXPECT_EQ(reference[i].switches, threaded[i].switches);
+    EXPECT_EQ(reference[i].epg_pairs, threaded[i].epg_pairs);
+    EXPECT_EQ(reference[i].elements, threaded[i].elements);
+    EXPECT_EQ(reference[i].risks, threaded[i].risks);
+    EXPECT_EQ(reference[i].edges, threaded[i].edges);
+  }
+}
+
+TEST(Determinism, DeriveSeedIsChainableAndOrderSensitive) {
+  EXPECT_NE(derive_seed(derive_seed(7, 1), 2),
+            derive_seed(derive_seed(7, 2), 1));
+  EXPECT_NE(derive_seed(7, 0), derive_seed(7, 1));
+  constexpr std::uint64_t fixed = derive_seed(42, 3);  // constexpr-usable
+  EXPECT_EQ(derive_seed(42, 3), fixed);
+}
+
+}  // namespace
+}  // namespace scout
