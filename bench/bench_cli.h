@@ -1,9 +1,13 @@
 // Minimal flag parsing shared by the bench binaries. Supports
 // "--name value" and "--name=value"; unknown flags are ignored so each
-// bench reads only the flags it understands.
+// bench reads only the flags it understands. A flag present with no usable
+// value (bare at argv's end, or followed by / set to another "--flag") is
+// reported loudly and treated as its fallback — never as absent, which
+// used to make a bare "--threads" silently run scalability's full sweep.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -27,15 +31,50 @@ inline bool bool_flag(int argc, char** argv, std::string_view name) {
   return false;
 }
 
-inline const char* flag_value(int argc, char** argv, std::string_view name) {
+// Lookup of "--name value" / "--name=value" that distinguishes an absent
+// flag from one present without a usable value. A value that itself starts
+// with "--" is rejected: it is almost certainly the next flag, not a value
+// (no bench flag takes a negative or flag-shaped argument). A repeated
+// flag follows the usual last-wins convention, so appended overrides
+// ("scalability --threads 2 $EXTRA") behave as scripts expect.
+struct FlagLookup {
+  bool present = false;
+  const char* value = nullptr;  // non-null only when a usable value exists
+};
+
+inline FlagLookup find_flag(int argc, char** argv, std::string_view name) {
   const std::string prefix = "--" + std::string{name};
   const std::string prefix_eq = prefix + "=";
+  FlagLookup found;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg{argv[i]};
-    if (arg == prefix && i + 1 < argc) return argv[i + 1];
-    if (arg.rfind(prefix_eq, 0) == 0) return argv[i] + prefix_eq.size();
+    const char* value = nullptr;
+    if (arg == prefix) {
+      if (i + 1 < argc) value = argv[i + 1];
+    } else if (arg.rfind(prefix_eq, 0) == 0) {
+      value = argv[i] + prefix_eq.size();
+    } else {
+      continue;
+    }
+    if (value != nullptr && std::string_view{value}.rfind("--", 0) == 0) {
+      value = nullptr;
+    }
+    found = FlagLookup{true, value};
   }
-  return nullptr;
+  return found;
+}
+
+// Usable value of "--name", warning (once per call) when the flag is
+// present but valueless instead of pretending it was never passed.
+inline const char* flag_value(int argc, char** argv, std::string_view name) {
+  const FlagLookup flag = find_flag(argc, argv, name);
+  if (flag.present && flag.value == nullptr) {
+    std::fprintf(stderr,
+                 "warning: --%.*s needs a value (none given, or the next "
+                 "token is another --flag); using the default\n",
+                 static_cast<int>(name.size()), name.data());
+  }
+  return flag.value;
 }
 
 // Parse a non-negative integer; nullopt on anything strtoull would mangle
@@ -96,6 +135,23 @@ inline std::string string_flag(int argc, char** argv, std::string_view name,
   const char* raw = flag_value(argc, argv, name);
   return raw == nullptr ? std::move(fallback) : std::string{raw};
 }
+
+// Wall-clock scaffold shared by the sweep benches: start on construction,
+// read elapsed time when the measured region ends.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Hard cap on --threads across every bench: typos and unquoted script
 // variables should degrade, not exhaust the process's thread limit.

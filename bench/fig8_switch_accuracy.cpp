@@ -4,7 +4,6 @@
 //
 // Paper result: SCOUT recall 20-30% above SCORE at comparable precision
 // (~0.9); SCORE's threshold setting changes little.
-#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_cli.h"
@@ -34,11 +33,9 @@ int main(int argc, char** argv) {
               "(%zu runs/point, %zu thread%s) ===\n\n",
               opts.runs, executor->workers(),
               executor->workers() == 1 ? "" : "s");
-  const auto wall_start = std::chrono::steady_clock::now();
+  const bench::WallClock wall;
   const auto series = run_accuracy_sweep(opts, algorithms, *executor);
-  const double wall_s = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - wall_start)
-                            .count();
+  const double wall_s = wall.seconds();
 
   std::printf("(a) precision\n  %-7s", "faults");
   for (const auto& s : series) std::printf(" %-10s", s.name.c_str());

@@ -2,7 +2,6 @@
 // the *controller risk model*, with faults injected across switches.
 // Same algorithms and run count as Figure 8; the paper observes "similar
 // trends for the controller risk model".
-#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_cli.h"
@@ -32,11 +31,9 @@ int main(int argc, char** argv) {
               "faults across switches (%zu runs/point, %zu thread%s) ===\n\n",
               opts.runs, executor->workers(),
               executor->workers() == 1 ? "" : "s");
-  const auto wall_start = std::chrono::steady_clock::now();
+  const bench::WallClock wall;
   const auto series = run_accuracy_sweep(opts, algorithms, *executor);
-  const double wall_s = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - wall_start)
-                            .count();
+  const double wall_s = wall.seconds();
 
   for (const auto metric : {0, 1}) {
     std::printf("%s\n  %-7s", metric == 0 ? "(a) precision" : "\n(b) recall",

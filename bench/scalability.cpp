@@ -13,18 +13,101 @@
 // --paper reproduces the original single-rep deep sweep up to 500 leaves
 // (paper reference, 1 kLOC Python prototype on 4 cores: ~45 s at 200
 // switches, ~130 s at 500; the reproduction target is near-linear growth).
-#include <chrono>
+//
+// --analysis flips to the single-fabric mode: one fabric (default 64
+// switches, --sizes overrides with its first entry) is built and faulted
+// once, then the *sharded* L-T check (ScoutSystem::check_all) is timed at
+// each thread count over the same deployment — the intra-analysis speedup,
+// as opposed to the campaign's across-cell speedup.
 #include <cstdio>
 
 #include "bench/bench_cli.h"
 #include "src/runtime/result_sink.h"
 #include "src/scout/experiment.h"
 
+namespace {
+
+// Single-fabric sharded-analysis mode (--analysis).
+int run_analysis_mode(int argc, char** argv,
+                      std::vector<std::size_t> thread_counts,
+                      const std::string& json_path) {
+  using namespace scout;
+
+  AnalysisScalingOptions options;
+  options.switches = bench::list_flag(argc, argv, "sizes",
+                                      {options.switches})[0];
+  options.n_faults = bench::size_flag(argc, argv, "faults", options.n_faults,
+                                      /*min=*/0, /*max=*/100000);
+  options.seed = bench::size_flag(argc, argv, "seed", options.seed);
+  options.thread_counts = std::move(thread_counts);
+
+  std::printf("=== Scalability (single-fabric analysis): sharded L-T check "
+              "on %zu switches, %zu faults ===\n",
+              options.switches, options.n_faults);
+  const auto points = run_analysis_scaling(options);
+
+  runtime::BenchRecorder recorder{"scalability_analysis"};
+  std::printf("  %-8s %-12s %-9s %-14s %-7s\n", "threads", "check(ms)",
+              "missing", "inconsistent", "extra");
+  for (const auto& p : points) {
+    std::printf("  %-8zu %-12.1f %-9zu %-14zu %-7zu\n", p.threads,
+                p.check_seconds * 1e3, p.missing_rules,
+                p.switches_inconsistent, p.extra_rules);
+    recorder.add_row(
+        {{"threads", static_cast<double>(p.threads)},
+         {"check_ms", p.check_seconds * 1e3},
+         {"missing_rules", static_cast<double>(p.missing_rules)},
+         {"switches_inconsistent",
+          static_cast<double>(p.switches_inconsistent)},
+         {"extra_rules", static_cast<double>(p.extra_rules)}});
+  }
+  for (const auto& p : points) {
+    if (p.missing_rules != points.front().missing_rules ||
+        p.switches_inconsistent != points.front().switches_inconsistent ||
+        p.extra_rules != points.front().extra_rules) {
+      std::fprintf(stderr, "error: structural outputs diverged across "
+                           "thread counts (determinism violation)\n");
+      return 1;
+    }
+  }
+  if (points.size() > 1) {
+    std::printf("speedup vs serial at %zu threads: x%.2f\n",
+                points.back().threads,
+                points.front().check_seconds / points.back().check_seconds);
+  }
+  if (!recorder.write_file(json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace scout;
-  using Clock = std::chrono::steady_clock;
 
   const bool paper_mode = bench::bool_flag(argc, argv, "paper");
+
+  // A present --threads always selects the single-count run, even when its
+  // value is missing or malformed (size_flag then warns and falls back to
+  // 1): "--threads" with no value means the user asked for *a* thread
+  // count, not for the full 1/2/4 sweep.
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (bench::find_flag(argc, argv, "threads").present) {
+    thread_counts = {bench::size_flag(argc, argv, "threads", 1,
+                                      /*min=*/1, bench::kMaxBenchThreads)};
+  }
+
+  // Branch before the campaign options are parsed: analysis mode reads its
+  // own flags, and parsing --sizes twice would double any warning.
+  if (bench::bool_flag(argc, argv, "analysis")) {
+    return run_analysis_mode(
+        argc, argv, std::move(thread_counts),
+        bench::string_flag(argc, argv, "json",
+                           "BENCH_scalability_analysis.json"));
+  }
 
   ScaleCampaignOptions options;
   options.switch_counts = bench::list_flag(
@@ -37,22 +120,14 @@ int main(int argc, char** argv) {
                                   /*min=*/1, /*max=*/1000);
   options.seed = bench::size_flag(argc, argv, "seed", 5);
 
-  std::vector<std::size_t> thread_counts{1, 2, 4};
-  if (bench::flag_value(argc, argv, "threads") != nullptr) {
-    thread_counts = {bench::size_flag(argc, argv, "threads", 1,
-                                      /*min=*/1, bench::kMaxBenchThreads)};
-  }
-
   runtime::BenchRecorder recorder{"scalability"};
   std::vector<ScalePoint> points;  // structurally identical across sweeps
 
   for (const std::size_t threads : thread_counts) {
     const auto executor = runtime::make_executor(threads);
-    const auto wall_start = Clock::now();
+    const bench::WallClock wall;
     points = run_scalability_campaign(options, *executor);
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
-            .count();
+    const double wall_ms = wall.millis();
     std::printf("campaign wall clock: %8.0f ms over %zu tasks "
                 "(%zu thread%s)\n",
                 wall_ms, points.size(), executor->workers(),

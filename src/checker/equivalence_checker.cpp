@@ -1,5 +1,7 @@
 #include "src/checker/equivalence_checker.h"
 
+#include <algorithm>
+#include <iterator>
 #include <unordered_map>
 
 #include "src/checker/packet_encoding.h"
@@ -46,6 +48,20 @@ bool is_catch_all_deny(const MatchKey& k) noexcept {
 }
 
 }  // namespace
+
+void CheckResult::absorb(CheckResult&& other) {
+  equivalent = equivalent && other.equivalent;
+  missing.insert(missing.end(),
+                 std::make_move_iterator(other.missing.begin()),
+                 std::make_move_iterator(other.missing.end()));
+  extra_rules.insert(extra_rules.end(),
+                     std::make_move_iterator(other.extra_rules.begin()),
+                     std::make_move_iterator(other.extra_rules.end()));
+  extra_packet_count += other.extra_packet_count;
+  missing_packet_count += other.missing_packet_count;
+  l_dag_size = std::max(l_dag_size, other.l_dag_size);
+  t_dag_size = std::max(t_dag_size, other.t_dag_size);
+}
 
 bool EquivalenceChecker::syntactically_identical(
     std::span<const LogicalRule> logical, std::span<const TcamRule> deployed) {

@@ -44,6 +44,12 @@ struct CheckResult {
   // Introspection for the microbenches.
   std::size_t l_dag_size = 0;
   std::size_t t_dag_size = 0;
+
+  // Fold one switch's outcome into this fabric-level accumulator:
+  // concatenates missing/extra, sums the packet counts, and stays
+  // equivalent only if every absorbed result was. DAG sizes are per-check
+  // introspection and meaningless summed; absorb keeps the largest seen.
+  void absorb(CheckResult&& other);
 };
 
 class EquivalenceChecker {

@@ -48,6 +48,30 @@ class ResultSlots {
   std::vector<T> slots_;
 };
 
+// A slot value tagged with the entity it belongs to (switch id, cell name,
+// ...). Sharded per-entity work writes one Keyed slot per task; the merge
+// then knows which entity produced each partial without threading a side
+// table through the tasks.
+template <typename Key, typename T>
+struct Keyed {
+  Key key{};
+  T value{};
+};
+
+// Keyed reduction over a finished batch: visit every slot in index order —
+// fn(acc, key, value&&) — and return the accumulator. When the submitter
+// indexed the batch in key order (e.g. one task per switch, in switch
+// order), the fold is bit-identical to a serial loop over the entities no
+// matter how many workers ran the tasks.
+template <typename Key, typename T, typename Acc, typename Fn>
+[[nodiscard]] Acc merge_keyed(ResultSlots<Keyed<Key, T>>& slots, Acc acc,
+                              Fn&& fn) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    fn(acc, slots[i].key, std::move(slots[i].value));
+  }
+  return acc;
+}
+
 template <typename T>
 class WorkerLocal {
  public:

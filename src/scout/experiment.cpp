@@ -321,6 +321,15 @@ std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options) {
 ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
                                  std::size_t n_faults,
                                  std::size_t pairs_per_switch) {
+  runtime::SerialExecutor executor;
+  return run_scalability_point(switches, seed, n_faults, pairs_per_switch,
+                               executor);
+}
+
+ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
+                                 std::size_t n_faults,
+                                 std::size_t pairs_per_switch,
+                                 runtime::Executor& check_executor) {
   ScalePoint point;
   point.switches = switches;
 
@@ -341,7 +350,8 @@ ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
   const ScoutSystem system{ScoutSystem::Options{CheckMode::kSyntactic,
                                                 ScoutLocalizer::Options{}}};
   auto t0 = Clock::now();
-  const std::vector<LogicalRule> missing = system.find_missing_rules(net);
+  const std::vector<LogicalRule> missing =
+      system.find_missing_rules(net, check_executor);
   point.check_seconds = seconds_since(t0);
 
   const PolicyIndex index{net.controller().policy()};
@@ -374,11 +384,49 @@ std::vector<ScalePoint> run_scalability_campaign(
 
   runtime::run_campaign(
       executor, grid, [&](const runtime::CampaignTask& task) {
+        // Cells keep their check serial: the campaign already saturates the
+        // executor across cells, and re-entering the same executor from
+        // inside one of its tasks would deadlock its worker.
         slots[task.index] = run_scalability_point(
             options.switch_counts[task.coords[0]], task.seed,
             options.n_faults, options.pairs_per_switch);
       });
   return slots.take();
+}
+
+std::vector<AnalysisScalingPoint> run_analysis_scaling(
+    const AnalysisScalingOptions& options) {
+  GeneratorProfile profile = GeneratorProfile::scaled(options.switches);
+  profile.target_pairs = options.switches * options.pairs_per_switch;
+
+  Rng rng{options.seed};
+  GeneratedNetwork generated = generate_network(profile, rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+
+  ObjectFaultInjector injector{net.controller(), rng};
+  for (const ObjectRef obj : injector.sample_objects(options.n_faults)) {
+    injector.inject_full(obj);
+  }
+
+  const ScoutSystem system{
+      ScoutSystem::Options{options.check_mode, ScoutLocalizer::Options{}}};
+  std::vector<AnalysisScalingPoint> points;
+  points.reserve(options.thread_counts.size());
+  for (const std::size_t threads : options.thread_counts) {
+    const auto executor = runtime::make_executor(threads);
+    AnalysisScalingPoint point;
+    point.threads = executor->workers();
+    const auto t0 = Clock::now();
+    const FabricCheck check = system.check_all(net, *executor);
+    point.check_seconds = seconds_since(t0);
+    point.missing_rules = check.missing_rules.size();
+    point.switches_inconsistent = check.inconsistent.size();
+    point.extra_rules = check.extra_rule_count;
+    points.push_back(point);
+  }
+  return points;
 }
 
 }  // namespace scout

@@ -117,12 +117,20 @@ struct ScalePoint {
 };
 
 // Full pipeline timing at `switches` leaves (controller risk model):
-// generate + deploy + inject `n_faults` + check + build + localize.
+// generate + deploy + inject `n_faults` + check + build + localize. The
+// executor overload shards the L-T check stage per switch
+// (ScoutSystem::check_all); the default runs it serially.
 [[nodiscard]] ScalePoint run_scalability_point(std::size_t switches,
                                                std::uint64_t seed,
                                                std::size_t n_faults = 5,
                                                std::size_t pairs_per_switch =
                                                    200);
+[[nodiscard]] ScalePoint run_scalability_point(std::size_t switches,
+                                               std::uint64_t seed,
+                                               std::size_t n_faults,
+                                               std::size_t pairs_per_switch,
+                                               runtime::Executor&
+                                                   check_executor);
 
 // Campaign form: (switch-count x rep) grid fanned over the executor, one
 // independently seeded full pipeline per cell. Returned in grid index order
@@ -137,5 +145,36 @@ struct ScaleCampaignOptions {
 
 [[nodiscard]] std::vector<ScalePoint> run_scalability_campaign(
     const ScaleCampaignOptions& options, runtime::Executor& executor);
+
+// ---------------------------------------------------------------------------
+// Single-fabric sharded analysis ("how fast is one large check?")
+// ---------------------------------------------------------------------------
+//
+// The campaign above parallelizes *across* independent cells; this driver
+// parallelizes *within* one analysis: build one fabric, inject faults once,
+// then run the sharded L-T check (ScoutSystem::check_all) at each requested
+// worker count over the same deployment. The structural outputs must be
+// identical at every worker count — only check_seconds may vary.
+
+struct AnalysisScalingOptions {
+  std::size_t switches = 64;
+  std::size_t pairs_per_switch = 200;
+  std::size_t n_faults = 5;
+  std::uint64_t seed = 11;
+  CheckMode check_mode = CheckMode::kSyntactic;
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+};
+
+struct AnalysisScalingPoint {
+  std::size_t threads = 0;
+  double check_seconds = 0.0;
+  // Structural outputs (identical across worker counts by construction).
+  std::size_t missing_rules = 0;
+  std::size_t switches_inconsistent = 0;
+  std::size_t extra_rules = 0;
+};
+
+[[nodiscard]] std::vector<AnalysisScalingPoint> run_analysis_scaling(
+    const AnalysisScalingOptions& options);
 
 }  // namespace scout

@@ -2,25 +2,57 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
+#include "src/runtime/result_sink.h"
 #include "src/scout/metrics.h"
 
 namespace scout {
 
+FabricCheck ScoutSystem::check_all(SimNetwork& net,
+                                   runtime::Executor& executor) const {
+  const auto agents = net.agents();
+  const CompiledPolicy& compiled = net.controller().compiled();
+
+  // One task per switch, indexed in agent order (ascending switch id). A
+  // skipped switch (nothing compiled, nothing deployed) leaves its slot at
+  // the default CheckResult, which merges exactly like an equivalent one.
+  runtime::ResultSlots<runtime::Keyed<SwitchId, CheckResult>> slots{
+      agents.size()};
+  executor.run(agents.size(), [&](std::size_t index, std::size_t) {
+    const SwitchAgent& agent = *agents[index];
+    slots[index].key = agent.id();
+    const auto& logical = compiled.rules_for(agent.id());
+    if (logical.empty() && agent.tcam().size() == 0) return;
+    slots[index].value = checker_.check(logical, agent.collect_tcam());
+  });
+
+  FabricCheck check;
+  check.switches_checked = agents.size();
+  CheckResult merged = runtime::merge_keyed(
+      slots, CheckResult{},
+      [&check](CheckResult& acc, SwitchId sw, CheckResult&& result) {
+        if (!result.equivalent) check.inconsistent.push_back(sw);
+        acc.absorb(std::move(result));
+      });
+  check.missing_rules = std::move(merged.missing);
+  check.extra_rule_count = merged.extra_rules.size();
+  return check;
+}
+
+FabricCheck ScoutSystem::check_all(SimNetwork& net) const {
+  runtime::SerialExecutor executor;
+  return check_all(net, executor);
+}
+
+std::vector<LogicalRule> ScoutSystem::find_missing_rules(
+    SimNetwork& net, runtime::Executor& executor) const {
+  return check_all(net, executor).missing_rules;
+}
+
 std::vector<LogicalRule> ScoutSystem::find_missing_rules(
     SimNetwork& net) const {
-  std::vector<LogicalRule> all_missing;
-  const CompiledPolicy& compiled = net.controller().compiled();
-  for (const auto& agent : net.agents()) {
-    const auto& logical = compiled.rules_for(agent->id());
-    if (logical.empty() && agent->tcam().size() == 0) continue;
-    const std::vector<TcamRule> deployed = agent->collect_tcam();
-    CheckResult result = checker_.check(logical, deployed);
-    all_missing.insert(all_missing.end(),
-                       std::make_move_iterator(result.missing.begin()),
-                       std::make_move_iterator(result.missing.end()));
-  }
-  return all_missing;
+  return check_all(net).missing_rules;
 }
 
 ObjectScope ScoutSystem::build_object_scope(const SimNetwork& net) {
@@ -39,27 +71,15 @@ ObjectScope ScoutSystem::build_object_scope(const SimNetwork& net) {
   return scope;
 }
 
-ScoutReport ScoutSystem::analyze(SimNetwork& net, RiskModel model) const {
+ScoutReport ScoutSystem::analyze(SimNetwork& net, RiskModel model,
+                                 FabricCheck check) const {
   ScoutReport report;
 
-  // Stage 1-2: collect + check.
-  const CompiledPolicy& compiled = net.controller().compiled();
-  report.switches_checked = net.agents().size();
-  {
-    std::vector<SwitchId> bad;
-    for (const auto& agent : net.agents()) {
-      const auto& logical = compiled.rules_for(agent->id());
-      if (logical.empty() && agent->tcam().size() == 0) continue;
-      CheckResult result = checker_.check(logical, agent->collect_tcam());
-      report.extra_rule_count += result.extra_rules.size();
-      if (!result.equivalent) bad.push_back(agent->id());
-      report.missing_rules.insert(
-          report.missing_rules.end(),
-          std::make_move_iterator(result.missing.begin()),
-          std::make_move_iterator(result.missing.end()));
-    }
-    report.switches_inconsistent = bad.size();
-  }
+  // Stage 1-2 came in as the (possibly sharded) fabric check.
+  report.switches_checked = check.switches_checked;
+  report.switches_inconsistent = check.inconsistent.size();
+  report.extra_rule_count = check.extra_rule_count;
+  report.missing_rules = std::move(check.missing_rules);
 
   // Blast radius: distinct pairs and the endpoint pairs inside them.
   {
@@ -97,38 +117,70 @@ ScoutReport ScoutSystem::analyze(SimNetwork& net, RiskModel model) const {
   return report;
 }
 
+std::size_t ScoutSystem::remediate(SimNetwork& net, const ScoutReport& report,
+                                   runtime::Executor& executor) const {
+  (void)net.controller().reinstall_rules(report.missing_rules);
+  return find_missing_rules(net, executor).size();
+}
+
 std::size_t ScoutSystem::remediate(SimNetwork& net,
                                    const ScoutReport& report) const {
-  (void)net.controller().reinstall_rules(report.missing_rules);
-  return find_missing_rules(net).size();
+  runtime::SerialExecutor executor;
+  return remediate(net, report, executor);
+}
+
+ScoutReport ScoutSystem::analyze_controller(SimNetwork& net,
+                                            runtime::Executor& executor) const {
+  const PolicyIndex index{net.controller().policy()};
+  return analyze(net, RiskModel::build_controller_model(index),
+                 check_all(net, executor));
 }
 
 ScoutReport ScoutSystem::analyze_controller(SimNetwork& net) const {
+  runtime::SerialExecutor executor;
+  return analyze_controller(net, executor);
+}
+
+ScoutReport ScoutSystem::analyze_switch(SimNetwork& net, SwitchId sw,
+                                        runtime::Executor& executor) const {
   const PolicyIndex index{net.controller().policy()};
-  return analyze(net, RiskModel::build_controller_model(index));
+  return analyze(net, RiskModel::build_switch_model(index, sw),
+                 check_all(net, executor));
 }
 
 ScoutReport ScoutSystem::analyze_switch(SimNetwork& net, SwitchId sw) const {
-  const PolicyIndex index{net.controller().policy()};
-  return analyze(net, RiskModel::build_switch_model(index, sw));
+  runtime::SerialExecutor executor;
+  return analyze_switch(net, sw, executor);
 }
 
 std::vector<std::pair<SwitchId, ScoutReport>>
-ScoutSystem::analyze_inconsistent_switches(SimNetwork& net) const {
-  // One global collection pass decides which switches need a local model.
+ScoutSystem::analyze_inconsistent_switches(SimNetwork& net,
+                                           runtime::Executor& executor) const {
+  // One sharded collection pass decides which switches need a local model
+  // *and* feeds every per-switch report — the fleet is checked exactly once.
+  FabricCheck check = check_all(net, executor);
   std::vector<SwitchId> bad;
-  for (const LogicalRule& lr : find_missing_rules(net)) {
+  for (const LogicalRule& lr : check.missing_rules) {
     if (std::find(bad.begin(), bad.end(), lr.prov.sw) == bad.end()) {
       bad.push_back(lr.prov.sw);
     }
   }
   std::sort(bad.begin(), bad.end());
+
+  const PolicyIndex index{net.controller().policy()};
   std::vector<std::pair<SwitchId, ScoutReport>> out;
   out.reserve(bad.size());
   for (const SwitchId sw : bad) {
-    out.emplace_back(sw, analyze_switch(net, sw));
+    out.emplace_back(sw, analyze(net, RiskModel::build_switch_model(index, sw),
+                                 check));
   }
   return out;
+}
+
+std::vector<std::pair<SwitchId, ScoutReport>>
+ScoutSystem::analyze_inconsistent_switches(SimNetwork& net) const {
+  runtime::SerialExecutor executor;
+  return analyze_inconsistent_switches(net, executor);
 }
 
 }  // namespace scout

@@ -13,9 +13,24 @@
 #include "src/correlation/event_correlation.h"
 #include "src/localization/scout_localizer.h"
 #include "src/riskmodel/risk_model.h"
+#include "src/runtime/campaign.h"
 #include "src/scout/sim_network.h"
 
 namespace scout {
+
+// Merged outcome of checking every switch's TCAM against its compiled
+// rules — the shared substrate of find_missing_rules, analyze and
+// remediate. Per-switch partials are merged in switch order, so the
+// contents are bit-identical no matter which executor ran the checks.
+struct FabricCheck {
+  std::size_t switches_checked = 0;
+  // Switches whose deployment diverged from L (missing or extra rules),
+  // ascending by switch id.
+  std::vector<SwitchId> inconsistent;
+  // Concatenation of per-switch missing rules, in switch order.
+  std::vector<LogicalRule> missing_rules;
+  std::size_t extra_rule_count = 0;
+};
 
 struct ScoutReport {
   // Checker stage.
@@ -53,23 +68,43 @@ class ScoutSystem {
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
+  // The sharded fabric check: one L-T check task per switch fanned over
+  // `executor`, merged in switch order. Every checker entry point below is
+  // a view over this one implementation, so their accounting cannot drift.
+  // Each task builds its own BDD state inside EquivalenceChecker::check
+  // (the Bdd manager is not shared-state-safe across threads) and only
+  // reads the network, so parallel output is bit-identical to serial.
+  [[nodiscard]] FabricCheck check_all(SimNetwork& net,
+                                      runtime::Executor& executor) const;
+  [[nodiscard]] FabricCheck check_all(SimNetwork& net) const;
+
   // Collect TCAMs from every agent, check against compiled L-rules, and
   // return all missing rules (the failure signature source).
   [[nodiscard]] std::vector<LogicalRule> find_missing_rules(
       SimNetwork& net) const;
+  [[nodiscard]] std::vector<LogicalRule> find_missing_rules(
+      SimNetwork& net, runtime::Executor& executor) const;
 
   // Full pipeline on the controller risk model (global analysis).
   [[nodiscard]] ScoutReport analyze_controller(SimNetwork& net) const;
+  [[nodiscard]] ScoutReport analyze_controller(
+      SimNetwork& net, runtime::Executor& executor) const;
 
   // Full pipeline on one switch's risk model (local analysis).
   [[nodiscard]] ScoutReport analyze_switch(SimNetwork& net, SwitchId sw) const;
+  [[nodiscard]] ScoutReport analyze_switch(SimNetwork& net, SwitchId sw,
+                                           runtime::Executor& executor) const;
 
-  // Fleet sweep: one switch-risk-model analysis per *inconsistent* switch
-  // (consistent switches are skipped — their models have empty failure
-  // signatures). This is how an operator runs the paper's switch model in
-  // practice: global check first, local localization where it hurts.
+  // Fleet sweep: one switch-risk-model analysis per switch with at least
+  // one missing rule (switches that are consistent, or diverge only by
+  // extra rules, are skipped — their models have empty failure
+  // signatures). One sharded fabric check feeds every per-switch report;
+  // the fleet is never re-collected per switch.
   [[nodiscard]] std::vector<std::pair<SwitchId, ScoutReport>>
   analyze_inconsistent_switches(SimNetwork& net) const;
+  [[nodiscard]] std::vector<std::pair<SwitchId, ScoutReport>>
+  analyze_inconsistent_switches(SimNetwork& net,
+                                runtime::Executor& executor) const;
 
   // Deployment scope of every policy object (object -> switches), from the
   // compiled policy; feeds the correlation engine.
@@ -79,12 +114,19 @@ class ScoutSystem {
   // rules and re-check. Returns the number of rules still missing after
   // the pass — non-zero when the underlying physical fault persists (an
   // unresponsive switch keeps losing the pushes), which is exactly why the
-  // paper calls this a stopgap rather than a fix.
+  // paper calls this a stopgap rather than a fix. The post-reinstall
+  // verification re-check goes through the same sharded path as analysis.
   [[nodiscard]] std::size_t remediate(SimNetwork& net,
                                       const ScoutReport& report) const;
+  [[nodiscard]] std::size_t remediate(SimNetwork& net,
+                                      const ScoutReport& report,
+                                      runtime::Executor& executor) const;
 
  private:
-  [[nodiscard]] ScoutReport analyze(SimNetwork& net, RiskModel model) const;
+  // Stages 3-5 over a finished fabric check (stage 1-2). Takes the check
+  // by value: each report owns its missing-rule list.
+  [[nodiscard]] ScoutReport analyze(SimNetwork& net, RiskModel model,
+                                    FabricCheck check) const;
 
   Options options_;
   EquivalenceChecker checker_;
