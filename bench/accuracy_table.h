@@ -1,0 +1,30 @@
+// Shared precision/recall table formatting for the accuracy benches
+// (fig8/fig9): one place to change column widths or add a metric.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "src/scout/experiment.h"
+
+namespace scout::bench {
+
+inline void print_accuracy_series(const std::vector<AccuracySeries>& series,
+                                  std::size_t max_faults) {
+  for (const int metric : {0, 1}) {
+    std::printf("%s\n  %-7s", metric == 0 ? "(a) precision" : "\n(b) recall",
+                "faults");
+    for (const auto& s : series) std::printf(" %-10s", s.name.c_str());
+    std::printf("\n");
+    for (std::size_t f = 0; f < max_faults; ++f) {
+      std::printf("  %-7zu", f + 1);
+      for (const auto& s : series) {
+        std::printf(" %-10.3f", metric == 0 ? s.by_faults[f].precision
+                                            : s.by_faults[f].recall);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace scout::bench

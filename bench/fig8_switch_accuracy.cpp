@@ -4,9 +4,18 @@
 //
 // Paper result: SCOUT recall 20-30% above SCORE at comparable precision
 // (~0.9); SCORE's threshold setting changes little.
+//
+// The sweep runs twice by default — once rebuilding the network per cell
+// (--no-cache path) and once on per-worker cached networks with exact
+// repair between cells — verifies the two series are memcmp-identical, and
+// writes both wall clocks plus the setup-time split to BENCH_fig8.json
+// (the setup-amortization trajectory). --no-cache or --cache-only measure
+// just one side. --runs/--faults trim the grid for CI smoke runs.
 #include <cstdio>
 
+#include "bench/accuracy_table.h"
 #include "bench/bench_cli.h"
+#include "src/runtime/result_sink.h"
 #include "src/scout/experiment.h"
 
 int main(int argc, char** argv) {
@@ -16,10 +25,20 @@ int main(int argc, char** argv) {
   opts.profile = GeneratorProfile::production();
   opts.profile.target_pairs = 6'000;  // runtime trim; sharing shape kept
   opts.model = RiskModelKind::kSwitch;
-  opts.runs = 30;
-  opts.max_faults = 10;
+  opts.runs = bench::size_flag(argc, argv, "runs", 30, /*min=*/1,
+                               /*max=*/1000);
+  opts.max_faults = bench::size_flag(argc, argv, "faults", 10, /*min=*/1,
+                                     /*max=*/100);
   opts.benign_changes = 0;
   opts.seed = 42;
+
+  const bool no_cache = bench::bool_flag(argc, argv, "no-cache");
+  const bool cache_only = bench::bool_flag(argc, argv, "cache-only");
+  if (no_cache && cache_only) {
+    std::fprintf(stderr, "error: --no-cache and --cache-only are mutually "
+                         "exclusive (each skips the other's pass)\n");
+    return 1;
+  }
 
   const std::vector<AlgorithmSpec> algorithms{
       {"SCOUT", AlgorithmKind::kScout, 1.0, true},
@@ -28,36 +47,55 @@ int main(int argc, char** argv) {
   };
 
   const auto executor = bench::executor_from_flags(argc, argv);
+  runtime::BenchRecorder recorder{"fig8_switch_accuracy"};
 
   std::printf("=== Figure 8: fault localization on switch risk model "
               "(%zu runs/point, %zu thread%s) ===\n\n",
               opts.runs, executor->workers(),
               executor->workers() == 1 ? "" : "s");
-  const bench::WallClock wall;
-  const auto series = run_accuracy_sweep(opts, algorithms, *executor);
-  const double wall_s = wall.seconds();
 
-  std::printf("(a) precision\n  %-7s", "faults");
-  for (const auto& s : series) std::printf(" %-10s", s.name.c_str());
-  std::printf("\n");
-  for (std::size_t f = 0; f < opts.max_faults; ++f) {
-    std::printf("  %-7zu", f + 1);
-    for (const auto& s : series) {
-      std::printf(" %-10.3f", s.by_faults[f].precision);
-    }
-    std::printf("\n");
+  const auto record_pass = [&](double cache_flag, double wall_s,
+                               const SweepDiagnostics& diag) {
+    recorder.add_row(
+        {{"threads", static_cast<double>(executor->workers())},
+         {"cache", cache_flag},
+         {"wall_ms", wall_s * 1e3},
+         {"setup_ms", diag.setup_seconds * 1e3},
+         {"network_builds", static_cast<double>(diag.network_builds)},
+         {"network_repairs", static_cast<double>(diag.network_repairs)}});
+  };
+
+  // Pass 1: the fresh-build-per-cell path (skipped by --cache-only).
+  std::vector<AccuracySeries> uncached_series;
+  double uncached_wall = 0.0;
+  SweepDiagnostics uncached_diag;
+  if (!cache_only) {
+    opts.cache_networks = false;
+    const bench::WallClock wall;
+    uncached_series = run_accuracy_sweep(opts, algorithms, *executor,
+                                         /*cache=*/nullptr, &uncached_diag);
+    uncached_wall = wall.seconds();
+    record_pass(0.0, uncached_wall, uncached_diag);
   }
 
-  std::printf("\n(b) recall\n  %-7s", "faults");
-  for (const auto& s : series) std::printf(" %-10s", s.name.c_str());
-  std::printf("\n");
-  for (std::size_t f = 0; f < opts.max_faults; ++f) {
-    std::printf("  %-7zu", f + 1);
-    for (const auto& s : series) {
-      std::printf(" %-10.3f", s.by_faults[f].recall);
-    }
-    std::printf("\n");
+  // Pass 2: per-worker cached networks with exact repair (skipped by
+  // --no-cache).
+  std::vector<AccuracySeries> cached_series;
+  double cached_wall = 0.0;
+  SweepDiagnostics cached_diag;
+  SweepNetworkCache cache{executor->workers()};
+  if (!no_cache) {
+    opts.cache_networks = true;
+    const bench::WallClock wall;
+    cached_series =
+        run_accuracy_sweep(opts, algorithms, *executor, &cache, &cached_diag);
+    cached_wall = wall.seconds();
+    record_pass(1.0, cached_wall, cached_diag);
+    cache.record_diagnostics(recorder);
   }
+
+  const auto& series = no_cache ? uncached_series : cached_series;
+  bench::print_accuracy_series(series, opts.max_faults);
 
   // Headline check: SCOUT recall advantage over SCORE (mean over x-axis).
   double scout_recall = 0, best_score_recall = 0;
@@ -73,6 +111,51 @@ int main(int argc, char** argv) {
               scout_recall, best_score_recall,
               100.0 * (scout_recall - best_score_recall) /
                   best_score_recall);
-  std::printf("sweep wall clock: %.1f s\n", wall_s);
+
+  // Any run that exercised the cache must have verified every repair
+  // clean — --cache-only perf runs included.
+  if (!no_cache) {
+    const auto stats = cache.stats();
+    if (stats.verify_failures > 0) {
+      std::fprintf(stderr, "error: %zu repairs failed fingerprint "
+                           "verification\n", stats.verify_failures);
+      return 1;
+    }
+  }
+  if (!no_cache && !cache_only) {
+    if (!accuracy_series_identical(uncached_series, cached_series)) {
+      std::fprintf(stderr, "error: cached sweep diverged from the fresh-"
+                           "build sweep (repair identity violation)\n");
+      return 1;
+    }
+    // The comparison is over the aggregated (algorithm x fault-count)
+    // series the sweep returns; per-grid-cell identity at 1/2/4 workers is
+    // pinned by tests/test_network_repair.cpp.
+    std::printf("\ncached sweep == fresh-build sweep (memcmp over %zu "
+                "aggregated algorithm x fault-count cells)\n",
+                algorithms.size() * opts.max_faults);
+    std::printf("wall clock: %.1f s uncached -> %.1f s cached\n",
+                uncached_wall, cached_wall);
+    std::printf("setup time: %.0f ms over %zu builds -> %.0f ms over %zu "
+                "builds + %zu repairs (x%.1f)\n",
+                uncached_diag.setup_seconds * 1e3,
+                uncached_diag.network_builds,
+                cached_diag.setup_seconds * 1e3, cached_diag.network_builds,
+                cached_diag.network_repairs,
+                cached_diag.setup_seconds > 0.0
+                    ? uncached_diag.setup_seconds / cached_diag.setup_seconds
+                    : 0.0);
+  } else {
+    std::printf("sweep wall clock: %.1f s\n",
+                no_cache ? uncached_wall : cached_wall);
+  }
+
+  const std::string json_path =
+      bench::string_flag(argc, argv, "json", "BENCH_fig8.json");
+  if (!recorder.write_file(json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 // trends for the controller risk model".
 #include <cstdio>
 
+#include "bench/accuracy_table.h"
 #include "bench/bench_cli.h"
 #include "src/scout/experiment.h"
 
@@ -18,6 +19,9 @@ int main(int argc, char** argv) {
   opts.max_faults = 10;
   opts.benign_changes = 0;
   opts.seed = 43;
+  // Per-worker cached sweep networks with exact repair between cells;
+  // --no-cache forces the fresh-build-per-cell path (results identical).
+  opts.cache_networks = !bench::bool_flag(argc, argv, "no-cache");
 
   const std::vector<AlgorithmSpec> algorithms{
       {"SCOUT", AlgorithmKind::kScout, 1.0, true},
@@ -28,27 +32,18 @@ int main(int argc, char** argv) {
   const auto executor = bench::executor_from_flags(argc, argv);
 
   std::printf("=== Figure 9: fault localization on controller risk model, "
-              "faults across switches (%zu runs/point, %zu thread%s) ===\n\n",
+              "faults across switches (%zu runs/point, %zu thread%s, "
+              "%s) ===\n\n",
               opts.runs, executor->workers(),
-              executor->workers() == 1 ? "" : "s");
+              executor->workers() == 1 ? "" : "s",
+              opts.cache_networks ? "cached networks" : "no cache");
   const bench::WallClock wall;
-  const auto series = run_accuracy_sweep(opts, algorithms, *executor);
+  SweepDiagnostics diag;
+  const auto series = run_accuracy_sweep(opts, algorithms, *executor,
+                                         /*cache=*/nullptr, &diag);
   const double wall_s = wall.seconds();
 
-  for (const auto metric : {0, 1}) {
-    std::printf("%s\n  %-7s", metric == 0 ? "(a) precision" : "\n(b) recall",
-                "faults");
-    for (const auto& s : series) std::printf(" %-10s", s.name.c_str());
-    std::printf("\n");
-    for (std::size_t f = 0; f < opts.max_faults; ++f) {
-      std::printf("  %-7zu", f + 1);
-      for (const auto& s : series) {
-        std::printf(" %-10.3f", metric == 0 ? s.by_faults[f].precision
-                                            : s.by_faults[f].recall);
-      }
-      std::printf("\n");
-    }
-  }
+  bench::print_accuracy_series(series, opts.max_faults);
 
   double scout_recall = 0, score1_recall = 0;
   for (std::size_t f = 0; f < opts.max_faults; ++f) {
@@ -59,6 +54,9 @@ int main(int argc, char** argv) {
               "[paper: similar trends to Fig. 8]\n",
               scout_recall / static_cast<double>(opts.max_faults),
               score1_recall / static_cast<double>(opts.max_faults));
-  std::printf("sweep wall clock: %.1f s\n", wall_s);
+  std::printf("sweep wall clock: %.1f s (setup %.0f ms: %zu builds, %zu "
+              "repairs)\n",
+              wall_s, diag.setup_seconds * 1e3, diag.network_builds,
+              diag.network_repairs);
   return 0;
 }

@@ -3,12 +3,15 @@
 // and switch pairs"), now fanned out as a campaign over the parallel
 // experiment runtime.
 //
-// Default: a (switch-count x rep) grid of independently seeded full
-// pipelines, run once per thread count. Without --threads the campaign is
-// swept at 1, 2 and 4 workers so one invocation produces the full
-// threads -> wall-ms mapping; --threads N measures just N. Results go to
-// stdout plus BENCH_scalability.json (one row per thread count) so future
-// PRs have a machine-readable perf trajectory to compare against.
+// Default: a (switch-count x rep) grid of full pipelines — one fabric per
+// switch count, independently seeded fault injections per rep — run once
+// per thread count. Workers cache the per-count fabric and exact-repair it
+// between reps (--no-cache rebuilds every cell; results are identical).
+// Without --threads the campaign is swept at 1, 2 and 4 workers so one
+// invocation produces the full threads -> wall-ms mapping; --threads N
+// measures just N. Results go to stdout plus BENCH_scalability.json (one
+// row per thread count) so future PRs have a machine-readable perf
+// trajectory to compare against.
 //
 // --paper reproduces the original single-rep deep sweep up to 500 leaves
 // (paper reference, 1 kLOC Python prototype on 4 cores: ~45 s at 200
@@ -119,6 +122,9 @@ int main(int argc, char** argv) {
   options.reps = bench::size_flag(argc, argv, "reps", paper_mode ? 1 : 4,
                                   /*min=*/1, /*max=*/1000);
   options.seed = bench::size_flag(argc, argv, "seed", 5);
+  // Per-worker cached fabrics with exact repair between a count's reps;
+  // --no-cache rebuilds every cell (results identical either way).
+  options.cache_networks = !bench::bool_flag(argc, argv, "no-cache");
 
   runtime::BenchRecorder recorder{"scalability"};
   std::vector<ScalePoint> points;  // structurally identical across sweeps
@@ -126,15 +132,23 @@ int main(int argc, char** argv) {
   for (const std::size_t threads : thread_counts) {
     const auto executor = runtime::make_executor(threads);
     const bench::WallClock wall;
-    points = run_scalability_campaign(options, *executor);
+    SweepDiagnostics diag;
+    points = run_scalability_campaign(options, *executor, &diag);
     const double wall_ms = wall.millis();
     std::printf("campaign wall clock: %8.0f ms over %zu tasks "
-                "(%zu thread%s)\n",
+                "(%zu thread%s; setup %.0f ms: %zu builds, %zu repairs)\n",
                 wall_ms, points.size(), executor->workers(),
-                executor->workers() == 1 ? "" : "s");
+                executor->workers() == 1 ? "" : "s",
+                diag.setup_seconds * 1e3, diag.network_builds,
+                diag.network_repairs);
     recorder.add_row({{"threads", static_cast<double>(executor->workers())},
                       {"wall_ms", wall_ms},
-                      {"tasks", static_cast<double>(points.size())}});
+                      {"tasks", static_cast<double>(points.size())},
+                      {"setup_ms", diag.setup_seconds * 1e3},
+                      {"network_builds",
+                       static_cast<double>(diag.network_builds)},
+                      {"network_repairs",
+                       static_cast<double>(diag.network_repairs)}});
   }
 
   std::printf("\n=== Scalability: controller risk model, full pipeline "

@@ -55,6 +55,13 @@ class FaultLog {
   [[nodiscard]] std::vector<FaultRecord> active_at(SimTime t) const;
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
+  // Drop every record at index >= `n` (repair-journal watermark support).
+  // Clears applied to records below the watermark are NOT undone; the
+  // journal's domain excludes in-place edits of pre-watermark records.
+  void truncate(std::size_t n) {
+    if (n < records_.size()) records_.resize(n);
+  }
+
   // Merge another log (e.g. collect all device logs at the controller).
   void merge_from(const FaultLog& other);
 

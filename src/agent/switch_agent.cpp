@@ -84,17 +84,17 @@ std::size_t SwitchAgent::evict_rules(std::size_t n, SimTime now) {
   return evicted;
 }
 
-bool SwitchAgent::corrupt_tcam_bit(Rng& rng, SimTime now,
-                                   double detection_probability) {
-  const auto idx = tcam_.corrupt_random_bit(rng);
-  if (!idx.has_value()) return false;
+std::optional<TcamTable::Corruption> SwitchAgent::corrupt_tcam_bit(
+    Rng& rng, SimTime now, double detection_probability) {
+  const auto corruption = tcam_.corrupt_random_bit(rng);
+  if (!corruption.has_value()) return std::nullopt;
   if (rng.chance(detection_probability)) {
     std::ostringstream detail;
-    detail << "parity error detected in TCAM entry " << *idx;
+    detail << "parity error detected in TCAM entry " << corruption->index;
     fault_log_.raise(now, info_.id, FaultCode::kTcamParityError,
                      FaultSeverity::kCritical, detail.str());
   }
-  return true;
+  return corruption;
 }
 
 }  // namespace scout

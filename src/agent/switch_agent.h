@@ -87,8 +87,30 @@ class SwitchAgent {
 
   // Corrupt one random TCAM bit; logs a parity error only with probability
   // `detection_probability` (silent corruption is the hard case: no fault
-  // log to correlate, paper §V-B end note).
-  bool corrupt_tcam_bit(Rng& rng, SimTime now, double detection_probability);
+  // log to correlate, paper §V-B end note). Returns what changed so a
+  // repair journal can undo the flip exactly.
+  std::optional<TcamTable::Corruption> corrupt_tcam_bit(
+      Rng& rng, SimTime now, double detection_probability);
+
+  // Raw snapshot/restore of the fault-behaviour knobs (repair-journal
+  // support: a cell that crashed or silenced this agent puts the flags
+  // back exactly as it found them).
+  struct FaultState {
+    bool responsive = true;
+    bool crashed = false;
+    std::size_t crash_countdown = std::numeric_limits<std::size_t>::max();
+    std::optional<std::uint16_t> vrf_rewrite_bug;
+  };
+  [[nodiscard]] FaultState fault_state() const noexcept {
+    return FaultState{responsive_, crashed_, crash_countdown_,
+                      vrf_rewrite_bug_};
+  }
+  void restore_fault_state(const FaultState& s) noexcept {
+    responsive_ = s.responsive;
+    crashed_ = s.crashed;
+    crash_countdown_ = s.crash_countdown;
+    vrf_rewrite_bug_ = s.vrf_rewrite_bug;
+  }
 
  private:
   static constexpr std::size_t kNoCrash =

@@ -46,6 +46,11 @@ class SimClock {
     return now_;
   }
 
+  // Rewind/restore to a recorded watermark. Only the repair journal may
+  // move time backwards: it truncates every log stamped after `t` in the
+  // same pass, so monotonicity over *surviving* records is preserved.
+  void reset_to(SimTime t) noexcept { now_ = t; }
+
  private:
   SimTime now_{};
 };

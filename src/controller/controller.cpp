@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "src/tcam/rule_key.h"
 
 namespace scout {
 
@@ -195,16 +198,67 @@ DeployStats Controller::resync_switch(SwitchId sw) {
 
 DeployStats Controller::reinstall_rules(std::span<const LogicalRule> missing) {
   DeployStats stats;
+  if (missing.empty()) return stats;
+
+  // Distinct (switch, match key) targets plus one exemplar missing copy
+  // per key, in first-seen order (deterministic push order). The diff can
+  // report N copies of one key when the compiler emitted N duplicates and
+  // the fault stripped them all; the old remove-then-add per *copy* left
+  // exactly one installed (each remove takes every same-match copy with
+  // it), so the syntactic multiset diff never converged.
+  struct Target {
+    SwitchId sw;
+    // First-seen order (deterministic push order) + set form of the same
+    // keys for membership tests during the compiled replay.
+    std::vector<std::pair<RuleMatchKey, const LogicalRule*>> keys;
+    std::unordered_set<RuleMatchKey, RuleMatchKeyHash> key_set;
+  };
+  std::vector<Target> targets;
+  std::unordered_map<SwitchId, std::size_t> target_of;
   for (const LogicalRule& lr : missing) {
-    SwitchAgent* a = agent(lr.prov.sw);
+    const auto [it, fresh] = target_of.try_emplace(lr.prov.sw,
+                                                   targets.size());
+    if (fresh) targets.push_back(Target{lr.prov.sw, {}, {}});
+    Target& target = targets[it->second];
+    const RuleMatchKey key = RuleMatchKey::of(lr.rule);
+    if (target.key_set.insert(key).second) {
+      target.keys.emplace_back(key, &lr);
+    }
+  }
+
+  for (const Target& target : targets) {
+    SwitchAgent* a = agent(target.sw);
     if (a == nullptr) continue;
-    // The rule is present in the agent's logical view but absent from the
-    // TCAM (or absent from both); remove-then-add makes the push
-    // idempotent either way.
-    push(*a, Instruction{InstructionOp::kRemoveRule, lr}, stats);
-    push(*a, Instruction{InstructionOp::kAddRule, lr}, stats);
+    // One remove per key clears every deployed/logical copy, then the
+    // adds replay the *compiled* copies in compiled (priority) order, so
+    // N duplicates come back as N rules with their original priorities.
+    const auto& wanted = target.key_set;
+    std::unordered_set<RuleMatchKey, RuleMatchKeyHash> compiled_keys;
+    for (const auto& [key, exemplar] : target.keys) {
+      push(*a, Instruction{InstructionOp::kRemoveRule, *exemplar}, stats);
+    }
+    for (const LogicalRule& lr : compiled_.rules_for(target.sw)) {
+      const RuleMatchKey key = RuleMatchKey::of(lr.rule);
+      if (!wanted.contains(key)) continue;
+      compiled_keys.insert(key);
+      push(*a, Instruction{InstructionOp::kAddRule, lr}, stats);
+    }
+    // Keys with no compiled counterpart (hand-installed rules in tests,
+    // policy changed since the check): fall back to re-adding the reported
+    // copy itself rather than silently dropping it.
+    for (const auto& [key, exemplar] : target.keys) {
+      if (!compiled_keys.contains(key)) {
+        push(*a, Instruction{InstructionOp::kAddRule, *exemplar}, stats);
+      }
+    }
   }
   return stats;
+}
+
+void Controller::truncate_fault_log(std::size_t n) {
+  fault_log_.truncate(n);
+  std::erase_if(open_unreachable_,
+                [n](const auto& entry) { return entry.second >= n; });
 }
 
 void Controller::record_benign_change(ObjectRef object) {

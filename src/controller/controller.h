@@ -51,6 +51,9 @@ class Controller {
     return fault_log_;
   }
   [[nodiscard]] ControlChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] const ControlChannel& channel() const noexcept {
+    return channel_;
+  }
   [[nodiscard]] const CompiledPolicy& compiled() const noexcept {
     return compiled_;
   }
@@ -100,9 +103,18 @@ class Controller {
   DeployStats resync_switch(SwitchId sw);
 
   // Stopgap remediation (paper §III-C: "simply reinstalling those missing
-  // rules is a stopgap, not a fundamental solution"): push exactly the
-  // given missing rules back to their switches without a full resync.
+  // rules is a stopgap, not a fundamental solution"): restore the compiled
+  // rule multiset for every (switch, match key) the missing rules name,
+  // without a full resync. The compiler can emit N identical-match rules
+  // for one key (same filter reached through several contracts); replaying
+  // the compiled copies — rather than remove-then-add per missing copy —
+  // makes one pass converge even when all N duplicates were stripped.
   DeployStats reinstall_rules(std::span<const LogicalRule> missing);
+
+  // Truncate the controller's own fault log to `n` records, forgetting
+  // open unreachable episodes recorded at or after the watermark (repair-
+  // journal support; a later loss to the same switch re-raises cleanly).
+  void truncate_fault_log(std::size_t n);
 
  private:
   // Push one instruction to one agent honouring channel state; updates

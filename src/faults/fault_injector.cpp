@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/hash.h"
+#include "src/faults/repair_journal.h"
 #include "src/tcam/rule_key.h"
 
 namespace scout {
@@ -104,6 +105,16 @@ InjectedFault ObjectFaultInjector::inject(ObjectRef object,
   for (const auto& [sw, keys] : targets) {
     SwitchAgent* agent = controller_->agent(sw);
     if (agent == nullptr) continue;
+    if (journal_ != nullptr) {
+      // Record every copy the remove will take, in table order, before it
+      // happens — the repair journal reinstalls them exactly (priority
+      // duplicates included).
+      for (const TcamRule& r : agent->tcam().rules()) {
+        if (keys.contains(RuleMatchKey::of(r))) {
+          journal_->note_removed(sw, r);
+        }
+      }
+    }
     fault.rules_removed += agent->tcam().remove_if(
         [&keys](const TcamRule& r) {
           return keys.contains(RuleMatchKey::of(r));
@@ -126,6 +137,47 @@ InjectedFault ObjectFaultInjector::inject_full(ObjectRef object,
 InjectedFault ObjectFaultInjector::inject_partial(
     ObjectRef object, std::optional<SwitchId> scope) {
   return inject(object, scope, /*full=*/false);
+}
+
+std::size_t ObjectFaultInjector::inject_stale_copies(
+    ObjectRef object, std::size_t count, std::optional<SwitchId> scope) {
+  ensure_index();
+  std::vector<const LogicalRule*> pool;
+  if (const auto it = by_object_.find(object); it != by_object_.end()) {
+    for (const LogicalRule* lr : it->second) {
+      if (scope.has_value() && lr->prov.sw != *scope) continue;
+      pool.push_back(lr);
+    }
+  }
+  if (pool.empty() || count == 0) return 0;
+  // Deterministic order before sampling (the index is an unordered_map).
+  std::sort(pool.begin(), pool.end(),
+            [](const LogicalRule* a, const LogicalRule* b) {
+              return std::tie(a->prov.sw, a->rule.priority) <
+                     std::tie(b->prov.sw, b->rule.priority);
+            });
+
+  std::vector<std::size_t> picked;
+  if (count >= pool.size()) {
+    picked.resize(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) picked[i] = i;
+  } else {
+    picked = rng_->sample_indices(pool.size(), count);
+  }
+
+  std::size_t added = 0;
+  for (const std::size_t i : picked) {
+    const LogicalRule* lr = pool[i];
+    SwitchAgent* agent = controller_->agent(lr->prov.sw);
+    if (agent == nullptr) continue;
+    if (agent->tcam().install(lr->rule) != InstallStatus::kOk) continue;
+    if (journal_ != nullptr) journal_->note_added(lr->prov.sw, lr->rule);
+    ++added;
+  }
+  if (added > 0 && options_.record_change) {
+    controller_->record_benign_change(object);
+  }
+  return added;
 }
 
 std::vector<ObjectRef> ObjectFaultInjector::sample_objects(

@@ -25,6 +25,8 @@
 
 namespace scout {
 
+class RepairJournal;
+
 struct InjectedFault {
   ObjectRef object;
   bool full = true;
@@ -64,6 +66,25 @@ class ObjectFaultInjector {
   InjectedFault inject_partial(ObjectRef object,
                                std::optional<SwitchId> scope = std::nullopt);
 
+  // Stale-state fault (§II-B leftovers): duplicate up to `count` of the
+  // object's deployed rules in place — same fields and priority, one extra
+  // hardware copy — modelling incomplete removals that leave the device
+  // with more state than the policy compiles. The syntactic checker
+  // reports each duplicate as an extra rule. Returns the rules added.
+  std::size_t inject_stale_copies(ObjectRef object, std::size_t count,
+                                  std::optional<SwitchId> scope =
+                                      std::nullopt);
+
+  // Exact-repair support: while set, every TCAM mutation this injector
+  // performs is recorded in `journal` so it can be undone bit-exactly.
+  void set_journal(RepairJournal* journal) noexcept { journal_ = journal; }
+
+  // Re-seat the randomness source (per-cell RNG over a cached injector:
+  // the object index depends only on the compiled snapshot, not the RNG,
+  // so a cached injector with a fresh RNG behaves exactly like a fresh
+  // injector).
+  void set_rng(Rng& rng) noexcept { rng_ = &rng; }
+
   // Sample `count` distinct fault-eligible objects (objects with at least
   // one deployed rule), type-weighted by object population. VRFs are
   // excluded by default: a full VRF fault wipes most of the fabric and
@@ -83,6 +104,7 @@ class ObjectFaultInjector {
   Controller* controller_;
   Rng* rng_;
   Options options_;
+  RepairJournal* journal_ = nullptr;
   // object -> compiled rules derived from it, built lazily on first use.
   // The injector assumes the controller's compiled snapshot is stable for
   // its lifetime; construct a fresh injector after recompiling.

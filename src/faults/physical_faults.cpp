@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/faults/repair_journal.h"
+
 namespace scout {
 namespace {
 
@@ -59,14 +61,19 @@ ScenarioOutcome run_agent_crash_scenario(Controller& controller, SwitchId sw,
 
 std::size_t run_tcam_corruption_scenario(Controller& controller, SwitchId sw,
                                          std::size_t bits, Rng& rng,
-                                         double detection_probability) {
+                                         double detection_probability,
+                                         RepairJournal* journal) {
   SwitchAgent* agent = controller.agent(sw);
   if (agent == nullptr) return 0;
   std::size_t corrupted = 0;
   for (std::size_t i = 0; i < bits; ++i) {
-    if (agent->corrupt_tcam_bit(rng, controller.now(), detection_probability)) {
-      ++corrupted;
+    const auto corruption =
+        agent->corrupt_tcam_bit(rng, controller.now(), detection_probability);
+    if (!corruption.has_value()) continue;
+    if (journal != nullptr) {
+      journal->note_modified(sw, corruption->before, corruption->after);
     }
+    ++corrupted;
   }
   return corrupted;
 }

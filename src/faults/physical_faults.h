@@ -16,6 +16,8 @@
 
 namespace scout {
 
+class RepairJournal;
+
 struct ScenarioOutcome {
   std::size_t instructions_pushed = 0;
   std::size_t instructions_lost = 0;
@@ -52,9 +54,12 @@ ScenarioOutcome run_agent_crash_scenario(Controller& controller, SwitchId sw,
                                          std::uint16_t first_port = 30'000);
 
 // TCAM corruption: flip `bits` random TCAM bits on `sw`; each flip is
-// detected (logged as a parity error) with `detection_probability`.
+// detected (logged as a parity error) with `detection_probability`. When
+// `journal` is set, every flip is recorded (full before/after rule images)
+// so the repair journal can undo the corruption bit-exactly.
 std::size_t run_tcam_corruption_scenario(Controller& controller, SwitchId sw,
                                          std::size_t bits, Rng& rng,
-                                         double detection_probability = 0.5);
+                                         double detection_probability = 0.5,
+                                         RepairJournal* journal = nullptr);
 
 }  // namespace scout

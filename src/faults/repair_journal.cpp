@@ -1,0 +1,93 @@
+#include "src/faults/repair_journal.h"
+
+#include <stdexcept>
+
+namespace scout {
+
+void RepairJournal::arm(SimNetwork& net) {
+  if (armed()) {
+    throw std::logic_error{"RepairJournal::arm: already armed"};
+  }
+  net_ = &net;
+  clock_mark_ = net.clock().now();
+  change_log_mark_ = net.controller().change_log().size();
+  controller_fault_log_mark_ = net.controller().fault_log().size();
+  agent_marks_.clear();
+  agent_marks_.reserve(net.agents().size());
+  for (const auto& agent : net.agents()) {
+    agent_marks_.push_back(
+        AgentMark{agent->fault_state(), agent->fault_log().size()});
+  }
+  ops_.clear();
+}
+
+void RepairJournal::note_removed(SwitchId sw, const TcamRule& rule) {
+  if (!armed()) return;
+  ops_.push_back(RuleOp{RuleOp::Kind::kRemoved, sw, rule, TcamRule{}});
+}
+
+void RepairJournal::note_added(SwitchId sw, const TcamRule& rule) {
+  if (!armed()) return;
+  ops_.push_back(RuleOp{RuleOp::Kind::kAdded, sw, TcamRule{}, rule});
+}
+
+void RepairJournal::note_modified(SwitchId sw, const TcamRule& before,
+                                  const TcamRule& after) {
+  if (!armed()) return;
+  ops_.push_back(RuleOp{RuleOp::Kind::kModified, sw, before, after});
+}
+
+void RepairJournal::check_same_net(const SimNetwork& net) const {
+  if (net_ != &net) {
+    throw std::logic_error{
+        "RepairJournal: repair/undo against a network it was not armed on"};
+  }
+}
+
+void RepairJournal::undo_rule_ops(SimNetwork& net) {
+  check_same_net(net);
+  // Strict LIFO: each undo restores the table to its state before that op,
+  // so later ops on the same match key (add-then-remove, remove-then-
+  // re-remove across injections) unwind correctly.
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    SwitchAgent* agent = net.controller().agent(it->sw);
+    if (agent == nullptr) continue;
+    TcamTable& tcam = agent->tcam();
+    bool ok = true;
+    switch (it->kind) {
+      case RuleOp::Kind::kRemoved:
+        ok = tcam.install(it->before) == InstallStatus::kOk;
+        break;
+      case RuleOp::Kind::kAdded:
+        ok = tcam.remove_one(it->after);
+        break;
+      case RuleOp::Kind::kModified:
+        ok = tcam.replace_one(it->after, it->before);
+        break;
+    }
+    if (!ok) {
+      ops_.clear();
+      throw std::logic_error{
+          "RepairJournal: recorded op no longer undoable (state mutated "
+          "outside the journal's domain?)"};
+    }
+  }
+  ops_.clear();
+}
+
+void RepairJournal::repair(SimNetwork& net) {
+  check_same_net(net);
+  undo_rule_ops(net);
+
+  const auto agents = net.agents();
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    agents[i]->restore_fault_state(agent_marks_[i].fault_state);
+    agents[i]->fault_log().truncate(agent_marks_[i].fault_log_size);
+  }
+  net.controller().truncate_fault_log(controller_fault_log_mark_);
+  net.controller().change_log().truncate(change_log_mark_);
+  net.clock().reset_to(clock_mark_);
+  net_ = nullptr;
+}
+
+}  // namespace scout

@@ -1,0 +1,87 @@
+// Record-and-undo journal for fault injection: exact repair of a deployed
+// SimNetwork.
+//
+// The accuracy sweeps (paper §VI) evaluate one fixed fabric under
+// different fault injections — every grid cell used to rebuild a
+// byte-identical network just to damage it differently. The journal makes
+// the rebuild unnecessary: arm() captures watermarks over every mutable
+// log plus the clock and each agent's fault flags, the injectors record
+// every TCAM mutation as they apply it, and repair() plays the rule ops
+// back in reverse and truncates the logs — leaving the network
+// bit-identical (SimNetwork::state_fingerprint) to the freshly deployed
+// baseline. tests/test_network_repair.cpp proves that identity
+// differentially over randomized fault sequences; the sweep cache in
+// scout/experiment.* is built on it.
+//
+// Domain: TCAM rule removals / additions / modifications (priorities and
+// actions included), agent fault flags (crash, responsiveness, VRF-rewrite
+// bug), agent and controller fault logs, the controller change log, and
+// the simulation clock. Outside the domain: policy mutations
+// (deploy_new_filter, undeploy_filter, migrate_endpoint), logical-view
+// edits from live pushes, control-channel disconnects, and in-place edits
+// of pre-watermark log records (recover()/reconnect_switch() clearing an
+// old record). Cells that perform those must rebuild, not repair — the
+// sweep cache verifies fingerprints and falls back to a rebuild if a
+// repair ever diverges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/agent/switch_agent.h"
+#include "src/scout/sim_network.h"
+
+namespace scout {
+
+class RepairJournal {
+ public:
+  // Capture the pre-injection watermarks. The journal must be disarmed
+  // (fresh, or after a repair()); arming twice without repairing is a
+  // sequencing bug and throws.
+  void arm(SimNetwork& net);
+  [[nodiscard]] bool armed() const noexcept { return net_ != nullptr; }
+  [[nodiscard]] std::size_t rule_ops() const noexcept { return ops_.size(); }
+
+  // Recording hooks, called by the injectors as they mutate TCAM state.
+  // No-ops while disarmed, so injector code does not need to branch.
+  void note_removed(SwitchId sw, const TcamRule& rule);
+  void note_added(SwitchId sw, const TcamRule& rule);
+  void note_modified(SwitchId sw, const TcamRule& before,
+                     const TcamRule& after);
+
+  // Undo only the recorded TCAM rule ops (newest first) and forget them;
+  // watermarks stay armed. This is the gamma driver's per-iteration clean
+  // slate: each fault is undone before the next lands, while the change
+  // log and clock keep accumulating shard history.
+  void undo_rule_ops(SimNetwork& net);
+
+  // Full exact repair: undo the rule ops, restore every agent's fault
+  // flags, truncate agent/controller fault logs and the change log to the
+  // watermarks, and reset the clock. Disarms the journal.
+  void repair(SimNetwork& net);
+
+ private:
+  struct RuleOp {
+    enum class Kind : std::uint8_t { kRemoved, kAdded, kModified };
+    Kind kind = Kind::kRemoved;
+    SwitchId sw;
+    TcamRule before;  // kRemoved: the removed rule; kModified: pre-image
+    TcamRule after;   // kAdded: the added rule; kModified: post-image
+  };
+  struct AgentMark {
+    SwitchAgent::FaultState fault_state;
+    std::size_t fault_log_size = 0;
+  };
+
+  void check_same_net(const SimNetwork& net) const;
+
+  SimNetwork* net_ = nullptr;  // non-null while armed
+  SimTime clock_mark_;
+  std::size_t change_log_mark_ = 0;
+  std::size_t controller_fault_log_mark_ = 0;
+  std::vector<AgentMark> agent_marks_;  // in net.agents() order
+  std::vector<RuleOp> ops_;
+};
+
+}  // namespace scout

@@ -51,6 +51,13 @@ class ChangeLog {
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   void clear() noexcept { records_.clear(); }
 
+  // Drop every record at index >= `n` (repair-journal watermark support:
+  // the log is append-only, so truncating to a recorded size undoes
+  // exactly the records appended since).
+  void truncate(std::size_t n) noexcept {
+    if (n < records_.size()) records_.resize(n);
+  }
+
  private:
   std::vector<ChangeRecord> records_;  // append-only, time-ordered
 };

@@ -100,6 +100,81 @@ class WorkerLocal {
   std::vector<Padded> slots_;
 };
 
+// One reusable, worker-owned cache slot per worker — the third collection
+// discipline, for expensive *scratch state* rather than results:
+//
+//   * the slot is touched only by its owning worker (no synchronization),
+//   * its contents must never flow into results or diagnostics — tasks
+//     restore the cached state to a canonical baseline between uses (see
+//     faults/repair_journal.h), so results stay bit-identical to a fresh
+//     build no matter which worker ran which task or whether the slot hit,
+//   * a slot holds at most one entry, keyed: looking up a different key
+//     misses (the caller rebuilds via store), which is what makes sweeps
+//     over mixed profiles rebuild instead of repairing across profiles.
+//
+// Hit/miss counters are per-worker and summed after the join: like
+// WorkerLocal they depend on the task -> worker assignment, so they are
+// diagnostics only.
+template <typename T>
+class WorkerCache {
+ public:
+  explicit WorkerCache(std::size_t workers) : slots_(workers ? workers : 1) {}
+
+  [[nodiscard]] std::size_t workers() const noexcept { return slots_.size(); }
+
+  // The worker's cached entry when it was stored under `key`; nullptr on a
+  // cold or key-mismatched slot (callers then build and store()). Lookup
+  // does not count hits/misses: the key is typically a hash, so only the
+  // caller can confirm entry identity beyond it — callers record the
+  // outcome via note_hit()/note_miss() once they know (a hash collision
+  // then reports as the rebuild it causes, not as a reuse).
+  [[nodiscard]] T* lookup(std::size_t worker, std::uint64_t key) noexcept {
+    Slot& slot = slots_[worker];
+    if (!slot.filled || slot.key != key) return nullptr;
+    return &slot.value;
+  }
+
+  void note_hit(std::size_t worker) noexcept { ++slots_[worker].hits; }
+  void note_miss(std::size_t worker) noexcept { ++slots_[worker].misses; }
+
+  // Replace the worker's slot with state keyed by `key`.
+  T& store(std::size_t worker, std::uint64_t key, T value) {
+    Slot& slot = slots_[worker];
+    slot.key = key;
+    slot.filled = true;
+    slot.value = std::move(value);
+    return slot.value;
+  }
+
+  // Drop the worker's entry (e.g. its repaired state failed verification).
+  void invalidate(std::size_t worker) noexcept {
+    slots_[worker].filled = false;
+    slots_[worker].value = T{};
+  }
+
+  // Summed diagnostics, valid after the join.
+  [[nodiscard]] std::size_t hits() const noexcept {
+    std::size_t n = 0;
+    for (const Slot& s : slots_) n += s.hits;
+    return n;
+  }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    std::size_t n = 0;
+    for (const Slot& s : slots_) n += s.misses;
+    return n;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::uint64_t key = 0;
+    bool filled = false;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    T value{};
+  };
+  std::vector<Slot> slots_;
+};
+
 // Machine-readable bench output: flat numeric rows dumped as JSON through
 // common/json_writer, e.g. BENCH_scalability.json mapping threads to
 // wall-clock ms. write_file replaces the file — each bench run emits its

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/faults/fault_injector.h"
+#include "src/faults/repair_journal.h"
 #include "src/localization/score.h"
 #include "src/localization/scout_localizer.h"
 #include "src/runtime/result_sink.h"
@@ -50,54 +55,300 @@ LocalizationResult run_algorithm(const AlgorithmSpec& spec,
   return ScoutLocalizer{opts}.localize(model, change_log, now);
 }
 
-// Every campaign cell rebuilds the sweep network from the *base* seed: the
-// paper evaluates one fixed production dataset, so the policy is identical
-// across cells and only fault selection (driven by the per-cell seed)
-// varies. SimNetwork is neither copyable nor movable, so cells construct it
-// in place rather than receiving a prototype.
-GeneratedNetwork make_sweep_network(const GeneratorProfile& profile,
-                                    std::uint64_t seed) {
-  Rng rng{seed};
-  return generate_network(profile, rng);
+// Cache key of a sweep network: generator knobs plus the build seed.
+// Cells with equal keys deploy byte-identical networks, which is what
+// licenses repairing instead of rebuilding. The hash is only the slot
+// filter — acquire() re-checks the stored (profile, seed) field-wise, so
+// a GeneratorProfile knob missing here degrades to a spurious rebuild,
+// never to serving the wrong fabric.
+std::uint64_t network_cache_key(const GeneratorProfile& p,
+                                std::uint64_t seed) {
+  return hash_all(p.switches, p.vrfs, p.epgs, p.contracts, p.filters,
+                  p.target_pairs, p.epg_popularity_skew,
+                  p.contract_reuse_skew, p.filter_reuse_skew, p.vrf_size_skew,
+                  p.switch_popularity_skew, p.max_filters_per_contract,
+                  p.max_entries_per_filter, p.min_switches_per_epg,
+                  p.max_switches_per_epg, p.tcam_capacity, seed);
+}
+
+}  // namespace
+
+bool accuracy_series_identical(std::span<const AccuracySeries> a,
+                               std::span<const AccuracySeries> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s].name != b[s].name ||
+        a[s].by_faults.size() != b[s].by_faults.size()) {
+      return false;
+    }
+    for (std::size_t f = 0; f < a[s].by_faults.size(); ++f) {
+      if (std::memcmp(&a[s].by_faults[f], &b[s].by_faults[f],
+                      sizeof(AccuracyCell)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SweepNetworkCache
+// ---------------------------------------------------------------------------
+
+// One worker-owned deployed network plus everything pure the cells used to
+// recompute from it every time: the policy index, the fault injector's
+// object index, and the busiest-switch choice. The per-cell RNG is
+// re-seated into the cached injector (set_rng), so a cached cell consumes
+// exactly the random stream a fresh cell would.
+struct SweepNetworkCache::Entry {
+  GeneratorProfile profile;  // exact identity; the slot key is just a hash
+  std::uint64_t net_seed = 0;
+  std::unique_ptr<SimNetwork> net;
+  std::unique_ptr<PolicyIndex> index;
+  Rng seat_rng{0};  // entry-owned seat; cells re-seat per task
+  std::unique_ptr<ObjectFaultInjector> injector;
+  SwitchId busiest{};
+  RepairJournal journal;
+  std::uint64_t baseline_fingerprint = 0;
+};
+
+SweepNetworkCache::SweepNetworkCache(std::size_t workers)
+    : slots_(workers), verify_failures_(workers) {}
+
+SweepNetworkCache::~SweepNetworkCache() = default;
+
+std::size_t SweepNetworkCache::workers() const noexcept {
+  return slots_.workers();
+}
+
+SweepNetworkCache::Stats SweepNetworkCache::stats() const {
+  Stats stats;
+  stats.builds = slots_.misses();
+  stats.repairs = slots_.hits();
+  stats.verify_failures = verify_failures_.merge(
+      [](std::size_t a, std::size_t b) { return a + b; });
+  return stats;
+}
+
+void SweepNetworkCache::record_diagnostics(
+    runtime::BenchRecorder& recorder) const {
+  const Stats s = stats();
+  recorder.add_row(
+      {{"cache_builds", static_cast<double>(s.builds)},
+       {"cache_repairs", static_cast<double>(s.repairs)},
+       {"cache_verify_failures", static_cast<double>(s.verify_failures)}});
+}
+
+// experiment.cpp-internal access to the cache's slots: the drivers share
+// one acquire/release protocol around each cell.
+struct SweepCacheAccess {
+  using Entry = SweepNetworkCache::Entry;
+
+  static std::unique_ptr<Entry> build(const GeneratorProfile& profile,
+                                      std::uint64_t net_seed,
+                                      bool with_baseline) {
+    auto entry = std::make_unique<Entry>();
+    entry->profile = profile;
+    entry->net_seed = net_seed;
+    Rng rng{net_seed};
+    GeneratedNetwork generated = generate_network(profile, rng);
+    entry->net = std::make_unique<SimNetwork>(std::move(generated.fabric),
+                                              std::move(generated.policy));
+    entry->net->deploy();
+    entry->net->clock().advance(3'600'000);  // age out deploy-time records
+    entry->index =
+        std::make_unique<PolicyIndex>(entry->net->controller().policy());
+    entry->injector = std::make_unique<ObjectFaultInjector>(
+        entry->net->controller(), entry->seat_rng);
+    entry->busiest = busiest_switch(entry->net->controller());
+    if (with_baseline) {
+      entry->baseline_fingerprint = entry->net->state_fingerprint();
+    }
+    return entry;
+  }
+
+  // The worker's cached network for (profile, net_seed) — or a fresh
+  // build, stored in the cache when caching and in `local` otherwise.
+  // Build time is charged to the worker's diagnostics.
+  static Entry& acquire(SweepNetworkCache* cache,
+                        std::unique_ptr<Entry>& local, std::size_t worker,
+                        const GeneratorProfile& profile,
+                        std::uint64_t net_seed, SweepDiagnostics& diag) {
+    const std::uint64_t key = network_cache_key(profile, net_seed);
+    if (cache != nullptr) {
+      // Field-wise identity check behind the hash: a key collision (or a
+      // profile knob the hash misses) costs a rebuild, never a repair of
+      // the wrong fabric — and is counted as the rebuild it causes.
+      if (std::unique_ptr<Entry>* hit = cache->slots_.lookup(worker, key);
+          hit != nullptr && *hit != nullptr &&
+          (*hit)->profile == profile && (*hit)->net_seed == net_seed) {
+        cache->slots_.note_hit(worker);
+        return **hit;
+      }
+      cache->slots_.note_miss(worker);
+      const auto t0 = Clock::now();
+      auto built = build(profile, net_seed, cache->verify_repairs());
+      diag.setup_seconds += seconds_since(t0);
+      ++diag.network_builds;
+      return *cache->slots_.store(worker, key, std::move(built));
+    }
+    const auto t0 = Clock::now();
+    local = build(profile, net_seed, /*with_baseline=*/false);
+    diag.setup_seconds += seconds_since(t0);
+    ++diag.network_builds;
+    return *local;
+  }
+
+  // Drop a worker's entry outright (cell unwound with the journal armed,
+  // or repaired state failed verification): the next cell rebuilds.
+  static void drop(SweepNetworkCache& cache, std::size_t worker) {
+    cache.slots_.invalidate(worker);
+  }
+
+  // Exact-repair the cell's damage so the entry can serve the worker's
+  // next cell; verify against the baseline and drop diverged entries (the
+  // next cell then rebuilds — results stay correct, only the savings are
+  // lost). Call only when the cell armed the journal (cached mode).
+  static void release(SweepNetworkCache& cache, Entry& entry,
+                      std::size_t worker, SweepDiagnostics& diag) {
+    // The cell's RNG dies with the cell; point the cached injector back at
+    // the entry-owned seat so no dangling Rng* survives between cells.
+    entry.injector->set_rng(entry.seat_rng);
+    const auto t0 = Clock::now();
+    entry.journal.repair(*entry.net);
+    diag.setup_seconds += seconds_since(t0);
+    ++diag.network_repairs;
+    if (cache.verify_repairs() &&
+        entry.net->state_fingerprint() != entry.baseline_fingerprint) {
+      ++cache.verify_failures_.local(worker);
+      cache.slots_.invalidate(worker);  // `entry` is dead past this line
+    }
+  }
+};
+
+namespace {
+
+// RAII around one grid cell's use of a network entry: arms the journal
+// and registers it with the injector up front, and guarantees the
+// injector never outlives a cell still pointing at the cell's journal or
+// stack RNG. The normal path calls release() — exact repair + verify. If
+// the cell unwinds instead (including RepairJournal's own logic_error
+// when state was mutated outside its domain), the destructor drops the
+// cached entry so the worker's next cell rebuilds from scratch rather
+// than repairing an inconsistent network — the degrade-to-rebuild
+// fallback the journal's contract promises.
+class CellLease {
+ public:
+  // `arm_always`: gamma arms the journal even uncached — its per-fault
+  // clean slate runs through undo_rule_ops either way.
+  CellLease(SweepNetworkCache* cache, SweepCacheAccess::Entry& entry,
+            std::size_t worker, SweepDiagnostics& diag,
+            bool arm_always = false)
+      : cache_(cache), entry_(&entry), worker_(worker), diag_(&diag) {
+    if (cache_ != nullptr || arm_always) {
+      entry.journal.arm(*entry.net);
+      entry.injector->set_journal(&entry.journal);
+    }
+  }
+  CellLease(const CellLease&) = delete;
+  CellLease& operator=(const CellLease&) = delete;
+
+  ~CellLease() {
+    if (entry_ == nullptr) return;  // released normally
+    entry_->injector->set_journal(nullptr);
+    entry_->injector->set_rng(entry_->seat_rng);
+    if (cache_ != nullptr) SweepCacheAccess::drop(*cache_, worker_);
+  }
+
+  void release() {
+    entry_->injector->set_journal(nullptr);
+    if (cache_ != nullptr) {
+      SweepCacheAccess::release(*cache_, *entry_, worker_, *diag_);
+    }
+    entry_ = nullptr;  // may be dangling past release (verify may drop it)
+  }
+
+ private:
+  SweepNetworkCache* cache_;
+  SweepCacheAccess::Entry* entry_;
+  std::size_t worker_;
+  SweepDiagnostics* diag_;
+};
+
+// Shared sweep plumbing: an optional sweep-local cache honouring
+// options.cache_networks, with worker-count validation for external ones.
+SweepNetworkCache* resolve_cache(bool enabled, SweepNetworkCache* external,
+                                 std::optional<SweepNetworkCache>& own,
+                                 std::size_t workers) {
+  if (!enabled) return nullptr;
+  if (external == nullptr) {
+    own.emplace(workers);
+    return &*own;
+  }
+  if (external->workers() < workers) {
+    throw std::invalid_argument{
+        "run sweep: external SweepNetworkCache has fewer worker slots than "
+        "the executor has workers"};
+  }
+  return external;
+}
+
+void merge_diagnostics(const runtime::WorkerLocal<SweepDiagnostics>& per_worker,
+                       SweepDiagnostics* out) {
+  if (out == nullptr) return;
+  *out = per_worker.merge([](SweepDiagnostics acc, const SweepDiagnostics& d) {
+    acc.network_builds += d.network_builds;
+    acc.network_repairs += d.network_repairs;
+    acc.setup_seconds += d.setup_seconds;
+    return acc;
+  });
 }
 
 }  // namespace
 
 std::vector<AccuracySeries> run_accuracy_sweep(
     const AccuracyOptions& options, std::span<const AlgorithmSpec> algorithms,
-    runtime::Executor& executor) {
+    runtime::Executor& executor, SweepNetworkCache* external_cache,
+    SweepDiagnostics* diagnostics) {
+  std::optional<SweepNetworkCache> own_cache;
+  SweepNetworkCache* cache = resolve_cache(
+      options.cache_networks, external_cache, own_cache, executor.workers());
+
   const runtime::CampaignGrid grid{
       options.seed,
       {{"faults", options.max_faults}, {"run", options.runs}}};
 
   // One slot per (fault-count, run) cell: per-algorithm precision/recall.
   runtime::ResultSlots<std::vector<PrecisionRecall>> slots{grid.task_count()};
-  // Diagnostics only (load balance); never feeds results.
+  // Diagnostics only (load balance, setup amortization); never feed results.
   runtime::WorkerLocal<double> busy_seconds{executor.workers()};
+  runtime::WorkerLocal<SweepDiagnostics> diag{executor.workers()};
 
   runtime::run_campaign(executor, grid, [&](const runtime::CampaignTask&
                                                 task) {
     const auto task_start = Clock::now();
     const std::size_t n_faults = task.coords[0] + 1;
 
-    GeneratedNetwork generated =
-        make_sweep_network(options.profile, options.seed);
-    SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
-    net.deploy();
-    net.clock().advance(3'600'000);  // age out deploy-time change records
+    std::unique_ptr<SweepCacheAccess::Entry> local;
+    SweepCacheAccess::Entry& entry = SweepCacheAccess::acquire(
+        cache, local, task.worker, options.profile, options.seed,
+        diag.local(task.worker));
+    SimNetwork& net = *entry.net;
+    ObjectFaultInjector& injector = *entry.injector;
+    CellLease lease{cache, entry, task.worker, diag.local(task.worker)};
 
-    // All randomness below this line comes from the per-cell seed.
+    // All randomness below this line comes from the per-cell seed; the
+    // cached injector's object index depends only on the compiled policy,
+    // so re-seating the RNG reproduces a fresh injector exactly.
     Rng rng{task.seed};
-    ObjectFaultInjector injector{net.controller(), rng};
+    injector.set_rng(rng);
     const bool switch_scoped = options.model == RiskModelKind::kSwitch;
     const std::optional<SwitchId> scope =
-        switch_scoped ? std::optional{busiest_switch(net.controller())}
-                      : std::nullopt;
+        switch_scoped ? std::optional{entry.busiest} : std::nullopt;
 
-    const PolicyIndex index{net.controller().policy()};
-    RiskModel model = switch_scoped
-                          ? RiskModel::build_switch_model(index, *scope)
-                          : RiskModel::build_controller_model(index);
+    RiskModel model =
+        switch_scoped ? RiskModel::build_switch_model(*entry.index, *scope)
+                      : RiskModel::build_controller_model(*entry.index);
 
     // Benign change-log noise inside the recency window.
     for (const ObjectRef obj : injector.sample_objects(
@@ -132,9 +383,11 @@ std::vector<AccuracySeries> run_accuracy_sweep(
       cell[a] = evaluate_hypothesis(result.hypothesis, truth);
     }
     slots[task.index] = std::move(cell);
+    lease.release();
     busy_seconds.local(task.worker) += seconds_since(task_start);
   });
 
+  merge_diagnostics(diag, diagnostics);
   SCOUT_LOG(LogLevel::kDebug, "experiment",
             "accuracy sweep: " << grid.task_count() << " cells over "
                 << executor.workers() << " workers; busy "
@@ -177,9 +430,14 @@ std::vector<AccuracySeries> run_accuracy_sweep(
 }
 
 std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options,
-                                              runtime::Executor& executor) {
+                                              runtime::Executor& executor,
+                                              SweepDiagnostics* diagnostics) {
   const std::size_t shards = std::max<std::size_t>(1, options.shards);
   const runtime::CampaignGrid grid{options.seed, {{"shard", shards}}};
+
+  std::optional<SweepNetworkCache> own_cache;
+  SweepNetworkCache* cache = resolve_cache(options.cache_networks, nullptr,
+                                           own_cache, executor.workers());
 
   struct ShardStats {
     std::vector<double> gamma_sums;
@@ -187,6 +445,7 @@ std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options,
     std::vector<std::size_t> samples;
   };
   runtime::ResultSlots<ShardStats> slots{shards};
+  runtime::WorkerLocal<SweepDiagnostics> diag{executor.workers()};
 
   // Bucket scaffolding, shared shape across shards.
   std::vector<GammaBucket> buckets;
@@ -216,22 +475,33 @@ std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options,
       return;
     }
 
-    GeneratedNetwork generated =
-        make_sweep_network(options.profile, options.seed);
-    SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
-    net.deploy();
-    net.clock().advance(3'600'000);
+    std::unique_ptr<SweepCacheAccess::Entry> local;
+    SweepCacheAccess::Entry& entry = SweepCacheAccess::acquire(
+        cache, local, task.worker, options.profile, options.seed,
+        diag.local(task.worker));
+    SimNetwork& net = *entry.net;
+    ObjectFaultInjector& injector = *entry.injector;
+    // The journal is armed in every mode: its rule-op undo *is* the
+    // per-fault clean slate each iteration needs (this used to be a
+    // clear-and-reinstall of every faulted switch — the pattern the cache
+    // generalizes). Cached shards additionally repair logs and clock at
+    // shard end so the next shard on this worker starts from baseline.
+    CellLease lease{cache, entry, task.worker, diag.local(task.worker),
+                    /*arm_always=*/true};
 
     Rng rng{task.seed};
-    const PolicyIndex index{net.controller().policy()};
-    RiskModel model = RiskModel::build_controller_model(index);
+    injector.set_rng(rng);
+    RiskModel model = RiskModel::build_controller_model(*entry.index);
     const EquivalenceChecker checker{CheckMode::kSyntactic};
-    ObjectFaultInjector injector{net.controller(), rng};
 
     const std::vector<ObjectRef> pool =
         injector.sample_objects(count, /*include_vrfs=*/false);
-    if (pool.empty()) {
+    const auto finish = [&] {
+      lease.release();
       slots[task.index] = std::move(stats);
+    };
+    if (pool.empty()) {
+      finish();
       return;
     }
 
@@ -243,7 +513,7 @@ std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options,
       if (fault.rules_removed == 0) continue;
 
       // Check only the switches this fault touched (the others are known
-      // clean: each iteration repairs its own damage below).
+      // clean: each iteration undoes its own damage below).
       std::vector<LogicalRule> missing;
       for (const SwitchId sw : fault.switches) {
         SwitchAgent* agent = net.controller().agent(sw);
@@ -277,22 +547,15 @@ std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options,
         }
       }
 
-      // Repair: reinstall the faulted switches' rules from the compiled
-      // policy so the next fault starts from a clean deployment, and age
-      // the change log so this fault's record leaves the recency window.
-      for (const SwitchId sw : fault.switches) {
-        SwitchAgent* agent = net.controller().agent(sw);
-        if (agent == nullptr) continue;
-        agent->tcam().clear();
-        for (const LogicalRule& lr :
-             net.controller().compiled().rules_for(sw)) {
-          (void)agent->tcam().install(lr.rule);
-        }
-      }
+      // Exact repair of this fault's TCAM damage, so the next fault starts
+      // from a clean deployment; then age the change log so this fault's
+      // record leaves the recency window.
+      entry.journal.undo_rule_ops(net);
       net.clock().advance(120'000);
     }
-    slots[task.index] = std::move(stats);
+    finish();
   });
+  merge_diagnostics(diag, diagnostics);
 
   // Merge shard partials in shard order (deterministic float accumulation).
   std::vector<double> gamma_sums(n_buckets, 0.0);
@@ -318,31 +581,16 @@ std::vector<GammaBucket> run_gamma_experiment(const GammaOptions& options) {
   return run_gamma_experiment(options, executor);
 }
 
-ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
-                                 std::size_t n_faults,
-                                 std::size_t pairs_per_switch) {
-  runtime::SerialExecutor executor;
-  return run_scalability_point(switches, seed, n_faults, pairs_per_switch,
-                               executor);
-}
+namespace {
 
-ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
-                                 std::size_t n_faults,
-                                 std::size_t pairs_per_switch,
-                                 runtime::Executor& check_executor) {
+// The measured portion of one scalability cell, over an already-deployed
+// network: inject, then time check / model build / localization. Shared by
+// the one-off point API (fresh network, RNG continuing from generation)
+// and the campaign (cached network, per-cell fault RNG).
+ScalePoint measure_scale_point(SimNetwork& net, ObjectFaultInjector& injector,
+                               const PolicyIndex& index, std::size_t n_faults,
+                               runtime::Executor& check_executor) {
   ScalePoint point;
-  point.switches = switches;
-
-  GeneratorProfile profile = GeneratorProfile::scaled(switches);
-  profile.target_pairs = switches * pairs_per_switch;
-
-  Rng rng{seed};
-  GeneratedNetwork generated = generate_network(profile, rng);
-  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
-  net.deploy();
-  net.clock().advance(3'600'000);
-
-  ObjectFaultInjector injector{net.controller(), rng};
   for (const ObjectRef obj : injector.sample_objects(n_faults)) {
     injector.inject_full(obj);
   }
@@ -354,7 +602,6 @@ ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
       system.find_missing_rules(net, check_executor);
   point.check_seconds = seconds_since(t0);
 
-  const PolicyIndex index{net.controller().policy()};
   point.epg_pairs = index.pairs().size();
 
   t0 = Clock::now();
@@ -375,22 +622,88 @@ ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
   return point;
 }
 
+GeneratorProfile scale_profile(std::size_t switches,
+                               std::size_t pairs_per_switch) {
+  GeneratorProfile profile = GeneratorProfile::scaled(switches);
+  profile.target_pairs = switches * pairs_per_switch;
+  return profile;
+}
+
+}  // namespace
+
+ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
+                                 std::size_t n_faults,
+                                 std::size_t pairs_per_switch) {
+  runtime::SerialExecutor executor;
+  return run_scalability_point(switches, seed, n_faults, pairs_per_switch,
+                               executor);
+}
+
+ScalePoint run_scalability_point(std::size_t switches, std::uint64_t seed,
+                                 std::size_t n_faults,
+                                 std::size_t pairs_per_switch,
+                                 runtime::Executor& check_executor) {
+  const GeneratorProfile profile =
+      scale_profile(switches, pairs_per_switch);
+
+  Rng rng{seed};
+  GeneratedNetwork generated = generate_network(profile, rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+
+  ObjectFaultInjector injector{net.controller(), rng};
+  const PolicyIndex index{net.controller().policy()};
+  ScalePoint point =
+      measure_scale_point(net, injector, index, n_faults, check_executor);
+  point.switches = switches;
+  return point;
+}
+
 std::vector<ScalePoint> run_scalability_campaign(
-    const ScaleCampaignOptions& options, runtime::Executor& executor) {
+    const ScaleCampaignOptions& options, runtime::Executor& executor,
+    SweepDiagnostics* diagnostics) {
   const runtime::CampaignGrid grid{
       options.seed,
       {{"switches", options.switch_counts.size()}, {"rep", options.reps}}};
   runtime::ResultSlots<ScalePoint> slots{grid.task_count()};
+  runtime::WorkerLocal<SweepDiagnostics> diag{executor.workers()};
+
+  std::optional<SweepNetworkCache> own_cache;
+  SweepNetworkCache* cache = resolve_cache(options.cache_networks, nullptr,
+                                           own_cache, executor.workers());
 
   runtime::run_campaign(
       executor, grid, [&](const runtime::CampaignTask& task) {
-        // Cells keep their check serial: the campaign already saturates the
-        // executor across cells, and re-entering the same executor from
-        // inside one of its tasks would deadlock its worker.
-        slots[task.index] = run_scalability_point(
-            options.switch_counts[task.coords[0]], task.seed,
-            options.n_faults, options.pairs_per_switch);
+        const std::size_t count_idx = task.coords[0];
+        const std::size_t switches = options.switch_counts[count_idx];
+        const GeneratorProfile profile =
+            scale_profile(switches, options.pairs_per_switch);
+        // One fabric per switch count: the network seed depends on the
+        // count coordinate only, so a count's reps measure fault variance
+        // on the same fabric (and repeat in a worker's cache slot).
+        const std::uint64_t net_seed = derive_seed(options.seed, count_idx);
+
+        std::unique_ptr<SweepCacheAccess::Entry> local;
+        SweepCacheAccess::Entry& entry = SweepCacheAccess::acquire(
+            cache, local, task.worker, profile, net_seed,
+            diag.local(task.worker));
+        CellLease lease{cache, entry, task.worker, diag.local(task.worker)};
+        Rng rng{task.seed};
+        entry.injector->set_rng(rng);
+
+        // Cells keep their check serial: the campaign already saturates
+        // the executor across cells, and re-entering the same executor
+        // from inside one of its tasks would deadlock its worker.
+        runtime::SerialExecutor serial_check;
+        ScalePoint point =
+            measure_scale_point(*entry.net, *entry.injector, *entry.index,
+                                options.n_faults, serial_check);
+        point.switches = switches;
+        slots[task.index] = point;
+        lease.release();
       });
+  merge_diagnostics(diag, diagnostics);
   return slots.take();
 }
 

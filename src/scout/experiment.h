@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,9 +18,76 @@
 #include "src/checker/equivalence_checker.h"
 #include "src/riskmodel/risk_model.h"
 #include "src/runtime/campaign.h"
+#include "src/runtime/result_sink.h"
 #include "src/workload/policy_generator.h"
 
 namespace scout {
+
+// ---------------------------------------------------------------------------
+// Per-worker cached sweep networks
+// ---------------------------------------------------------------------------
+//
+// The accuracy/gamma/scalability grids sweep one fixed fabric under
+// different fault injections: every cell of a (profile, seed) group used to
+// rebuild a byte-identical network (~70 ms at fig8 scale, ~22 s over a
+// 300-cell campaign) just to damage it differently. The cache gives each
+// pool worker one deployed network per profile: cells arm a RepairJournal
+// (faults/repair_journal.h) before injecting and exact-repair afterwards,
+// so the next cell on that worker starts from state bit-identical
+// (SimNetwork::state_fingerprint) to a fresh deployment. Results are
+// therefore unchanged — cached, uncached, serial and multi-threaded sweeps
+// all memcmp-equal, which tests/test_network_repair.cpp pins.
+//
+// A slot holds one entry, keyed by (profile, network seed): sweeping a
+// different profile on the same cache rebuilds instead of repairing.
+
+struct SweepDiagnostics {
+  std::size_t network_builds = 0;   // full generate+deploy passes
+  std::size_t network_repairs = 0;  // exact-repair passes between cells
+  double setup_seconds = 0.0;       // time in builds + repairs, all workers
+};
+
+class SweepNetworkCache {
+ public:
+  explicit SweepNetworkCache(std::size_t workers);
+  ~SweepNetworkCache();
+  SweepNetworkCache(const SweepNetworkCache&) = delete;
+  SweepNetworkCache& operator=(const SweepNetworkCache&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept;
+
+  // Verify every repair against the baseline fingerprint, dropping the
+  // entry (next cell rebuilds) on divergence. The digest deliberately
+  // covers the *whole* observable state, immutable compiled/logical parts
+  // included — that is what catches out-of-domain mutations (policy
+  // edits, live pushes) that TCAM-only hashing could miss. One full hash
+  // per cell (~3 ms at fig8 scale, vs the ~45 ms build it replaces; the
+  // measured x13 setup saving includes it), so it defaults to on; perf
+  // benches may switch it off once trust is established.
+  void set_verify_repairs(bool verify) noexcept { verify_repairs_ = verify; }
+  [[nodiscard]] bool verify_repairs() const noexcept {
+    return verify_repairs_;
+  }
+
+  struct Stats {
+    std::size_t builds = 0;   // cold slots + profile switches
+    std::size_t repairs = 0;  // cells served from a repaired network
+    std::size_t verify_failures = 0;  // diverged repairs (entry dropped)
+  };
+  [[nodiscard]] Stats stats() const;
+
+  // Append one diagnostics row (cache_builds / cache_repairs /
+  // cache_verify_failures) to a bench recorder's JSON output.
+  void record_diagnostics(runtime::BenchRecorder& recorder) const;
+
+  struct Entry;  // worker-owned deployed network + journal (experiment.cpp)
+
+ private:
+  friend struct SweepCacheAccess;
+  runtime::WorkerCache<std::unique_ptr<Entry>> slots_;
+  runtime::WorkerLocal<std::size_t> verify_failures_;
+  bool verify_repairs_ = true;
+};
 
 // ---------------------------------------------------------------------------
 // Accuracy sweeps (Figures 8, 9, 10)
@@ -48,6 +116,10 @@ struct AccuracyOptions {
   // dominate wall time); integration tests pin BDD/syntactic agreement.
   CheckMode check_mode = CheckMode::kSyntactic;
   std::uint64_t seed = 42;
+  // Per-worker cached sweep network with exact repair between cells (see
+  // SweepNetworkCache above). Off = rebuild every cell (the benches' --no-
+  // cache); results are bit-identical either way.
+  bool cache_networks = true;
 };
 
 struct AccuracyCell {
@@ -60,11 +132,23 @@ struct AccuracySeries {
   std::vector<AccuracyCell> by_faults;  // index i = i+1 simultaneous faults
 };
 
+// Bitwise equality of two sweep outputs (shape + memcmp over every
+// AccuracyCell). The single definition of "identical" that both the fig8
+// cached-vs-uncached gate and the differential tests apply.
+[[nodiscard]] bool accuracy_series_identical(
+    std::span<const AccuracySeries> a, std::span<const AccuracySeries> b);
+
 // Fan the (fault-count x run) grid out over `executor`. Results are
-// bit-identical for any executor / thread count.
+// bit-identical for any executor / thread count, cached or not.
+//
+// `cache`: reuse an external per-worker network cache across sweeps (its
+// worker count must cover the executor's); nullptr builds a sweep-local
+// cache when options.cache_networks is set. `diagnostics`, when non-null,
+// receives the build/repair tallies and setup wall time of this sweep.
 [[nodiscard]] std::vector<AccuracySeries> run_accuracy_sweep(
     const AccuracyOptions& options, std::span<const AlgorithmSpec> algorithms,
-    runtime::Executor& executor);
+    runtime::Executor& executor, SweepNetworkCache* cache = nullptr,
+    SweepDiagnostics* diagnostics = nullptr);
 
 // Serial convenience overload (tests, existing callers).
 [[nodiscard]] std::vector<AccuracySeries> run_accuracy_sweep(
@@ -85,6 +169,10 @@ struct GammaOptions {
   // own network and derived seed). Fixed by options — not by thread count —
   // so results do not depend on the executor.
   std::size_t shards = 8;
+  // Shards on one worker share a cached network restored by exact repair
+  // (the per-iteration clean-slate the shards already used now goes
+  // through the same journal). Results are bit-identical either way.
+  bool cache_networks = true;
 };
 
 struct GammaBucket {
@@ -96,7 +184,8 @@ struct GammaBucket {
 };
 
 [[nodiscard]] std::vector<GammaBucket> run_gamma_experiment(
-    const GammaOptions& options, runtime::Executor& executor);
+    const GammaOptions& options, runtime::Executor& executor,
+    SweepDiagnostics* diagnostics = nullptr);
 
 [[nodiscard]] std::vector<GammaBucket> run_gamma_experiment(
     const GammaOptions& options);
@@ -141,10 +230,17 @@ struct ScaleCampaignOptions {
   std::uint64_t seed = 5;
   std::size_t n_faults = 5;
   std::size_t pairs_per_switch = 200;
+  // The campaign builds one fabric per switch count (network seed derived
+  // from (seed, count index)); reps vary only the injected faults, exactly
+  // like the accuracy sweeps vary only the damage. That makes the fabric
+  // repeat across a count's reps, so workers can repair instead of
+  // rebuild. Off = fresh build per cell; results bit-identical either way.
+  bool cache_networks = true;
 };
 
 [[nodiscard]] std::vector<ScalePoint> run_scalability_campaign(
-    const ScaleCampaignOptions& options, runtime::Executor& executor);
+    const ScaleCampaignOptions& options, runtime::Executor& executor,
+    SweepDiagnostics* diagnostics = nullptr);
 
 // ---------------------------------------------------------------------------
 // Single-fabric sharded analysis ("how fast is one large check?")

@@ -1,6 +1,9 @@
 #include "src/scout/sim_network.h"
 
+#include <cstdint>
 #include <stdexcept>
+
+#include "src/common/hash.h"
 
 namespace scout {
 
@@ -30,6 +33,81 @@ FaultLog SimNetwork::collect_fault_logs() const {
   merged.merge_from(controller_->fault_log());
   for (const auto& a : agents_) merged.merge_from(a->fault_log());
   return merged;
+}
+
+namespace {
+
+void mix_rule(std::size_t& h, const TcamRule& r) {
+  hash_combine(h, hash_all(r.priority, r.vrf.value, r.vrf.mask,
+                           r.src_epg.value, r.src_epg.mask, r.dst_epg.value,
+                           r.dst_epg.mask, r.proto.value, r.proto.mask,
+                           r.dst_port.value, r.dst_port.mask,
+                           static_cast<unsigned>(r.action)));
+}
+
+void mix_logical_rule(std::size_t& h, const LogicalRule& lr) {
+  mix_rule(h, lr.rule);
+  hash_combine(h, hash_all(lr.prov.sw, lr.prov.pair, lr.prov.vrf,
+                           lr.prov.contract, lr.prov.filter,
+                           lr.prov.entry_index, lr.prov.reversed));
+}
+
+void mix_fault_log(std::size_t& h, const FaultLog& log) {
+  for (const FaultRecord& r : log.records()) {
+    hash_combine(
+        h, hash_all(r.raised.millis(),
+                    r.cleared.has_value() ? r.cleared->millis()
+                                          : std::int64_t{-1},
+                    r.sw, static_cast<unsigned>(r.code),
+                    static_cast<unsigned>(r.severity), r.detail));
+  }
+}
+
+}  // namespace
+
+std::uint64_t SimNetwork::state_fingerprint() const {
+  std::size_t h = 0;
+  hash_combine(h, hash_all(clock_.now().millis()));
+
+  // Policy shape guard (contents are out of the repair domain).
+  const NetworkPolicy& policy = controller_->policy();
+  hash_combine(h, hash_all(policy.vrfs().size(), policy.epgs().size(),
+                           policy.contracts().size(), policy.filters().size(),
+                           policy.links().size()));
+
+  for (const ChangeRecord& r : controller_->change_log().records()) {
+    hash_combine(h, hash_all(r.time.millis(), r.object,
+                             static_cast<unsigned>(r.action),
+                             r.pushed_to.size()));
+    for (const SwitchId sw : r.pushed_to) hash_combine(h, hash_all(sw));
+  }
+  mix_fault_log(h, controller_->fault_log());
+  for (const ControlChannel::Outage& o : controller_->channel().outages()) {
+    hash_combine(h, hash_all(o.sw, o.start.millis(),
+                             o.end.has_value() ? o.end->millis()
+                                               : std::int64_t{-1}));
+  }
+
+  for (const auto& agent : agents_) {
+    const SwitchAgent::FaultState st = agent->fault_state();
+    hash_combine(h, hash_all(agent->id(), st.responsive, st.crashed,
+                             st.crash_countdown,
+                             st.vrf_rewrite_bug.value_or(0xFFFFU)));
+    hash_combine(h, hash_all(agent->tcam().size(),
+                             agent->logical_view().size()));
+    for (const TcamRule& r : agent->tcam().rules()) mix_rule(h, r);
+    for (const LogicalRule& lr : agent->logical_view()) {
+      mix_logical_rule(h, lr);
+    }
+    mix_fault_log(h, agent->fault_log());
+    // Compiled snapshot for this agent, in agent order (per_switch is an
+    // unordered_map; hashing it in its own order would be unstable).
+    for (const LogicalRule& lr :
+         controller_->compiled().rules_for(agent->id())) {
+      mix_logical_rule(h, lr);
+    }
+  }
+  return static_cast<std::uint64_t>(h);
 }
 
 }  // namespace scout

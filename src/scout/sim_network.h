@@ -42,6 +42,18 @@ class SimNetwork {
   // engine consumes the union, paper Figure 6).
   [[nodiscard]] FaultLog collect_fault_logs() const;
 
+  // Order-sensitive 64-bit digest of every piece of mutable simulation
+  // state the SCOUT pipeline can observe: the clock, the controller's
+  // change/fault logs and compiled snapshot, control-channel outages, and
+  // each agent's TCAM contents (priorities included, in table order),
+  // logical view, fault log and fault-behaviour flags. Two networks with
+  // equal fingerprints are indistinguishable to checks, localization and
+  // correlation — this is the identity the repair journal is proven
+  // against (tests/test_network_repair.cpp). Policy object *contents* are
+  // summarized by count only: fault injection never edits the policy, and
+  // cells that do (deploy_new_filter & co.) must rebuild, not repair.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
  private:
   Fabric fabric_;
   SimClock clock_;

@@ -82,6 +82,10 @@ struct TcamRule {
            proto == o.proto && dst_port == o.dst_port && action == o.action;
   }
 
+  // Full equality, priority included (repair-journal exact undo).
+  friend constexpr bool operator==(const TcamRule&,
+                                   const TcamRule&) noexcept = default;
+
   // Fully-specified allow rule with an exact port cube.
   static TcamRule exact_allow(std::uint32_t priority, std::uint16_t vrf,
                               std::uint16_t src_epg, std::uint16_t dst_epg,

@@ -33,7 +33,7 @@ std::optional<RuleAction> TcamTable::lookup(
   return std::nullopt;
 }
 
-std::optional<std::size_t> TcamTable::corrupt_random_bit(Rng& rng) {
+std::optional<TcamTable::Corruption> TcamTable::corrupt_random_bit(Rng& rng) {
   // Collect indices of rules that are not the catch-all default (corrupting
   // the default deny is possible in hardware but makes every experiment
   // trivially detect "everything broke"; the paper's corruption scenario is
@@ -47,6 +47,7 @@ std::optional<std::size_t> TcamTable::corrupt_random_bit(Rng& rng) {
   if (candidates.empty()) return std::nullopt;
   const std::size_t idx = candidates[rng.below(candidates.size())];
   TcamRule& r = rules_[idx];
+  const TcamRule before = r;
 
   TernaryField* fields[] = {&r.vrf, &r.src_epg, &r.dst_epg, &r.proto,
                             &r.dst_port};
@@ -63,7 +64,25 @@ std::optional<std::size_t> TcamTable::corrupt_random_bit(Rng& rng) {
     fields[f]->mask ^= (1U << bit);
     fields[f]->value &= fields[f]->mask;
   }
-  return idx;
+  return Corruption{idx, before, r};
+}
+
+bool TcamTable::remove_one(const TcamRule& rule) {
+  const auto it = std::find(rules_.begin(), rules_.end(), rule);
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+bool TcamTable::replace_one(const TcamRule& from, const TcamRule& to) {
+  if (from.priority != to.priority) {
+    if (!remove_one(from)) return false;
+    return install(to) == InstallStatus::kOk;
+  }
+  const auto it = std::find(rules_.begin(), rules_.end(), from);
+  if (it == rules_.end()) return false;
+  *it = to;
+  return true;
 }
 
 std::optional<TcamRule> TcamTable::evict_one() {

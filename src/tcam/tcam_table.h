@@ -49,11 +49,29 @@ class TcamTable {
 
   // --- fault injection hooks (used by src/faults) ---------------------------
 
+  // What corrupt_random_bit changed: the entry's index plus its full
+  // before/after images, so a repair journal can undo the flip exactly.
+  struct Corruption {
+    std::size_t index = 0;
+    TcamRule before;
+    TcamRule after;
+  };
+
   // Flip one random bit in the value or mask of one random field of one
-  // random non-default rule. Models TCAM hardware corruption; returns the
-  // index of the corrupted rule, or nullopt if the table has no
-  // corruptible rule.
-  std::optional<std::size_t> corrupt_random_bit(Rng& rng);
+  // random non-default rule. Models TCAM hardware corruption; nullopt if
+  // the table has no corruptible rule.
+  std::optional<Corruption> corrupt_random_bit(Rng& rng);
+
+  // --- exact-repair support (used by faults/repair_journal) -----------------
+
+  // Remove exactly one rule bytewise-equal (priority included) to `rule`;
+  // false when absent. remove_if would take every duplicate with it.
+  bool remove_one(const TcamRule& rule);
+
+  // Overwrite the one rule bytewise-equal to `from` with `to`. Equal
+  // priorities are overwritten in place (position preserved, keeping the
+  // sort invariant); a priority change falls back to remove_one + install.
+  bool replace_one(const TcamRule& from, const TcamRule& to);
 
   // Evict the lowest-priority (= last) non-default rule, as a local agent
   // eviction mechanism would. Returns the evicted rule.

@@ -46,6 +46,11 @@ struct GeneratorProfile {
 
   std::size_t tcam_capacity = 1 << 17;  // large: overflow only when scripted
 
+  // Field-wise equality (defaulted so new knobs are covered automatically;
+  // the sweep cache keys on it to decide repair vs rebuild).
+  friend bool operator==(const GeneratorProfile&,
+                         const GeneratorProfile&) = default;
+
   // Production-cluster scale (the paper's simulation dataset).
   [[nodiscard]] static GeneratorProfile production();
   // Testbed scale (the paper's hardware testbed policy).

@@ -1,0 +1,427 @@
+// Differential test harness for the per-worker cached sweep networks
+// (exact repair). Two proof obligations:
+//
+//  1. Identity: after randomized inject/repair sequences covering every
+//     journaled fault kind (rule drop full/partial/VRF-scoped, stale-copy
+//     adds, bit-flip modifications, agent crash, unresponsiveness), the
+//     network fingerprint equals both its own pre-injection state and a
+//     freshly deployed network's — repaired state is bit-identical to
+//     fresh state.
+//
+//  2. Results: accuracy sweeps, gamma and scalability campaigns on cached
+//     networks are memcmp-identical to fresh-build-per-cell runs at 1, 2
+//     and 4 workers across seeds, and a profile switch rebuilds instead of
+//     repairing.
+#include <cstring>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/faults/fault_injector.h"
+#include "src/faults/physical_faults.h"
+#include "src/faults/repair_journal.h"
+#include "src/scout/experiment.h"
+#include "src/scout/sim_network.h"
+#include "src/workload/policy_generator.h"
+
+namespace scout {
+namespace {
+
+std::unique_ptr<SimNetwork> make_net(const GeneratorProfile& profile,
+                                     std::uint64_t seed) {
+  Rng rng{seed};
+  GeneratedNetwork generated = generate_network(profile, rng);
+  auto net = std::make_unique<SimNetwork>(std::move(generated.fabric),
+                                          std::move(generated.policy));
+  net->deploy();
+  net->clock().advance(3'600'000);
+  return net;
+}
+
+LogicalRule first_compiled_rule(SimNetwork& net, SwitchId sw) {
+  const auto& rules = net.controller().compiled().rules_for(sw);
+  EXPECT_FALSE(rules.empty());
+  return rules.front();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint sensitivity: a digest that misses state would vacuously pass
+// the identity tests below.
+// ---------------------------------------------------------------------------
+
+TEST(StateFingerprint, DetectsEveryJournaledMutationKind) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  auto net = make_net(profile, 11);
+  const std::uint64_t fp0 = net->state_fingerprint();
+  const SimTime t0 = net->clock().now();
+
+  // Equal rebuild -> equal fingerprint.
+  EXPECT_EQ(make_net(profile, 11)->state_fingerprint(), fp0);
+  // Different seed -> different network -> different fingerprint.
+  EXPECT_NE(make_net(profile, 12)->state_fingerprint(), fp0);
+
+  // Clock.
+  net->clock().advance(1);
+  EXPECT_NE(net->state_fingerprint(), fp0);
+  net->clock().reset_to(t0);
+  ASSERT_EQ(net->state_fingerprint(), fp0);
+
+  // Change log.
+  net->controller().record_benign_change(
+      ObjectRef::of(net->agents().front()->id()));
+  EXPECT_NE(net->state_fingerprint(), fp0);
+  net->controller().change_log().truncate(
+      net->controller().change_log().size() - 1);
+  net->clock().reset_to(t0);  // the record ticked the clock
+  ASSERT_EQ(net->state_fingerprint(), fp0);
+
+  // TCAM contents.
+  SwitchAgent& agent = *net->agents().front();
+  const TcamRule removed = agent.tcam().rules().front();
+  ASSERT_TRUE(agent.tcam().remove_one(removed));
+  EXPECT_NE(net->state_fingerprint(), fp0);
+  ASSERT_EQ(agent.tcam().install(removed), InstallStatus::kOk);
+  ASSERT_EQ(net->state_fingerprint(), fp0);
+
+  // Agent fault flags.
+  agent.set_responsive(false);
+  EXPECT_NE(net->state_fingerprint(), fp0);
+  agent.set_responsive(true);
+  ASSERT_EQ(net->state_fingerprint(), fp0);
+  agent.crash_after(0);
+  EXPECT_NE(net->state_fingerprint(), fp0);
+}
+
+// ---------------------------------------------------------------------------
+// Identity under randomized mixed fault sequences.
+// ---------------------------------------------------------------------------
+
+// One random journaled fault against `net`. `op_rng` drives the choice and
+// the physical-fault parameters; `injector` owns the object-fault RNG.
+void apply_random_fault(SimNetwork& net, ObjectFaultInjector& injector,
+                        RepairJournal& journal, Rng& op_rng) {
+  const auto agents = net.agents();
+  SwitchAgent& agent = *agents[op_rng.below(agents.size())];
+  switch (op_rng.below(6)) {
+    case 0: {  // full object fault (occasionally VRF-grade)
+      const auto objs =
+          injector.sample_objects(1, /*include_vrfs=*/op_rng.chance(0.3));
+      if (!objs.empty()) (void)injector.inject_full(objs.front());
+      break;
+    }
+    case 1: {  // partial object fault
+      const auto objs = injector.sample_objects(1);
+      if (!objs.empty()) (void)injector.inject_partial(objs.front());
+      break;
+    }
+    case 2: {  // switch-scoped fault
+      const auto objs = injector.sample_objects(1, /*include_vrfs=*/false,
+                                                agent.id());
+      if (!objs.empty()) (void)injector.inject_full(objs.front(), agent.id());
+      break;
+    }
+    case 3: {  // stale-state extra copies
+      const auto objs = injector.sample_objects(1);
+      if (!objs.empty()) {
+        (void)injector.inject_stale_copies(objs.front(),
+                                           1 + op_rng.below(3));
+      }
+      break;
+    }
+    case 4: {  // TCAM bit corruption (detected ~half the time)
+      (void)run_tcam_corruption_scenario(net.controller(), agent.id(),
+                                         /*bits=*/1 + op_rng.below(3), op_rng,
+                                         /*detection_probability=*/0.5,
+                                         &journal);
+      break;
+    }
+    case 5: {  // agent crash or unresponsiveness during a push
+      const LogicalRule rule = first_compiled_rule(net, agent.id());
+      if (op_rng.chance(0.5)) {
+        agent.crash_after(0);  // crashes before the push applies anything
+      } else {
+        agent.set_responsive(false);  // push is lost; unreachable raised
+      }
+      const std::vector<LogicalRule> one{rule};
+      (void)net.controller().reinstall_rules(one);
+      break;
+    }
+  }
+}
+
+TEST(NetworkRepair, RandomizedMixedFaultRoundTripAcrossSeeds) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto net = make_net(profile, 5);
+    const std::uint64_t baseline = net->state_fingerprint();
+
+    RepairJournal journal;
+    journal.arm(*net);
+    Rng fault_rng{derive_seed(seed, 1)};
+    ObjectFaultInjector injector{net->controller(), fault_rng};
+    injector.set_journal(&journal);
+
+    Rng op_rng{seed};
+    const std::size_t n_ops = 4 + op_rng.below(8);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      apply_random_fault(*net, injector, journal, op_rng);
+      net->clock().advance(1 + op_rng.below(5'000));
+    }
+    ASSERT_NE(net->state_fingerprint(), baseline)
+        << "seed " << seed << ": fault sequence left no trace — vacuous";
+
+    journal.repair(*net);
+    EXPECT_EQ(net->state_fingerprint(), baseline) << "seed " << seed;
+  }
+}
+
+TEST(NetworkRepair, RepairedStateBitIdenticalToFreshlyDeployed) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  auto subject = make_net(profile, 21);
+
+  RepairJournal journal;
+  journal.arm(*subject);
+  Rng rng{99};
+  ObjectFaultInjector injector{subject->controller(), rng};
+  injector.set_journal(&journal);
+  for (const ObjectRef obj : injector.sample_objects(5)) {
+    if (rng.chance(0.5)) {
+      (void)injector.inject_full(obj);
+    } else {
+      (void)injector.inject_partial(obj);
+    }
+  }
+  journal.repair(*subject);
+
+  // Not merely "back to its own old state": equal to a from-scratch build.
+  EXPECT_EQ(subject->state_fingerprint(),
+            make_net(profile, 21)->state_fingerprint());
+}
+
+TEST(NetworkRepair, ControllerUnreachableEpisodeForgottenByRepair) {
+  auto net = make_net(GeneratorProfile::testbed(), 31);
+  const std::uint64_t baseline = net->state_fingerprint();
+  SwitchAgent& agent = *net->agents().front();
+  const std::vector<LogicalRule> one{first_compiled_rule(*net, agent.id())};
+
+  RepairJournal journal;
+  journal.arm(*net);
+  agent.set_responsive(false);
+  (void)net->controller().reinstall_rules(one);
+  ASSERT_EQ(net->controller().fault_log().size(), 1u);  // SWITCH_UNREACHABLE
+  journal.repair(*net);
+  ASSERT_EQ(net->state_fingerprint(), baseline);
+
+  // The open episode must have been forgotten with its record: a new loss
+  // re-raises instead of being swallowed by stale bookkeeping.
+  journal.arm(*net);
+  agent.set_responsive(false);
+  (void)net->controller().reinstall_rules(one);
+  EXPECT_EQ(net->controller().fault_log().size(), 1u);
+  journal.repair(*net);
+  EXPECT_EQ(net->state_fingerprint(), baseline);
+}
+
+TEST(NetworkRepair, GammaPerIterationUndoKeepsShardHistory) {
+  // undo_rule_ops restores TCAMs but keeps the change log and clock
+  // accumulating — the gamma shard discipline.
+  auto net = make_net(GeneratorProfile::testbed(), 41);
+  RepairJournal journal;
+  journal.arm(*net);
+  Rng rng{7};
+  ObjectFaultInjector injector{net->controller(), rng};
+  injector.set_journal(&journal);
+
+  const std::size_t log0 = net->controller().change_log().size();
+  const auto objs = injector.sample_objects(2);
+  ASSERT_EQ(objs.size(), 2u);
+  (void)injector.inject_full(objs[0]);
+  journal.undo_rule_ops(*net);
+  net->clock().advance(120'000);
+  (void)injector.inject_full(objs[1]);
+  journal.undo_rule_ops(*net);
+
+  EXPECT_EQ(journal.rule_ops(), 0u);
+  EXPECT_EQ(net->controller().change_log().size(), log0 + 2);  // history kept
+  // TCAMs are clean mid-shard...
+  std::size_t total_rules = 0;
+  for (const auto& a : net->agents()) total_rules += a->tcam().size();
+  std::size_t compiled_rules = 0;
+  for (const auto& a : net->agents()) {
+    compiled_rules += net->controller().compiled().rules_for(a->id()).size();
+  }
+  EXPECT_EQ(total_rules, compiled_rules);
+  // ...and the full repair restores the byte-exact baseline.
+  journal.repair(*net);
+  EXPECT_EQ(net->state_fingerprint(),
+            make_net(GeneratorProfile::testbed(), 41)->state_fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep outputs: cached == uncached, memcmp, at 1/2/4 workers x seeds.
+// ---------------------------------------------------------------------------
+
+const std::vector<AlgorithmSpec> kAlgorithms{
+    {"SCOUT", AlgorithmKind::kScout, 1.0, true},
+    {"SCORE-1", AlgorithmKind::kScore, 1.0, true},
+};
+
+AccuracyOptions sweep_options(std::uint64_t seed, RiskModelKind model) {
+  AccuracyOptions opts;
+  opts.profile = GeneratorProfile::testbed();
+  opts.model = model;
+  opts.runs = 6;
+  opts.max_faults = 3;
+  opts.benign_changes = 5;
+  opts.seed = seed;
+  return opts;
+}
+
+void expect_series_memcmp_equal(const std::vector<AccuracySeries>& a,
+                                const std::vector<AccuracySeries>& b,
+                                const char* what) {
+  // The authoritative gate is the shared comparator (the same one the
+  // fig8 bench applies); the per-cell walk below only localizes failures.
+  EXPECT_TRUE(accuracy_series_identical(a, b)) << what;
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].by_faults.size(), b[s].by_faults.size()) << what;
+    for (std::size_t f = 0; f < a[s].by_faults.size(); ++f) {
+      EXPECT_EQ(std::memcmp(&a[s].by_faults[f], &b[s].by_faults[f],
+                            sizeof(AccuracyCell)),
+                0)
+          << what << ": series " << s << " faults " << f + 1;
+    }
+  }
+}
+
+TEST(CachedSweep, MatchesUncachedAtOneTwoFourWorkersAcrossSeeds) {
+  for (const std::uint64_t seed : {1234u, 77u}) {
+    for (const RiskModelKind model :
+         {RiskModelKind::kController, RiskModelKind::kSwitch}) {
+      AccuracyOptions opts = sweep_options(seed, model);
+
+      opts.cache_networks = false;
+      runtime::SerialExecutor serial;
+      const auto reference = run_accuracy_sweep(opts, kAlgorithms, serial);
+
+      for (const std::size_t workers : {1u, 2u, 4u}) {
+        opts.cache_networks = true;
+        const auto executor = runtime::make_executor(workers);
+        SweepNetworkCache cache{executor->workers()};
+        SweepDiagnostics diag;
+        const auto cached = run_accuracy_sweep(opts, kAlgorithms, *executor,
+                                               &cache, &diag);
+        expect_series_memcmp_equal(reference, cached, "cached vs uncached");
+        // The cache really was exercised, every repair verified clean.
+        const auto stats = cache.stats();
+        EXPECT_EQ(stats.builds, workers);
+        EXPECT_EQ(stats.repairs,
+                  opts.runs * opts.max_faults - stats.builds);
+        EXPECT_EQ(stats.verify_failures, 0u);
+        EXPECT_EQ(diag.network_builds, stats.builds);
+        EXPECT_EQ(diag.network_repairs, opts.runs * opts.max_faults);
+      }
+    }
+  }
+}
+
+TEST(CachedSweep, RebuildsOnProfileSwitchRepairsWithinProfile) {
+  runtime::SerialExecutor serial;
+  SweepNetworkCache cache{serial.workers()};
+
+  AccuracyOptions opts = sweep_options(5, RiskModelKind::kController);
+  const std::size_t cells = opts.runs * opts.max_faults;
+  const auto first = run_accuracy_sweep(opts, kAlgorithms, serial, &cache);
+  EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().repairs, cells - 1);
+
+  // A different profile must rebuild (not repair across profiles).
+  AccuracyOptions other = opts;
+  other.profile.target_pairs += 40;
+  (void)run_accuracy_sweep(other, kAlgorithms, serial, &cache);
+  EXPECT_EQ(cache.stats().builds, 2u);
+
+  // Same grid again on the now-warm slot: zero new builds, all repairs.
+  (void)run_accuracy_sweep(other, kAlgorithms, serial, &cache);
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().repairs, 3 * cells - 2);
+  EXPECT_EQ(cache.stats().verify_failures, 0u);
+
+  // And the first profile, returning later, rebuilds once more but still
+  // reproduces its original series bit-for-bit.
+  const auto back = run_accuracy_sweep(opts, kAlgorithms, serial, &cache);
+  EXPECT_EQ(cache.stats().builds, 3u);
+  expect_series_memcmp_equal(first, back, "profile round trip");
+
+  // The counters surface through BenchRecorder diagnostics.
+  runtime::BenchRecorder recorder{"cache_test"};
+  cache.record_diagnostics(recorder);
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"cache_builds\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_repairs\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_verify_failures\":0"), std::string::npos)
+      << json;
+}
+
+TEST(CachedSweep, GammaCachedMatchesUncached) {
+  GammaOptions opts;
+  opts.profile = GeneratorProfile::testbed();
+  opts.faults = 48;
+  opts.seed = 3;
+  opts.bucket_bounds = {10, 20, 40, 60};
+  opts.shards = 6;
+
+  opts.cache_networks = false;
+  runtime::SerialExecutor serial;
+  const auto reference = run_gamma_experiment(opts, serial);
+
+  opts.cache_networks = true;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const auto executor = runtime::make_executor(workers);
+    const auto cached = run_gamma_experiment(opts, *executor);
+    ASSERT_EQ(reference.size(), cached.size());
+    for (std::size_t b = 0; b < reference.size(); ++b) {
+      EXPECT_EQ(std::memcmp(&reference[b], &cached[b], sizeof(GammaBucket)),
+                0)
+          << "bucket " << b << " at " << workers << " workers";
+    }
+  }
+}
+
+TEST(CachedSweep, ScalabilityCampaignCachedMatchesUncached) {
+  ScaleCampaignOptions opts;
+  opts.switch_counts = {5, 10};
+  opts.reps = 3;
+  opts.n_faults = 2;
+  opts.pairs_per_switch = 30;
+
+  opts.cache_networks = false;
+  runtime::SerialExecutor serial;
+  const auto reference = run_scalability_campaign(opts, serial);
+
+  opts.cache_networks = true;
+  for (const std::size_t workers : {1u, 4u}) {
+    const auto executor = runtime::make_executor(workers);
+    const auto cached = run_scalability_campaign(opts, *executor);
+    ASSERT_EQ(reference.size(), cached.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      // Timings are wall clock; the derived structure must be identical.
+      EXPECT_EQ(reference[i].switches, cached[i].switches) << i;
+      EXPECT_EQ(reference[i].epg_pairs, cached[i].epg_pairs) << i;
+      EXPECT_EQ(reference[i].elements, cached[i].elements) << i;
+      EXPECT_EQ(reference[i].risks, cached[i].risks) << i;
+      EXPECT_EQ(reference[i].edges, cached[i].edges) << i;
+    }
+  }
+  // Reps of one switch count share the fabric: pairs are rep-invariant.
+  for (std::size_t c = 0; c < opts.switch_counts.size(); ++c) {
+    for (std::size_t r = 1; r < opts.reps; ++r) {
+      EXPECT_EQ(reference[c * opts.reps + r].epg_pairs,
+                reference[c * opts.reps].epg_pairs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout

@@ -68,6 +68,54 @@ TEST_F(RemediationFixture, ReinstallDoesNotDuplicateRules) {
   EXPECT_EQ(net.agent(three.s2).tcam().size(), s2_expected);
 }
 
+TEST(RemediationDuplicates, ConvergesInOnePassWhenAllDuplicatesStripped) {
+  // The compiler emits N identical-match rules (distinct priorities) when a
+  // pair reaches one filter through several contracts. The injector strips
+  // by match key, i.e. all N copies at once; remediation used to reinstall
+  // a single copy per reported rule (each remove-then-add takes every
+  // same-match copy with it), so the syntactic multiset diff kept
+  // reporting the other N-1 missing forever. Reinstall now replays the
+  // compiled copies per key: one pass converges in both checker modes.
+  for (const CheckMode mode : {CheckMode::kSyntactic, CheckMode::kExactBdd}) {
+    ThreeTierNetwork three = make_three_tier();
+    const ContractId second =
+        three.policy.add_contract("App-DB-bis", {three.port700});
+    three.policy.link(three.app, three.db, second);
+    SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+    net.deploy();
+    net.clock().advance(3'600'000);
+
+    // The port-700 match keys really are duplicated now (N=2 per key).
+    std::size_t port700_rules = 0;
+    for (const LogicalRule& lr :
+         net.controller().compiled().rules_for(three.s2)) {
+      if (lr.rule.dst_port.value == 700u) ++port700_rules;
+    }
+    ASSERT_EQ(port700_rules, 4u);  // 2 directions x 2 contracts
+
+    Rng rng{1};
+    ObjectFaultInjector injector{net.controller(), rng};
+    const InjectedFault fault =
+        injector.inject_full(ObjectRef::of(three.port700));
+    ASSERT_GT(fault.rules_removed, 0u);
+
+    const ScoutSystem system{
+        ScoutSystem::Options{mode, ScoutLocalizer::Options{}}};
+    const ScoutReport report = system.analyze_controller(net);
+    ASSERT_FALSE(report.missing_rules.empty());
+
+    const std::size_t left = system.remediate(net, report);
+    EXPECT_EQ(left, 0u) << "mode " << static_cast<int>(mode);
+    const ScoutReport after = system.analyze_controller(net);
+    EXPECT_TRUE(after.missing_rules.empty())
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(after.extra_rule_count, 0u)  // no over-install either
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(net.agent(three.s2).tcam().size(),
+              net.controller().compiled().rules_for(three.s2).size());
+  }
+}
+
 TEST_F(RemediationFixture, ResyncRebuildsWipedSwitch) {
   net.agent(three.s2).tcam().clear();
   const DeployStats stats = net.controller().resync_switch(three.s2);

@@ -134,10 +134,10 @@ TEST_F(AgentFixture, CorruptionDetectionIsProbabilistic) {
   }
   Rng rng{5};
   // Silent corruption: never logged.
-  EXPECT_TRUE(agent.corrupt_tcam_bit(rng, SimTime{2}, 0.0));
+  EXPECT_TRUE(agent.corrupt_tcam_bit(rng, SimTime{2}, 0.0).has_value());
   EXPECT_EQ(agent.fault_log().size(), 0u);
   // Always-detected corruption: logged as parity error.
-  EXPECT_TRUE(agent.corrupt_tcam_bit(rng, SimTime{3}, 1.0));
+  EXPECT_TRUE(agent.corrupt_tcam_bit(rng, SimTime{3}, 1.0).has_value());
   ASSERT_EQ(agent.fault_log().size(), 1u);
   EXPECT_EQ(agent.fault_log().records()[0].code,
             FaultCode::kTcamParityError);
