@@ -2,35 +2,112 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "src/common/hash.h"
 
 namespace scout {
-
 namespace {
-constexpr std::uint32_t kOpAnd = 0;
-constexpr std::uint32_t kOpOr = 1;
-constexpr std::uint32_t kOpXor = 2;
-constexpr std::uint32_t kOpNot = 3;
-}  // namespace
 
-BddManager::BddManager(std::uint32_t var_count) : var_count_(var_count) {
-  // Terminals: index 0 = false, 1 = true. They sit "below" all variables.
-  nodes_.push_back(Node{var_count_, kBddFalse, kBddFalse});
-  nodes_.push_back(Node{var_count_, kBddTrue, kBddTrue});
+// Three-word key mixer for the unique table and op cache (common/hash.h).
+[[nodiscard]] std::uint64_t mix3(std::uint32_t a, std::uint32_t b,
+                                 std::uint32_t c) noexcept {
+  return mix3_u64(a, b, c);
 }
 
-BddRef BddManager::make_node(std::uint32_t v, BddRef low, BddRef high) {
-  if (low == high) return low;  // reduction rule
-  const NodeKey key{v, low, high};
-  if (const auto it = unique_.find(key); it != unique_.end()) {
-    return it->second;
+constexpr std::size_t kMinTable = 1 << 6;
+constexpr std::size_t kMinCache = 1 << 12;
+constexpr std::size_t kMaxCache = 1 << 21;
+
+}  // namespace
+
+BddManager::BddManager(std::uint32_t var_count, std::size_t node_hint)
+    : var_count_(var_count) {
+  nodes_.reserve(std::max<std::size_t>(node_hint, 2));
+  nodes_.push_back(Node{kTermVar, kBddTrue, kBddTrue});  // the one terminal
+  table_.assign(std::max(kMinTable, next_pow2(node_hint * 2)), 0);
+  table_mask_ = static_cast<std::uint32_t>(table_.size() - 1);
+  cache_.assign(std::clamp(next_pow2(node_hint), kMinCache, kMaxCache),
+                CacheEntry{});
+  cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  powers_.resize(var_count_ + 1);
+  double p = 1.0;
+  for (std::uint32_t i = 0; i <= var_count_; ++i, p *= 2.0) powers_[i] = p;
+  phase_.assign(var_count_, -1);
+}
+
+BddRef BddManager::hash_cons(std::uint32_t var, BddRef low, BddRef high) {
+  assert((low & 1U) == 0 && low != high);
+  std::size_t slot = mix3(var, low, high) & table_mask_;
+  while (table_[slot] != 0) {
+    const Node& n = nodes_[table_[slot]];
+    if (n.var == var && n.low == low && n.high == high) {
+      return table_[slot] << 1;
+    }
+    slot = (slot + 1) & table_mask_;
   }
-  const auto ref = static_cast<BddRef>(nodes_.size());
-  nodes_.push_back(Node{v, low, high});
-  unique_.emplace(key, ref);
-  return ref;
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  table_[slot] = idx;
+  ++unique_inserts_;
+  peak_nodes_ = std::max(peak_nodes_, nodes_.size());
+  // Grow at 3/4 load: lower thresholds measured slower here — the extra
+  // rehash passes cost more than the longer probe runs they avoid.
+  if (nodes_.size() * 4 >= table_.size() * 3) grow_table();
+  return idx << 1;
+}
+
+BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  // Canonical form: the stored low edge is never complemented. Push a
+  // complemented low up to the parent edge: node(v,¬a,¬b) == ¬node(v,a,b).
+  if (low & 1U) {
+    return hash_cons(var, low ^ 1U, high ^ 1U) ^ 1U;
+  }
+  return hash_cons(var, low, high);
+}
+
+void BddManager::grow_table() {
+  table_.assign(table_.size() * 2, 0);
+  table_mask_ = static_cast<std::uint32_t>(table_.size() - 1);
+  rebuild_table();
+  // Keep the op cache roughly half the unique table so a hot build does
+  // not thrash a tiny cache (lossy: resizing drops prior entries).
+  const std::size_t want =
+      std::clamp(table_.size() / 2, kMinCache, kMaxCache);
+  if (want > cache_.size()) {
+    cache_.assign(want, CacheEntry{});
+    cache_mask_ = static_cast<std::uint32_t>(cache_.size() - 1);
+  }
+}
+
+void BddManager::rebuild_table() {
+  std::fill(table_.begin(), table_.end(), 0U);
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    const Node& n = nodes_[idx];
+    std::size_t slot = mix3(n.var, n.low, n.high) & table_mask_;
+    while (table_[slot] != 0) slot = (slot + 1) & table_mask_;
+    table_[slot] = idx;
+  }
+}
+
+void BddManager::bump_generation() {
+  if (++generation_ == 0) {
+    // Wrapped: stale entries could alias stamp 0; wipe them once.
+    std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+    generation_ = 1;
+  }
+}
+
+void BddManager::rollback(Checkpoint cp) {
+  if (cp.nodes < 1 || cp.nodes > nodes_.size()) {
+    throw std::invalid_argument{"BddManager::rollback: bad checkpoint"};
+  }
+  if (cp.nodes == nodes_.size()) return;  // nothing was built above it
+  nodes_.resize(cp.nodes);
+  rebuild_table();
+  bump_generation();  // op-cache entries may reference truncated nodes
+  ++rollbacks_;
 }
 
 BddRef BddManager::var(std::uint32_t index) {
@@ -43,119 +120,138 @@ BddRef BddManager::nvar(std::uint32_t index) {
   return make_node(index, kBddTrue, kBddFalse);
 }
 
-BddRef BddManager::apply(std::uint32_t op, BddRef a, BddRef b) {
-  // Terminal cases.
-  switch (op) {
-    case kOpAnd:
-      if (a == kBddFalse || b == kBddFalse) return kBddFalse;
-      if (a == kBddTrue) return b;
-      if (b == kBddTrue) return a;
-      if (a == b) return a;
-      break;
-    case kOpOr:
-      if (a == kBddTrue || b == kBddTrue) return kBddTrue;
-      if (a == kBddFalse) return b;
-      if (b == kBddFalse) return a;
-      if (a == b) return a;
-      break;
-    case kOpXor:
-      if (a == b) return kBddFalse;
-      if (a == kBddFalse) return b;
-      if (b == kBddFalse) return a;
-      break;
-    default:
-      break;
-  }
-  // AND/OR/XOR are commutative: normalize operand order for cache hits.
-  if (a > b) std::swap(a, b);
-  const OpKey key{op, a, b};
-  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
-    return it->second;
-  }
-
-  // Copies, not references: recursion below may reallocate the node pool.
-  const Node na = node(a);
-  const Node nb = node(b);
-  const std::uint32_t v = std::min(na.var, nb.var);
-  const BddRef a_lo = na.var == v ? na.low : a;
-  const BddRef a_hi = na.var == v ? na.high : a;
-  const BddRef b_lo = nb.var == v ? nb.low : b;
-  const BddRef b_hi = nb.var == v ? nb.high : b;
-
-  const BddRef lo = apply(op, a_lo, b_lo);
-  const BddRef hi = apply(op, a_hi, b_hi);
-  const BddRef result = make_node(v, lo, hi);
-  op_cache_.emplace(key, result);
-  return result;
-}
-
-BddRef BddManager::apply_and(BddRef a, BddRef b) { return apply(kOpAnd, a, b); }
-BddRef BddManager::apply_or(BddRef a, BddRef b) { return apply(kOpOr, a, b); }
-BddRef BddManager::apply_xor(BddRef a, BddRef b) { return apply(kOpXor, a, b); }
-
-BddRef BddManager::negate(BddRef a) {
-  if (a == kBddFalse) return kBddTrue;
-  if (a == kBddTrue) return kBddFalse;
-  const OpKey key{kOpNot, a, 0};
-  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
-    return it->second;
-  }
-  // Copy the node fields: the recursive calls below can grow (and
-  // reallocate) the node pool, so a reference would dangle.
-  const Node n = node(a);
-  const BddRef lo = negate(n.low);
-  const BddRef hi = negate(n.high);
-  const BddRef result = make_node(n.var, lo, hi);
-  op_cache_.emplace(key, result);
-  return result;
-}
-
 BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal rules.
   if (f == kBddTrue) return g;
   if (f == kBddFalse) return h;
   if (g == h) return g;
+  if (f == g) {
+    g = kBddTrue;  // ITE(f, f, h) = ITE(f, 1, h)
+  } else if (f == (g ^ 1U)) {
+    g = kBddFalse;  // ITE(f, ¬f, h) = ITE(f, 0, h)
+  }
+  if (f == h) {
+    h = kBddFalse;  // ITE(f, g, f) = ITE(f, g, 0)
+  } else if (f == (h ^ 1U)) {
+    h = kBddTrue;  // ITE(f, g, ¬f) = ITE(f, g, 1)
+  }
   if (g == kBddTrue && h == kBddFalse) return f;
-  if (g == kBddFalse && h == kBddTrue) return negate(f);
+  if (g == kBddFalse && h == kBddTrue) return f ^ 1U;
+  if (g == h) return g;
 
-  const IteKey key{f, g, h};
-  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
-    return it->second;
+  // Commutative standard triples: pick a canonical argument order so
+  // equivalent calls share one cache entry. `before` orders by top
+  // variable, then node index (both operands are non-terminal here: the
+  // mixed-terminal forms were all resolved above).
+  const auto before = [this](BddRef a, BddRef b) noexcept {
+    const Node& na = node(a);
+    const Node& nb = node(b);
+    if (na.var != nb.var) return na.var < nb.var;
+    return index_of(a) < index_of(b);
+  };
+  if (g == kBddTrue) {  // f ∨ h == ITE(h, 1, f)
+    if (before(h, f)) std::swap(f, h);
+  } else if (h == kBddFalse) {  // f ∧ g == ITE(g, f, 0)
+    if (before(g, f)) std::swap(f, g);
+  } else if (g == kBddFalse) {  // ¬f ∧ h == ITE(¬h, 0, ¬f)
+    if (before(h, f)) {
+      const BddRef t = f;
+      f = h ^ 1U;
+      h = t ^ 1U;
+    }
+  } else if (h == kBddTrue) {  // ¬f ∨ g == ITE(¬g, ¬f, 1)
+    if (before(g, f)) {
+      const BddRef t = f;
+      f = g ^ 1U;
+      g = t ^ 1U;
+    }
+  } else if (g == (h ^ 1U)) {  // f XNOR g == ITE(g, f, ¬f)
+    if (before(g, f)) {
+      const BddRef t = f;
+      f = g;
+      g = t;
+      h = t ^ 1U;
+    }
   }
 
-  const std::uint32_t v =
-      std::min({node(f).var, node(g).var, node(h).var});
-  auto split = [&](BddRef r, bool high) {
-    const Node& n = node(r);
-    if (is_terminal(r) || n.var != v) return r;
-    return high ? n.high : n.low;
-  };
-  const BddRef lo = ite(split(f, false), split(g, false), split(h, false));
-  const BddRef hi = ite(split(f, true), split(g, true), split(h, true));
+  // Complement canonicalization: first argument regular, then-branch
+  // regular (complement pulled out of the result).
+  if (f & 1U) {
+    f ^= 1U;
+    std::swap(g, h);
+  }
+  bool negate_result = false;
+  if (g & 1U) {
+    negate_result = true;
+    g ^= 1U;
+    h ^= 1U;
+  }
+
+  ++cache_lookups_;
+  const std::size_t slot = mix3(f, g, h) & cache_mask_;
+  {
+    const CacheEntry& e = cache_[slot];
+    if (e.stamp == generation_ && e.f == f && e.g == g && e.h == h) {
+      ++cache_hits_;
+      return negate_result ? (e.result ^ 1U) : e.result;
+    }
+  }
+
+  // Copies, not references: the recursion below may reallocate the pool.
+  const Node nf = node(f);
+  const Node ng = node(g);
+  const Node nh = node(h);
+  const std::uint32_t v = std::min({nf.var, ng.var, nh.var});
+  // Cofactors; a complemented edge complements both children (the low
+  // child is stored regular, so folding the parent's bit is enough).
+  const BddRef f0 = nf.var == v ? nf.low : f;
+  const BddRef f1 = nf.var == v ? nf.high : f;
+  const BddRef g0 = ng.var == v ? ng.low : g;
+  const BddRef g1 = ng.var == v ? ng.high : g;
+  const BddRef h0 = nh.var == v ? (nh.low ^ (h & 1U)) : h;
+  const BddRef h1 = nh.var == v ? (nh.high ^ (h & 1U)) : h;
+
+  const BddRef lo = ite(f0, g0, h0);
+  const BddRef hi = ite(f1, g1, h1);
   const BddRef result = make_node(v, lo, hi);
-  ite_cache_.emplace(key, result);
-  return result;
+
+  cache_[slot] = CacheEntry{f, g, h, result, generation_};
+  return negate_result ? (result ^ 1U) : result;
 }
 
 BddRef BddManager::cube(const BddCube& literals) {
   // Build bottom-up in descending variable order so each make_node call is
-  // O(1) — no apply needed for a pure conjunction of literals.
+  // O(1) — no ITE needed for a pure conjunction of literals. Rule encoding
+  // (packet_encoding) emits literals in strictly ascending order, so the
+  // common case just walks the input backwards without copying or sorting.
+  bool ascending = true;
+  for (std::size_t i = 1; i < literals.size(); ++i) {
+    if (literals[i - 1].var >= literals[i].var) {
+      ascending = false;
+      break;
+    }
+  }
+  const auto fold = [this](auto first, auto last) {
+    BddRef acc = kBddTrue;
+    std::uint32_t prev_var = var_count_;
+    for (auto it = first; it != last; ++it) {
+      if (it->var >= var_count_) throw std::out_of_range{"BddManager::cube"};
+      if (it->var == prev_var) {
+        throw std::invalid_argument{"BddManager::cube: duplicate variable"};
+      }
+      prev_var = it->var;
+      acc = it->positive ? make_node(it->var, kBddFalse, acc)
+                         : make_node(it->var, acc, kBddFalse);
+    }
+    return acc;
+  };
+  if (ascending) return fold(literals.rbegin(), literals.rend());
   BddCube sorted = literals;
   std::sort(sorted.begin(), sorted.end(),
             [](const BddLiteral& a, const BddLiteral& b) {
               return a.var > b.var;
             });
-  BddRef acc = kBddTrue;
-  std::uint32_t prev_var = var_count_;
-  for (const auto& lit : sorted) {
-    if (lit.var >= var_count_) throw std::out_of_range{"BddManager::cube"};
-    if (lit.var == prev_var) {
-      throw std::invalid_argument{"BddManager::cube: duplicate variable"};
-    }
-    prev_var = lit.var;
-    acc = lit.positive ? make_node(lit.var, kBddFalse, acc)
-                       : make_node(lit.var, acc, kBddFalse);
-  }
-  return acc;
+  return fold(sorted.begin(), sorted.end());
 }
 
 bool BddManager::evaluate(BddRef f,
@@ -163,85 +259,118 @@ bool BddManager::evaluate(BddRef f,
   assert(assignment.size() >= var_count_);
   while (!is_terminal(f)) {
     const Node& n = node(f);
-    f = assignment[n.var] ? n.high : n.low;
+    f = (assignment[n.var] ? n.high : n.low) ^ (f & 1U);
   }
   return f == kBddTrue;
 }
 
-bool BddManager::intersects_cube(BddRef f, const BddCube& partial) const {
-  // phase[v]: -1 unconstrained, 0 forced low, 1 forced high.
-  std::vector<std::int8_t> phase(var_count_, -1);
-  for (const auto& lit : partial) {
-    phase[lit.var] = lit.positive ? 1 : 0;
+void BddManager::ensure_query_scratch() const {
+  if (visit_stamp_.size() < nodes_.size() * 2) {
+    visit_stamp_.resize(nodes_.size() * 2, 0);
   }
-  // DFS with a visited set: a node that failed once under this cube always
-  // fails (the cube fixes the same branch every time we reach the node).
-  std::unordered_set<BddRef> failed;
-  std::vector<BddRef> stack{f};
-  while (!stack.empty()) {
-    const BddRef cur = stack.back();
-    stack.pop_back();
-    if (cur == kBddTrue) return true;
-    if (cur == kBddFalse || failed.contains(cur)) continue;
-    failed.insert(cur);
-    const Node& n = node(cur);
-    if (phase[n.var] == 0) {
-      stack.push_back(n.low);
-    } else if (phase[n.var] == 1) {
-      stack.push_back(n.high);
-    } else {
-      stack.push_back(n.low);
-      stack.push_back(n.high);
+  if (sat_stamp_.size() < nodes_.size() * 2) {
+    sat_stamp_.resize(nodes_.size() * 2, 0);
+    sat_memo_.resize(nodes_.size() * 2, 0.0);
+  }
+}
+
+std::uint32_t BddManager::next_query_epoch() const {
+  if (++query_epoch_ == 0) {
+    // Wrapped: stale stamps could alias epoch 0; reset them once.
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0U);
+    std::fill(sat_stamp_.begin(), sat_stamp_.end(), 0U);
+    query_epoch_ = 1;
+  }
+  return query_epoch_;
+}
+
+bool BddManager::intersects_cube(BddRef f, const BddCube& partial) const {
+  // phase_[v]: -1 unconstrained, 0 forced low, 1 forced high. The scratch
+  // lives in the manager and is restored to -1 before returning, so the
+  // per-rule loop in the checker allocates nothing. Validate before the
+  // first write: a mid-loop throw must not leave phases behind for later
+  // calls.
+  for (const auto& lit : partial) {
+    if (lit.var >= var_count_) {
+      throw std::out_of_range{"BddManager::intersects_cube"};
     }
   }
-  return false;
+  for (const auto& lit : partial) phase_[lit.var] = lit.positive ? 1 : 0;
+  ensure_query_scratch();
+  const std::uint32_t epoch = next_query_epoch();
+
+  // DFS with a timestamped visited array keyed by (node, complement): a
+  // ref that failed once under this cube always fails (the cube fixes the
+  // same branch every time we reach it).
+  bool found = false;
+  walk_stack_.clear();
+  walk_stack_.push_back(f);
+  while (!walk_stack_.empty()) {
+    const BddRef cur = walk_stack_.back();
+    walk_stack_.pop_back();
+    if (cur == kBddTrue) {
+      found = true;
+      break;
+    }
+    if (cur == kBddFalse || visit_stamp_[cur] == epoch) continue;
+    visit_stamp_[cur] = epoch;
+    const Node& n = node(cur);
+    const BddRef c = cur & 1U;
+    const std::int8_t ph = phase_[n.var];
+    if (ph != 1) walk_stack_.push_back(n.low ^ c);
+    if (ph != 0) walk_stack_.push_back(n.high ^ c);
+  }
+  for (const auto& lit : partial) phase_[lit.var] = -1;
+  return found;
 }
 
 double BddManager::sat_count(BddRef f) const {
-  std::unordered_map<BddRef, double> memo;
-  // counts assignments of variables with index >= node's var
-  std::function<double(BddRef)> rec = [&](BddRef r) -> double {
-    if (r == kBddFalse) return 0.0;
-    if (r == kBddTrue) return 1.0;
-    if (const auto it = memo.find(r); it != memo.end()) return it->second;
-    const Node& n = node(r);
-    const Node& lo_n = node(n.low);
-    const Node& hi_n = node(n.high);
-    const double lo = rec(n.low) *
-                      std::pow(2.0, static_cast<double>(lo_n.var - n.var - 1));
-    const double hi = rec(n.high) *
-                      std::pow(2.0, static_cast<double>(hi_n.var - n.var - 1));
-    const double result = lo + hi;
-    memo.emplace(r, result);
-    return result;
-  };
-  const Node& root = node(f);
-  const std::uint32_t top_var = is_terminal(f) ? var_count_ : root.var;
-  return rec(f) * std::pow(2.0, static_cast<double>(top_var));
-}
+  if (f == kBddFalse) return 0.0;
+  if (f == kBddTrue) return powers_[var_count_];
+  ensure_query_scratch();
+  const std::uint32_t epoch = next_query_epoch();
 
-std::size_t BddManager::foreach_cube(
-    BddRef f,
-    const std::function<bool(std::span<const std::int8_t>)>& callback) const {
-  std::vector<std::int8_t> assignment(var_count_, -1);
-  std::size_t visited = 0;
-  bool stop = false;
-  std::function<void(BddRef)> rec = [&](BddRef r) {
-    if (stop || r == kBddFalse) return;
-    if (r == kBddTrue) {
-      ++visited;
-      if (!callback(assignment)) stop = true;
-      return;
+  // memo[ref] = satisfying assignments of the function at `ref` over
+  // variables [var(ref), var_count). Memoized per *ref* — both phases of a
+  // node — so every contribution is a sum of path products: computing a
+  // complement as 2^k - m would cancel catastrophically in a 68-variable
+  // space (a 1-packet set under a 2^56 subtraction rounds to 0). Explicit
+  // post-order stack: no std::function, no recursion.
+  walk_stack_.clear();
+  walk_stack_.push_back(f);
+  while (!walk_stack_.empty()) {
+    const BddRef cur = walk_stack_.back();
+    if (sat_stamp_[cur] == epoch) {
+      walk_stack_.pop_back();
+      continue;
     }
-    const Node& n = node(r);
-    assignment[n.var] = 0;
-    rec(n.low);
-    assignment[n.var] = 1;
-    rec(n.high);
-    assignment[n.var] = -1;
-  };
-  rec(f);
-  return visited;
+    const Node& n = node(cur);
+    const BddRef lo = n.low ^ (cur & 1U);   // cofactors under complement
+    const BddRef hi = n.high ^ (cur & 1U);
+    bool ready = true;
+    if (!is_terminal(lo) && sat_stamp_[lo] != epoch) {
+      walk_stack_.push_back(lo);
+      ready = false;
+    }
+    if (!is_terminal(hi) && sat_stamp_[hi] != epoch) {
+      walk_stack_.push_back(hi);
+      ready = false;
+    }
+    if (!ready) continue;
+    walk_stack_.pop_back();
+    const auto edge = [&](BddRef r) -> double {
+      // Count of r over variables [n.var + 1, var_count).
+      if (is_terminal(r)) {
+        return r == kBddTrue ? powers_[var_count_ - n.var - 1] : 0.0;
+      }
+      const std::uint32_t cv = node(r).var;
+      return sat_memo_[r] * powers_[cv - n.var - 1];
+    };
+    sat_memo_[cur] = edge(lo) + edge(hi);
+    sat_stamp_[cur] = epoch;
+  }
+
+  return sat_memo_[f] * powers_[node(f).var];  // vars above the root are free
 }
 
 std::vector<std::int8_t> BddManager::any_sat(BddRef f) const {
@@ -251,28 +380,85 @@ std::vector<std::int8_t> BddManager::any_sat(BddRef f) const {
   std::vector<std::int8_t> assignment(var_count_, -1);
   while (!is_terminal(f)) {
     const Node& n = node(f);
-    if (n.low != kBddFalse) {
+    const BddRef lo = n.low ^ (f & 1U);
+    if (lo != kBddFalse) {
       assignment[n.var] = 0;
-      f = n.low;
+      f = lo;
     } else {
       assignment[n.var] = 1;
-      f = n.high;
+      f = n.high ^ (f & 1U);
     }
   }
   return assignment;
 }
 
 std::size_t BddManager::dag_size(BddRef f) const {
-  std::unordered_set<BddRef> seen;
-  std::vector<BddRef> stack{f};
-  while (!stack.empty()) {
-    const BddRef cur = stack.back();
-    stack.pop_back();
-    if (!seen.insert(cur).second || is_terminal(cur)) continue;
-    stack.push_back(node(cur).low);
-    stack.push_back(node(cur).high);
+  ensure_query_scratch();
+  const std::uint32_t epoch = next_query_epoch();
+  // Visited per node index (stamped at slot idx*2; complement ignored).
+  std::size_t count = 0;
+  walk_stack_.clear();
+  walk_stack_.push_back(index_of(f));
+  while (!walk_stack_.empty()) {
+    const std::uint32_t idx = walk_stack_.back();
+    walk_stack_.pop_back();
+    if (visit_stamp_[idx * 2] == epoch) continue;
+    visit_stamp_[idx * 2] = epoch;
+    ++count;
+    if (idx == 0) continue;
+    walk_stack_.push_back(index_of(nodes_[idx].low));
+    walk_stack_.push_back(index_of(nodes_[idx].high));
   }
-  return seen.size();
+  return count;
+}
+
+bool BddManager::check_invariants() const {
+  if (nodes_.empty() || nodes_[0].var != kTermVar) return false;
+  std::size_t in_table = 0;
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    const Node& n = nodes_[idx];
+    if (n.var >= var_count_) return false;
+    if (n.low & 1U) return false;  // low edge never complemented
+    if (n.low == n.high) return false;
+    // Bounds before dereference: a dangling edge is exactly the corruption
+    // this check exists to report, not to crash on.
+    if (index_of(n.low) >= nodes_.size() || index_of(n.high) >= nodes_.size()) {
+      return false;
+    }
+    const auto child_var = [this](BddRef r) {
+      return nodes_[index_of(r)].var;  // kTermVar for the terminal
+    };
+    if (child_var(n.low) <= n.var || child_var(n.high) <= n.var) return false;
+    // Exactly this node under its key in the unique table.
+    std::size_t slot = mix3(n.var, n.low, n.high) & table_mask_;
+    while (table_[slot] != 0) {
+      if (table_[slot] == idx) {
+        ++in_table;
+        break;
+      }
+      const Node& o = nodes_[table_[slot]];
+      if (o.var == n.var && o.low == n.low && o.high == n.high) {
+        return false;  // duplicate node
+      }
+      slot = (slot + 1) & table_mask_;
+    }
+  }
+  return in_table == nodes_.size() - 1;
+}
+
+BddManager::Stats BddManager::stats() const noexcept {
+  Stats s;
+  s.nodes = nodes_.size();
+  s.peak_nodes = peak_nodes_;
+  s.unique_capacity = table_.size();
+  s.unique_load =
+      static_cast<double>(nodes_.size()) / static_cast<double>(table_.size());
+  s.cache_capacity = cache_.size();
+  s.unique_inserts = unique_inserts_;
+  s.cache_lookups = cache_lookups_;
+  s.cache_hits = cache_hits_;
+  s.rollbacks = rollbacks_;
+  return s;
 }
 
 }  // namespace scout

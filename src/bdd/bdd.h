@@ -1,4 +1,5 @@
-// Reduced Ordered Binary Decision Diagrams, built from scratch.
+// Reduced Ordered Binary Decision Diagrams with complement edges — the
+// equivalence-check substrate, built for throughput.
 //
 // The paper's L-T equivalence checker compares two rulesets by building one
 // ROBDD from the logical rules (L) and one from the collected TCAM rules (T)
@@ -6,31 +7,50 @@
 // comparison; the diff L ∧ ¬T is the exact packet set that should be
 // deployed but is not, from which missing rules are recovered.
 //
-// Design notes:
-//  * Nodes are hash-consed in a unique table, so structural equality is
-//    reference equality (canonicity).
-//  * No complement edges and no garbage collection: a manager lives for one
-//    check and is dropped wholesale. This keeps the implementation simple
-//    and is fast enough (the checker builds a fresh manager per switch).
+// Design notes (Brace–Rudell–Bryant engine layout):
+//  * Complement edges: a BddRef is (node index << 1) | complement bit, so
+//    negation is a single XOR and `L ∧ ¬T` is one AND. There is a single
+//    terminal (node 0 = constant true); false is its complement. Canonical
+//    form: the low edge of a stored node is never complemented (make_node
+//    pushes the complement to the parent edge), so structural equality is
+//    still reference equality.
+//  * The unique table is a flat open-addressing array (linear probing,
+//    power-of-two capacity) over a contiguous node pool — no per-node heap
+//    allocation, no std::unordered_map. The table stores node indices; it
+//    grows with the pool and rebuilds in one pass.
+//  * One lossy direct-mapped operation cache serves every boolean operation:
+//    AND/OR/XOR are normalized into ITE standard triples (terminal rules,
+//    commutative argument ordering, complement canonicalization), so a
+//    single (f, g, h) entry format covers them all. Entries are stamped
+//    with a generation counter; rollback invalidates the cache by bumping
+//    the generation instead of wiping the array.
+//  * checkpoint()/rollback(): the node pool is an arena. A checkpoint is a
+//    pool watermark; rollback truncates the pool to it, rebuilds the unique
+//    table and invalidates the op cache. The checker keeps the per-switch
+//    logical BDDs resident below the watermark and builds each cell's
+//    T-BDD above it (see checker/logical_bdd_cache.h).
+//  * Queries (intersects_cube, sat_count, evaluate) reuse manager-owned
+//    timestamped scratch instead of allocating per call; foreach_cube takes
+//    a template callback, so the hot enumeration path has no std::function
+//    indirection. A manager is single-threaded (the runtime gives each
+//    worker its own); queries mutate scratch and are not reentrant.
 //  * Variables are identified by index 0..var_count-1 with a fixed global
-//    order equal to the index order.
+//    order equal to the index order. No garbage collection: managers are
+//    dropped wholesale or rolled back to a watermark.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
-
-#include "src/common/hash.h"
 
 namespace scout {
 
-// Index into the manager's node pool. 0 and 1 are the terminals.
+// Tagged reference: bits 1..31 = node pool index, bit 0 = complement.
+// Node 0 is the single terminal (constant true).
 using BddRef = std::uint32_t;
 
-inline constexpr BddRef kBddFalse = 0;
-inline constexpr BddRef kBddTrue = 1;
+inline constexpr BddRef kBddTrue = 0;   // terminal, regular edge
+inline constexpr BddRef kBddFalse = 1;  // terminal, complemented edge
 
 // A literal: variable index plus phase (true = positive).
 struct BddLiteral {
@@ -43,7 +63,9 @@ using BddCube = std::vector<BddLiteral>;
 
 class BddManager {
  public:
-  explicit BddManager(std::uint32_t var_count);
+  // `node_hint` preallocates the pool and sizes the unique table/op cache
+  // so steady-state checks run without rehashing.
+  explicit BddManager(std::uint32_t var_count, std::size_t node_hint = 0);
 
   BddManager(const BddManager&) = delete;
   BddManager& operator=(const BddManager&) = delete;
@@ -59,18 +81,41 @@ class BddManager {
   [[nodiscard]] BddRef var(std::uint32_t index);   // f = x_index
   [[nodiscard]] BddRef nvar(std::uint32_t index);  // f = !x_index
 
-  // -- boolean operations (all memoized) ------------------------------------
-  [[nodiscard]] BddRef apply_and(BddRef a, BddRef b);
-  [[nodiscard]] BddRef apply_or(BddRef a, BddRef b);
-  [[nodiscard]] BddRef apply_xor(BddRef a, BddRef b);
-  [[nodiscard]] BddRef negate(BddRef a);
+  // -- boolean operations ----------------------------------------------------
+  // All ternary/binary ops are one memoized ITE; negate is free.
   [[nodiscard]] BddRef ite(BddRef f, BddRef g, BddRef h);
+  [[nodiscard]] BddRef apply_and(BddRef a, BddRef b) {
+    return ite(a, b, kBddFalse);
+  }
+  [[nodiscard]] BddRef apply_or(BddRef a, BddRef b) {
+    return ite(a, kBddTrue, b);
+  }
+  [[nodiscard]] BddRef apply_xor(BddRef a, BddRef b) {
+    return ite(a, negate(b), b);
+  }
+  [[nodiscard]] static constexpr BddRef negate(BddRef a) noexcept {
+    return a ^ 1U;
+  }
   [[nodiscard]] BddRef apply_diff(BddRef a, BddRef b) {  // a ∧ ¬b
-    return apply_and(a, negate(b));
+    return ite(a, negate(b), kBddFalse);
   }
 
-  // Conjunction of a cube (linear construction, no apply cache pressure).
+  // Conjunction of a cube (linear construction, no op-cache pressure).
   [[nodiscard]] BddRef cube(const BddCube& literals);
+
+  // -- checkpoint/rollback ---------------------------------------------------
+  // A checkpoint is a node-pool watermark. rollback(cp) truncates the pool
+  // to it, rebuilds the unique table and invalidates the op cache; every
+  // BddRef handed out at or above the watermark is dead afterwards, every
+  // ref below stays valid (the arena contract the logical-BDD cache rests
+  // on). Rolling back to the current watermark is a no-op.
+  struct Checkpoint {
+    std::uint32_t nodes = 0;
+  };
+  [[nodiscard]] Checkpoint checkpoint() const noexcept {
+    return Checkpoint{static_cast<std::uint32_t>(nodes_.size())};
+  }
+  void rollback(Checkpoint cp);
 
   // -- queries ---------------------------------------------------------------
   [[nodiscard]] bool is_false(BddRef f) const noexcept { return f == kBddFalse; }
@@ -89,19 +134,23 @@ class BddManager {
 
   // Does f have a satisfying assignment consistent with `partial`?
   // `partial` maps var -> phase for a subset of variables (a cube).
+  // Uses manager-owned timestamped scratch: no per-call allocation.
   [[nodiscard]] bool intersects_cube(BddRef f, const BddCube& partial) const;
 
   // Number of satisfying assignments over the full variable set (double:
-  // 2^68 overflows uint64).
+  // 2^68 overflows uint64). Explicit stack + precomputed powers of two.
   [[nodiscard]] double sat_count(BddRef f) const;
 
   // Enumerate the satisfying paths of f as cubes: callback receives a
-  // vector of per-variable values: 0, 1 or -1 (don't-care). Returns the
-  // number of paths visited; enumeration stops early if the callback
-  // returns false.
-  std::size_t foreach_cube(
-      BddRef f,
-      const std::function<bool(std::span<const std::int8_t>)>& callback) const;
+  // vector of per-variable values: 0, 1 or -1 (don't-care) and returns
+  // false to stop early. Returns the number of paths visited.
+  template <typename Callback>
+  std::size_t foreach_cube(BddRef f, Callback&& callback) const {
+    std::vector<std::int8_t> assignment(var_count_, -1);
+    std::size_t visited = 0;
+    (void)foreach_cube_rec(f, assignment, visited, callback);
+    return visited;
+  }
 
   // One satisfying assignment (arbitrary), as per-variable 0/1/-1 values.
   // f must not be kBddFalse.
@@ -111,60 +160,117 @@ class BddManager {
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
   }
-  // Nodes reachable from f (size of the DAG rooted at f).
+  // Distinct nodes reachable from f (complement bits ignored; the single
+  // terminal counts once).
   [[nodiscard]] std::size_t dag_size(BddRef f) const;
+
+  // Structural self-check (tests): every stored node has a regular low
+  // edge, distinct children, strictly increasing variable order toward the
+  // leaves, and exactly one unique-table entry. O(nodes).
+  [[nodiscard]] bool check_invariants() const;
+
+  // Engine counters for benches/CI: unique-table load factor, op-cache hit
+  // rate, pool growth and rollback traffic.
+  struct Stats {
+    std::size_t nodes = 0;           // live pool size (incl. the terminal)
+    std::size_t peak_nodes = 0;      // high-water mark across rollbacks
+    std::size_t unique_capacity = 0;
+    double unique_load = 0.0;        // live nodes / table slots
+    std::size_t cache_capacity = 0;
+    std::uint64_t unique_inserts = 0;
+    std::uint64_t cache_lookups = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t rollbacks = 0;
+
+    [[nodiscard]] double cache_hit_rate() const noexcept {
+      return cache_lookups == 0
+                 ? 0.0
+                 : static_cast<double>(cache_hits) /
+                       static_cast<double>(cache_lookups);
+    }
+  };
+  [[nodiscard]] Stats stats() const noexcept;
 
  private:
   struct Node {
-    std::uint32_t var;  // variable index; terminals use var_count_
-    BddRef low;
+    std::uint32_t var;  // variable index; the terminal uses kTermVar
+    BddRef low;         // stored regular (never complemented)
     BddRef high;
   };
 
-  struct NodeKey {
-    std::uint32_t var;
-    BddRef low;
-    BddRef high;
-    bool operator==(const NodeKey&) const noexcept = default;
-  };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const noexcept {
-      return hash_all(k.var, k.low, k.high);
-    }
+  // Direct-mapped op-cache entry; valid iff stamp == generation_.
+  struct CacheEntry {
+    BddRef f = 0, g = 0, h = 0;
+    BddRef result = 0;
+    std::uint32_t stamp = 0;
   };
 
-  struct OpKey {
-    std::uint32_t op;  // 0=and 1=or 2=xor 3=not(b unused)
-    BddRef a;
-    BddRef b;
-    bool operator==(const OpKey&) const noexcept = default;
-  };
-  struct OpKeyHash {
-    std::size_t operator()(const OpKey& k) const noexcept {
-      return hash_all(k.op, k.a, k.b);
-    }
-  };
+  static constexpr std::uint32_t kTermVar = 0xFFFFFFFFU;
 
-  struct IteKey {
-    BddRef f, g, h;
-    bool operator==(const IteKey&) const noexcept = default;
-  };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const noexcept {
-      return hash_all(k.f, k.g, k.h);
-    }
-  };
+  [[nodiscard]] static constexpr std::uint32_t index_of(BddRef r) noexcept {
+    return r >> 1;
+  }
+  [[nodiscard]] bool is_terminal(BddRef r) const noexcept {
+    return index_of(r) == 0;
+  }
+  [[nodiscard]] const Node& node(BddRef r) const noexcept {
+    return nodes_[index_of(r)];
+  }
 
   [[nodiscard]] BddRef make_node(std::uint32_t var, BddRef low, BddRef high);
-  [[nodiscard]] BddRef apply(std::uint32_t op, BddRef a, BddRef b);
-  [[nodiscard]] const Node& node(BddRef r) const noexcept { return nodes_[r]; }
-  [[nodiscard]] bool is_terminal(BddRef r) const noexcept { return r <= 1; }
+  // low must be regular and low != high.
+  [[nodiscard]] BddRef hash_cons(std::uint32_t var, BddRef low, BddRef high);
+  void grow_table();
+  void rebuild_table();
+  void bump_generation();
+  void ensure_query_scratch() const;
+  [[nodiscard]] std::uint32_t next_query_epoch() const;
+
+  template <typename Callback>
+  bool foreach_cube_rec(BddRef f, std::vector<std::int8_t>& assignment,
+                        std::size_t& visited, Callback& callback) const {
+    if (f == kBddFalse) return true;
+    if (f == kBddTrue) {
+      ++visited;
+      return static_cast<bool>(
+          callback(std::span<const std::int8_t>(assignment)));
+    }
+    const Node& n = node(f);
+    const BddRef c = f & 1U;
+    assignment[n.var] = 0;
+    bool keep_going = foreach_cube_rec(n.low ^ c, assignment, visited,
+                                       callback);
+    if (keep_going) {
+      assignment[n.var] = 1;
+      keep_going = foreach_cube_rec(n.high ^ c, assignment, visited,
+                                    callback);
+    }
+    assignment[n.var] = -1;
+    return keep_going;
+  }
 
   std::uint32_t var_count_;
   std::vector<Node> nodes_;
-  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
-  std::unordered_map<OpKey, BddRef, OpKeyHash> op_cache_;
-  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+  std::vector<std::uint32_t> table_;  // unique table: node index, 0 = empty
+  std::uint32_t table_mask_ = 0;
+  std::vector<CacheEntry> cache_;     // direct-mapped op cache
+  std::uint32_t cache_mask_ = 0;
+  std::uint32_t generation_ = 1;
+  std::vector<double> powers_;        // powers_[i] = 2^i, i in [0, var_count]
+
+  // Timestamped query scratch (grown lazily, shared across calls).
+  mutable std::vector<std::int8_t> phase_;          // per variable
+  mutable std::vector<std::uint32_t> visit_stamp_;  // per ref (2 per node)
+  mutable std::vector<std::uint32_t> sat_stamp_;    // per node
+  mutable std::vector<double> sat_memo_;            // per node
+  mutable std::vector<BddRef> walk_stack_;
+  mutable std::uint32_t query_epoch_ = 0;
+
+  std::uint64_t unique_inserts_ = 0;
+  std::uint64_t cache_lookups_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::size_t peak_nodes_ = 1;
 };
 
 }  // namespace scout

@@ -10,18 +10,23 @@
 //  * kExactBdd   — the paper's method: build ROBDDs for L and T, test
 //    equivalence, and intersect each L-rule cube with L∧¬T. Semantically
 //    exact: an L-rule absent from the TCAM but shadowed by other present
-//    rules is correctly not reported.
-//  * kSyntactic  — multiset diff on match keys. Exact only when allow rules
-//    are pairwise non-overlapping (which the policy compiler guarantees for
-//    distinct EPG-pair keys); used by the large-scale benches where building
-//    hundreds of BDDs dominates runtime. Tests pin the agreement of the two
-//    modes on non-overlapping rulesets.
+//    rules is correctly not reported. With a BddCheckContext, the logical
+//    BDD comes from a per-worker LogicalBddCache arena and only the T-BDD
+//    is built (above a checkpoint watermark, rolled back after the check).
+//  * kSyntactic  — multiset diff on match keys over a flat open-addressing
+//    table with packed 128+-bit keys (no unordered_map, no per-call
+//    allocation in steady state). Exact only when allow rules are pairwise
+//    non-overlapping (which the policy compiler guarantees for distinct
+//    EPG-pair keys); used by the large-scale benches where building
+//    hundreds of BDDs dominates runtime. Tests pin the agreement of the
+//    two modes on non-overlapping rulesets.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "src/bdd/bdd.h"
+#include "src/checker/logical_bdd_cache.h"
 #include "src/checker/logical_rule.h"
 #include "src/tcam/tcam_rule.h"
 
@@ -59,10 +64,23 @@ class EquivalenceChecker {
 
   [[nodiscard]] CheckMode mode() const noexcept { return mode_; }
 
+  // Routing for the cached-BDD path: which worker's arena to use, the key
+  // identifying the compiled policy (fold a network identity in when one
+  // cache sees several controllers), and the switch whose logical BDD to
+  // reuse. Ignored in syntactic mode or when `cache` is null; results are
+  // bit-identical with and without a context.
+  struct BddCheckContext {
+    LogicalBddCache* cache = nullptr;
+    std::size_t worker = 0;
+    SwitchId sw{};
+    std::uint64_t key = 0;
+  };
+
   // Check one switch's deployment. `logical` are the L-rules compiled for
   // the switch; `deployed` the rules collected from its TCAM.
   [[nodiscard]] CheckResult check(std::span<const LogicalRule> logical,
-                                  std::span<const TcamRule> deployed) const;
+                                  std::span<const TcamRule> deployed,
+                                  const BddCheckContext* ctx = nullptr) const;
 
   // Fast pre-filter: true iff the two rulesets are identical as multisets
   // of match keys (sufficient for equivalence, not necessary).
@@ -72,7 +90,8 @@ class EquivalenceChecker {
 
  private:
   [[nodiscard]] CheckResult check_bdd(std::span<const LogicalRule> logical,
-                                      std::span<const TcamRule> deployed) const;
+                                      std::span<const TcamRule> deployed,
+                                      const BddCheckContext* ctx) const;
   [[nodiscard]] CheckResult check_syntactic(
       std::span<const LogicalRule> logical,
       std::span<const TcamRule> deployed) const;

@@ -32,12 +32,17 @@ std::uint32_t decode_field(std::span<const std::int8_t> assignment,
 BddCube rule_to_cube(const TcamRule& rule) {
   BddCube cube;
   cube.reserve(FieldWidths::kTotal);
+  rule_to_cube_into(cube, rule);
+  return cube;
+}
+
+void rule_to_cube_into(BddCube& cube, const TcamRule& rule) {
+  cube.clear();
   encode_field(cube, rule.vrf, PacketVars::kVrfBase, FieldWidths::kVrf);
   encode_field(cube, rule.src_epg, PacketVars::kSrcEpgBase, FieldWidths::kEpg);
   encode_field(cube, rule.dst_epg, PacketVars::kDstEpgBase, FieldWidths::kEpg);
   encode_field(cube, rule.proto, PacketVars::kProtoBase, FieldWidths::kProto);
   encode_field(cube, rule.dst_port, PacketVars::kPortBase, FieldWidths::kPort);
-  return cube;
 }
 
 BddRef ruleset_to_bdd(BddManager& mgr, std::span<const TcamRule> rules) {
@@ -50,9 +55,12 @@ BddRef ruleset_to_bdd(BddManager& mgr, std::span<const TcamRule> rules) {
                      return rules[a].priority > rules[b].priority;
                    });
   BddRef acc = kBddFalse;  // nothing allowed by default (whitelist model)
+  BddCube cube;
+  cube.reserve(FieldWidths::kTotal);
   for (const std::size_t idx : order) {
     const TcamRule& r = rules[idx];
-    const BddRef match = mgr.cube(rule_to_cube(r));
+    rule_to_cube_into(cube, r);
+    const BddRef match = mgr.cube(cube);
     const BddRef action =
         r.action == RuleAction::kAllow ? kBddTrue : kBddFalse;
     acc = mgr.ite(match, action, acc);

@@ -28,6 +28,9 @@ struct PacketVars {
 // Encode the match portion of a rule as a cube: one literal per care bit.
 [[nodiscard]] BddCube rule_to_cube(const TcamRule& rule);
 
+// Allocation-free variant for per-rule loops: clears and refills `cube`.
+void rule_to_cube_into(BddCube& cube, const TcamRule& rule);
+
 // Fold a priority-ordered ruleset into the BDD of its *allowed* packet set
 // under first-match semantics with an implicit final deny. Rules need not
 // be pre-sorted; they are processed by ascending `priority`.

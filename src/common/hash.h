@@ -20,6 +20,27 @@ template <typename... Ts>
   return seed;
 }
 
+// splitmix64-style mixer for hand-rolled hash paths (flat tables that
+// probe with their own layout rather than std::hash). Shared by the BDD
+// unique/op-cache tables and the checker's packed match keys.
+[[nodiscard]] inline std::uint64_t mix3_u64(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c) noexcept {
+  std::uint64_t h = a * 0x9E3779B97F4A7C15ULL;
+  h ^= b * 0xBF58476D1CE4E5B9ULL;
+  h ^= c * 0x94D049BB133111EBULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+// Smallest power of two >= n (n = 0 or 1 gives 1).
+[[nodiscard]] inline std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 struct PairHash {
   template <typename A, typename B>
   std::size_t operator()(const std::pair<A, B>& p) const noexcept {

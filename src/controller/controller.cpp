@@ -76,7 +76,7 @@ DeployStats Controller::deploy_full() {
     change_log_.record(clock_->tick(), ObjectRef::of(c.id), ChangeAction::kAdd);
   }
 
-  compiled_ = PolicyCompiler::compile(policy_);
+  recompile();
   for (const auto& [sw, rules] : compiled_.per_switch) {
     SwitchAgent* a = agent(sw);
     if (a == nullptr) continue;  // endpoint on an unmanaged switch
@@ -131,7 +131,7 @@ FilterId Controller::deploy_new_filter(std::string name,
     }
   }
   // Keep the compiled snapshot in sync for later L-T checks.
-  compiled_ = PolicyCompiler::compile(policy_);
+  recompile();
   return filter;
 }
 
@@ -156,7 +156,7 @@ void Controller::undeploy_filter(ContractId contract, FilterId filter,
                      ChangeAction::kDelete);
   change_log_.record(clock_->tick(), ObjectRef::of(contract),
                      ChangeAction::kModify);
-  compiled_ = PolicyCompiler::compile(policy_);
+  recompile();
 }
 
 DeployStats Controller::migrate_endpoint(EndpointId ep, SwitchId to) {
@@ -164,7 +164,7 @@ DeployStats Controller::migrate_endpoint(EndpointId ep, SwitchId to) {
   policy_.move_endpoint(ep, to);
   change_log_.record(clock_->tick(), ObjectRef::of(policy_.endpoint(ep).epg),
                      ChangeAction::kModify, {from, to});
-  compiled_ = PolicyCompiler::compile(policy_);
+  recompile();
   DeployStats stats = resync_switch(from);
   if (to != from) {
     const DeployStats added = resync_switch(to);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,13 @@ class Controller {
   [[nodiscard]] const CompiledPolicy& compiled() const noexcept {
     return compiled_;
   }
+  // Monotonic compilation counter: bumped every time `compiled()` is
+  // regenerated. Consumers caching work derived from the compiled policy
+  // (e.g. the checker's per-switch logical BDDs) key it by this epoch so a
+  // recompile invalidates them.
+  [[nodiscard]] std::uint64_t compiled_epoch() const noexcept {
+    return compile_epoch_;
+  }
 
   // Register the agents the controller manages (non-owning).
   void attach_agents(std::vector<SwitchAgent*> agents);
@@ -69,7 +77,10 @@ class Controller {
 
   // Re-run the compiler against the current policy without pushing
   // (used by collectors/checkers that need fresh L-rules).
-  void recompile() { compiled_ = PolicyCompiler::compile(policy_); }
+  void recompile() {
+    compiled_ = PolicyCompiler::compile(policy_);
+    ++compile_epoch_;
+  }
 
   // -- incremental operations (the §V-B use cases) ----------------------------
 
@@ -128,6 +139,7 @@ class Controller {
   FaultLog fault_log_;
   ControlChannel channel_;
   CompiledPolicy compiled_;
+  std::uint64_t compile_epoch_ = 0;
   std::unordered_map<SwitchId, SwitchAgent*> agents_;
   std::unordered_map<SwitchId, std::uint32_t> next_priority_;
   std::unordered_map<SwitchId, std::size_t> open_unreachable_;

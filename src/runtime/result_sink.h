@@ -146,6 +146,14 @@ class WorkerCache {
     return slot.value;
   }
 
+  // The worker's entry regardless of key — post-join diagnostics and
+  // aggregation only (never a substitute for a keyed lookup); nullptr when
+  // the slot is empty.
+  [[nodiscard]] const T* peek(std::size_t worker) const noexcept {
+    const Slot& slot = slots_[worker];
+    return slot.filled ? &slot.value : nullptr;
+  }
+
   // Drop the worker's entry (e.g. its repaired state failed verification).
   void invalidate(std::size_t worker) noexcept {
     slots_[worker].filled = false;

@@ -110,6 +110,12 @@ struct SweepNetworkCache::Entry {
   SwitchId busiest{};
   RepairJournal journal;
   std::uint64_t baseline_fingerprint = 0;
+  // Per-switch logical BDDs for this network (BDD-mode checks only; one
+  // slot — cells run their fleet check serially inside the cell). Repair
+  // between cells never touches the compiled policy, so the arenas stay
+  // valid for the entry's whole lifetime; an entry rebuild (profile or
+  // seed switch) drops them with the network they described.
+  LogicalBddCache bdd_cache{1};
 };
 
 SweepNetworkCache::SweepNetworkCache(std::size_t workers)
@@ -371,9 +377,14 @@ std::vector<AccuracySeries> run_accuracy_sweep(
     }
 
     // Collect + check + augment once; every algorithm sees the same model.
+    // The fleet check runs serially inside the cell (the campaign already
+    // saturates the executor across cells); in BDD mode it reuses the
+    // entry's resident logical BDDs instead of re-encoding L per cell.
     const ScoutSystem system{
         ScoutSystem::Options{options.check_mode, ScoutLocalizer::Options{}}};
-    model.augment(system.find_missing_rules(net));
+    runtime::SerialExecutor check_executor;
+    model.augment(
+        system.find_missing_rules(net, check_executor, &entry.bdd_cache));
 
     std::vector<PrecisionRecall> cell(algorithms.size());
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
@@ -589,7 +600,8 @@ namespace {
 // and the campaign (cached network, per-cell fault RNG).
 ScalePoint measure_scale_point(SimNetwork& net, ObjectFaultInjector& injector,
                                const PolicyIndex& index, std::size_t n_faults,
-                               runtime::Executor& check_executor) {
+                               runtime::Executor& check_executor,
+                               LogicalBddCache* bdd_cache = nullptr) {
   ScalePoint point;
   for (const ObjectRef obj : injector.sample_objects(n_faults)) {
     injector.inject_full(obj);
@@ -599,7 +611,7 @@ ScalePoint measure_scale_point(SimNetwork& net, ObjectFaultInjector& injector,
                                                 ScoutLocalizer::Options{}}};
   auto t0 = Clock::now();
   const std::vector<LogicalRule> missing =
-      system.find_missing_rules(net, check_executor);
+      system.find_missing_rules(net, check_executor, bdd_cache);
   point.check_seconds = seconds_since(t0);
 
   point.epg_pairs = index.pairs().size();
@@ -698,7 +710,8 @@ std::vector<ScalePoint> run_scalability_campaign(
         runtime::SerialExecutor serial_check;
         ScalePoint point =
             measure_scale_point(*entry.net, *entry.injector, *entry.index,
-                                options.n_faults, serial_check);
+                                options.n_faults, serial_check,
+                                &entry.bdd_cache);
         point.switches = switches;
         slots[task.index] = point;
         lease.release();
@@ -729,10 +742,15 @@ std::vector<AnalysisScalingPoint> run_analysis_scaling(
   points.reserve(options.thread_counts.size());
   for (const std::size_t threads : options.thread_counts) {
     const auto executor = runtime::make_executor(threads);
+    // In BDD mode each worker gets a fresh logical-BDD arena per thread
+    // count (worker counts differ), warmed within the measured check —
+    // the steady-state reuse benches live in bdd_micro; structural
+    // outputs stay identical across counts either way.
+    LogicalBddCache bdd_cache{executor->workers()};
     AnalysisScalingPoint point;
     point.threads = executor->workers();
     const auto t0 = Clock::now();
-    const FabricCheck check = system.check_all(net, *executor);
+    const FabricCheck check = system.check_all(net, *executor, &bdd_cache);
     point.check_seconds = seconds_since(t0);
     point.missing_rules = check.missing_rules.size();
     point.switches_inconsistent = check.inconsistent.size();

@@ -112,8 +112,10 @@ struct AccuracyOptions {
   std::size_t benign_changes = 20;
   std::int64_t change_window_ms = 60'000;
   // Checker mode. Accuracy sweeps default to the syntactic diff (exact for
-  // the compiler's non-overlapping rulesets; hundreds of BDD builds would
-  // dominate wall time); integration tests pin BDD/syntactic agreement.
+  // the compiler's non-overlapping rulesets); integration tests pin
+  // BDD/syntactic agreement. In kExactBdd mode each cached network entry
+  // keeps its per-switch logical BDDs resident (LogicalBddCache), so cells
+  // re-encode only the collected T side.
   CheckMode check_mode = CheckMode::kSyntactic;
   std::uint64_t seed = 42;
   // Per-worker cached sweep network with exact repair between cells (see

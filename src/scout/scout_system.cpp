@@ -1,6 +1,7 @@
 #include "src/scout/scout_system.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_set>
 #include <utility>
 
@@ -10,21 +11,35 @@
 namespace scout {
 
 FabricCheck ScoutSystem::check_all(SimNetwork& net,
-                                   runtime::Executor& executor) const {
+                                   runtime::Executor& executor,
+                                   LogicalBddCache* bdd_cache) const {
   const auto agents = net.agents();
   const CompiledPolicy& compiled = net.controller().compiled();
+  const std::uint64_t epoch = net.controller().compiled_epoch();
+  if (bdd_cache != nullptr && bdd_cache->workers() < executor.workers()) {
+    // The per-worker slot discipline is what makes arenas single-threaded;
+    // an undersized cache would hand two workers the same slot (or worse).
+    throw std::invalid_argument{
+        "check_all: LogicalBddCache has fewer worker slots than the "
+        "executor has workers"};
+  }
 
   // One task per switch, indexed in agent order (ascending switch id). A
   // skipped switch (nothing compiled, nothing deployed) leaves its slot at
   // the default CheckResult, which merges exactly like an equivalent one.
+  // The checker reads the TCAM view in place (a span): nothing mutates the
+  // network during the fan-out, and the collection copy the agents offer
+  // bought nothing but allocation traffic on this hot path.
   runtime::ResultSlots<runtime::Keyed<SwitchId, CheckResult>> slots{
       agents.size()};
-  executor.run(agents.size(), [&](std::size_t index, std::size_t) {
+  executor.run(agents.size(), [&](std::size_t index, std::size_t worker) {
     const SwitchAgent& agent = *agents[index];
     slots[index].key = agent.id();
     const auto& logical = compiled.rules_for(agent.id());
     if (logical.empty() && agent.tcam().size() == 0) return;
-    slots[index].value = checker_.check(logical, agent.collect_tcam());
+    const EquivalenceChecker::BddCheckContext ctx{bdd_cache, worker,
+                                                  agent.id(), epoch};
+    slots[index].value = checker_.check(logical, agent.tcam().rules(), &ctx);
   });
 
   FabricCheck check;
@@ -46,8 +61,9 @@ FabricCheck ScoutSystem::check_all(SimNetwork& net) const {
 }
 
 std::vector<LogicalRule> ScoutSystem::find_missing_rules(
-    SimNetwork& net, runtime::Executor& executor) const {
-  return check_all(net, executor).missing_rules;
+    SimNetwork& net, runtime::Executor& executor,
+    LogicalBddCache* bdd_cache) const {
+  return check_all(net, executor, bdd_cache).missing_rules;
 }
 
 std::vector<LogicalRule> ScoutSystem::find_missing_rules(

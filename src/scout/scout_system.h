@@ -71,11 +71,21 @@ class ScoutSystem {
   // The sharded fabric check: one L-T check task per switch fanned over
   // `executor`, merged in switch order. Every checker entry point below is
   // a view over this one implementation, so their accounting cannot drift.
-  // Each task builds its own BDD state inside EquivalenceChecker::check
-  // (the Bdd manager is not shared-state-safe across threads) and only
-  // reads the network, so parallel output is bit-identical to serial.
+  // Each task uses its worker's BDD state (a LogicalBddCache arena when
+  // one is passed, a task-local manager otherwise — never shared across
+  // threads) and only reads the network, so parallel output is
+  // bit-identical to serial.
+  //
+  // `bdd_cache` (BDD mode only): per-worker arenas keyed by the
+  // controller's compiled_epoch() keep the per-switch logical BDDs
+  // resident across repeated fabric checks; a recompile invalidates them.
+  // One cache must only ever see one controller (sweep drivers give each
+  // cached network its own — see experiment.cpp). Results are
+  // bit-identical with and without the cache.
   [[nodiscard]] FabricCheck check_all(SimNetwork& net,
-                                      runtime::Executor& executor) const;
+                                      runtime::Executor& executor,
+                                      LogicalBddCache* bdd_cache =
+                                          nullptr) const;
   [[nodiscard]] FabricCheck check_all(SimNetwork& net) const;
 
   // Collect TCAMs from every agent, check against compiled L-rules, and
@@ -83,7 +93,8 @@ class ScoutSystem {
   [[nodiscard]] std::vector<LogicalRule> find_missing_rules(
       SimNetwork& net) const;
   [[nodiscard]] std::vector<LogicalRule> find_missing_rules(
-      SimNetwork& net, runtime::Executor& executor) const;
+      SimNetwork& net, runtime::Executor& executor,
+      LogicalBddCache* bdd_cache = nullptr) const;
 
   // Full pipeline on the controller risk model (global analysis).
   [[nodiscard]] ScoutReport analyze_controller(SimNetwork& net) const;

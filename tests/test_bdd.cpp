@@ -13,7 +13,9 @@ TEST(Bdd, ConstantsAreTerminals) {
   BddManager mgr{4};
   EXPECT_TRUE(mgr.is_true(mgr.constant(true)));
   EXPECT_TRUE(mgr.is_false(mgr.constant(false)));
-  EXPECT_EQ(mgr.node_count(), 2u);
+  // Complement edges: one terminal node, false is its complemented edge.
+  EXPECT_EQ(mgr.node_count(), 1u);
+  EXPECT_EQ(mgr.constant(false), BddManager::negate(mgr.constant(true)));
 }
 
 TEST(Bdd, VarAndNvarAreComplements) {
@@ -156,7 +158,9 @@ TEST(Bdd, AnySatReturnsSatisfyingAssignment) {
 TEST(Bdd, DagSizeCountsReachableNodes) {
   BddManager mgr{4};
   EXPECT_EQ(mgr.dag_size(mgr.constant(true)), 1u);
-  EXPECT_EQ(mgr.dag_size(mgr.var(0)), 3u);  // node + 2 terminals
+  EXPECT_EQ(mgr.dag_size(mgr.var(0)), 2u);  // node + the single terminal
+  // Both phases share the structure: same DAG, same size.
+  EXPECT_EQ(mgr.dag_size(mgr.nvar(0)), 2u);
 }
 
 // Property: BDD operations agree with brute-force truth-table evaluation
@@ -228,6 +232,192 @@ TEST_P(BddBruteForce, RandomFormulasMatchTruthTables) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddBruteForce,
                          ::testing::Values(11, 22, 33, 44));
+
+// --- complement-edge canonicity -------------------------------------------
+
+// Build a random formula over `vars` variables, returning the refs of every
+// intermediate sub-formula (exercises AND/OR/XOR/NOT/ITE mixes).
+std::vector<BddRef> random_formula_stack(BddManager& mgr, Rng& rng,
+                                         std::uint32_t vars, int steps) {
+  std::vector<BddRef> stack;
+  for (std::uint32_t v = 0; v < vars; ++v) stack.push_back(mgr.var(v));
+  for (int step = 0; step < steps; ++step) {
+    const BddRef a = stack[rng.below(stack.size())];
+    const BddRef b = stack[rng.below(stack.size())];
+    switch (rng.below(5)) {
+      case 0: stack.push_back(mgr.apply_and(a, b)); break;
+      case 1: stack.push_back(mgr.apply_or(a, b)); break;
+      case 2: stack.push_back(mgr.apply_xor(a, b)); break;
+      case 3: stack.push_back(mgr.negate(a)); break;
+      default:
+        stack.push_back(mgr.ite(a, b, stack[rng.below(stack.size())]));
+        break;
+    }
+  }
+  return stack;
+}
+
+TEST(Bdd, NegateIsAnInvolutionByReference) {
+  BddManager mgr{6};
+  Rng rng{17};
+  for (const BddRef f : random_formula_stack(mgr, rng, 6, 200)) {
+    EXPECT_EQ(mgr.negate(mgr.negate(f)), f);  // ref equality, not just equiv
+    EXPECT_NE(mgr.negate(f), f);
+  }
+}
+
+TEST(Bdd, CanonicityNoComplementedLowEdges) {
+  // check_invariants verifies the stored form directly: regular low edges,
+  // distinct children, ordered variables, exactly one unique-table entry
+  // per node.
+  BddManager mgr{8};
+  Rng rng{23};
+  (void)random_formula_stack(mgr, rng, 8, 500);
+  EXPECT_TRUE(mgr.check_invariants());
+}
+
+TEST(Bdd, DeMorganHoldsCanonically) {
+  BddManager mgr{5};
+  Rng rng{29};
+  const auto stack = random_formula_stack(mgr, rng, 5, 100);
+  for (std::size_t i = 0; i + 1 < stack.size(); i += 2) {
+    const BddRef a = stack[i], b = stack[i + 1];
+    EXPECT_EQ(mgr.negate(mgr.apply_and(a, b)),
+              mgr.apply_or(mgr.negate(a), mgr.negate(b)));
+    EXPECT_EQ(mgr.apply_diff(a, b), mgr.apply_and(a, mgr.negate(b)));
+  }
+}
+
+TEST(Bdd, StatsCountersAreConsistent) {
+  BddManager mgr{8};
+  Rng rng{31};
+  (void)random_formula_stack(mgr, rng, 8, 500);
+  const BddManager::Stats s = mgr.stats();
+  EXPECT_EQ(s.nodes, mgr.node_count());
+  EXPECT_GE(s.peak_nodes, s.nodes);
+  EXPECT_GT(s.unique_capacity, s.nodes);  // grown before full
+  EXPECT_GT(s.unique_load, 0.0);
+  EXPECT_LT(s.unique_load, 1.0);
+  EXPECT_LE(s.cache_hits, s.cache_lookups);
+  EXPECT_EQ(s.rollbacks, 0u);
+}
+
+// --- checkpoint / rollback -------------------------------------------------
+
+TEST(Bdd, RollbackTruncatesToWatermark) {
+  BddManager mgr{6};
+  const BddRef base = mgr.apply_and(mgr.var(0), mgr.var(1));
+  const auto cp = mgr.checkpoint();
+  const std::size_t nodes_at_cp = mgr.node_count();
+
+  const BddRef scratch = mgr.apply_or(mgr.var(2), mgr.apply_xor(base,
+                                                                mgr.var(3)));
+  EXPECT_GT(mgr.node_count(), nodes_at_cp);
+  (void)scratch;
+
+  mgr.rollback(cp);
+  EXPECT_EQ(mgr.node_count(), nodes_at_cp);
+  EXPECT_TRUE(mgr.check_invariants());
+  EXPECT_EQ(mgr.stats().rollbacks, 1u);
+
+  // Refs below the watermark survive and still evaluate.
+  EXPECT_TRUE(mgr.evaluate(base, {true, true, false, false, false, false}));
+  EXPECT_FALSE(mgr.evaluate(base, {true, false, false, false, false, false}));
+}
+
+TEST(Bdd, RollbackToCurrentWatermarkIsNoop) {
+  BddManager mgr{4};
+  (void)mgr.apply_and(mgr.var(0), mgr.var(1));
+  const auto cp = mgr.checkpoint();
+  mgr.rollback(cp);
+  EXPECT_EQ(mgr.node_count(), cp.nodes);
+  EXPECT_EQ(mgr.stats().rollbacks, 0u);  // nothing truncated, cache kept
+}
+
+TEST(Bdd, RollbackRejectsBadCheckpoint) {
+  BddManager mgr{4};
+  const auto cp = mgr.checkpoint();
+  (void)mgr.var(0);
+  mgr.rollback(cp);  // backwards is fine
+  EXPECT_THROW(mgr.rollback(BddManager::Checkpoint{999}),
+               std::invalid_argument);
+  EXPECT_THROW(mgr.rollback(BddManager::Checkpoint{0}),
+               std::invalid_argument);
+}
+
+// Randomized arena round-trips: ops above a checkpoint are rolled back,
+// then the identical op sequence is replayed — hash-consing must hand out
+// the identical refs, and the pre-checkpoint region must be untouched.
+class BddRollbackRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BddRollbackRoundTrip, ReplayAfterRollbackIsIdentical) {
+  constexpr std::uint32_t kVars = 7;
+  BddManager mgr{kVars};
+  Rng base_rng{GetParam()};
+  const std::vector<BddRef> base =
+      random_formula_stack(mgr, base_rng, kVars, 150);
+  const auto cp = mgr.checkpoint();
+
+  // Truth tables of the resident region, for corruption detection.
+  const auto truth = [&](BddRef f) {
+    std::uint64_t t = 0;
+    for (std::uint32_t row = 0; row < (1U << kVars); ++row) {
+      std::vector<bool> assignment(kVars);
+      for (std::uint32_t v = 0; v < kVars; ++v) {
+        assignment[v] = (row >> v) & 1U;
+      }
+      if (mgr.evaluate(f, assignment)) t |= (1ULL << row);
+    }
+    return t;
+  };
+  std::vector<std::uint64_t> base_truth;
+  for (const BddRef f : base) base_truth.push_back(truth(f));
+
+  for (int round = 0; round < 4; ++round) {
+    // Replaying the same seed must produce the same refs each round: the
+    // arena below the watermark is intact and node ids are allocated in
+    // op order.
+    Rng op_rng{derive_seed(GetParam(), static_cast<std::uint64_t>(round))};
+    std::vector<BddRef> first, second;
+    {
+      Rng r = op_rng;
+      BddManager& m = mgr;
+      std::vector<BddRef> stack = base;
+      for (int step = 0; step < 120; ++step) {
+        const BddRef a = stack[r.below(stack.size())];
+        const BddRef b = stack[r.below(stack.size())];
+        stack.push_back(r.chance(0.5) ? m.apply_and(a, b)
+                                      : m.ite(a, b, m.negate(b)));
+      }
+      first = std::move(stack);
+    }
+    mgr.rollback(cp);
+    ASSERT_EQ(mgr.node_count(), cp.nodes);
+    ASSERT_TRUE(mgr.check_invariants());
+    {
+      Rng r = op_rng;
+      std::vector<BddRef> stack = base;
+      for (int step = 0; step < 120; ++step) {
+        const BddRef a = stack[r.below(stack.size())];
+        const BddRef b = stack[r.below(stack.size())];
+        stack.push_back(r.chance(0.5) ? mgr.apply_and(a, b)
+                                      : mgr.ite(a, b, mgr.negate(b)));
+      }
+      second = std::move(stack);
+    }
+    ASSERT_EQ(first, second) << "round " << round;
+    mgr.rollback(cp);
+
+    // The resident region still denotes the same functions.
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      ASSERT_EQ(truth(base[i]), base_truth[i]) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRollbackRoundTrip,
+                         ::testing::Values(101, 202, 303, 404, 505));
 
 TEST(Bdd, IteMatchesExpandedForm) {
   Rng rng{5};

@@ -364,6 +364,42 @@ TEST(CachedSweep, RebuildsOnProfileSwitchRepairsWithinProfile) {
       << json;
 }
 
+TEST(CachedSweep, BddModeCachedMatchesUncachedAcrossWorkers) {
+  // The exact-BDD sweep path: cached cells reuse the entry's resident
+  // logical BDDs (LogicalBddCache arena, T built above the watermark and
+  // rolled back per check) while uncached cells re-encode L every time.
+  // The outputs must stay memcmp-identical across caching and worker
+  // counts — BDDs are canonical, so reuse is unobservable.
+  for (const std::uint64_t seed : {1234u, 9u}) {
+    AccuracyOptions opts = sweep_options(seed, RiskModelKind::kSwitch);
+    opts.check_mode = CheckMode::kExactBdd;
+
+    opts.cache_networks = false;
+    runtime::SerialExecutor serial;
+    const auto reference = run_accuracy_sweep(opts, kAlgorithms, serial);
+
+    opts.cache_networks = true;
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      const auto executor = runtime::make_executor(workers);
+      SweepNetworkCache cache{executor->workers()};
+      const auto cached =
+          run_accuracy_sweep(opts, kAlgorithms, *executor, &cache);
+      expect_series_memcmp_equal(reference, cached,
+                                 "BDD-mode cached vs uncached");
+      EXPECT_EQ(cache.stats().verify_failures, 0u);
+    }
+
+    // BDD and syntactic modes agree on the compiler's non-overlapping
+    // rulesets, so the whole sweep output matches too.
+    AccuracyOptions syn = opts;
+    syn.check_mode = CheckMode::kSyntactic;
+    syn.cache_networks = false;
+    const auto syntactic = run_accuracy_sweep(syn, kAlgorithms, serial);
+    expect_series_memcmp_equal(reference, syntactic,
+                               "BDD vs syntactic sweep");
+  }
+}
+
 TEST(CachedSweep, GammaCachedMatchesUncached) {
   GammaOptions opts;
   opts.profile = GeneratorProfile::testbed();
