@@ -1,0 +1,155 @@
+// Continuous-verification stream bench: event-to-detection latency and
+// sustained verification throughput of the src/stream monitor, incremental
+// vs full-recheck mode, at 1/2/4 workers (or just --threads N).
+//
+// Self-verifying like fig8: the churn stream is a pure function of the
+// seed, so every (mode, worker-count) run must produce the identical
+// verdict-stream digest — the bench exits non-zero on any divergence, and
+// also if incremental mode reports more full T rebuilds than epoch bumps +
+// divergence-threshold trips (i.e. if any delta fell off the incremental
+// path unexpectedly).
+//
+// Writes BENCH_stream.json: one row per (mode, workers) with sustained
+// events/sec (events / drain-time; churn generation is identical across
+// modes and excluded), p50/p99/max detection latency, and the incremental
+// rebuild counters. Flags: --events N, --batch N, --threads N, --seed S,
+// --switches N, --rate EPS (paced replay), --json PATH.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_cli.h"
+#include "src/runtime/result_sink.h"
+#include "src/scout/experiment.h"
+
+namespace {
+
+using namespace scout;
+
+MonitoringOptions base_options(int argc, char** argv) {
+  MonitoringOptions options;
+  const std::size_t switches =
+      bench::size_flag(argc, argv, "switches", 32, 2, 512);
+  options.profile = GeneratorProfile::scaled(switches);
+  options.profile.target_pairs = switches * 20;
+  options.events = bench::size_flag(argc, argv, "events", 6000, 1, 10'000'000);
+  options.batch_ops = bench::size_flag(argc, argv, "batch", 12, 1, 100'000);
+  options.seed = bench::size_flag(argc, argv, "seed", 21);
+  options.target_events_per_sec = static_cast<double>(
+      bench::size_flag(argc, argv, "rate", 0, 0, 100'000'000));
+  options.localize_final = true;
+  return options;
+}
+
+void record(runtime::BenchRecorder& recorder, const MonitoringReport& r,
+            bool incremental, std::size_t threads) {
+  recorder.add_row(
+      {{"incremental", incremental ? 1.0 : 0.0},
+       {"threads", static_cast<double>(threads)},
+       {"events", static_cast<double>(r.events)},
+       {"batches", static_cast<double>(r.batches)},
+       {"churn_ops", static_cast<double>(r.churn_ops)},
+       {"events_per_sec", r.events_per_sec},
+       {"drain_ms", r.drain_seconds * 1e3},
+       {"wall_ms", r.wall_seconds * 1e3},
+       {"stream_p50_ms", r.p50_latency_ms},
+       {"stream_p99_ms", r.p99_latency_ms},
+       {"stream_max_ms", r.max_latency_ms},
+       {"inconsistent_batches", static_cast<double>(r.inconsistent_batches)},
+       {"final_missing", static_cast<double>(r.final_missing)},
+       {"hypothesis_size", static_cast<double>(r.hypothesis_size)},
+       {"stream_incremental_updates",
+        static_cast<double>(r.checker.incremental_updates)},
+       {"stream_full_rebuilds", static_cast<double>(r.checker.full_rebuilds)},
+       {"stream_epoch_rebuilds",
+        static_cast<double>(r.checker.epoch_rebuilds)},
+       {"stream_threshold_trips",
+        static_cast<double>(r.checker.threshold_trips)},
+       {"stream_unsafe_rebuilds",
+        static_cast<double>(r.checker.unsafe_rebuilds)},
+       {"verdicts_reused", static_cast<double>(r.checker.verdicts_reused)}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const MonitoringOptions base = base_options(argc, argv);
+  const bench::FlagLookup threads_flag =
+      bench::find_flag(argc, argv, "threads");
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (threads_flag.present) {
+    thread_counts = {bench::size_flag(argc, argv, "threads", 1, 1,
+                                      bench::kMaxBenchThreads)};
+  }
+
+  runtime::BenchRecorder recorder{"stream_latency"};
+  bool digest_set = false;
+  std::uint64_t expected_digest = 0;
+  bool failed = false;
+  double incremental_eps = 0.0;
+  double full_eps = 0.0;
+
+  for (const std::size_t threads : thread_counts) {
+    const auto executor = runtime::make_executor(threads);
+    for (const bool incremental : {true, false}) {
+      MonitoringOptions options = base;
+      options.incremental = incremental;
+      const MonitoringReport report =
+          run_continuous_monitoring(options, *executor);
+      record(recorder, report, incremental, executor->workers());
+      std::printf(
+          "%-12s %zu worker(s): %8.0f events/s (drain %6.1f ms, wall "
+          "%7.1f ms), p50 %7.2f ms, p99 %7.2f ms, rebuilds "
+          "%zu (epoch %zu + threshold %zu + unsafe %zu)\n",
+          incremental ? "incremental" : "full", executor->workers(),
+          report.events_per_sec, report.drain_seconds * 1e3,
+          report.wall_seconds * 1e3, report.p50_latency_ms,
+          report.p99_latency_ms, report.checker.full_rebuilds,
+          report.checker.epoch_rebuilds, report.checker.threshold_trips,
+          report.checker.unsafe_rebuilds);
+
+      if (!digest_set) {
+        expected_digest = report.verdict_digest;
+        digest_set = true;
+      } else if (report.verdict_digest != expected_digest) {
+        std::fprintf(stderr,
+                     "error: verdict stream diverged (%s mode, %zu "
+                     "workers): digest %llx != %llx\n",
+                     incremental ? "incremental" : "full",
+                     executor->workers(),
+                     static_cast<unsigned long long>(report.verdict_digest),
+                     static_cast<unsigned long long>(expected_digest));
+        failed = true;
+      }
+      if (incremental) {
+        incremental_eps = report.events_per_sec;
+        if (report.checker.full_rebuilds >
+            report.checker.epoch_rebuilds + report.checker.threshold_trips) {
+          std::fprintf(stderr,
+                       "error: incremental mode fell off the incremental "
+                       "path: %zu full rebuilds > %zu epoch + %zu "
+                       "threshold\n",
+                       report.checker.full_rebuilds,
+                       report.checker.epoch_rebuilds,
+                       report.checker.threshold_trips);
+          failed = true;
+        }
+      } else {
+        full_eps = report.events_per_sec;
+      }
+    }
+    if (full_eps > 0.0) {
+      std::printf("  -> incremental/full speedup at %zu worker(s): x%.1f\n",
+                  executor->workers(), incremental_eps / full_eps);
+    }
+  }
+
+  const std::string json_path =
+      bench::string_flag(argc, argv, "json", "BENCH_stream.json");
+  if (!recorder.write_file(json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return failed ? 1 : 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/stream/event_bus.h"
+
 namespace scout {
 
 ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
@@ -12,6 +14,9 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
     crashed_ = true;
     fault_log_.raise(now, info_.id, FaultCode::kAgentCrash,
                      FaultSeverity::kCritical, "agent process crashed");
+    stream::publish_event(
+        bus_, stream::make_switch_event(
+                  stream::StreamEventType::kAgentCrashed, info_.id, now));
     return ApplyStatus::kCrashed;
   }
   if (crash_countdown_ != kNoCrash) --crash_countdown_;
@@ -31,8 +36,17 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
                << "), rule rejected";
         fault_log_.raise(now, info_.id, FaultCode::kTcamOverflow,
                          FaultSeverity::kCritical, detail.str());
+        stream::publish_event(
+            bus_, stream::make_switch_event(
+                      stream::StreamEventType::kTcamOverflow, info_.id, now));
         return ApplyStatus::kTcamOverflow;
       }
+      // Publish the rendered hardware image, not the instruction: a
+      // VRF-rewrite bug must be as visible on the stream as in the TCAM.
+      stream::StreamEvent ev = stream::make_switch_event(
+          stream::StreamEventType::kRuleInstalled, info_.id, now);
+      ev.rule = hw_rule;
+      stream::publish_event(bus_, std::move(ev));
       return ApplyStatus::kApplied;
     }
     case InstructionOp::kRemoveRule: {
@@ -43,8 +57,15 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
                            return lr.rule.same_match(target);
                          }),
           logical_view_.end());
-      tcam_.remove_if(
+      const std::size_t removed = tcam_.remove_if(
           [&target](const TcamRule& r) { return r.same_match(target); });
+      if (removed > 0) {
+        stream::StreamEvent ev = stream::make_switch_event(
+            stream::StreamEventType::kRulesRemoved, info_.id, now);
+        ev.rule = target;
+        ev.count = removed;
+        stream::publish_event(bus_, std::move(ev));
+      }
       return ApplyStatus::kApplied;
     }
   }
@@ -63,6 +84,9 @@ void SwitchAgent::recover(SimTime now) {
       break;
     }
   }
+  stream::publish_event(
+      bus_, stream::make_switch_event(
+                stream::StreamEventType::kAgentRecovered, info_.id, now));
 }
 
 std::vector<TcamRule> SwitchAgent::collect_tcam() const {
@@ -73,7 +97,12 @@ std::vector<TcamRule> SwitchAgent::collect_tcam() const {
 std::size_t SwitchAgent::evict_rules(std::size_t n, SimTime now) {
   std::size_t evicted = 0;
   for (; evicted < n; ++evicted) {
-    if (!tcam_.evict_one().has_value()) break;
+    const std::optional<TcamRule> victim = tcam_.evict_one();
+    if (!victim.has_value()) break;
+    stream::StreamEvent ev = stream::make_switch_event(
+        stream::StreamEventType::kRuleEvicted, info_.id, now);
+    ev.rule = *victim;
+    stream::publish_event(bus_, std::move(ev));
   }
   if (evicted > 0) {
     std::ostringstream detail;
@@ -94,6 +123,16 @@ std::optional<TcamTable::Corruption> SwitchAgent::corrupt_tcam_bit(
     fault_log_.raise(now, info_.id, FaultCode::kTcamParityError,
                      FaultSeverity::kCritical, detail.str());
   }
+  // Published whether or not the parity error was detected: the event
+  // stream is the verifier's substrate, the fault log the operator's. A
+  // real deployment's undetected corruption surfaces at the next TCAM
+  // collection; the monitor scenario models the collection-free path.
+  stream::StreamEvent ev = stream::make_switch_event(
+      stream::StreamEventType::kRuleModified, info_.id, now);
+  ev.rule = corruption->before;
+  ev.rule_after = corruption->after;
+  ev.tcam_index = corruption->index;
+  stream::publish_event(bus_, std::move(ev));
   return corruption;
 }
 

@@ -20,6 +20,10 @@
 
 namespace scout {
 
+namespace stream {
+class EventBus;
+}  // namespace stream
+
 enum class InstructionOp : std::uint8_t { kAddRule, kRemoveRule };
 
 // The controller-to-agent instruction unit. Real systems ship object-level
@@ -45,6 +49,12 @@ class SwitchAgent {
 
   [[nodiscard]] SwitchId id() const noexcept { return info_.id; }
   [[nodiscard]] const SwitchInfo& info() const noexcept { return info_; }
+
+  // Continuous-verification hook (src/stream): while attached, every TCAM
+  // mutation this agent performs — post-rendering, so software bugs are
+  // visible — and every crash/recover transition publishes one typed
+  // event. nullptr (the default) detaches; no behaviour changes otherwise.
+  void attach_event_bus(stream::EventBus* bus) noexcept { bus_ = bus; }
 
   // -- control-plane behaviour ------------------------------------------------
   ApplyStatus apply(const Instruction& ins, SimTime now);
@@ -120,6 +130,7 @@ class SwitchAgent {
   TcamTable tcam_;
   std::vector<LogicalRule> logical_view_;
   FaultLog fault_log_;
+  stream::EventBus* bus_ = nullptr;
 
   bool responsive_ = true;
   bool crashed_ = false;

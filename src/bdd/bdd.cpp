@@ -93,9 +93,12 @@ void BddManager::rebuild_table() {
 
 void BddManager::bump_generation() {
   if (++generation_ == 0) {
-    // Wrapped: stale entries could alias stamp 0; wipe them once.
+    // Wrapped: stale entries could alias stamp 0; wipe them once. The
+    // floor must drop too, or wiped (stamp-0) entries could alias the
+    // previous-generation survival test while generation_ is 1.
     std::fill(cache_.begin(), cache_.end(), CacheEntry{});
     generation_ = 1;
+    last_floor_ = 0;
   }
 }
 
@@ -106,7 +109,12 @@ void BddManager::rollback(Checkpoint cp) {
   if (cp.nodes == nodes_.size()) return;  // nothing was built above it
   nodes_.resize(cp.nodes);
   rebuild_table();
-  bump_generation();  // op-cache entries may reference truncated nodes
+  // Op-cache entries may reference truncated nodes: bump the generation.
+  // Entries referencing only nodes below the watermark survive one
+  // generation via the max_node tag (revalidated and re-stamped on hit),
+  // so the resident-logical work below the watermark keeps its cache.
+  last_floor_ = cp.nodes;
+  bump_generation();
   ++rollbacks_;
 }
 
@@ -190,8 +198,15 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   ++cache_lookups_;
   const std::size_t slot = mix3(f, g, h) & cache_mask_;
   {
-    const CacheEntry& e = cache_[slot];
-    if (e.stamp == generation_ && e.f == f && e.g == g && e.h == h) {
+    CacheEntry& e = cache_[slot];
+    // Current generation, or survived the last rollback: an entry from the
+    // immediately preceding generation whose nodes all sit below that
+    // rollback's watermark was untouched by the truncation.
+    const bool live =
+        e.stamp == generation_ ||
+        (e.stamp + 1 == generation_ && e.max_node < last_floor_);
+    if (live && e.f == f && e.g == g && e.h == h) {
+      e.stamp = generation_;  // keep hot survivors alive across rollbacks
       ++cache_hits_;
       return negate_result ? (e.result ^ 1U) : e.result;
     }
@@ -215,7 +230,10 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   const BddRef hi = ite(f1, g1, h1);
   const BddRef result = make_node(v, lo, hi);
 
-  cache_[slot] = CacheEntry{f, g, h, result, generation_};
+  const std::uint32_t max_node =
+      std::max(std::max(index_of(f), index_of(g)),
+               std::max(index_of(h), index_of(result)));
+  cache_[slot] = CacheEntry{f, g, h, result, generation_, max_node};
   return negate_result ? (result ^ 1U) : result;
 }
 

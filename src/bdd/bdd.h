@@ -23,7 +23,10 @@
 //    commutative argument ordering, complement canonicalization), so a
 //    single (f, g, h) entry format covers them all. Entries are stamped
 //    with a generation counter; rollback invalidates the cache by bumping
-//    the generation instead of wiping the array.
+//    the generation instead of wiping the array — but entries tagged with
+//    a max referenced node index wholly below the rollback watermark stay
+//    servable (see CacheEntry), so the resident-logical-BDD workload keeps
+//    its sub-watermark operation results across per-check rollbacks.
 //  * checkpoint()/rollback(): the node pool is an arena. A checkpoint is a
 //    pool watermark; rollback truncates the pool to it, rebuilds the unique
 //    table and invalidates the op cache. The checker keeps the per-switch
@@ -105,10 +108,11 @@ class BddManager {
 
   // -- checkpoint/rollback ---------------------------------------------------
   // A checkpoint is a node-pool watermark. rollback(cp) truncates the pool
-  // to it, rebuilds the unique table and invalidates the op cache; every
-  // BddRef handed out at or above the watermark is dead afterwards, every
-  // ref below stays valid (the arena contract the logical-BDD cache rests
-  // on). Rolling back to the current watermark is a no-op.
+  // to it and rebuilds the unique table; every BddRef handed out at or
+  // above the watermark is dead afterwards, every ref below stays valid
+  // (the arena contract the logical-BDD cache rests on). Op-cache entries
+  // referencing only sub-watermark nodes survive the rollback; the rest
+  // are invalidated. Rolling back to the current watermark is a no-op.
   struct Checkpoint {
     std::uint32_t nodes = 0;
   };
@@ -198,11 +202,19 @@ class BddManager {
     BddRef high;
   };
 
-  // Direct-mapped op-cache entry; valid iff stamp == generation_.
+  // Direct-mapped op-cache entry. Valid iff stamp == generation_, or the
+  // entry is from the immediately preceding generation and every node it
+  // references (arguments and result) lies strictly below the watermark of
+  // the rollback that ended that generation — those nodes were untouched
+  // by the truncation, so the canonical result still holds. A valid
+  // cross-generation hit is re-stamped to the current generation, which
+  // keeps hot sub-watermark entries (the resident logical BDDs' operation
+  // results) alive across arbitrarily many rollbacks.
   struct CacheEntry {
     BddRef f = 0, g = 0, h = 0;
     BddRef result = 0;
     std::uint32_t stamp = 0;
+    std::uint32_t max_node = 0;  // largest node index among f, g, h, result
   };
 
   static constexpr std::uint32_t kTermVar = 0xFFFFFFFFU;
@@ -256,6 +268,7 @@ class BddManager {
   std::vector<CacheEntry> cache_;     // direct-mapped op cache
   std::uint32_t cache_mask_ = 0;
   std::uint32_t generation_ = 1;
+  std::uint32_t last_floor_ = 0;      // watermark of the most recent rollback
   std::vector<double> powers_;        // powers_[i] = 2^i, i in [0, var_count]
 
   // Timestamped query scratch (grown lazily, shared across calls).

@@ -107,9 +107,7 @@ class MatchMultiset {
 thread_local MatchMultiset t_match_scratch;
 
 bool is_catch_all_deny(const TcamRule& r) noexcept {
-  return r.action == RuleAction::kDeny && r.vrf.mask == 0 &&
-         r.src_epg.mask == 0 && r.dst_epg.mask == 0 && r.proto.mask == 0 &&
-         r.dst_port.mask == 0;
+  return r.action == RuleAction::kDeny && r.wildcard_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -122,8 +120,30 @@ bool is_catch_all_deny(const TcamRule& r) noexcept {
 CheckResult bdd_diff(BddManager& mgr, BddRef l_bdd,
                      std::span<const LogicalRule> logical,
                      std::span<const TcamRule> deployed) {
-  CheckResult result;
   const BddRef t_bdd = ruleset_to_bdd(mgr, deployed);
+  return bdd_rule_diff(mgr, l_bdd, t_bdd, logical, deployed);
+}
+
+// Roll the arena back to the checkpoint even if the diff throws.
+class ScopedRollback {
+ public:
+  ScopedRollback(BddManager& mgr, BddManager::Checkpoint cp)
+      : mgr_(mgr), cp_(cp) {}
+  ScopedRollback(const ScopedRollback&) = delete;
+  ScopedRollback& operator=(const ScopedRollback&) = delete;
+  ~ScopedRollback() { mgr_.rollback(cp_); }
+
+ private:
+  BddManager& mgr_;
+  BddManager::Checkpoint cp_;
+};
+
+}  // namespace
+
+CheckResult bdd_rule_diff(BddManager& mgr, BddRef l_bdd, BddRef t_bdd,
+                          std::span<const LogicalRule> logical,
+                          std::span<const TcamRule> deployed) {
+  CheckResult result;
   result.l_dag_size = mgr.dag_size(l_bdd);
   result.t_dag_size = mgr.dag_size(t_bdd);
 
@@ -159,22 +179,6 @@ CheckResult bdd_diff(BddManager& mgr, BddRef l_bdd,
   }
   return result;
 }
-
-// Roll the arena back to the checkpoint even if the diff throws.
-class ScopedRollback {
- public:
-  ScopedRollback(BddManager& mgr, BddManager::Checkpoint cp)
-      : mgr_(mgr), cp_(cp) {}
-  ScopedRollback(const ScopedRollback&) = delete;
-  ScopedRollback& operator=(const ScopedRollback&) = delete;
-  ~ScopedRollback() { mgr_.rollback(cp_); }
-
- private:
-  BddManager& mgr_;
-  BddManager::Checkpoint cp_;
-};
-
-}  // namespace
 
 void CheckResult::absorb(CheckResult&& other) {
   equivalent = equivalent && other.equivalent;

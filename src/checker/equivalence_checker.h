@@ -57,6 +57,18 @@ struct CheckResult {
   void absorb(CheckResult&& other);
 };
 
+// Missing/extra-rule diff over *already built* L and T BDDs in `mgr`:
+// equivalence is a reference comparison, the spaces L∧¬T / T∧¬L are one
+// apply each, and each candidate rule is classified by cube intersection.
+// Shared by the batch checker (which builds T per check) and the stream
+// monitor's IncrementalChecker (which keeps both BDDs resident and updates
+// T per event). Allocates diff nodes in `mgr` above the current top — the
+// caller owns checkpoint/rollback around the call.
+[[nodiscard]] CheckResult bdd_rule_diff(BddManager& mgr, BddRef l_bdd,
+                                        BddRef t_bdd,
+                                        std::span<const LogicalRule> logical,
+                                        std::span<const TcamRule> deployed);
+
 class EquivalenceChecker {
  public:
   explicit EquivalenceChecker(CheckMode mode = CheckMode::kExactBdd)

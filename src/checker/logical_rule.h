@@ -37,11 +37,17 @@ struct RuleProvenance {
     out.push_back(ObjectRef::of(filter));
     return out;
   }
+
+  friend constexpr bool operator==(const RuleProvenance&,
+                                   const RuleProvenance&) noexcept = default;
 };
 
 struct LogicalRule {
   TcamRule rule;
   RuleProvenance prov;
+
+  friend constexpr bool operator==(const LogicalRule&,
+                                   const LogicalRule&) noexcept = default;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const LogicalRule& lr) {

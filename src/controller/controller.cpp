@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/stream/event_bus.h"
 #include "src/tcam/rule_key.h"
 
 namespace scout {
@@ -23,6 +24,16 @@ void DeployStats::count(ApplyStatus s) noexcept {
       ++tcam_overflow;
       break;
   }
+}
+
+void Controller::recompile() {
+  compiled_ = PolicyCompiler::compile(policy_);
+  ++compile_epoch_;
+  stream::StreamEvent ev;
+  ev.type = stream::StreamEventType::kPolicyPushed;
+  ev.time = clock_->now();
+  ev.epoch = compile_epoch_;
+  stream::publish_event(bus_, std::move(ev));
 }
 
 void Controller::attach_agents(std::vector<SwitchAgent*> agents) {
@@ -180,6 +191,11 @@ DeployStats Controller::resync_switch(SwitchId sw) {
   DeployStats stats;
   SwitchAgent* a = agent(sw);
   if (a == nullptr) return stats;
+  // Published before the wipe: the stream consumer sees "TCAM emptied"
+  // first, then the reinstalls as the push events they are.
+  stream::publish_event(
+      bus_, stream::make_switch_event(
+                stream::StreamEventType::kSwitchResynced, sw, clock_->now()));
   // Wipe device state, then replay. A real controller does this with a
   // state-transfer epoch; the observable effect is identical. The logical
   // view is cleared by removing each rule it holds (copy first: apply()
@@ -263,10 +279,18 @@ void Controller::truncate_fault_log(std::size_t n) {
 
 void Controller::record_benign_change(ObjectRef object) {
   change_log_.record(clock_->tick(), object, ChangeAction::kModify);
+  stream::StreamEvent ev;
+  ev.type = stream::StreamEventType::kPolicyChanged;
+  ev.time = clock_->now();
+  ev.object = object;
+  stream::publish_event(bus_, std::move(ev));
 }
 
 void Controller::disconnect_switch(SwitchId sw) {
   channel_.disconnect(sw, clock_->now());
+  stream::publish_event(
+      bus_, stream::make_switch_event(stream::StreamEventType::kChannelDown,
+                                      sw, clock_->now()));
 }
 
 void Controller::reconnect_switch(SwitchId sw) {
@@ -276,6 +300,9 @@ void Controller::reconnect_switch(SwitchId sw) {
     fault_log_.clear(it->second, clock_->now());
     open_unreachable_.erase(it);
   }
+  stream::publish_event(
+      bus_, stream::make_switch_event(stream::StreamEventType::kChannelUp,
+                                      sw, clock_->now()));
 }
 
 }  // namespace scout

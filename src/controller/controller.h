@@ -20,6 +20,10 @@
 
 namespace scout {
 
+namespace stream {
+class EventBus;
+}  // namespace stream
+
 struct DeployStats {
   std::size_t applied = 0;
   std::size_t lost = 0;          // unresponsive agent / channel down
@@ -70,17 +74,22 @@ class Controller {
   void attach_agents(std::vector<SwitchAgent*> agents);
   [[nodiscard]] SwitchAgent* agent(SwitchId sw) const;
 
+  // Continuous-verification hook (src/stream): while attached, compiled-
+  // policy pushes (epoch bumps), switch resyncs, benign change records and
+  // control-channel transitions publish typed events. nullptr detaches.
+  void attach_event_bus(stream::EventBus* bus) noexcept { bus_ = bus; }
+
   // Compile the entire policy and push every rule to every agent. Records
   // one change-log 'add' per policy object. Idempotent on agent state only
   // if agents are empty beforehand.
   DeployStats deploy_full();
 
   // Re-run the compiler against the current policy without pushing
-  // (used by collectors/checkers that need fresh L-rules).
-  void recompile() {
-    compiled_ = PolicyCompiler::compile(policy_);
-    ++compile_epoch_;
-  }
+  // (used by collectors/checkers that need fresh L-rules). Bumps the
+  // compiled epoch and publishes a policy-push event when a bus is
+  // attached, so resident logical BDDs (LogicalBddCache, the stream
+  // monitor) can never serve a stale compilation.
+  void recompile();
 
   // -- incremental operations (the §V-B use cases) ----------------------------
 
@@ -135,6 +144,7 @@ class Controller {
 
   NetworkPolicy policy_;
   SimClock* clock_;
+  stream::EventBus* bus_ = nullptr;
   ChangeLog change_log_;
   FaultLog fault_log_;
   ControlChannel channel_;

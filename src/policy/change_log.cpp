@@ -35,11 +35,15 @@ std::unordered_set<ObjectRef> ChangeLog::changed_since(
     SimTime now, std::int64_t window_ms) const {
   const SimTime cutoff{now.millis() - window_ms};
   std::unordered_set<ObjectRef> out;
-  // Log is time-ordered; scan backwards and stop at the cutoff.
-  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-    if (it->time <= cutoff) break;
-    out.insert(it->object);
-  }
+  // Records are appended in non-decreasing time order (record() asserts
+  // it), so binary-search the window start instead of scanning the log:
+  // the first record with time > cutoff opens the half-open window
+  // (cutoff, now] — a record at exactly `cutoff` is excluded, one at
+  // exactly `now` included.
+  const auto first = std::upper_bound(
+      records_.begin(), records_.end(), cutoff,
+      [](SimTime t, const ChangeRecord& r) { return t < r.time; });
+  for (auto it = first; it != records_.end(); ++it) out.insert(it->object);
   return out;
 }
 

@@ -8,8 +8,11 @@
 #include <unordered_set>
 #include <utility>
 
+#include <thread>
+
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/common/stats.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/repair_journal.h"
 #include "src/localization/score.h"
@@ -18,6 +21,7 @@
 #include "src/scout/metrics.h"
 #include "src/scout/scout_system.h"
 #include "src/scout/sim_network.h"
+#include "src/stream/monitor_loop.h"
 
 namespace scout {
 namespace {
@@ -718,6 +722,86 @@ std::vector<ScalePoint> run_scalability_campaign(
       });
   merge_diagnostics(diag, diagnostics);
   return slots.take();
+}
+
+MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
+                                           runtime::Executor& executor) {
+  // The network build is seeded independently of the churn so tuning the
+  // mix never reshapes the fabric under test.
+  Rng net_rng{derive_seed(options.seed, 0xF0)};
+  GeneratedNetwork generated = generate_network(options.profile, net_rng);
+  SimNetwork net{std::move(generated.fabric), std::move(generated.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);  // age out deploy-time records
+
+  stream::EventBus bus;
+  net.attach_event_bus(&bus);
+
+  stream::MonitorLoop::Options mopts;
+  mopts.incremental = options.incremental;
+  mopts.checker = options.checker;
+  stream::MonitorLoop monitor{net, bus, executor, mopts};
+  monitor.prime();
+
+  stream::ChurnGenerator churn{net, bus, derive_seed(options.seed, 0xCE),
+                               options.mix};
+  const ScoutSystem verify_system{
+      ScoutSystem::Options{CheckMode::kExactBdd, ScoutLocalizer::Options{}}};
+
+  MonitoringReport report;
+  std::uint64_t digest = derive_seed(options.seed, 0xD1);
+  FabricCheck last_check;
+  const auto run_start = Clock::now();
+  while (report.events < options.events) {
+    const std::size_t produced = churn.pump(options.batch_ops);
+    if (produced == 0) break;  // degenerate network: nothing left to churn
+    stream::MonitorVerdict verdict = monitor.drain();
+    report.events += verdict.events;
+    report.drain_seconds += verdict.drain_ms / 1e3;
+    ++report.batches;
+    if (!verdict.check.inconsistent.empty()) ++report.inconsistent_batches;
+    digest = fabric_check_digest(digest, verdict.check);
+    if (options.verify_batches) {
+      const FabricCheck fresh = verify_system.check_all(net);
+      if (!fabric_check_identical(verdict.check, fresh)) {
+        ++report.verify_mismatches;
+      }
+    }
+    last_check = std::move(verdict.check);  // verdict fully consumed above
+    if (options.target_events_per_sec > 0.0) {
+      const double due = static_cast<double>(report.events) /
+                         options.target_events_per_sec;
+      const double ahead = due - seconds_since(run_start);
+      if (ahead > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+      }
+    }
+  }
+  report.wall_seconds = seconds_since(run_start);
+  report.churn_ops = churn.ops_applied();
+  report.verdict_digest = digest;
+  report.events_per_sec =
+      report.drain_seconds > 0.0
+          ? static_cast<double>(report.events) / report.drain_seconds
+          : 0.0;
+  report.checker = monitor.checker_stats();
+
+  std::vector<double> latencies = monitor.latencies_ms();
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    report.p50_latency_ms = percentile_sorted(latencies, 0.50);
+    report.p99_latency_ms = percentile_sorted(latencies, 0.99);
+    report.max_latency_ms = latencies.back();
+  }
+
+  report.final_inconsistent = last_check.inconsistent.size();
+  report.final_missing = last_check.missing_rules.size();
+  report.final_extra = last_check.extra_rule_count;
+  if (options.localize_final && !last_check.inconsistent.empty()) {
+    report.hypothesis_size =
+        monitor.localize(last_check).hypothesis.size();
+  }
+  return report;
 }
 
 std::vector<AnalysisScalingPoint> run_analysis_scaling(

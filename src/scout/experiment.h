@@ -19,6 +19,8 @@
 #include "src/riskmodel/risk_model.h"
 #include "src/runtime/campaign.h"
 #include "src/runtime/result_sink.h"
+#include "src/stream/churn_generator.h"
+#include "src/stream/incremental_checker.h"
 #include "src/workload/policy_generator.h"
 
 namespace scout {
@@ -243,6 +245,66 @@ struct ScaleCampaignOptions {
 [[nodiscard]] std::vector<ScalePoint> run_scalability_campaign(
     const ScaleCampaignOptions& options, runtime::Executor& executor,
     SweepDiagnostics* diagnostics = nullptr);
+
+// ---------------------------------------------------------------------------
+// Continuous monitoring (src/stream): churn -> events -> verdict stream
+// ---------------------------------------------------------------------------
+//
+// Builds one fabric, attaches an EventBus, primes a MonitorLoop and then
+// alternates churn pumps with drains until `events` events have been
+// verified. The monitor mode (incremental vs full recheck per batch) only
+// changes how verdicts are computed, never what they are: the churn is a
+// pure function of (profile, seed, mix), so two runs differing only in
+// `incremental` (or in the executor's worker count) produce identical
+// event streams and must produce identical verdict digests —
+// bench/stream_latency.cpp and tests/test_stream_monitor.cpp enforce it.
+
+struct MonitoringOptions {
+  GeneratorProfile profile = GeneratorProfile::scaled(32);
+  std::size_t events = 2000;   // stop after verifying this many events
+  // Churn ops applied per drain — one monitoring interval's worth of
+  // fabric activity. Event counts per batch vary: most ops publish 1-3
+  // events, repair/resync ops burst a whole switch's reinstalls.
+  std::size_t batch_ops = 24;
+  stream::ChurnMix mix{};
+  std::uint64_t seed = 21;
+  bool incremental = true;         // false = full check_all per batch
+  stream::IncrementalChecker::Options checker{};
+  // Paced replay: sleep between batches toward this published-events/sec
+  // target; 0 = unpaced (maximum sustained throughput measurement).
+  double target_events_per_sec = 0.0;
+  // Cross-check every batch verdict against a fresh serial
+  // ScoutSystem::check_all on the same network (differential tests).
+  bool verify_batches = false;
+  // Run SCOUT localization over the final verdict's suspects.
+  bool localize_final = true;
+};
+
+struct MonitoringReport {
+  std::size_t events = 0;
+  std::size_t batches = 0;
+  std::size_t inconsistent_batches = 0;
+  std::size_t churn_ops = 0;
+  // Order-sensitive digest over the batch verdict stream (seeded from the
+  // options seed, so runs with equal options-but-for-mode are comparable).
+  std::uint64_t verdict_digest = 0;
+  double wall_seconds = 0.0;    // whole run, churn included
+  double drain_seconds = 0.0;   // verification cost only (mode-dependent)
+  double events_per_sec = 0.0;  // events / drain_seconds
+  double p50_latency_ms = 0.0;  // event publish -> verdict, wall clock
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  stream::IncrementalChecker::Stats checker;  // zeros in full-recheck mode
+  std::size_t verify_mismatches = 0;          // verify_batches failures
+  // Final fabric verdict summary + localization handoff.
+  std::size_t final_inconsistent = 0;
+  std::size_t final_missing = 0;
+  std::size_t final_extra = 0;
+  std::size_t hypothesis_size = 0;
+};
+
+[[nodiscard]] MonitoringReport run_continuous_monitoring(
+    const MonitoringOptions& options, runtime::Executor& executor);
 
 // ---------------------------------------------------------------------------
 // Single-fabric sharded analysis ("how fast is one large check?")

@@ -5,10 +5,32 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/hash.h"
 #include "src/runtime/result_sink.h"
 #include "src/scout/metrics.h"
 
 namespace scout {
+
+bool fabric_check_identical(const FabricCheck& a, const FabricCheck& b) {
+  return a.switches_checked == b.switches_checked &&
+         a.extra_rule_count == b.extra_rule_count &&
+         a.inconsistent == b.inconsistent &&
+         a.missing_rules == b.missing_rules;
+}
+
+std::uint64_t fabric_check_digest(std::uint64_t seed,
+                                  const FabricCheck& check) {
+  std::uint64_t h =
+      hash_all(seed, check.switches_checked, check.inconsistent.size(),
+               check.missing_rules.size(), check.extra_rule_count);
+  for (const SwitchId sw : check.inconsistent) h = hash_all(h, sw);
+  for (const LogicalRule& lr : check.missing_rules) {
+    h = lr.rule.fold_hash(h);
+    h = hash_all(h, lr.prov.sw, lr.prov.pair, lr.prov.vrf, lr.prov.contract,
+                 lr.prov.filter, lr.prov.entry_index, lr.prov.reversed);
+  }
+  return h;
+}
 
 FabricCheck ScoutSystem::check_all(SimNetwork& net,
                                    runtime::Executor& executor,

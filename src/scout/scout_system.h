@@ -32,6 +32,19 @@ struct FabricCheck {
   std::size_t extra_rule_count = 0;
 };
 
+// Structural equality of two fabric checks, every field compared —
+// including each missing rule's match fields, priority and provenance.
+// The single definition of "identical verdicts" the stream monitor's
+// incremental-vs-full differential tests and benches apply.
+[[nodiscard]] bool fabric_check_identical(const FabricCheck& a,
+                                          const FabricCheck& b);
+
+// Order-sensitive digest folding one verdict into a running hash; equal
+// verdict streams fold to equal digests. Used to memcmp-compare verdict
+// streams across monitoring modes/worker counts without retaining them.
+[[nodiscard]] std::uint64_t fabric_check_digest(std::uint64_t seed,
+                                                const FabricCheck& check);
+
 struct ScoutReport {
   // Checker stage.
   std::size_t switches_checked = 0;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/common/hash.h"
+#include "src/stream/event_bus.h"
 
 namespace scout {
 
@@ -28,6 +29,16 @@ SwitchAgent& SimNetwork::agent(SwitchId sw) {
 
 DeployStats SimNetwork::deploy() { return controller_->deploy_full(); }
 
+void SimNetwork::attach_event_bus(stream::EventBus* bus) {
+  // Unbind the previous bus's change-log cursor: a detached bus must not
+  // keep a pointer into this network (it may outlive us).
+  if (bus_ != nullptr && bus_ != bus) bus_->bind_change_log(nullptr);
+  bus_ = bus;
+  controller_->attach_event_bus(bus);
+  for (const auto& a : agents_) a->attach_event_bus(bus);
+  if (bus != nullptr) bus->bind_change_log(&controller_->change_log());
+}
+
 FaultLog SimNetwork::collect_fault_logs() const {
   FaultLog merged;
   merged.merge_from(controller_->fault_log());
@@ -38,11 +49,7 @@ FaultLog SimNetwork::collect_fault_logs() const {
 namespace {
 
 void mix_rule(std::size_t& h, const TcamRule& r) {
-  hash_combine(h, hash_all(r.priority, r.vrf.value, r.vrf.mask,
-                           r.src_epg.value, r.src_epg.mask, r.dst_epg.value,
-                           r.dst_epg.mask, r.proto.value, r.proto.mask,
-                           r.dst_port.value, r.dst_port.mask,
-                           static_cast<unsigned>(r.action)));
+  hash_combine(h, r.fold_hash(0));
 }
 
 void mix_logical_rule(std::size_t& h, const LogicalRule& lr) {

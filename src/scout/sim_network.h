@@ -38,6 +38,11 @@ class SimNetwork {
   // Compile + push the whole policy.
   DeployStats deploy();
 
+  // Attach/detach a continuous-verification event bus (src/stream) on the
+  // controller and every agent, and bind the bus's change-log cursor to
+  // the controller's log. nullptr detaches everywhere.
+  void attach_event_bus(stream::EventBus* bus);
+
   // Device fault logs merged with the controller's own (the correlation
   // engine consumes the union, paper Figure 6).
   [[nodiscard]] FaultLog collect_fault_logs() const;
@@ -59,6 +64,7 @@ class SimNetwork {
   SimClock clock_;
   std::vector<std::unique_ptr<SwitchAgent>> agents_;
   std::unique_ptr<Controller> controller_;
+  stream::EventBus* bus_ = nullptr;  // last attached (for unbinding)
 };
 
 }  // namespace scout

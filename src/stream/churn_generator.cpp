@@ -1,0 +1,156 @@
+#include "src/stream/churn_generator.h"
+
+#include <algorithm>
+
+namespace scout::stream {
+namespace {
+
+bool contains(const std::vector<SwitchId>& v, SwitchId sw) {
+  return std::find(v.begin(), v.end(), sw) != v.end();
+}
+
+void erase_one(std::vector<SwitchId>& v, SwitchId sw) {
+  const auto it = std::find(v.begin(), v.end(), sw);
+  if (it != v.end()) v.erase(it);
+}
+
+}  // namespace
+
+ChurnGenerator::ChurnGenerator(SimNetwork& net, EventBus& bus,
+                               std::uint64_t seed, ChurnMix mix)
+    : net_(&net), bus_(&bus), rng_(seed), mix_(mix) {}
+
+SwitchAgent& ChurnGenerator::agent_at(std::size_t index) {
+  return *net_->agents()[index].get();
+}
+
+SwitchAgent* ChurnGenerator::healthy_agent() {
+  const auto agents = net_->agents();
+  if (agents.empty()) return nullptr;
+  // Bounded random probing keeps the draw count deterministic-ish cheap;
+  // fall back to a scan so "one healthy switch left" still terminates.
+  for (int tries = 0; tries < 8; ++tries) {
+    SwitchAgent& a = agent_at(rng_.below(agents.size()));
+    if (!a.crashed() && !contains(disconnected_, a.id())) return &a;
+  }
+  for (const auto& a : agents) {
+    if (!a->crashed() && !contains(disconnected_, a->id())) return a.get();
+  }
+  return nullptr;
+}
+
+std::size_t ChurnGenerator::pump(std::size_t ops) {
+  const EventBus::Cursor start = bus_->cursor();
+  for (std::size_t i = 0; i < ops; ++i) {
+    step();
+    ++ops_;
+  }
+  if (bus_->cursor() == start) {
+    // Degenerate-network valve: force repair churn (a resync always
+    // republishes something on a deployed fabric) before reporting a
+    // silent interval.
+    if (SwitchAgent* a = healthy_agent()) {
+      (void)net_->controller().resync_switch(a->id());
+      ++ops_;
+    }
+  }
+  return bus_->cursor() - start;
+}
+
+void ChurnGenerator::step() {
+  Controller& controller = net_->controller();
+  const auto agents = net_->agents();
+  if (agents.empty()) return;
+  net_->clock().advance(rng_.between(1, 40));
+  const SimTime now = net_->clock().now();
+
+  const double weights[] = {mix_.evict,   mix_.corrupt,       mix_.resync,
+                            mix_.crash,   mix_.recover,       mix_.channel_flap,
+                            mix_.benign_change, mix_.migrate};
+  double total = 0.0;
+  for (const double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return;
+  double draw = rng_.uniform() * total;
+  std::size_t op = 0;
+  for (; op + 1 < std::size(weights); ++op) {
+    draw -= std::max(0.0, weights[op]);
+    if (draw < 0.0) break;
+  }
+
+  switch (op) {
+    case 0: {  // evict
+      SwitchAgent& a = agent_at(rng_.below(agents.size()));
+      (void)a.evict_rules(1 + rng_.below(3), now);
+      break;
+    }
+    case 1: {  // corrupt
+      SwitchAgent& a = agent_at(rng_.below(agents.size()));
+      (void)a.corrupt_tcam_bit(rng_, now, /*detection_probability=*/0.5);
+      break;
+    }
+    case 2: {  // resync (repair churn on a healthy switch)
+      if (SwitchAgent* a = healthy_agent()) {
+        (void)controller.resync_switch(a->id());
+      }
+      break;
+    }
+    case 3: {  // crash mid-resync: the §V-B hard case, switch ends wiped
+      SwitchAgent* a = healthy_agent();
+      if (a == nullptr) break;
+      a->crash_after(0);
+      crashed_.push_back(a->id());
+      (void)controller.resync_switch(a->id());
+      break;
+    }
+    case 4: {  // recover a crashed agent and resync it clean
+      if (crashed_.empty()) break;
+      const SwitchId sw = crashed_[rng_.below(crashed_.size())];
+      net_->agent(sw).recover(now);
+      erase_one(crashed_, sw);
+      (void)controller.resync_switch(sw);
+      break;
+    }
+    case 5: {  // channel flap: down now, up + resync on a later flap
+      if (!disconnected_.empty() && rng_.chance(0.6)) {
+        const SwitchId sw =
+            disconnected_[rng_.below(disconnected_.size())];
+        controller.reconnect_switch(sw);
+        erase_one(disconnected_, sw);
+        (void)controller.resync_switch(sw);
+      } else if (SwitchAgent* a = healthy_agent()) {
+        controller.disconnect_switch(a->id());
+        disconnected_.push_back(a->id());
+      }
+      break;
+    }
+    case 6: {  // benign change-log noise
+      const NetworkPolicy& policy = controller.policy();
+      const std::size_t kind = rng_.below(3);
+      if (kind == 0 && !policy.filters().empty()) {
+        controller.record_benign_change(ObjectRef::of(
+            policy.filters()[rng_.below(policy.filters().size())].id));
+      } else if (kind == 1 && !policy.contracts().empty()) {
+        controller.record_benign_change(ObjectRef::of(
+            policy.contracts()[rng_.below(policy.contracts().size())].id));
+      } else if (!policy.epgs().empty()) {
+        controller.record_benign_change(ObjectRef::of(
+            policy.epgs()[rng_.below(policy.epgs().size())].id));
+      }
+      break;
+    }
+    case 7: {  // endpoint migration: recompile (epoch bump) + two resyncs
+      const NetworkPolicy& policy = controller.policy();
+      if (policy.endpoints().empty()) break;
+      const EndpointId ep =
+          policy.endpoints()[rng_.below(policy.endpoints().size())].id;
+      SwitchAgent* to = healthy_agent();
+      if (to == nullptr) break;
+      (void)controller.migrate_endpoint(ep, to->id());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace scout::stream

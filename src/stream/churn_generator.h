@@ -1,0 +1,65 @@
+// Deterministic churn generator: replays a weighted mix of the paper's
+// §II-B / §V-B failure and policy actions against a live SimNetwork, with
+// every action publishing its events to the attached bus. The continuous
+// monitoring driver pumps it between drains; the same (seed, mix, network)
+// always produces the same op sequence and therefore the same event
+// stream, which is what lets incremental and full-recheck monitoring runs
+// be compared verdict-for-verdict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/scout/sim_network.h"
+#include "src/stream/event_bus.h"
+
+namespace scout::stream {
+
+// Relative op weights (normalized internally; zero disables an op). The
+// defaults model a fault-dominated live fabric: a steady drip of 1-3-event
+// TCAM faults, occasional repair/resync bursts that republish a whole
+// switch, and rare policy-layer actions (a migration bumps the compiled
+// epoch, the monitor's most expensive path).
+struct ChurnMix {
+  double evict = 0.50;           // agent drops 1-3 low-priority rules
+  double corrupt = 0.28;         // one TCAM bit flip, half detected
+  double resync = 0.05;          // controller re-pushes one healthy switch
+  double crash = 0.015;          // agent crashes mid-resync (switch wiped)
+  double recover = 0.015;        // crashed agent recovers + resync
+  double channel_flap = 0.03;    // control channel down; up + resync later
+  double benign_change = 0.10;   // record-only policy churn (stage-2 noise)
+  double migrate = 0.005;        // endpoint migration: epoch bump + resyncs
+};
+
+class ChurnGenerator {
+ public:
+  ChurnGenerator(SimNetwork& net, EventBus& bus, std::uint64_t seed,
+                 ChurnMix mix = {});
+
+  // Apply `ops` churn ops (one monitoring interval's worth of fabric
+  // activity) and return how many events they published. Most ops publish
+  // 1-3 events; repair/resync ops burst a whole switch's reinstalls. If
+  // the interval published nothing (degenerate network), a forced resync
+  // valve tries once to restart the stream before returning 0.
+  std::size_t pump(std::size_t ops);
+
+  [[nodiscard]] std::size_t ops_applied() const noexcept { return ops_; }
+
+ private:
+  void step();
+  [[nodiscard]] SwitchAgent& agent_at(std::size_t index);
+  // A random connected, non-crashed switch; nullptr when none qualifies.
+  [[nodiscard]] SwitchAgent* healthy_agent();
+
+  SimNetwork* net_;
+  EventBus* bus_;
+  Rng rng_;
+  ChurnMix mix_;
+  std::size_t ops_ = 0;
+  std::vector<SwitchId> crashed_;
+  std::vector<SwitchId> disconnected_;
+};
+
+}  // namespace scout::stream

@@ -1,0 +1,72 @@
+#include "src/stream/event_bus.h"
+
+#include <stdexcept>
+
+#include "src/policy/change_log.h"
+
+namespace scout::stream {
+
+std::string_view to_string(StreamEventType t) noexcept {
+  switch (t) {
+    case StreamEventType::kRuleInstalled:
+      return "rule-installed";
+    case StreamEventType::kRulesRemoved:
+      return "rules-removed";
+    case StreamEventType::kRuleEvicted:
+      return "rule-evicted";
+    case StreamEventType::kRuleModified:
+      return "rule-modified";
+    case StreamEventType::kSwitchResynced:
+      return "switch-resynced";
+    case StreamEventType::kTcamOverflow:
+      return "tcam-overflow";
+    case StreamEventType::kAgentCrashed:
+      return "agent-crashed";
+    case StreamEventType::kAgentRecovered:
+      return "agent-recovered";
+    case StreamEventType::kChannelDown:
+      return "channel-down";
+    case StreamEventType::kChannelUp:
+      return "channel-up";
+    case StreamEventType::kPolicyPushed:
+      return "policy-pushed";
+    case StreamEventType::kPolicyChanged:
+      return "policy-changed";
+  }
+  return "?";
+}
+
+EventBus::Cursor EventBus::publish(StreamEvent ev) {
+  const Cursor seq = cursor();
+  ev.seq = seq;
+  ev.wall = std::chrono::steady_clock::now();
+  ev.change_log_mark = change_log_ != nullptr ? change_log_->size() : 0;
+  events_.push_back(std::move(ev));
+  return seq;
+}
+
+std::span<const StreamEvent> EventBus::events_since(Cursor c) const {
+  if (c < base_) {
+    throw std::out_of_range{
+        "EventBus::events_since: cursor below the compaction base"};
+  }
+  if (c > cursor()) {
+    // A cursor ahead of the stream is consumer corruption (wrong bus,
+    // cursor arithmetic bug); returning empty would silently verify
+    // nothing forever.
+    throw std::out_of_range{
+        "EventBus::events_since: cursor ahead of the stream"};
+  }
+  return std::span<const StreamEvent>{events_}.subspan(c - base_);
+}
+
+void EventBus::compact(Cursor c) {
+  if (c <= base_) return;
+  const Cursor limit = cursor();
+  if (c > limit) c = limit;
+  events_.erase(events_.begin(),
+                events_.begin() + static_cast<std::ptrdiff_t>(c - base_));
+  base_ = c;
+}
+
+}  // namespace scout::stream

@@ -1,0 +1,83 @@
+// EventBus: the append-only event stream Controller and SwitchAgent
+// publish to, and the monitor drains from.
+//
+// Contract:
+//  * Single-threaded publication. Network mutations are driven from one
+//    thread (the scenario/driver thread); the runtime workers only *read*
+//    already-drained batches. The bus therefore needs no locking — it is a
+//    sequence, not a queue.
+//  * Monotone cursors. publish() assigns dense, strictly increasing
+//    sequence numbers; events_since(c) returns the events with seq >= c in
+//    order. The returned span views bus storage and is invalidated by the
+//    next publish() or compact() — consumers drain, then process.
+//  * Bounded retention. compact(c) drops events below cursor c (the
+//    monitor compacts what it has drained); sequence numbers keep counting
+//    from the base offset, so cursors stay valid identities forever.
+//  * ChangeLog layering. When bound to the controller's change log, every
+//    event is stamped with the log's size at publish time, so two cursors
+//    delimit exactly the policy actions recorded between them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/stream/event.h"
+
+namespace scout {
+class ChangeLog;
+}  // namespace scout
+
+namespace scout::stream {
+
+class EventBus {
+ public:
+  using Cursor = std::uint64_t;
+
+  // Stamp subsequent events with `log`'s current size (nullptr unbinds).
+  void bind_change_log(const ChangeLog* log) noexcept { change_log_ = log; }
+
+  // Append one event; fills seq, wall and change_log_mark. Returns the
+  // assigned sequence number.
+  Cursor publish(StreamEvent ev);
+
+  // The next sequence number to be assigned (== one past the last event).
+  [[nodiscard]] Cursor cursor() const noexcept {
+    return base_ + events_.size();
+  }
+
+  // Events with seq in [c, cursor()), in sequence order. `c` below the
+  // compaction base or ahead of the stream throws (consumer cursor
+  // corruption must fail loudly). Valid until the next publish/compact.
+  [[nodiscard]] std::span<const StreamEvent> events_since(Cursor c) const;
+
+  // Drop retained events with seq < c (c capped at cursor()).
+  void compact(Cursor c);
+
+  [[nodiscard]] std::size_t retained() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] Cursor base() const noexcept { return base_; }
+
+ private:
+  std::vector<StreamEvent> events_;  // events_[i].seq == base_ + i
+  Cursor base_ = 0;
+  const ChangeLog* change_log_ = nullptr;
+};
+
+// Publisher-side conveniences shared by the instrumented components
+// (Controller, SwitchAgent): they hold an optional EventBus* and publish
+// only while one is attached.
+inline void publish_event(EventBus* bus, StreamEvent ev) {
+  if (bus != nullptr) (void)bus->publish(std::move(ev));
+}
+
+[[nodiscard]] inline StreamEvent make_switch_event(StreamEventType type,
+                                                   SwitchId sw, SimTime now) {
+  StreamEvent ev;
+  ev.type = type;
+  ev.sw = sw;
+  ev.time = now;
+  return ev;
+}
+
+}  // namespace scout::stream

@@ -1,0 +1,124 @@
+// Incremental L-T checker: the continuous-verification core.
+//
+// The batch pipeline re-collects every TCAM and rebuilds every T-BDD per
+// check. This checker instead keeps, per switch, a private BDD arena with
+// the logical BDD L resident *below* a checkpoint watermark and the
+// deployed BDD T resident *above* it, plus a shadow copy of the TCAM
+// mirrored purely from stream events. Each TCAM delta updates T by cube
+// operations against the checkpointed base:
+//
+//   install allow r   ->  T := T ∨ cube(r)
+//   remove  allow r   ->  T := (T ∧ ¬cube(r)) ∨ ⋃ cube(overlapping allows)
+//   modify  r -> r'   ->  the removal update for r, then T := T ∨ cube(r')
+//   resync            ->  T := false (reinstalls arrive as install events)
+//
+// These updates are *exact* — not approximate — whenever the switch's
+// ruleset is in the compiler's shape: every deny rule is the catch-all
+// default and sits at a priority no allow rule reaches. Under first-match
+// folding that makes the allowed set a pure union of allow cubes, where
+// install is ∨ and removal is ∧¬ patched by re-∨-ing the cubes of
+// remaining allows that overlap the removed one (identical duplicate
+// copies included). The checker tracks the safety condition per switch
+// (non-catch-all deny count, allow/deny priority extremes); any delta
+// outside it falls back to a full T re-encode — counted separately, and
+// zero in every compiler-generated workload.
+//
+// Full rebuilds (rollback to the watermark + ruleset_to_bdd over the
+// shadow) happen on exactly three triggers, each counted:
+//   * epoch    — Controller::compiled_epoch() moved: L itself is stale, the
+//                whole arena is re-encoded;
+//   * threshold— churned T versions leave dead nodes above the watermark
+//                (the arena has no GC); past a divergence threshold the
+//                arena is compacted by rollback + re-encode;
+//   * unsafe   — a delta outside the cube-update safety condition.
+//
+// Because BDDs are canonical, the incrementally maintained T is the same
+// node the batch checker would build from a fresh TCAM collection, so
+// verdicts are bit-identical to ScoutSystem::check_all — pinned across
+// randomized event streams by tests/test_stream_monitor.cpp.
+//
+// Sharding: switch states are partitioned over `shard_count` shards by
+// stable agent-order index; one worker processes one shard, so arenas stay
+// single-threaded and the composed verdict is independent of the worker
+// count (per-switch work is deterministic, composition is in agent order).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/scout/scout_system.h"
+#include "src/stream/event.h"
+
+namespace scout::stream {
+
+class IncrementalChecker {
+ public:
+  struct Options {
+    // Compact a switch's arena (rollback + T re-encode) when its node pool
+    // has grown past factor * (pool size at the last rebuild) + slack.
+    double divergence_factor = 8.0;
+    std::size_t divergence_slack = 1 << 14;
+  };
+
+  struct Stats {
+    std::size_t initial_builds = 0;     // prime-time L+T encodes
+    std::size_t events_applied = 0;
+    std::size_t incremental_updates = 0;  // cube-level T updates
+    std::size_t full_rebuilds = 0;      // post-prime T re-encodes, total
+    std::size_t epoch_rebuilds = 0;     //   caused by compiled-epoch bumps
+    std::size_t threshold_trips = 0;    //   caused by arena divergence
+    std::size_t unsafe_rebuilds = 0;    //   caused by out-of-shape deltas
+    std::size_t diff_recomputes = 0;    // verdicts recomputed via bdd_rule_diff
+    std::size_t verdicts_reused = 0;    // switches served their cached verdict
+  };
+
+  IncrementalChecker(SimNetwork& net, std::size_t shard_count);
+  IncrementalChecker(SimNetwork& net, std::size_t shard_count,
+                     Options options);
+  ~IncrementalChecker();
+  IncrementalChecker(const IncrementalChecker&) = delete;
+  IncrementalChecker& operator=(const IncrementalChecker&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+  [[nodiscard]] std::size_t switch_count() const noexcept;
+
+  // Partition one drained batch's TCAM-delta events onto the per-switch
+  // pending lists (serial; spans must stay valid through process_shard).
+  void stage(std::span<const StreamEvent> events);
+
+  // Apply the staged events for every switch owned by `shard` and refresh
+  // those switches' verdicts against compiled epoch `epoch`. Distinct
+  // shards may run concurrently; the same shard must not.
+  void process_shard(std::size_t shard, std::uint64_t epoch);
+
+  // Fabric verdict composed from the per-switch cached verdicts in agent
+  // order — the same merge order as ScoutSystem::check_all, so the result
+  // is comparable (and bit-identical on identical deployments).
+  [[nodiscard]] FabricCheck compose() const;
+
+  // Summed over shards after a join. All counters are pure functions of
+  // the event stream (never of the worker count).
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct SwitchState;
+  struct Shard;
+
+  void apply_event(Shard& shard, SwitchState& st, const StreamEvent& ev,
+                   bool bdd_current);
+  void rebuild_arena(Shard& shard, SwitchState& st, std::uint64_t epoch);
+  void rebuild_t(SwitchState& st);
+  void refresh_verdict(Shard& shard, SwitchState& st, std::uint64_t epoch);
+  void recompute_shape(SwitchState& st);
+
+  SimNetwork* net_;
+  Options options_;
+  std::vector<std::unique_ptr<SwitchState>> states_;  // agent order
+  std::unordered_map<SwitchId, std::size_t> index_;   // sw -> states_ index
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace scout::stream

@@ -1,0 +1,113 @@
+#include "src/stream/monitor_loop.h"
+
+#include <chrono>
+
+#include "src/policy/policy_index.h"
+#include "src/riskmodel/risk_model.h"
+
+namespace scout::stream {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double millis_between(WallClock::time_point from, WallClock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+MonitorLoop::MonitorLoop(SimNetwork& net, EventBus& bus,
+                         runtime::Executor& executor)
+    : MonitorLoop(net, bus, executor, Options{}) {}
+
+MonitorLoop::MonitorLoop(SimNetwork& net, EventBus& bus,
+                         runtime::Executor& executor, Options options)
+    : net_(&net),
+      bus_(&bus),
+      executor_(&executor),
+      options_(options),
+      full_system_(ScoutSystem::Options{CheckMode::kExactBdd,
+                                        options.localizer}) {
+  if (options_.incremental) {
+    checker_ = std::make_unique<IncrementalChecker>(
+        net, executor.workers(), options_.checker);
+  } else {
+    full_cache_ = std::make_unique<LogicalBddCache>(executor.workers());
+  }
+}
+
+MonitorLoop::~MonitorLoop() = default;
+
+void MonitorLoop::prime() {
+  cursor_ = bus_->cursor();
+  if (options_.compact_bus) bus_->compact(cursor_);
+  if (!options_.incremental) return;
+  const std::uint64_t epoch = net_->controller().compiled_epoch();
+  checker_->stage({});
+  executor_->run(checker_->shard_count(),
+                 [&](std::size_t shard, std::size_t) {
+                   checker_->process_shard(shard, epoch);
+                 });
+}
+
+MonitorVerdict MonitorLoop::drain() {
+  const auto events = bus_->events_since(cursor_);
+  MonitorVerdict verdict;
+  verdict.first_seq = cursor_;
+  verdict.events = events.size();
+  cursor_ += events.size();
+  verdict.last_seq = cursor_;
+
+  const auto t0 = WallClock::now();
+  if (options_.incremental) {
+    const std::uint64_t epoch = net_->controller().compiled_epoch();
+    checker_->stage(events);
+    executor_->run(checker_->shard_count(),
+                   [&](std::size_t shard, std::size_t) {
+                     checker_->process_shard(shard, epoch);
+                   });
+    verdict.check = checker_->compose();
+  } else {
+    verdict.check =
+        full_system_.check_all(*net_, *executor_, full_cache_.get());
+  }
+  const auto t1 = WallClock::now();
+  verdict.drain_ms = millis_between(t0, t1);
+  // Bounded latency retention for long-lived monitors: past the cap,
+  // decimate in place (keep every other sample). Percentiles over the
+  // thinned set stay representative; memory stays O(cap).
+  constexpr std::size_t kMaxLatencySamples = 1 << 20;
+  for (const StreamEvent& ev : events) {
+    if (latencies_ms_.size() >= kMaxLatencySamples) {
+      for (std::size_t i = 1, j = 0; i < latencies_ms_.size(); i += 2) {
+        latencies_ms_[j++] = latencies_ms_[i];
+      }
+      latencies_ms_.resize(latencies_ms_.size() / 2);
+    }
+    latencies_ms_.push_back(millis_between(ev.wall, t1));
+  }
+  ++batches_;
+  if (options_.compact_bus) bus_->compact(cursor_);  // span dies here
+  return verdict;
+}
+
+LocalizationResult MonitorLoop::localize(const FabricCheck& check) const {
+  const std::uint64_t epoch = net_->controller().compiled_epoch();
+  if (policy_index_ == nullptr || policy_index_epoch_ != epoch) {
+    policy_index_ =
+        std::make_unique<PolicyIndex>(net_->controller().policy());
+    policy_index_epoch_ = epoch;
+  }
+  RiskModel model = RiskModel::build_controller_model(*policy_index_);
+  model.augment(check.missing_rules);
+  const ScoutLocalizer localizer{options_.localizer};
+  return localizer.localize(model, net_->controller().change_log(),
+                            net_->clock().now());
+}
+
+IncrementalChecker::Stats MonitorLoop::checker_stats() const {
+  return checker_ != nullptr ? checker_->stats()
+                             : IncrementalChecker::Stats{};
+}
+
+}  // namespace scout::stream

@@ -1,0 +1,99 @@
+// MonitorLoop: drains event batches off the bus, fans the per-switch
+// incremental work over the runtime executor with stable switch affinity,
+// and emits fabric verdicts with event-to-detection latency stamps.
+//
+// Two modes, one verdict type:
+//  * incremental (default) — stage the batch's TCAM deltas onto the
+//    per-switch shards, process each shard on one worker, compose the
+//    fabric verdict from the per-switch cached results;
+//  * full recheck — the PR 4 baseline: every drain runs the sharded
+//    ScoutSystem::check_all over a resident-L LogicalBddCache.
+// Verdict streams are bit-identical between the modes (and across worker
+// counts); bench/stream_latency.cpp enforces that while measuring the
+// throughput gap.
+//
+// Confirmed suspects hand off to the existing localization pipeline via
+// localize(): controller risk model, augmented with the verdict's missing
+// rules, through ScoutLocalizer (change-log stage 2 included).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/checker/logical_bdd_cache.h"
+#include "src/runtime/campaign.h"
+#include "src/scout/scout_system.h"
+#include "src/stream/event_bus.h"
+#include "src/stream/incremental_checker.h"
+
+namespace scout {
+class PolicyIndex;
+}  // namespace scout
+
+namespace scout::stream {
+
+struct MonitorVerdict {
+  std::uint64_t first_seq = 0;  // cursor before the drain
+  std::uint64_t last_seq = 0;   // cursor after (one past the last event)
+  std::size_t events = 0;
+  FabricCheck check;            // whole-fabric verdict after the batch
+  double drain_ms = 0.0;        // wall time of this drain (diagnostics)
+};
+
+class MonitorLoop {
+ public:
+  struct Options {
+    bool incremental = true;
+    IncrementalChecker::Options checker{};
+    // Localizer knobs for localize() (stage-2 recency window etc.).
+    ScoutLocalizer::Options localizer{};
+    bool compact_bus = true;  // drop drained events from the bus
+  };
+
+  MonitorLoop(SimNetwork& net, EventBus& bus, runtime::Executor& executor);
+  MonitorLoop(SimNetwork& net, EventBus& bus, runtime::Executor& executor,
+              Options options);
+  ~MonitorLoop();
+  MonitorLoop(const MonitorLoop&) = delete;
+  MonitorLoop& operator=(const MonitorLoop&) = delete;
+
+  // Bootstrap: skip events published so far (deployment noise) and, in
+  // incremental mode, collect every TCAM once and build the resident
+  // L/T BDDs. The only TCAM collection the monitor ever performs.
+  void prime();
+
+  // Drain everything published since the cursor and return the fabric
+  // verdict after the batch. Detection latencies (publish -> verdict
+  // wall time, ms) for the drained events append to latencies_ms().
+  [[nodiscard]] MonitorVerdict drain();
+
+  // Hand the verdict's confirmed suspects to SCOUT localization over the
+  // controller risk model (policy index cached per compiled epoch).
+  [[nodiscard]] LocalizationResult localize(const FabricCheck& check) const;
+
+  [[nodiscard]] const std::vector<double>& latencies_ms() const noexcept {
+    return latencies_ms_;
+  }
+  void clear_latencies() { latencies_ms_.clear(); }
+
+  [[nodiscard]] std::size_t batches() const noexcept { return batches_; }
+  [[nodiscard]] IncrementalChecker::Stats checker_stats() const;
+
+ private:
+  SimNetwork* net_;
+  EventBus* bus_;
+  runtime::Executor* executor_;
+  Options options_;
+  EventBus::Cursor cursor_ = 0;
+  std::size_t batches_ = 0;
+  std::vector<double> latencies_ms_;
+
+  std::unique_ptr<IncrementalChecker> checker_;  // incremental mode
+  ScoutSystem full_system_;                      // full-recheck mode
+  std::unique_ptr<LogicalBddCache> full_cache_;
+
+  mutable std::unique_ptr<PolicyIndex> policy_index_;  // localize() cache
+  mutable std::uint64_t policy_index_epoch_ = 0;
+};
+
+}  // namespace scout::stream

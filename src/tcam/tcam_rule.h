@@ -82,9 +82,37 @@ struct TcamRule {
            proto == o.proto && dst_port == o.dst_port && action == o.action;
   }
 
+  // Do the two match cubes share at least one packet? Two ternary fields
+  // intersect iff their values agree on every bit both care about.
+  [[nodiscard]] bool overlaps(const TcamRule& o) const noexcept {
+    const auto meet = [](TernaryField a, TernaryField b) noexcept {
+      return ((a.value ^ b.value) & a.mask & b.mask) == 0;
+    };
+    return meet(vrf, o.vrf) && meet(src_epg, o.src_epg) &&
+           meet(dst_epg, o.dst_epg) && meet(proto, o.proto) &&
+           meet(dst_port, o.dst_port);
+  }
+
+  // Every field fully wildcarded (the shape of the catch-all default deny).
+  [[nodiscard]] bool wildcard_all() const noexcept {
+    return vrf.mask == 0 && src_epg.mask == 0 && dst_epg.mask == 0 &&
+           proto.mask == 0 && dst_port.mask == 0;
+  }
+
   // Full equality, priority included (repair-journal exact undo).
   friend constexpr bool operator==(const TcamRule&,
                                    const TcamRule&) noexcept = default;
+
+  // Order-sensitive fold of every field (priority and action included)
+  // into a running hash — the one definition shared by the network state
+  // fingerprint and the stream verdict digests, so a new field has one
+  // place to be added.
+  [[nodiscard]] std::uint64_t fold_hash(std::uint64_t h) const noexcept {
+    return hash_all(h, priority, vrf.value, vrf.mask, src_epg.value,
+                    src_epg.mask, dst_epg.value, dst_epg.mask, proto.value,
+                    proto.mask, dst_port.value, dst_port.mask,
+                    static_cast<unsigned>(action));
+  }
 
   // Fully-specified allow rule with an exact port cube.
   static TcamRule exact_allow(std::uint32_t priority, std::uint16_t vrf,

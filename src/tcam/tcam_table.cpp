@@ -88,10 +88,7 @@ bool TcamTable::replace_one(const TcamRule& from, const TcamRule& to) {
 std::optional<TcamRule> TcamTable::evict_one() {
   // The last rule is the lowest priority; skip a trailing catch-all deny.
   for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
-    const bool is_default = it->vrf.mask == 0 && it->src_epg.mask == 0 &&
-                            it->dst_epg.mask == 0 && it->proto.mask == 0 &&
-                            it->dst_port.mask == 0;
-    if (is_default) continue;
+    if (it->wildcard_all()) continue;
     const TcamRule evicted = *it;
     rules_.erase(std::next(it).base());
     return evicted;

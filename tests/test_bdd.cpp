@@ -334,6 +334,49 @@ TEST(Bdd, RollbackToCurrentWatermarkIsNoop) {
   EXPECT_EQ(mgr.stats().rollbacks, 0u);  // nothing truncated, cache kept
 }
 
+TEST(Bdd, OpCacheEntriesBelowWatermarkSurviveRollback) {
+  // Entries whose arguments and result all live below the rollback
+  // watermark are revalidated via their max-node tag instead of dying
+  // with the generation bump: re-running a sub-watermark operation after
+  // a rollback is a cache hit, not a recompute.
+  BddManager mgr{6};
+  const BddRef a = mgr.apply_and(mgr.var(0), mgr.var(1));
+  const BddRef b = mgr.apply_or(mgr.var(2), mgr.var(3));
+  const BddRef c = mgr.apply_and(a, b);
+  const auto cp = mgr.checkpoint();
+  (void)mgr.apply_xor(c, mgr.var(4));  // scratch above the watermark
+  mgr.rollback(cp);
+
+  const auto before = mgr.stats();
+  EXPECT_EQ(mgr.apply_and(a, b), c);  // same canonical ref...
+  const auto after = mgr.stats();
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);  // ...from the cache
+
+  // The surviving entry was re-stamped on that hit, so it stays alive
+  // across further rollbacks too.
+  (void)mgr.apply_xor(c, mgr.var(5));
+  mgr.rollback(cp);
+  const auto again = mgr.stats();
+  EXPECT_EQ(mgr.apply_and(a, b), c);
+  EXPECT_EQ(mgr.stats().cache_hits, again.cache_hits + 1);
+}
+
+TEST(Bdd, OpCacheEntriesAboveWatermarkDieWithRollback) {
+  BddManager mgr{6};
+  const BddRef a = mgr.apply_and(mgr.var(0), mgr.var(1));
+  const auto cp = mgr.checkpoint();
+  const BddRef x = mgr.var(2);
+  const BddRef above = mgr.apply_or(a, mgr.apply_and(x, mgr.var(3)));
+  mgr.rollback(cp);
+  // Replaying the sequence must rebuild identical refs (hash-consing),
+  // never serve a cache entry referencing truncated nodes.
+  const BddRef x2 = mgr.var(2);
+  EXPECT_EQ(x2, x);
+  const BddRef rebuilt = mgr.apply_or(a, mgr.apply_and(x2, mgr.var(3)));
+  EXPECT_EQ(rebuilt, above);
+  EXPECT_TRUE(mgr.check_invariants());
+}
+
 TEST(Bdd, RollbackRejectsBadCheckpoint) {
   BddManager mgr{4};
   const auto cp = mgr.checkpoint();

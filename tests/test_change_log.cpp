@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
+
 namespace scout {
 namespace {
 
@@ -49,6 +51,77 @@ TEST(ChangeLog, ChangedSinceExcludesCutoffBoundary) {
   // (window is half-open (cutoff, now]).
   EXPECT_TRUE(log.changed_since(SimTime{1000}, 200).empty());
   EXPECT_EQ(log.changed_since(SimTime{1000}, 201).size(), 1u);
+}
+
+TEST(ChangeLog, ChangedSinceBoundarySemanticsPinned) {
+  // The binary-searched window start must keep the exact half-open
+  // (now - window_ms, now] semantics, record-at-`now` included.
+  ChangeLog log;
+  log.record(SimTime{100}, kFilter1, ChangeAction::kModify);  // at cutoff
+  log.record(SimTime{101}, kFilter2, ChangeAction::kModify);  // just inside
+  log.record(SimTime{200}, kEpg1, ChangeAction::kModify);     // at now
+  const auto recent = log.changed_since(SimTime{200}, 100);
+  EXPECT_EQ(recent.size(), 2u);
+  EXPECT_FALSE(recent.contains(kFilter1));
+  EXPECT_TRUE(recent.contains(kFilter2));
+  EXPECT_TRUE(recent.contains(kEpg1));
+  // Duplicate timestamps straddling the cutoff: every record strictly
+  // after the cutoff contributes, all at-cutoff copies are excluded.
+  ChangeLog dup;
+  dup.record(SimTime{50}, kFilter1, ChangeAction::kModify);
+  dup.record(SimTime{50}, kFilter2, ChangeAction::kModify);
+  dup.record(SimTime{51}, kEpg1, ChangeAction::kModify);
+  dup.record(SimTime{51}, kFilter1, ChangeAction::kModify);
+  const auto edge = dup.changed_since(SimTime{100}, 50);
+  EXPECT_EQ(edge.size(), 2u);
+  EXPECT_TRUE(edge.contains(kEpg1));
+  EXPECT_TRUE(edge.contains(kFilter1));
+  EXPECT_FALSE(edge.contains(kFilter2));
+}
+
+TEST(ChangeLog, ChangedSinceInterplayWithTruncate) {
+  ChangeLog log;
+  log.record(SimTime{10}, kFilter1, ChangeAction::kModify);
+  log.record(SimTime{20}, kFilter2, ChangeAction::kModify);
+  log.record(SimTime{30}, kEpg1, ChangeAction::kModify);
+  EXPECT_EQ(log.changed_since(SimTime{30}, 25).size(), 3u);
+  // Truncating to the repair-journal watermark drops the tail records —
+  // the window must only see survivors, at every boundary.
+  log.truncate(1);
+  const auto after = log.changed_since(SimTime{30}, 25);
+  EXPECT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after.contains(kFilter1));
+  // Appending after the truncate keeps the time-ordered invariant the
+  // binary search rests on.
+  log.record(SimTime{40}, kEpg1, ChangeAction::kModify);
+  EXPECT_EQ(log.changed_since(SimTime{40}, 31).size(), 2u);
+  EXPECT_TRUE(log.changed_since(SimTime{40}, 5).contains(kEpg1));
+}
+
+TEST(ChangeLog, ChangedSinceMatchesLinearReference) {
+  // Randomized windows against a linear re-scan of the same log.
+  Rng rng{2024};
+  ChangeLog log;
+  std::int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<std::int64_t>(rng.below(3));  // duplicates included
+    const std::uint32_t raw = static_cast<std::uint32_t>(rng.below(40));
+    log.record(SimTime{t}, ObjectRef::of(FilterId{raw}),
+               ChangeAction::kModify);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const SimTime now{static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(t + 10)))};
+    const auto window_ms = static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(t + 10)));
+    std::unordered_set<ObjectRef> reference;
+    const SimTime cutoff{now.millis() - window_ms};
+    for (const ChangeRecord& r : log.records()) {
+      if (r.time > cutoff) reference.insert(r.object);
+    }
+    EXPECT_EQ(log.changed_since(now, window_ms), reference)
+        << "now=" << now << " window=" << window_ms;
+  }
 }
 
 TEST(ChangeLog, LastChangeFindsNewest) {

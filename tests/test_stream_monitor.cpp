@@ -1,0 +1,189 @@
+// Differential correctness of the continuous-verification stream: the
+// incremental monitor's verdicts must be identical to a fresh
+// ScoutSystem::check_all after every batch — across randomized event
+// streams, mid-stream compiled-epoch bumps, divergence-threshold trips,
+// out-of-shape (unsafe) deltas, and 1/2/4 workers.
+#include <gtest/gtest.h>
+
+#include "src/scout/experiment.h"
+#include "src/scout/scout_system.h"
+#include "src/stream/monitor_loop.h"
+#include "src/workload/three_tier.h"
+
+namespace scout {
+namespace {
+
+MonitoringOptions small_scenario(std::uint64_t seed) {
+  MonitoringOptions options;
+  options.profile = GeneratorProfile::scaled(10);
+  options.profile.target_pairs = 10 * 40;
+  options.events = 160;
+  options.batch_ops = 12;
+  options.seed = seed;
+  // Elevated policy churn so compiled-epoch bumps land mid-stream.
+  options.mix.migrate = 0.08;
+  options.localize_final = false;
+  return options;
+}
+
+void expect_counter_consistency(const MonitoringReport& report) {
+  EXPECT_EQ(report.checker.full_rebuilds,
+            report.checker.epoch_rebuilds + report.checker.threshold_trips +
+                report.checker.unsafe_rebuilds);
+}
+
+TEST(StreamMonitor, IncrementalMatchesFullCheckAcrossSeeds) {
+  runtime::SerialExecutor executor;
+  std::size_t runs_with_epoch_bumps = 0;
+  std::size_t runs_with_inconsistency = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    MonitoringOptions options = small_scenario(seed);
+    options.verify_batches = true;  // fresh check_all after every batch
+    const MonitoringReport report =
+        run_continuous_monitoring(options, executor);
+    EXPECT_EQ(report.verify_mismatches, 0u) << "seed " << seed;
+    EXPECT_GE(report.events, options.events) << "seed " << seed;
+    expect_counter_consistency(report);
+    EXPECT_EQ(report.checker.unsafe_rebuilds, 0u)
+        << "compiler-shaped churn fell off the incremental path, seed "
+        << seed;
+    if (report.checker.epoch_rebuilds > 0) ++runs_with_epoch_bumps;
+    if (report.inconsistent_batches > 0) ++runs_with_inconsistency;
+  }
+  // The scenario must actually exercise the hard paths.
+  EXPECT_GT(runs_with_epoch_bumps, 0u);
+  EXPECT_GT(runs_with_inconsistency, 10u);
+}
+
+TEST(StreamMonitor, VerdictStreamIdenticalAcrossModesAndWorkerCounts) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    std::uint64_t expected = 0;
+    bool first = true;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      for (const bool incremental : {true, false}) {
+        MonitoringOptions options = small_scenario(seed);
+        options.incremental = incremental;
+        const auto executor = runtime::make_executor(threads);
+        const MonitoringReport report =
+            run_continuous_monitoring(options, *executor);
+        if (first) {
+          expected = report.verdict_digest;
+          first = false;
+        } else {
+          EXPECT_EQ(report.verdict_digest, expected)
+              << "seed " << seed << " threads " << threads
+              << " incremental " << incremental;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamMonitor, DivergenceThresholdTripsKeepVerdictsExact) {
+  runtime::SerialExecutor executor;
+  MonitoringOptions options = small_scenario(7);
+  options.verify_batches = true;
+  // Compact aggressively: every touched switch trips almost immediately.
+  options.checker.divergence_factor = 1.0;
+  options.checker.divergence_slack = 64;
+  const MonitoringReport report =
+      run_continuous_monitoring(options, executor);
+  EXPECT_EQ(report.verify_mismatches, 0u);
+  EXPECT_GT(report.checker.threshold_trips, 0u);
+  expect_counter_consistency(report);
+}
+
+TEST(StreamMonitor, EventCountAndLatencyAccounting) {
+  runtime::SerialExecutor executor;
+  MonitoringOptions options = small_scenario(5);
+  const MonitoringReport report =
+      run_continuous_monitoring(options, executor);
+  EXPECT_GE(report.events, options.events);
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_GT(report.churn_ops, 0u);
+  EXPECT_GT(report.events_per_sec, 0.0);
+  EXPECT_LE(report.p50_latency_ms, report.p99_latency_ms);
+  EXPECT_LE(report.p99_latency_ms, report.max_latency_ms);
+}
+
+// Hand-driven MonitorLoop on the paper's three-tier example: eviction is
+// detected incrementally and the verdict matches a fresh fabric check;
+// resync repairs it; localization hands suspects to SCOUT.
+TEST(StreamMonitor, MonitorLoopDetectsAndClearsEviction) {
+  ThreeTierNetwork three = make_three_tier();
+  SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+  stream::EventBus bus;
+  net.attach_event_bus(&bus);
+  runtime::SerialExecutor executor;
+  stream::MonitorLoop monitor{net, bus, executor};
+  monitor.prime();
+  const ScoutSystem system;
+
+  // Clean fabric: empty verdict, nothing drained.
+  stream::MonitorVerdict verdict = monitor.drain();
+  EXPECT_EQ(verdict.events, 0u);
+  EXPECT_TRUE(verdict.check.inconsistent.empty());
+
+  // Evict every rule S2 holds (a full-object-grade wipe, so SCOUT's
+  // stage-1 hit-ratio-1 cover has something to pick); the monitor must
+  // flag exactly what a fresh collection-based check would.
+  const std::size_t evicted =
+      net.agent(three.s2).evict_rules(64, net.clock().now());
+  ASSERT_GT(evicted, 0u);
+  verdict = monitor.drain();
+  EXPECT_EQ(verdict.events, evicted);
+  EXPECT_FALSE(verdict.check.inconsistent.empty());
+  EXPECT_TRUE(fabric_check_identical(verdict.check, system.check_all(net)));
+
+  // Suspect handoff to the existing localizer.
+  const LocalizationResult loc = monitor.localize(verdict.check);
+  EXPECT_FALSE(loc.hypothesis.empty());
+
+  // Resync repairs the switch; the monitor converges back to clean.
+  (void)net.controller().resync_switch(three.s2);
+  verdict = monitor.drain();
+  EXPECT_TRUE(verdict.check.inconsistent.empty());
+  EXPECT_TRUE(fabric_check_identical(verdict.check, system.check_all(net)));
+}
+
+// An out-of-shape delta (a non-catch-all deny installed into the TCAM)
+// must fall back to a full T rebuild — and still be verdict-exact.
+TEST(StreamMonitor, UnsafeDeltaFallsBackToRebuildExactly) {
+  ThreeTierNetwork three = make_three_tier();
+  SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+  stream::EventBus bus;
+  net.attach_event_bus(&bus);
+  runtime::SerialExecutor executor;
+  stream::MonitorLoop monitor{net, bus, executor};
+  monitor.prime();
+
+  // A high-precedence deny covering web->app traffic on S2: installed
+  // through the agent so the TCAM and the event stream agree.
+  LogicalRule deny;
+  deny.rule = net.agent(three.s2).tcam().rules()[0];  // clone a real match
+  deny.rule.priority = 0;
+  deny.rule.action = RuleAction::kDeny;
+  deny.prov.sw = three.s2;
+  ASSERT_EQ(net.agent(three.s2).apply(
+                Instruction{InstructionOp::kAddRule, deny},
+                net.clock().now()),
+            ApplyStatus::kApplied);
+
+  const stream::MonitorVerdict verdict = monitor.drain();
+  const ScoutSystem system;
+  EXPECT_TRUE(fabric_check_identical(verdict.check, system.check_all(net)));
+  EXPECT_FALSE(verdict.check.inconsistent.empty());  // deny shadows an allow
+  EXPECT_GE(monitor.checker_stats().unsafe_rebuilds, 1u);
+
+  // Churn on the unsafe switch keeps rebuilding — and keeps matching.
+  ASSERT_GT(net.agent(three.s2).evict_rules(1, net.clock().now()), 0u);
+  const stream::MonitorVerdict after = monitor.drain();
+  EXPECT_TRUE(fabric_check_identical(after.check, system.check_all(net)));
+}
+
+}  // namespace
+}  // namespace scout
