@@ -21,6 +21,7 @@
 #include "src/controller/compiler.h"
 #include "src/runtime/result_sink.h"
 #include "src/tcam/range_expansion.h"
+#include "src/telemetry/metrics.h"
 #include "src/workload/policy_generator.h"
 
 namespace {
@@ -205,17 +206,24 @@ double measure_check_512(std::size_t iters, bool cached,
   const double seconds = wall.seconds();
   const double checks_per_s = static_cast<double>(iters) / seconds;
 
-  const LogicalBddCache::Stats s = cache.stats();
-  recorder.add_row(
-      {{"cached_logical", cached ? 1.0 : 0.0},
-       {"rules", 512.0},
-       {"iters", static_cast<double>(iters)},
-       {"ms_per_check", 1e3 * seconds / static_cast<double>(iters)},
-       {"checks_per_s", checks_per_s},
-       {"bdd_nodes", static_cast<double>(s.nodes)},
-       {"bdd_unique_load", s.unique_load},
-       {"bdd_cache_hit_rate", s.cache_hit_rate},
-       {"bdd_rollbacks", static_cast<double>(s.rollbacks)}});
+  // Engine counters go through the telemetry registry — the same "bdd.*"
+  // gauges the monitor loop exposes — so the BENCH keys have exactly one
+  // producer (telemetry::bench_key maps "bdd.nodes" -> "bdd_nodes").
+  telemetry::MetricsRegistry registry{1};
+  cache.export_metrics(registry);
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+  std::vector<std::pair<std::string, double>> row{
+      {"cached_logical", cached ? 1.0 : 0.0},
+      {"rules", 512.0},
+      {"iters", static_cast<double>(iters)},
+      {"ms_per_check", 1e3 * seconds / static_cast<double>(iters)},
+      {"checks_per_s", checks_per_s}};
+  for (const char* name :
+       {"bdd.nodes", "bdd.unique_load", "bdd.cache_hit_rate",
+        "bdd.rollbacks"}) {
+    row.emplace_back(telemetry::bench_key(name), snap.gauge(name));
+  }
+  recorder.add_row(row);
   return checks_per_s;
 }
 

@@ -14,13 +14,16 @@
 // modes and excluded), p50/p99/max detection latency, and the incremental
 // rebuild counters. Flags: --events N, --batch N, --threads N, --seed S,
 // --switches N, --rate EPS (paced replay), --json PATH.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_cli.h"
 #include "src/runtime/result_sink.h"
 #include "src/scout/experiment.h"
+#include "src/telemetry/metrics.h"
 
 namespace {
 
@@ -41,33 +44,46 @@ MonitoringOptions base_options(int argc, char** argv) {
   return options;
 }
 
+// One bench row per (mode, workers). Every stream_* counter key is read
+// back out of the exported MetricsRegistry snapshot — there are no
+// bench-private counters — with registry names mapped onto the historical
+// JSON keys by telemetry::bench_key ("stream.full_rebuilds" ->
+// "stream_full_rebuilds"). `overhead_pct` is the events/s cost of
+// telemetry for this row's configuration (0 when not measured).
 void record(runtime::BenchRecorder& recorder, const MonitoringReport& r,
-            bool incremental, std::size_t threads) {
+            bool incremental, std::size_t threads, double baseline_eps,
+            double overhead_pct) {
+  const telemetry::MetricsSnapshot& snap = r.telemetry;
+  const auto c = [&snap](std::string_view name) {
+    return static_cast<double>(snap.counter(name));
+  };
   recorder.add_row(
       {{"incremental", incremental ? 1.0 : 0.0},
        {"threads", static_cast<double>(threads)},
-       {"events", static_cast<double>(r.events)},
-       {"batches", static_cast<double>(r.batches)},
+       {"events", c("stream.events_drained")},
+       {"batches", c("stream.batches")},
        {"churn_ops", static_cast<double>(r.churn_ops)},
        {"events_per_sec", r.events_per_sec},
+       {"baseline_events_per_sec", baseline_eps},
+       {"telemetry_overhead_pct", overhead_pct},
        {"drain_ms", r.drain_seconds * 1e3},
        {"wall_ms", r.wall_seconds * 1e3},
        {"stream_p50_ms", r.p50_latency_ms},
        {"stream_p99_ms", r.p99_latency_ms},
        {"stream_max_ms", r.max_latency_ms},
+       {"stream_sim_p50_ms", r.sim_p50_latency_ms},
+       {"stream_sim_p99_ms", r.sim_p99_latency_ms},
        {"inconsistent_batches", static_cast<double>(r.inconsistent_batches)},
        {"final_missing", static_cast<double>(r.final_missing)},
        {"hypothesis_size", static_cast<double>(r.hypothesis_size)},
-       {"stream_incremental_updates",
-        static_cast<double>(r.checker.incremental_updates)},
-       {"stream_full_rebuilds", static_cast<double>(r.checker.full_rebuilds)},
-       {"stream_epoch_rebuilds",
-        static_cast<double>(r.checker.epoch_rebuilds)},
-       {"stream_threshold_trips",
-        static_cast<double>(r.checker.threshold_trips)},
-       {"stream_unsafe_rebuilds",
-        static_cast<double>(r.checker.unsafe_rebuilds)},
-       {"verdicts_reused", static_cast<double>(r.checker.verdicts_reused)}});
+       {"stream_bus_published", c("stream.bus_published")},
+       {"stream_bus_compactions", c("stream.bus_compactions")},
+       {"stream_incremental_updates", c("stream.incremental_updates")},
+       {"stream_full_rebuilds", c("stream.full_rebuilds")},
+       {"stream_epoch_rebuilds", c("stream.epoch_rebuilds")},
+       {"stream_threshold_trips", c("stream.threshold_trips")},
+       {"stream_unsafe_rebuilds", c("stream.unsafe_rebuilds")},
+       {"verdicts_reused", c("stream.verdicts_reused")}});
 }
 
 }  // namespace
@@ -94,9 +110,49 @@ int main(int argc, char** argv) {
     for (const bool incremental : {true, false}) {
       MonitoringOptions options = base;
       options.incremental = incremental;
-      const MonitoringReport report =
-          run_continuous_monitoring(options, *executor);
-      record(recorder, report, incremental, executor->workers());
+      MonitoringReport report = run_continuous_monitoring(options, *executor);
+
+      // Telemetry overhead gate (incremental mode): the identical run
+      // with collect_telemetry off is the zero-instrumentation baseline.
+      // Its verdict digest must also match — telemetry must never change
+      // what the monitor computes. Both configurations take the best of
+      // three alternating runs: the drain window is a few hundred ms, so
+      // a single-shot comparison mostly measures scheduler noise.
+      double baseline_eps = 0.0;
+      double overhead_pct = 0.0;
+      if (incremental) {
+        MonitoringOptions bare = options;
+        bare.collect_telemetry = false;
+        for (int rep = 0; rep < 3; ++rep) {
+          if (rep > 0) {
+            MonitoringReport again =
+                run_continuous_monitoring(options, *executor);
+            if (again.events_per_sec > report.events_per_sec) {
+              report = std::move(again);
+            }
+          }
+          const MonitoringReport baseline =
+              run_continuous_monitoring(bare, *executor);
+          baseline_eps = std::max(baseline_eps, baseline.events_per_sec);
+          if (baseline.verdict_digest != report.verdict_digest) {
+            std::fprintf(stderr,
+                         "error: telemetry changed the verdict stream "
+                         "(%zu workers)\n",
+                         executor->workers());
+            failed = true;
+          }
+        }
+        if (baseline_eps > 0.0) {
+          overhead_pct = (baseline_eps - report.events_per_sec) /
+                         baseline_eps * 100.0;
+        }
+        std::printf("  telemetry overhead at %zu worker(s): %+.1f%% "
+                    "(best-of-3: %.0f -> %.0f events/s)\n",
+                    executor->workers(), overhead_pct, baseline_eps,
+                    report.events_per_sec);
+      }
+      record(recorder, report, incremental, executor->workers(),
+             baseline_eps, overhead_pct);
       std::printf(
           "%-12s %zu worker(s): %8.0f events/s (drain %6.1f ms, wall "
           "%7.1f ms), p50 %7.2f ms, p99 %7.2f ms, rebuilds "

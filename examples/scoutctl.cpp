@@ -3,7 +3,9 @@
 //
 // Usage:
 //   scoutctl [scenario] [--seed N] [--json] [--remediate]
-//   scoutctl monitor [--seed N] [--events N] [--full]
+//   scoutctl monitor [--seed N] [--events N] [--full] [--remediate]
+//                    [--telemetry FILE]
+//   scoutctl stats [--seed N] [--events N] [--full] [--json]
 //
 // Scenarios:
 //   object-fault   remove one filter's rules everywhere        (default)
@@ -13,8 +15,13 @@
 //   eviction       local agent evicts rules silently
 //   monitor        continuous verification: churn a fabric and verify the
 //                  event stream incrementally (src/stream); --full flips
-//                  to the re-check-everything baseline
+//                  to the re-check-everything baseline; --telemetry FILE
+//                  writes a Chrome trace (with an embedded metrics
+//                  snapshot) viewable in chrome://tracing or Perfetto
+//   stats          run the monitor scenario and dump the full telemetry
+//                  snapshot (Prometheus text format, or JSON with --json)
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -23,6 +30,7 @@
 #include "src/scout/experiment.h"
 #include "src/scout/report_json.h"
 #include "src/scout/scout_system.h"
+#include "src/telemetry/metrics.h"
 #include "src/workload/three_tier.h"
 
 namespace {
@@ -32,20 +40,33 @@ using namespace scout;
 int usage() {
   std::cerr << "usage: scoutctl [object-fault|overflow|unresponsive|"
                "corruption|eviction] [--seed N] [--json] [--remediate]\n"
-               "       scoutctl monitor [--seed N] [--events N] [--full]\n";
+               "       scoutctl monitor [--seed N] [--events N] [--full] "
+               "[--remediate] [--telemetry FILE]\n"
+               "       scoutctl stats [--seed N] [--events N] [--full] "
+               "[--json]\n";
   return 2;
 }
 
-int run_monitor(std::uint64_t seed, std::size_t events, bool full) {
+MonitoringReport run_monitor_scenario(std::uint64_t seed, std::size_t events,
+                                      bool full, bool remediate,
+                                      bool want_trace) {
   MonitoringOptions options;
   options.profile = GeneratorProfile::scaled(16);
   options.profile.target_pairs = 16 * 60;
   options.events = events;
   options.seed = seed;
   options.incremental = !full;
+  options.remediate_final = remediate;
+  options.collect_trace = want_trace;
+  if (want_trace) options.snapshot_every_batches = 8;
   runtime::SerialExecutor executor;
-  const MonitoringReport report =
-      run_continuous_monitoring(options, executor);
+  return run_continuous_monitoring(options, executor);
+}
+
+int run_monitor(std::uint64_t seed, std::size_t events, bool full,
+                bool remediate, const std::string& telemetry_path) {
+  const MonitoringReport report = run_monitor_scenario(
+      seed, events, full, remediate, !telemetry_path.empty());
   std::cout << "mode            : "
             << (full ? "full recheck" : "incremental") << '\n'
             << "events verified : " << report.events << " in "
@@ -54,7 +75,8 @@ int run_monitor(std::uint64_t seed, std::size_t events, bool full) {
             << "throughput      : " << static_cast<long long>(
                    report.events_per_sec) << " events/s (drain time only)\n"
             << "detect latency  : p50 " << report.p50_latency_ms
-            << " ms, p99 " << report.p99_latency_ms << " ms\n"
+            << " ms, p99 " << report.p99_latency_ms << " ms (wall); p50 "
+            << report.sim_p50_latency_ms << " ms (sim)\n"
             << "batches flagged : " << report.inconsistent_batches << '\n'
             << "final verdict   : " << report.final_inconsistent
             << " inconsistent switch(es), " << report.final_missing
@@ -72,6 +94,38 @@ int run_monitor(std::uint64_t seed, std::size_t events, bool full) {
     std::cout << "localization    : hypothesis of " << report.hypothesis_size
               << " suspect object(s) handed to SCOUT\n";
   }
+  if (remediate && report.final_missing > 0) {
+    std::cout << "remediation     : " << report.final_missing
+              << " rules reinstalled, " << report.final_still_missing
+              << " still missing"
+              << (report.final_still_missing > 0
+                      ? " (physical fault persists)"
+                      : "")
+              << '\n';
+  }
+  if (!telemetry_path.empty()) {
+    std::ofstream out{telemetry_path};
+    if (!out) {
+      std::cerr << "error: cannot write " << telemetry_path << '\n';
+      return 1;
+    }
+    out << report.trace_json << '\n';
+    std::cout << "telemetry       : trace + metrics written to "
+              << telemetry_path << " (" << report.periodic_snapshot_count
+              << " periodic snapshot(s) taken)\n";
+  }
+  return 0;
+}
+
+int run_stats(std::uint64_t seed, std::size_t events, bool full, bool json) {
+  const MonitoringReport report =
+      run_monitor_scenario(seed, events, full, /*remediate=*/false,
+                           /*want_trace=*/false);
+  if (json) {
+    std::cout << report.telemetry.to_json() << '\n';
+  } else {
+    std::cout << report.telemetry.to_prometheus();
+  }
   return 0;
 }
 
@@ -81,6 +135,7 @@ int main(int argc, char** argv) {
   using namespace scout;
 
   std::string scenario = "object-fault";
+  std::string telemetry_path;
   std::uint64_t seed = 1;
   std::size_t events = 600;
   bool json = false;
@@ -94,7 +149,8 @@ int main(int argc, char** argv) {
       remediate = true;
     } else if (arg == "--full") {
       full = true;
-    } else if (arg == "--seed" || arg == "--events") {
+    } else if (arg == "--seed" || arg == "--events" ||
+               arg == "--telemetry") {
       // A following "--flag" is the next option, not a value; erroring
       // loudly beats strtoull silently reading it as 0 (the misparse
       // class bench::find_flag exists to prevent).
@@ -103,8 +159,10 @@ int main(int argc, char** argv) {
       }
       if (arg == "--seed") {
         seed = std::strtoull(argv[i], nullptr, 10);
-      } else {
+      } else if (arg == "--events") {
         events = std::strtoull(argv[i], nullptr, 10);
+      } else {
+        telemetry_path = argv[i];
       }
     } else if (!arg.empty() && arg[0] != '-') {
       scenario = arg;
@@ -116,9 +174,14 @@ int main(int argc, char** argv) {
   if (scenario == "monitor") {
     // Loudly reject flags the monitor subcommand does not honor instead
     // of silently producing the wrong output format.
-    if (json || remediate) return usage();
-    return run_monitor(seed, events, full);
+    if (json) return usage();
+    return run_monitor(seed, events, full, remediate, telemetry_path);
   }
+  if (scenario == "stats") {
+    if (remediate || !telemetry_path.empty()) return usage();
+    return run_stats(seed, events, full, json);
+  }
+  if (!telemetry_path.empty()) return usage();
 
   ThreeTierNetwork three =
       make_three_tier(scenario == "overflow" ? 32 : 4096);

@@ -476,6 +476,7 @@ BddManager::Stats BddManager::stats() const noexcept {
   s.cache_lookups = cache_lookups_;
   s.cache_hits = cache_hits_;
   s.rollbacks = rollbacks_;
+  s.rollback_floor = last_floor_;
   return s;
 }
 

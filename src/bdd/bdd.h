@@ -185,6 +185,7 @@ class BddManager {
     std::uint64_t cache_lookups = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t rollbacks = 0;
+    std::size_t rollback_floor = 0;  // watermark of the most recent rollback
 
     [[nodiscard]] double cache_hit_rate() const noexcept {
       return cache_lookups == 0

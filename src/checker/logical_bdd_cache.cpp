@@ -1,5 +1,7 @@
 #include "src/checker/logical_bdd_cache.h"
 
+#include "src/telemetry/metrics.h"
+
 namespace scout {
 
 LogicalBddCache::LogicalBddCache(std::size_t workers) : slots_(workers) {}
@@ -65,6 +67,22 @@ void LogicalBddCache::record_diagnostics(
        {"bdd_unique_load", s.unique_load},
        {"bdd_cache_hit_rate", s.cache_hit_rate},
        {"bdd_rollbacks", static_cast<double>(s.rollbacks)}});
+}
+
+void LogicalBddCache::export_metrics(
+    telemetry::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.set_gauge("bdd.arena_builds", static_cast<double>(s.arena_builds));
+  registry.set_gauge("bdd.arena_hits", static_cast<double>(s.arena_hits));
+  registry.set_gauge("bdd.logical_builds",
+                     static_cast<double>(s.logical_builds));
+  registry.set_gauge("bdd.logical_hits", static_cast<double>(s.logical_hits));
+  registry.set_gauge("bdd.resident_switches",
+                     static_cast<double>(s.resident_switches));
+  registry.set_gauge("bdd.nodes", static_cast<double>(s.nodes));
+  registry.set_gauge("bdd.unique_load", s.unique_load);
+  registry.set_gauge("bdd.cache_hit_rate", s.cache_hit_rate);
+  registry.set_gauge("bdd.rollbacks", static_cast<double>(s.rollbacks));
 }
 
 }  // namespace scout

@@ -34,6 +34,10 @@
 
 namespace scout {
 
+namespace telemetry {
+class MetricsRegistry;
+}  // namespace telemetry
+
 class LogicalBddCache {
  public:
   explicit LogicalBddCache(std::size_t workers);
@@ -79,6 +83,11 @@ class LogicalBddCache {
   // Append one diagnostics row (bdd_arena_builds / bdd_logical_hits /
   // bdd_unique_load / bdd_cache_hit_rate / ...) to a bench recorder.
   void record_diagnostics(runtime::BenchRecorder& recorder) const;
+
+  // Publish the same counters as "bdd.*" gauges into a metrics registry —
+  // the path the benches snapshot so BENCH_bdd.json keys come from the
+  // telemetry subsystem rather than bench-private reads.
+  void export_metrics(telemetry::MetricsRegistry& registry) const;
 
  private:
   runtime::WorkerCache<std::unique_ptr<WorkerState>> slots_;

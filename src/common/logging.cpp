@@ -1,0 +1,95 @@
+#include "src/common/logging.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace scout {
+namespace {
+
+struct LogConfig {
+  LogLevel global = LogLevel::kWarn;
+  std::unordered_map<std::string, LogLevel> tags;
+};
+
+bool parse_level(std::string_view token, LogLevel& out) noexcept {
+  if (token == "debug") out = LogLevel::kDebug;
+  else if (token == "info") out = LogLevel::kInfo;
+  else if (token == "warn" || token == "warning") out = LogLevel::kWarn;
+  else if (token == "error") out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+// Spec grammar: comma-separated tokens, each either a bare level (sets the
+// global threshold) or `tag=level`. Whitespace-free; malformed tokens are
+// skipped.
+LogConfig parse_spec(std::string_view spec) {
+  LogConfig cfg;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view token = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    LogLevel lvl{};
+    if (eq == std::string_view::npos) {
+      if (parse_level(token, lvl)) cfg.global = lvl;
+    } else if (parse_level(token.substr(eq + 1), lvl)) {
+      cfg.tags.emplace(std::string(token.substr(0, eq)), lvl);
+    }
+  }
+  return cfg;
+}
+
+LogConfig config_from_env() {
+  const char* env = std::getenv("SCOUT_LOG");
+  return env != nullptr ? parse_spec(env) : LogConfig{};
+}
+
+LogConfig& config() {
+  static LogConfig cfg = config_from_env();
+  return cfg;
+}
+
+std::string_view level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel& Logger::level() noexcept { return config().global; }
+
+LogLevel Logger::tag_level(std::string_view tag) noexcept {
+  const LogConfig& cfg = config();
+  if (!cfg.tags.empty()) {
+    const auto it = cfg.tags.find(std::string(tag));
+    if (it != cfg.tags.end()) return it->second;
+  }
+  return cfg.global;
+}
+
+void Logger::write(LogLevel lvl, std::string_view tag,
+                   std::string_view message) {
+  std::string line;
+  line.reserve(tag.size() + message.size() + 16);
+  line.append("[scout:").append(tag).append("] ");
+  line.append(level_name(lvl)).append(" ");
+  line.append(message).append("\n");
+  // One insertion per line: concurrent workers never interleave mid-line.
+  std::clog << line;
+}
+
+void Logger::configure(std::string_view spec) {
+  config() = spec.empty() ? config_from_env() : parse_spec(spec);
+}
+
+}  // namespace scout

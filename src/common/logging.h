@@ -1,9 +1,18 @@
-// Minimal leveled logger. Experiments run millions of simulated operations;
-// logging defaults to Warn so benches stay quiet, and tests can raise the
-// level to debug a failure. The level is set once at startup and read-only
-// while experiment campaigns run; each message is emitted as a single
-// stream insertion so lines from concurrent runtime workers don't
-// interleave mid-line.
+// Leveled, per-subsystem-tagged logging. Experiments run millions of
+// simulated operations; logging defaults to Warn so benches stay quiet,
+// and the `SCOUT_LOG` environment variable raises or lowers it without a
+// rebuild:
+//
+//   SCOUT_LOG=debug                 every subsystem at Debug
+//   SCOUT_LOG=info,stream=debug     global Info, the "stream" tag at Debug
+//   SCOUT_LOG=warn,bdd=error        silence "bdd" below Error
+//
+// Tags are short subsystem names ("stream", "bdd", "runtime", "repair",
+// "telemetry", "bench", ...). Unknown tokens are ignored, so a typo can
+// never crash a run. The configuration is parsed once on first use and
+// read-only afterwards; each message is emitted as a single stream
+// insertion so lines from concurrent runtime workers don't interleave
+// mid-line.
 #pragma once
 
 #include <iostream>
@@ -17,44 +26,42 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 class Logger {
  public:
-  static LogLevel& level() noexcept {
-    static LogLevel lvl = LogLevel::kWarn;
-    return lvl;
+  // Global threshold (tags without an override use this). Settable by
+  // tests; initialized from SCOUT_LOG on first access.
+  static LogLevel& level() noexcept;
+
+  // Threshold for one subsystem tag: its SCOUT_LOG override when present,
+  // the global level otherwise.
+  static LogLevel tag_level(std::string_view tag) noexcept;
+
+  static bool enabled(LogLevel lvl, std::string_view tag) noexcept {
+    return static_cast<int>(lvl) >= static_cast<int>(tag_level(tag));
   }
 
-  static bool enabled(LogLevel lvl) noexcept {
-    return static_cast<int>(lvl) >= static_cast<int>(level());
-  }
+  static void write(LogLevel lvl, std::string_view tag,
+                    std::string_view message);
 
-  static void write(LogLevel lvl, std::string_view component,
-                    std::string_view message) {
-    if (!enabled(lvl)) return;
-    static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
-                                                 "ERROR"};
-    std::string line;
-    line.reserve(message.size() + component.size() + 16);
-    line.append("[").append(names[static_cast<int>(lvl)]).append("] ");
-    line.append(component).append(": ").append(message).append("\n");
-    std::clog << line;
-  }
+  // Re-parse `spec` as if it were SCOUT_LOG (tests; empty = reset to the
+  // environment's configuration).
+  static void configure(std::string_view spec);
 };
 
-#define SCOUT_LOG(lvl, component, expr)                        \
-  do {                                                         \
-    if (::scout::Logger::enabled(lvl)) {                       \
-      std::ostringstream scout_log_os_;                        \
-      scout_log_os_ << expr;                                   \
-      ::scout::Logger::write(lvl, component, scout_log_os_.str()); \
-    }                                                          \
+#define SCOUT_LOG(lvl, tag, expr)                                  \
+  do {                                                             \
+    if (::scout::Logger::enabled(lvl, tag)) {                      \
+      std::ostringstream scout_log_os_;                            \
+      scout_log_os_ << expr;                                       \
+      ::scout::Logger::write(lvl, tag, scout_log_os_.str());       \
+    }                                                              \
   } while (0)
 
-#define SCOUT_DEBUG(component, expr) \
-  SCOUT_LOG(::scout::LogLevel::kDebug, component, expr)
-#define SCOUT_INFO(component, expr) \
-  SCOUT_LOG(::scout::LogLevel::kInfo, component, expr)
-#define SCOUT_WARN(component, expr) \
-  SCOUT_LOG(::scout::LogLevel::kWarn, component, expr)
-#define SCOUT_ERROR(component, expr) \
-  SCOUT_LOG(::scout::LogLevel::kError, component, expr)
+#define SCOUT_DEBUG(tag, expr) \
+  SCOUT_LOG(::scout::LogLevel::kDebug, tag, expr)
+#define SCOUT_INFO(tag, expr) \
+  SCOUT_LOG(::scout::LogLevel::kInfo, tag, expr)
+#define SCOUT_WARN(tag, expr) \
+  SCOUT_LOG(::scout::LogLevel::kWarn, tag, expr)
+#define SCOUT_ERROR(tag, expr) \
+  SCOUT_LOG(::scout::LogLevel::kError, tag, expr)
 
 }  // namespace scout

@@ -1,6 +1,7 @@
 #include "src/common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 #include <iomanip>
@@ -88,6 +89,144 @@ std::string EmpiricalCdf::to_table(const std::string& x_label,
        << std::setprecision(4) << last.cumulative_probability << '\n';
   }
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kSubCount = 1ULL << LogHistogram::kSubBits;
+
+std::uint64_t to_ticks(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // negatives and NaN clamp to zero
+  const double scaled = value * LogHistogram::kTicksPerUnit;
+  constexpr double kMaxTicks = 9.0e18;  // < 2^63, exactly representable
+  if (scaled >= kMaxTicks) return static_cast<std::uint64_t>(kMaxTicks);
+  return static_cast<std::uint64_t>(std::llround(scaled));
+}
+
+double from_ticks(std::uint64_t ticks) noexcept {
+  return static_cast<double>(ticks) / LogHistogram::kTicksPerUnit;
+}
+
+}  // namespace
+
+std::size_t LogHistogram::bucket_of(std::uint64_t ticks) noexcept {
+  if (ticks < kSubCount) return static_cast<std::size_t>(ticks);
+  const int msb = 63 - std::countl_zero(ticks);  // >= kSubBits
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (ticks >> shift) & (kSubCount - 1);
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(msb - kSubBits + 1) << kSubBits) + sub);
+}
+
+std::uint64_t LogHistogram::bucket_lower_ticks(std::size_t index) noexcept {
+  if (index < kSubCount) return index;
+  const std::uint64_t block = (index >> kSubBits);  // >= 1
+  const std::uint64_t sub = index & (kSubCount - 1);
+  const int msb = static_cast<int>(block) + kSubBits - 1;
+  return (std::uint64_t{1} << msb) + (sub << (msb - kSubBits));
+}
+
+std::uint64_t LogHistogram::bucket_upper_ticks(std::size_t index) noexcept {
+  if (index < kSubCount) return index;  // exact buckets: width 0 in ticks
+  const std::uint64_t block = (index >> kSubBits);
+  const int msb = static_cast<int>(block) + kSubBits - 1;
+  return bucket_lower_ticks(index) + (std::uint64_t{1} << (msb - kSubBits)) -
+         1;
+}
+
+void LogHistogram::record(double value) {
+  const std::uint64_t ticks = to_ticks(value);
+  const std::size_t index = bucket_of(ticks);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  ++counts_[index];
+  sum_ += value;
+  if (count_ == 0 || ticks < min_ticks_) {
+    min_ticks_ = ticks;
+    min_ = value;
+  }
+  if (count_ == 0 || ticks > max_ticks_) {
+    max_ticks_ = ticks;
+    max_ = value;
+  }
+  ++count_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  sum_ += other.sum_;
+  if (count_ == 0 || other.min_ticks_ < min_ticks_) {
+    min_ticks_ = other.min_ticks_;
+    min_ = other.min_;
+  }
+  if (count_ == 0 || other.max_ticks_ > max_ticks_) {
+    max_ticks_ = other.max_ticks_;
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+}
+
+LogHistogram::Bounds LogHistogram::quantile_bounds(double q) const noexcept {
+  if (count_ == 0) return Bounds{};
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile (1-based); q = 0 maps to the first sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return Bounds{from_ticks(bucket_lower_ticks(i)),
+                    from_ticks(bucket_upper_ticks(i))};
+    }
+  }
+  return Bounds{min(), max()};  // unreachable when counts are consistent
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  const Bounds b = quantile_bounds(q);
+  // Clamp the midpoint estimate into the observed range so quantile
+  // estimates never escape [min, max] (the top bucket's midpoint can
+  // overshoot the largest recorded sample).
+  return std::clamp(0.5 * (b.lower + b.upper), min(), max());
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back(Bucket{from_ticks(bucket_lower_ticks(i)),
+                         from_ticks(bucket_upper_ticks(i)), counts_[i]});
+  }
+  return out;
+}
+
+bool operator==(const LogHistogram& a, const LogHistogram& b) noexcept {
+  if (a.count_ != b.count_) return false;
+  if (a.count_ != 0 &&
+      (a.min_ticks_ != b.min_ticks_ || a.max_ticks_ != b.max_ticks_)) {
+    return false;
+  }
+  const std::size_t common = std::min(a.counts_.size(), b.counts_.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.counts_[i] != b.counts_[i]) return false;
+  }
+  const auto& longer = a.counts_.size() > common ? a.counts_ : b.counts_;
+  for (std::size_t i = common; i < longer.size(); ++i) {
+    if (longer[i] != 0) return false;
+  }
+  return true;
 }
 
 void RunningStat::add(double x) noexcept {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,80 @@ class EmpiricalCdf {
  private:
   std::vector<Point> points_;
   std::size_t n_ = 0;
+};
+
+// Log2-bucketed histogram with sub-bucket refinement — the one latency /
+// size distribution type shared by the benches and src/telemetry.
+//
+// Values are quantized to fixed-point "ticks" (1/1024 of a unit, so a
+// histogram of milliseconds resolves to ~1 µs) and bucketed by the
+// HDR-histogram scheme: ticks below 2^kSubBits index a bucket exactly;
+// larger ticks fall into one of 2^kSubBits sub-buckets of their octave, so
+// a bucket's relative width never exceeds 2^-kSubBits (12.5%).
+//
+// Merging adds bucket counts — a pure integer operation, so merging shard
+// histograms is *exact* and independent of merge order (min/max/count too;
+// `sum` is a double and exact only for exactly-representable inputs).
+// tests/test_stats.cpp pins merge-order invariance and the quantile-bound
+// guarantee below.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 3;       // 8 sub-buckets per octave
+  static constexpr double kTicksPerUnit = 1024.0;
+
+  void record(double value);
+
+  // Exact bucket-count merge; other's min/max/count/sum fold in.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  // Bounds of the bucket holding the q-quantile (rank ceil(q*count), ties
+  // toward the lower rank): the true q-quantile of the recorded samples
+  // lies in [lower, upper]. quantile(q) is the bucket midpoint — a point
+  // estimate within half a bucket width (<= 6.25% relative error) of the
+  // exact sample quantile.
+  struct Bounds {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  [[nodiscard]] Bounds quantile_bounds(double q) const noexcept;
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  // Occupied buckets as (lower, upper, count), ascending — exporter food.
+  struct Bucket {
+    double lower = 0.0;
+    double upper = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+  // Structural equality over bucket counts (trailing empty buckets
+  // ignored), count and tick-quantized extremes — the definition the
+  // merge-order-invariance tests compare with.
+  friend bool operator==(const LogHistogram& a,
+                         const LogHistogram& b) noexcept;
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ticks) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_lower_ticks(
+      std::size_t index) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_ticks(
+      std::size_t index) noexcept;
+
+  std::vector<std::uint64_t> counts_;  // grown to the highest seen bucket
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t min_ticks_ = 0;
+  std::uint64_t max_ticks_ = 0;
 };
 
 // Welford online mean/variance accumulator for streaming metrics.

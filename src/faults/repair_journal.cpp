@@ -24,17 +24,20 @@ void RepairJournal::arm(SimNetwork& net) {
 void RepairJournal::note_removed(SwitchId sw, const TcamRule& rule) {
   if (!armed()) return;
   ops_.push_back(RuleOp{RuleOp::Kind::kRemoved, sw, rule, TcamRule{}});
+  ++stats_.ops_recorded;
 }
 
 void RepairJournal::note_added(SwitchId sw, const TcamRule& rule) {
   if (!armed()) return;
   ops_.push_back(RuleOp{RuleOp::Kind::kAdded, sw, TcamRule{}, rule});
+  ++stats_.ops_recorded;
 }
 
 void RepairJournal::note_modified(SwitchId sw, const TcamRule& before,
                                   const TcamRule& after) {
   if (!armed()) return;
   ops_.push_back(RuleOp{RuleOp::Kind::kModified, sw, before, after});
+  ++stats_.ops_recorded;
 }
 
 void RepairJournal::check_same_net(const SimNetwork& net) const {
@@ -67,10 +70,12 @@ void RepairJournal::undo_rule_ops(SimNetwork& net) {
     }
     if (!ok) {
       ops_.clear();
+      ++stats_.undo_failures;
       throw std::logic_error{
           "RepairJournal: recorded op no longer undoable (state mutated "
           "outside the journal's domain?)"};
     }
+    ++stats_.ops_undone;
   }
   ops_.clear();
 }
@@ -87,6 +92,7 @@ void RepairJournal::repair(SimNetwork& net) {
   net.controller().truncate_fault_log(controller_fault_log_mark_);
   net.controller().change_log().truncate(change_log_mark_);
   net.clock().reset_to(clock_mark_);
+  ++stats_.repairs;
   net_ = nullptr;
 }
 

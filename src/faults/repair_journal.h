@@ -61,6 +61,16 @@ class RepairJournal {
   // watermarks, and reset the clock. Disarms the journal.
   void repair(SimNetwork& net);
 
+  // Lifetime totals across arm/undo/repair cycles (rule_ops() is only the
+  // currently armed window). The telemetry bridge reads these.
+  struct Stats {
+    std::uint64_t ops_recorded = 0;
+    std::uint64_t ops_undone = 0;
+    std::uint64_t undo_failures = 0;  // op no longer undoable
+    std::uint64_t repairs = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
   struct RuleOp {
     enum class Kind : std::uint8_t { kRemoved, kAdded, kModified };
@@ -82,6 +92,7 @@ class RepairJournal {
   std::size_t controller_fault_log_mark_ = 0;
   std::vector<AgentMark> agent_marks_;  // in net.agents() order
   std::vector<RuleOp> ops_;
+  Stats stats_;
 };
 
 }  // namespace scout

@@ -1,23 +1,59 @@
 #include "src/runtime/campaign.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "src/common/rng.h"
 
 namespace scout::runtime {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point t0) noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
 void SerialExecutor::run(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& task) {
-  for (std::size_t i = 0; i < count; ++i) task(i, 0);
+  const bool timed = static_cast<bool>(metrics_.task_run_us);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (timed) {
+      const Clock::time_point start = Clock::now();
+      task(i, 0);
+      metrics_.task_run_us.record(0, micros_since(start));
+      metrics_.queue_wait_us.record(0, 0.0);  // inline: no queueing
+      metrics_.tasks.inc(0);
+    } else {
+      task(i, 0);
+    }
+  }
 }
 
 void ThreadPoolExecutor::run(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& task) {
+  const bool timed = static_cast<bool>(metrics_.task_run_us);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t worker = i % pool_.size();
-    pool_.submit(worker, [&task, i, worker] { task(i, worker); });
+    if (timed) {
+      const Clock::time_point submitted = Clock::now();
+      pool_.submit(worker, [this, &task, i, worker, submitted] {
+        const Clock::time_point start = Clock::now();
+        metrics_.queue_wait_us.record(
+            worker, std::chrono::duration<double, std::micro>(start - submitted)
+                        .count());
+        task(i, worker);
+        metrics_.task_run_us.record(worker, micros_since(start));
+        metrics_.tasks.inc(worker);
+      });
+    } else {
+      pool_.submit(worker, [&task, i, worker] { task(i, worker); });
+    }
   }
   pool_.wait();
 }

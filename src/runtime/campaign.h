@@ -24,8 +24,20 @@
 #include <vector>
 
 #include "src/runtime/thread_pool.h"
+#include "src/telemetry/metrics.h"
 
 namespace scout::runtime {
+
+// Optional executor instrumentation. Queue wait (submit -> task start) and
+// task runtime are recorded per worker shard — each worker writes only its
+// own histogram shard, preserving the lock-free hot path. The histograms
+// are wall-time diagnostics: they vary with worker count and machine load,
+// and are never part of the deterministic result contract.
+struct ExecutorMetrics {
+  telemetry::Histogram queue_wait_us;
+  telemetry::Histogram task_run_us;
+  telemetry::Counter tasks;
+};
 
 class Executor {
  public:
@@ -40,6 +52,15 @@ class Executor {
       const std::function<void(std::size_t index, std::size_t worker)>& task) = 0;
 
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+
+  // Attach instrumentation; the metrics' registry must have at least
+  // workers() shards. Default handles (no registry) disable timing.
+  void set_metrics(ExecutorMetrics metrics) noexcept {
+    metrics_ = std::move(metrics);
+  }
+
+ protected:
+  ExecutorMetrics metrics_;
 };
 
 // Runs tasks inline, in index order, all on worker 0. The reference

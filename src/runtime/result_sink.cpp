@@ -16,6 +16,11 @@ void BenchRecorder::add_row(
   rows_.push_back(std::move(row));
 }
 
+void BenchRecorder::add_row(
+    std::vector<std::pair<std::string, double>> fields) {
+  rows_.push_back(std::move(fields));
+}
+
 std::string BenchRecorder::to_json() const {
   JsonWriter writer;
   writer.begin_object();

@@ -195,6 +195,9 @@ class BenchRecorder {
 
   void add_row(
       std::initializer_list<std::pair<std::string_view, double>> fields);
+  // Overload for dynamically-assembled rows (e.g. keys derived from
+  // telemetry snapshot names at runtime).
+  void add_row(std::vector<std::pair<std::string, double>> fields);
 
   [[nodiscard]] std::string to_json() const;
 

@@ -737,9 +737,24 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   stream::EventBus bus;
   net.attach_event_bus(&bus);
 
+  // Telemetry sinks owned by the run; the monitor holds bare pointers.
+  std::unique_ptr<telemetry::MetricsRegistry> registry;
+  std::unique_ptr<telemetry::TraceRecorder> trace;
+  if (options.collect_telemetry) {
+    registry = std::make_unique<telemetry::MetricsRegistry>(
+        executor.workers());
+    if (options.collect_trace) {
+      trace = std::make_unique<telemetry::TraceRecorder>(
+          executor.workers() + 1);
+    }
+  }
+
   stream::MonitorLoop::Options mopts;
   mopts.incremental = options.incremental;
   mopts.checker = options.checker;
+  mopts.metrics = registry.get();
+  mopts.trace = trace.get();
+  mopts.snapshot_every_batches = options.snapshot_every_batches;
   stream::MonitorLoop monitor{net, bus, executor, mopts};
   monitor.prime();
 
@@ -786,20 +801,38 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
           : 0.0;
   report.checker = monitor.checker_stats();
 
-  std::vector<double> latencies = monitor.latencies_ms();
-  std::sort(latencies.begin(), latencies.end());
-  if (!latencies.empty()) {
-    report.p50_latency_ms = percentile_sorted(latencies, 0.50);
-    report.p99_latency_ms = percentile_sorted(latencies, 0.99);
-    report.max_latency_ms = latencies.back();
-  }
-
   report.final_inconsistent = last_check.inconsistent.size();
   report.final_missing = last_check.missing_rules.size();
   report.final_extra = last_check.extra_rule_count;
   if (options.localize_final && !last_check.inconsistent.empty()) {
     report.hypothesis_size =
         monitor.localize(last_check).hypothesis.size();
+  }
+  if (options.remediate_final && !last_check.missing_rules.empty()) {
+    report.final_still_missing = monitor.remediate(last_check);
+  }
+
+  if (registry != nullptr) {
+    // The registry histograms are the one latency source of truth: the
+    // report percentiles are read back out of the snapshot, the same
+    // numbers scoutctl --telemetry and the benches export.
+    report.telemetry = monitor.snapshot_metrics();
+    report.periodic_snapshot_count = monitor.periodic_snapshots().size();
+    if (const LogHistogram* wall =
+            report.telemetry.histogram("stream.wall_latency_ms")) {
+      report.p50_latency_ms = wall->quantile(0.50);
+      report.p99_latency_ms = wall->quantile(0.99);
+      report.max_latency_ms = wall->max();
+    }
+    if (const LogHistogram* sim =
+            report.telemetry.histogram("stream.sim_latency_ms")) {
+      report.sim_p50_latency_ms = sim->quantile(0.50);
+      report.sim_p99_latency_ms = sim->quantile(0.99);
+      report.sim_max_latency_ms = sim->max();
+    }
+    if (trace != nullptr) {
+      report.trace_json = trace->to_chrome_json(&report.telemetry);
+    }
   }
   return report;
 }

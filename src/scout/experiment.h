@@ -21,6 +21,7 @@
 #include "src/runtime/result_sink.h"
 #include "src/stream/churn_generator.h"
 #include "src/stream/incremental_checker.h"
+#include "src/telemetry/metrics.h"
 #include "src/workload/policy_generator.h"
 
 namespace scout {
@@ -278,6 +279,17 @@ struct MonitoringOptions {
   bool verify_batches = false;
   // Run SCOUT localization over the final verdict's suspects.
   bool localize_final = true;
+  // Telemetry. On, the run owns a MetricsRegistry wired through the
+  // monitor and the report's latency percentiles come from its
+  // histograms; off is the zero-instrumentation baseline the overhead
+  // gate in bench/stream_latency.cpp compares against.
+  bool collect_telemetry = true;
+  // Also record pipeline trace spans (report.trace_json, Chrome format).
+  bool collect_trace = false;
+  // Periodic metrics snapshots every N batches (0 = never).
+  std::size_t snapshot_every_batches = 0;
+  // Remediate the final verdict (reinstall missing rules + re-check).
+  bool remediate_final = false;
 };
 
 struct MonitoringReport {
@@ -291,9 +303,16 @@ struct MonitoringReport {
   double wall_seconds = 0.0;    // whole run, churn included
   double drain_seconds = 0.0;   // verification cost only (mode-dependent)
   double events_per_sec = 0.0;  // events / drain_seconds
-  double p50_latency_ms = 0.0;  // event publish -> verdict, wall clock
+  // Event-to-detection latency, wall clock (publish steady_clock stamp ->
+  // verdict instant), from the "stream.wall_latency_ms" histogram.
+  double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  // Same detection latency in *sim* time (event SimTime -> network clock
+  // at the verdict) — reported separately, never mixed with wall.
+  double sim_p50_latency_ms = 0.0;
+  double sim_p99_latency_ms = 0.0;
+  double sim_max_latency_ms = 0.0;
   stream::IncrementalChecker::Stats checker;  // zeros in full-recheck mode
   std::size_t verify_mismatches = 0;          // verify_batches failures
   // Final fabric verdict summary + localization handoff.
@@ -301,6 +320,12 @@ struct MonitoringReport {
   std::size_t final_missing = 0;
   std::size_t final_extra = 0;
   std::size_t hypothesis_size = 0;
+  // Remediation (remediate_final): rules still missing after the pass.
+  std::size_t final_still_missing = 0;
+  // Telemetry artifacts (empty when collect_telemetry is off).
+  telemetry::MetricsSnapshot telemetry;
+  std::size_t periodic_snapshot_count = 0;
+  std::string trace_json;  // Chrome trace (collect_trace only)
 };
 
 [[nodiscard]] MonitoringReport run_continuous_monitoring(

@@ -42,6 +42,7 @@ EventBus::Cursor EventBus::publish(StreamEvent ev) {
   ev.wall = std::chrono::steady_clock::now();
   ev.change_log_mark = change_log_ != nullptr ? change_log_->size() : 0;
   events_.push_back(std::move(ev));
+  ++stats_.published;
   return seq;
 }
 
@@ -66,6 +67,8 @@ void EventBus::compact(Cursor c) {
   if (c > limit) c = limit;
   events_.erase(events_.begin(),
                 events_.begin() + static_cast<std::ptrdiff_t>(c - base_));
+  ++stats_.compactions;
+  stats_.compacted_events += c - base_;
   base_ = c;
 }
 

@@ -58,10 +58,20 @@ class EventBus {
   }
   [[nodiscard]] Cursor base() const noexcept { return base_; }
 
+  // Lifetime counters for the telemetry bridge: totals survive
+  // compaction, unlike retained()/base() which describe current storage.
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t compacted_events = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
   std::vector<StreamEvent> events_;  // events_[i].seq == base_ + i
   Cursor base_ = 0;
   const ChangeLog* change_log_ = nullptr;
+  Stats stats_;
 };
 
 // Publisher-side conveniences shared by the instrumented components

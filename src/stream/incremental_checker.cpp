@@ -8,6 +8,8 @@
 #include "src/bdd/bdd.h"
 #include "src/checker/equivalence_checker.h"
 #include "src/checker/packet_encoding.h"
+#include "src/common/logging.h"
+#include "src/telemetry/trace.h"
 
 namespace scout::stream {
 namespace {
@@ -54,6 +56,8 @@ struct IncrementalChecker::SwitchState {
   bool verdict_valid = false;
   CheckResult verdict;
 
+  std::uint64_t churn = 0;  // TCAM-delta events applied, lifetime
+
   std::vector<const StreamEvent*> pending;
 
   [[nodiscard]] bool cube_safe() const noexcept {
@@ -65,6 +69,7 @@ struct IncrementalChecker::SwitchState {
 // Per-shard scratch + counters, padded so concurrent shards never share a
 // cache line through the checker.
 struct alignas(64) IncrementalChecker::Shard {
+  std::size_t index = 0;  // trace lane is index + 1 (lane 0 = driver)
   Stats stats;
   BddCube cube_scratch;
   std::vector<TcamRule> strip_scratch;
@@ -91,6 +96,7 @@ IncrementalChecker::IncrementalChecker(SimNetwork& net,
   shards_.reserve(shard_count == 0 ? 1 : shard_count);
   for (std::size_t s = 0; s < std::max<std::size_t>(1, shard_count); ++s) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = s;
   }
 }
 
@@ -173,6 +179,19 @@ void IncrementalChecker::rebuild_arena(Shard& shard, SwitchState& st,
   } else {
     ++shard.stats.epoch_rebuilds;
     ++shard.stats.full_rebuilds;
+    note_rebuild(shard, st, "epoch");
+  }
+}
+
+void IncrementalChecker::note_rebuild(const Shard& shard,
+                                      const SwitchState& st,
+                                      const char* reason) {
+  SCOUT_DEBUG("stream", "full rebuild (" << reason << ") sw=" << st.sw
+                                         << " arena_nodes="
+                                         << st.mgr.node_count());
+  if (trace_ != nullptr) {
+    trace_->instant(shard.index + 1, "full_rebuild", "stream",
+                    net_->clock().now(), reason);
   }
 }
 
@@ -180,6 +199,7 @@ void IncrementalChecker::apply_event(Shard& shard, SwitchState& st,
                                      const StreamEvent& ev,
                                      bool bdd_current) {
   ++shard.stats.events_applied;
+  ++st.churn;
   auto& cube = shard.cube_scratch;
   // The T cube update is worth doing only when the resident T is the
   // current one (no pending arena rebuild) and the ruleset stays in the
@@ -351,6 +371,7 @@ void IncrementalChecker::refresh_verdict(Shard& shard, SwitchState& st,
     rebuild_t(st);
     ++shard.stats.unsafe_rebuilds;
     ++shard.stats.full_rebuilds;
+    note_rebuild(shard, st, "unsafe");
     st.verdict_valid = false;
   } else if (st.mgr.node_count() >
              static_cast<std::size_t>(
@@ -362,6 +383,7 @@ void IncrementalChecker::refresh_verdict(Shard& shard, SwitchState& st,
     rebuild_t(st);
     ++shard.stats.threshold_trips;
     ++shard.stats.full_rebuilds;
+    note_rebuild(shard, st, "threshold");
   }
   if (st.verdict_valid) {
     ++shard.stats.verdicts_reused;
@@ -413,6 +435,36 @@ FabricCheck IncrementalChecker::compose() const {
     check.extra_rule_count += st->verdict.extra_rules.size();
   }
   return check;
+}
+
+std::vector<std::pair<SwitchId, std::uint64_t>>
+IncrementalChecker::churn_by_switch() const {
+  std::vector<std::pair<SwitchId, std::uint64_t>> out;
+  out.reserve(states_.size());
+  for (const auto& st : states_) out.emplace_back(st->sw, st->churn);
+  return out;
+}
+
+BddManager::Stats IncrementalChecker::arena_totals() const {
+  BddManager::Stats total;
+  double load_sum = 0.0;
+  for (const auto& st : states_) {
+    const BddManager::Stats s = st->mgr.stats();
+    total.nodes += s.nodes;
+    total.peak_nodes += s.peak_nodes;
+    total.unique_capacity += s.unique_capacity;
+    load_sum += s.unique_load;
+    total.cache_capacity += s.cache_capacity;
+    total.unique_inserts += s.unique_inserts;
+    total.cache_lookups += s.cache_lookups;
+    total.cache_hits += s.cache_hits;
+    total.rollbacks += s.rollbacks;
+    total.rollback_floor = std::max(total.rollback_floor, s.rollback_floor);
+  }
+  total.unique_load = states_.empty()
+                          ? 0.0
+                          : load_sum / static_cast<double>(states_.size());
+  return total;
 }
 
 IncrementalChecker::Stats IncrementalChecker::stats() const {

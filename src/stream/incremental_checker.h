@@ -47,10 +47,16 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/bdd/bdd.h"
 #include "src/scout/scout_system.h"
 #include "src/stream/event.h"
+
+namespace scout::telemetry {
+class TraceRecorder;
+}  // namespace scout::telemetry
 
 namespace scout::stream {
 
@@ -103,12 +109,32 @@ class IncrementalChecker {
   // the event stream (never of the worker count).
   [[nodiscard]] Stats stats() const;
 
+  // TCAM-delta events applied per switch since construction, in agent
+  // order — the live churn signal the telemetry gauges expose (and the
+  // input a churn-tiered monitor would classify on). Deterministic: a pure
+  // function of the event stream.
+  [[nodiscard]] std::vector<std::pair<SwitchId, std::uint64_t>>
+  churn_by_switch() const;
+
+  // Aggregate BddManager stats over every per-switch arena (call between
+  // process_shard runs). Node/insert totals are deterministic; capacities
+  // and load factors are summed/averaged diagnostics.
+  [[nodiscard]] BddManager::Stats arena_totals() const;
+
+  // Attach a trace recorder: full-rebuild fallbacks emit instant markers
+  // (reason in `detail`) on lane shard+1. nullptr detaches.
+  void set_trace(telemetry::TraceRecorder* trace) noexcept {
+    trace_ = trace;
+  }
+
  private:
   struct SwitchState;
   struct Shard;
 
   void apply_event(Shard& shard, SwitchState& st, const StreamEvent& ev,
                    bool bdd_current);
+  void note_rebuild(const Shard& shard, const SwitchState& st,
+                    const char* reason);
   void rebuild_arena(Shard& shard, SwitchState& st, std::uint64_t epoch);
   void rebuild_t(SwitchState& st);
   void refresh_verdict(Shard& shard, SwitchState& st, std::uint64_t epoch);
@@ -119,6 +145,7 @@ class IncrementalChecker {
   std::vector<std::unique_ptr<SwitchState>> states_;  // agent order
   std::unordered_map<SwitchId, std::size_t> index_;   // sw -> states_ index
   std::vector<std::unique_ptr<Shard>> shards_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace scout::stream

@@ -1,7 +1,9 @@
 #include "src/stream/monitor_loop.h"
 
 #include <chrono>
+#include <string>
 
+#include "src/common/logging.h"
 #include "src/policy/policy_index.h"
 #include "src/riskmodel/risk_model.h"
 
@@ -31,14 +33,136 @@ MonitorLoop::MonitorLoop(SimNetwork& net, EventBus& bus,
   if (options_.incremental) {
     checker_ = std::make_unique<IncrementalChecker>(
         net, executor.workers(), options_.checker);
+    checker_->set_trace(options_.trace);
   } else {
     full_cache_ = std::make_unique<LogicalBddCache>(executor.workers());
   }
+  register_metrics();
 }
 
-MonitorLoop::~MonitorLoop() = default;
+MonitorLoop::~MonitorLoop() {
+  // register_metrics() handed the executor handles that point into the
+  // caller-owned registry; detach them so the executor cannot record into
+  // a registry that dies before it does.
+  if (options_.metrics != nullptr) {
+    executor_->set_metrics(runtime::ExecutorMetrics{});
+  }
+}
+
+void MonitorLoop::register_metrics() {
+  telemetry::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) return;
+  batches_counter_ = reg->counter("stream.batches");
+  events_counter_ = reg->counter("stream.events_drained");
+  wall_latency_ms_ = reg->histogram("stream.wall_latency_ms");
+  sim_latency_ms_ = reg->histogram("stream.sim_latency_ms");
+  drain_ms_ = reg->histogram("stream.drain_ms");
+  batch_events_ = reg->histogram("stream.batch_events");
+  bus_backlog_ = reg->gauge("stream.bus_backlog");
+  bus_cursor_lag_ = reg->gauge("stream.bus_cursor_lag");
+  bus_published_ = reg->counter("stream.bus_published");
+  bus_compactions_ = reg->counter("stream.bus_compactions");
+  bus_compacted_events_ = reg->counter("stream.bus_compacted_events");
+  if (checker_ != nullptr) {
+    initial_builds_ = reg->counter("stream.initial_builds");
+    events_applied_ = reg->counter("stream.events_applied");
+    incremental_updates_ = reg->counter("stream.incremental_updates");
+    full_rebuilds_ = reg->counter("stream.full_rebuilds");
+    epoch_rebuilds_ = reg->counter("stream.epoch_rebuilds");
+    threshold_trips_ = reg->counter("stream.threshold_trips");
+    unsafe_rebuilds_ = reg->counter("stream.unsafe_rebuilds");
+    diff_recomputes_ = reg->counter("stream.diff_recomputes");
+    verdicts_reused_ = reg->counter("stream.verdicts_reused");
+    arena_peak_nodes_ = reg->gauge("bdd.arena_peak_nodes");
+    churn_gauges_.reserve(checker_->switch_count());
+    for (const auto& [sw, churn] : checker_->churn_by_switch()) {
+      churn_gauges_.push_back(
+          reg->gauge("stream.churn.sw" + std::to_string(sw.value())));
+    }
+  } else {
+    resident_switches_ = reg->gauge("bdd.resident_switches");
+  }
+  arena_nodes_ = reg->gauge("bdd.arena_nodes");
+  arena_rollbacks_ = reg->gauge("bdd.arena_rollbacks");
+  unique_load_ = reg->gauge("bdd.unique_load");
+  cache_hit_rate_ = reg->gauge("bdd.cache_hit_rate");
+  // Executor queue-wait / task-runtime distributions (wall diagnostics).
+  runtime::ExecutorMetrics exec_metrics;
+  exec_metrics.queue_wait_us = reg->histogram("runtime.queue_wait_us");
+  exec_metrics.task_run_us = reg->histogram("runtime.task_run_us");
+  exec_metrics.tasks = reg->counter("runtime.tasks");
+  executor_->set_metrics(std::move(exec_metrics));
+}
+
+void MonitorLoop::bridge_counters() {
+  if (options_.metrics == nullptr) return;
+
+  // Bus lifetime counters (cumulative -> delta-fold).
+  const EventBus::Stats bus = bus_->stats();
+  bus_published_.add(bus.published - bridged_bus_.published);
+  bus_compactions_.add(bus.compactions - bridged_bus_.compactions);
+  bus_compacted_events_.add(bus.compacted_events -
+                            bridged_bus_.compacted_events);
+  bridged_bus_ = bus;
+  bus_backlog_.set(static_cast<double>(bus_->retained()));
+  bus_cursor_lag_.set(static_cast<double>(bus_->cursor() - cursor_));
+
+  if (checker_ != nullptr) {
+    const IncrementalChecker::Stats s = checker_->stats();
+    const auto fold = [](telemetry::Counter& counter, std::size_t now,
+                         std::size_t last) {
+      counter.add(static_cast<std::uint64_t>(now - last));
+    };
+    fold(initial_builds_, s.initial_builds, bridged_checker_.initial_builds);
+    fold(events_applied_, s.events_applied, bridged_checker_.events_applied);
+    fold(incremental_updates_, s.incremental_updates,
+         bridged_checker_.incremental_updates);
+    fold(full_rebuilds_, s.full_rebuilds, bridged_checker_.full_rebuilds);
+    fold(epoch_rebuilds_, s.epoch_rebuilds, bridged_checker_.epoch_rebuilds);
+    fold(threshold_trips_, s.threshold_trips,
+         bridged_checker_.threshold_trips);
+    fold(unsafe_rebuilds_, s.unsafe_rebuilds,
+         bridged_checker_.unsafe_rebuilds);
+    fold(diff_recomputes_, s.diff_recomputes,
+         bridged_checker_.diff_recomputes);
+    fold(verdicts_reused_, s.verdicts_reused,
+         bridged_checker_.verdicts_reused);
+    bridged_checker_ = s;
+
+    // Resident arena sizes across the per-switch managers. Node/rollback
+    // totals are deterministic in incremental mode (one arena per switch,
+    // driven only by the event stream).
+    const BddManager::Stats arena = checker_->arena_totals();
+    arena_nodes_.set(static_cast<double>(arena.nodes));
+    arena_peak_nodes_.set(static_cast<double>(arena.peak_nodes));
+    arena_rollbacks_.set(static_cast<double>(arena.rollbacks));
+    unique_load_.set(arena.unique_load);
+    cache_hit_rate_.set(arena.cache_lookups == 0
+                            ? 0.0
+                            : static_cast<double>(arena.cache_hits) /
+                                  static_cast<double>(arena.cache_lookups));
+
+    // Live per-switch churn: the signal a churn-tiered monitor would
+    // classify switches on (see ROADMAP). Gauge handles were registered
+    // at construction in the same agent order churn_by_switch() walks.
+    const auto churn = checker_->churn_by_switch();
+    for (std::size_t i = 0;
+         i < churn.size() && i < churn_gauges_.size(); ++i) {
+      churn_gauges_[i].set(static_cast<double>(churn[i].second));
+    }
+  } else if (full_cache_ != nullptr) {
+    const LogicalBddCache::Stats s = full_cache_->stats();
+    arena_nodes_.set(static_cast<double>(s.nodes));
+    unique_load_.set(s.unique_load);
+    cache_hit_rate_.set(s.cache_hit_rate);
+    arena_rollbacks_.set(static_cast<double>(s.rollbacks));
+    resident_switches_.set(static_cast<double>(s.resident_switches));
+  }
+}
 
 void MonitorLoop::prime() {
+  telemetry::TraceRecorder::Scope span{options_.trace, 0, "prime", "stream",
+                                       net_->clock().now()};
   cursor_ = bus_->cursor();
   if (options_.compact_bus) bus_->compact(cursor_);
   if (!options_.incremental) return;
@@ -48,6 +172,10 @@ void MonitorLoop::prime() {
                  [&](std::size_t shard, std::size_t) {
                    checker_->process_shard(shard, epoch);
                  });
+  span.set_sim_end(net_->clock().now());
+  SCOUT_INFO("stream", "primed: " << checker_->switch_count()
+                                  << " switches over "
+                                  << checker_->shard_count() << " shards");
 }
 
 MonitorVerdict MonitorLoop::drain() {
@@ -58,40 +186,63 @@ MonitorVerdict MonitorLoop::drain() {
   cursor_ += events.size();
   verdict.last_seq = cursor_;
 
+  const SimTime sim_start = net_->clock().now();
+  const auto batch_index = static_cast<std::int64_t>(batches_);
+  telemetry::TraceRecorder::Scope drain_span{
+      options_.trace, 0, "drain", "stream", sim_start, batch_index};
+
   const auto t0 = WallClock::now();
   if (options_.incremental) {
     const std::uint64_t epoch = net_->controller().compiled_epoch();
     checker_->stage(events);
     executor_->run(checker_->shard_count(),
-                   [&](std::size_t shard, std::size_t) {
+                   [&](std::size_t shard, std::size_t worker) {
+                     telemetry::TraceRecorder::Scope shard_span{
+                         options_.trace, worker + 1, "shard", "stream",
+                         sim_start, batch_index};
                      checker_->process_shard(shard, epoch);
                    });
     verdict.check = checker_->compose();
   } else {
+    telemetry::TraceRecorder::Scope check_span{
+        options_.trace, 0, "full_check", "stream", sim_start, batch_index};
     verdict.check =
         full_system_.check_all(*net_, *executor_, full_cache_.get());
   }
   const auto t1 = WallClock::now();
   verdict.drain_ms = millis_between(t0, t1);
-  // Bounded latency retention for long-lived monitors: past the cap,
-  // decimate in place (keep every other sample). Percentiles over the
-  // thinned set stay representative; memory stays O(cap).
-  constexpr std::size_t kMaxLatencySamples = 1 << 20;
+
+  // Event-to-detection latency in both clocks, explicitly: wall is the
+  // steady_clock publish stamp to the verdict instant; sim is the event's
+  // SimTime stamp to the network clock now. The two are never mixed.
+  const SimTime sim_now = net_->clock().now();
   for (const StreamEvent& ev : events) {
-    if (latencies_ms_.size() >= kMaxLatencySamples) {
-      for (std::size_t i = 1, j = 0; i < latencies_ms_.size(); i += 2) {
-        latencies_ms_[j++] = latencies_ms_[i];
-      }
-      latencies_ms_.resize(latencies_ms_.size() / 2);
-    }
-    latencies_ms_.push_back(millis_between(ev.wall, t1));
+    wall_latency_ms_.record(0, millis_between(ev.wall, t1));
+    sim_latency_ms_.record(0, static_cast<double>(sim_now - ev.time));
   }
+  drain_ms_.record(0, verdict.drain_ms);
+  batch_events_.record(0, static_cast<double>(events.size()));
+  events_counter_.add(static_cast<std::uint64_t>(events.size()));
+  batches_counter_.add(1);
+
   ++batches_;
   if (options_.compact_bus) bus_->compact(cursor_);  // span dies here
+  bridge_counters();
+  drain_span.set_sim_end(sim_now);
+
+  if (options_.snapshot_every_batches > 0 && options_.metrics != nullptr &&
+      batches_ % options_.snapshot_every_batches == 0) {
+    periodic_snapshots_.push_back(options_.metrics->snapshot());
+    if (options_.trace != nullptr) {
+      options_.trace->instant(0, "metrics_snapshot", "telemetry", sim_now);
+    }
+  }
   return verdict;
 }
 
 LocalizationResult MonitorLoop::localize(const FabricCheck& check) const {
+  telemetry::TraceRecorder::Scope span{options_.trace, 0, "localize",
+                                       "stream", net_->clock().now()};
   const std::uint64_t epoch = net_->controller().compiled_epoch();
   if (policy_index_ == nullptr || policy_index_epoch_ != epoch) {
     policy_index_ =
@@ -105,9 +256,43 @@ LocalizationResult MonitorLoop::localize(const FabricCheck& check) const {
                             net_->clock().now());
 }
 
+std::size_t MonitorLoop::remediate(const FabricCheck& check) {
+  telemetry::TraceRecorder::Scope span{options_.trace, 0, "remediate",
+                                       "stream", net_->clock().now()};
+  ScoutReport report;
+  report.switches_checked = check.switches_checked;
+  report.switches_inconsistent = check.inconsistent.size();
+  report.missing_rules = check.missing_rules;
+  report.extra_rule_count = check.extra_rule_count;
+  const std::size_t still_missing =
+      full_system_.remediate(*net_, report, *executor_);
+  span.set_sim_end(net_->clock().now());
+  if (options_.metrics != nullptr) {
+    options_.metrics->add_counter("stream.remediations", 1);
+    options_.metrics->add_counter(
+        "stream.rules_reinstalled",
+        static_cast<std::uint64_t>(check.missing_rules.size()));
+    options_.metrics->add_counter(
+        "stream.rules_still_missing",
+        static_cast<std::uint64_t>(still_missing));
+  }
+  if (still_missing != 0) {
+    SCOUT_WARN("stream", "remediation left " << still_missing
+                                             << " rules missing (physical "
+                                                "fault persists)");
+  }
+  return still_missing;
+}
+
 IncrementalChecker::Stats MonitorLoop::checker_stats() const {
   return checker_ != nullptr ? checker_->stats()
                              : IncrementalChecker::Stats{};
+}
+
+telemetry::MetricsSnapshot MonitorLoop::snapshot_metrics() {
+  if (options_.metrics == nullptr) return telemetry::MetricsSnapshot{};
+  bridge_counters();
+  return options_.metrics->snapshot();
 }
 
 }  // namespace scout::stream

@@ -12,6 +12,15 @@
 // counts); bench/stream_latency.cpp enforces that while measuring the
 // throughput gap.
 //
+// Telemetry: when Options carries a MetricsRegistry the loop records
+// event-to-detection latency in *both* clocks — wall (publish steady_clock
+// stamp -> verdict wall time) and sim (event SimTime -> network clock at
+// the verdict) — plus drain/batch histograms, and bridges the checker,
+// bus and arena counters into "stream." / "bdd." metrics at each drain.
+// A TraceRecorder adds prime/drain/shard/localize/remediate spans (lane 0
+// = driver, lane w+1 = worker w). Both pointers are optional; a null
+// registry/recorder makes every telemetry call a no-op.
+//
 // Confirmed suspects hand off to the existing localization pipeline via
 // localize(): controller risk model, augmented with the verdict's missing
 // rules, through ScoutLocalizer (change-log stage 2 included).
@@ -25,6 +34,8 @@
 #include "src/scout/scout_system.h"
 #include "src/stream/event_bus.h"
 #include "src/stream/incremental_checker.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace scout {
 class PolicyIndex;
@@ -48,6 +59,14 @@ class MonitorLoop {
     // Localizer knobs for localize() (stage-2 recency window etc.).
     ScoutLocalizer::Options localizer{};
     bool compact_bus = true;  // drop drained events from the bus
+
+    // Telemetry sinks, both optional. The registry needs at least
+    // executor.workers() shards; the recorder needs workers()+1 lanes.
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::TraceRecorder* trace = nullptr;
+    // Take a metrics snapshot every N drains (0 = never); snapshots
+    // accumulate in periodic_snapshots().
+    std::size_t snapshot_every_batches = 0;
   };
 
   MonitorLoop(SimNetwork& net, EventBus& bus, runtime::Executor& executor);
@@ -63,34 +82,84 @@ class MonitorLoop {
   void prime();
 
   // Drain everything published since the cursor and return the fabric
-  // verdict after the batch. Detection latencies (publish -> verdict
-  // wall time, ms) for the drained events append to latencies_ms().
+  // verdict after the batch. Event-to-detection latencies land in the
+  // "stream.wall_latency_ms" / "stream.sim_latency_ms" histograms.
   [[nodiscard]] MonitorVerdict drain();
 
   // Hand the verdict's confirmed suspects to SCOUT localization over the
   // controller risk model (policy index cached per compiled epoch).
   [[nodiscard]] LocalizationResult localize(const FabricCheck& check) const;
 
-  [[nodiscard]] const std::vector<double>& latencies_ms() const noexcept {
-    return latencies_ms_;
-  }
-  void clear_latencies() { latencies_ms_.clear(); }
+  // Stopgap remediation of a verdict: reinstall the missing rules through
+  // ScoutSystem::remediate (sharded re-check included). Returns the number
+  // of rules still missing afterwards.
+  [[nodiscard]] std::size_t remediate(const FabricCheck& check);
 
   [[nodiscard]] std::size_t batches() const noexcept { return batches_; }
   [[nodiscard]] IncrementalChecker::Stats checker_stats() const;
 
+  // Bridge the latest checker/bus/arena values into the registry and
+  // return a merged snapshot (empty when no registry is attached).
+  [[nodiscard]] telemetry::MetricsSnapshot snapshot_metrics();
+
+  // Snapshots taken by the snapshot_every_batches cadence.
+  [[nodiscard]] const std::vector<telemetry::MetricsSnapshot>&
+  periodic_snapshots() const noexcept {
+    return periodic_snapshots_;
+  }
+
  private:
+  void register_metrics();
+  // Fold the delta since the last bridge of every polled counter source
+  // (checker stats, bus stats, arena totals) into the registry.
+  void bridge_counters();
+
   SimNetwork* net_;
   EventBus* bus_;
   runtime::Executor* executor_;
   Options options_;
   EventBus::Cursor cursor_ = 0;
   std::size_t batches_ = 0;
-  std::vector<double> latencies_ms_;
 
   std::unique_ptr<IncrementalChecker> checker_;  // incremental mode
   ScoutSystem full_system_;                      // full-recheck mode
   std::unique_ptr<LogicalBddCache> full_cache_;
+
+  // Registry handles (no-ops when options_.metrics == nullptr).
+  telemetry::Counter batches_counter_;
+  telemetry::Counter events_counter_;
+  telemetry::Histogram wall_latency_ms_;
+  telemetry::Histogram sim_latency_ms_;
+  telemetry::Histogram drain_ms_;
+  telemetry::Histogram batch_events_;
+  telemetry::Gauge bus_backlog_;
+  telemetry::Gauge bus_cursor_lag_;
+  // Bridged-counter handles, registered once — bridge_counters() runs per
+  // drain and must not pay name lookups there.
+  telemetry::Counter bus_published_;
+  telemetry::Counter bus_compactions_;
+  telemetry::Counter bus_compacted_events_;
+  telemetry::Counter initial_builds_;
+  telemetry::Counter events_applied_;
+  telemetry::Counter incremental_updates_;
+  telemetry::Counter full_rebuilds_;
+  telemetry::Counter epoch_rebuilds_;
+  telemetry::Counter threshold_trips_;
+  telemetry::Counter unsafe_rebuilds_;
+  telemetry::Counter diff_recomputes_;
+  telemetry::Counter verdicts_reused_;
+  telemetry::Gauge arena_nodes_;
+  telemetry::Gauge arena_peak_nodes_;
+  telemetry::Gauge arena_rollbacks_;
+  telemetry::Gauge unique_load_;
+  telemetry::Gauge cache_hit_rate_;
+  telemetry::Gauge resident_switches_;
+  std::vector<telemetry::Gauge> churn_gauges_;  // per switch, agent order
+  // Last bridged values for delta-folding cumulative sources.
+  IncrementalChecker::Stats bridged_checker_{};
+  EventBus::Stats bridged_bus_{};
+
+  std::vector<telemetry::MetricsSnapshot> periodic_snapshots_;
 
   mutable std::unique_ptr<PolicyIndex> policy_index_;  // localize() cache
   mutable std::uint64_t policy_index_epoch_ = 0;

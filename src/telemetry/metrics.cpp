@@ -1,0 +1,187 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/json_writer.h"
+
+namespace scout::telemetry {
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const LogHistogram* MetricsSnapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h.histogram;
+  }
+  return nullptr;
+}
+
+std::vector<MetricsSnapshot::CounterValue>
+MetricsSnapshot::counters_with_prefix(std::string_view prefix) const {
+  std::vector<CounterValue> out;
+  for (const auto& c : counters) {
+    if (c.name.size() >= prefix.size() &&
+        std::string_view{c.name}.substr(0, prefix.size()) == prefix) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; dots become underscores.
+std::string prometheus_name(std::string_view name) {
+  std::string out{name};
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == '/') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& c : counters) {
+    const std::string n = prometheus_name(c.name);
+    os << "# TYPE scout_" << n << " counter\n";
+    os << "scout_" << n << " " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string n = prometheus_name(g.name);
+    os << "# TYPE scout_" << n << " gauge\n";
+    os << "scout_" << n << " " << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string n = prometheus_name(h.name);
+    os << "# TYPE scout_" << n << " summary\n";
+    os << "scout_" << n << "_count " << h.histogram.count() << "\n";
+    os << "scout_" << n << "_sum " << h.histogram.sum() << "\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      os << "scout_" << n << "{quantile=\"" << q << "\"} "
+         << h.histogram.quantile(q) << "\n";
+    }
+  }
+  return os.str();
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : counters) w.field(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : gauges) w.field(g.name, g.value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name).begin_object();
+    w.field("count", h.histogram.count());
+    w.field("sum", h.histogram.sum());
+    w.field("min", h.histogram.min());
+    w.field("max", h.histogram.max());
+    w.field("mean", h.histogram.mean());
+    w.field("p50", h.histogram.quantile(0.50));
+    w.field("p90", h.histogram.quantile(0.90));
+    w.field("p99", h.histogram.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_by_name_.find(name);
+  if (it != counters_by_name_.end()) return Counter{it->second->slots.data()};
+  CounterEntry& entry = counter_entries_.emplace_back();
+  entry.name = std::string{name};
+  entry.slots.resize(shards_);
+  counters_by_name_.emplace(entry.name, &entry);
+  return Counter{entry.slots.data()};
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_by_name_.find(name);
+  if (it != gauges_by_name_.end()) return Gauge{&it->second->value};
+  GaugeEntry& entry = gauge_entries_.emplace_back();
+  entry.name = std::string{name};
+  gauges_by_name_.emplace(entry.name, &entry);
+  return Gauge{&entry.value};
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_by_name_.find(name);
+  if (it != histograms_by_name_.end()) {
+    return Histogram{it->second->slots.data()};
+  }
+  HistogramEntry& entry = histogram_entries_.emplace_back();
+  entry.name = std::string{name};
+  entry.slots.resize(shards_);
+  histograms_by_name_.emplace(entry.name, &entry);
+  return Histogram{entry.slots.data()};
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  // The by-name maps iterate in sorted order, so the snapshot is sorted.
+  snap.counters.reserve(counters_by_name_.size());
+  for (const auto& [name, entry] : counters_by_name_) {
+    std::uint64_t total = 0;
+    for (const auto& slot : entry->slots) total += slot.value;
+    snap.counters.push_back({name, total});
+  }
+  snap.gauges.reserve(gauges_by_name_.size());
+  for (const auto& [name, entry] : gauges_by_name_) {
+    snap.gauges.push_back({name, entry->value});
+  }
+  snap.histograms.reserve(histograms_by_name_.size());
+  for (const auto& [name, entry] : histograms_by_name_) {
+    LogHistogram merged;
+    for (const auto& slot : entry->slots) merged.merge(slot.histogram);
+    snap.histograms.push_back({name, std::move(merged)});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& entry : counter_entries_) {
+    for (auto& slot : entry.slots) slot.value = 0;
+  }
+  for (auto& entry : gauge_entries_) entry.value = 0.0;
+  for (auto& entry : histogram_entries_) {
+    for (auto& slot : entry.slots) slot.histogram = LogHistogram{};
+  }
+}
+
+std::string bench_key(std::string_view metric_name) {
+  std::string out{metric_name};
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+}  // namespace scout::telemetry

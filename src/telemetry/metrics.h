@@ -1,0 +1,222 @@
+// Thread-sharded metrics registry: the one source of truth for counters,
+// gauges and latency histograms across the detect -> localize -> remediate
+// pipeline, the benches and scoutctl.
+//
+// Design:
+//  * Registration is serial. Components acquire typed handles (Counter,
+//    Gauge, Histogram) from the registry before the parallel section
+//    starts; the registry's name table is not locked, matching the
+//    runtime's "configure serially, run sharded" discipline.
+//  * The hot path is a plain store. Each metric owns one cache-padded slot
+//    per worker shard; Counter::add / Histogram::record index the caller's
+//    shard and mutate only it, so recording from worker w never contends
+//    with worker w' — no atomics, no locks. Shards are merged only at
+//    snapshot() time, which must run while the workers are quiescent
+//    (between executor runs — the same barrier the result-slot merge
+//    already relies on).
+//  * Handles are no-op-able. A default-constructed handle (or any handle
+//    from a disabled component holding no registry) ignores every call, so
+//    instrumented code never branches on "is telemetry on" beyond the
+//    handle's internal null check.
+//  * Snapshots are deterministic. Metrics are emitted sorted by name;
+//    counters under the "stream." prefix are pure functions of the event
+//    stream (worker-count invariant), which tests/test_telemetry.cpp pins
+//    at 1/2/4 workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace scout {
+class JsonWriter;
+}  // namespace scout
+
+namespace scout::telemetry {
+
+class MetricsRegistry;
+
+// Merged, name-sorted view of a registry at one quiescent point.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    LogHistogram histogram;
+  };
+
+  std::vector<CounterValue> counters;      // sorted by name
+  std::vector<GaugeValue> gauges;          // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
+
+  // Lookups return 0 / nullptr for unknown names.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  [[nodiscard]] double gauge(std::string_view name) const noexcept;
+  [[nodiscard]] const LogHistogram* histogram(
+      std::string_view name) const noexcept;
+
+  // Counters whose name starts with `prefix` — the deterministic subset
+  // the worker-count-invariance tests compare.
+  [[nodiscard]] std::vector<CounterValue> counters_with_prefix(
+      std::string_view prefix) const;
+
+  // Prometheus text exposition (counters + gauges + histogram summaries).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  // JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(JsonWriter& w) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+namespace detail {
+
+struct alignas(64) CounterSlot {
+  std::uint64_t value = 0;
+};
+
+struct alignas(64) HistogramSlot {
+  LogHistogram histogram;
+};
+
+}  // namespace detail
+
+// Monotone event count. add() from worker w touches only shard w.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::size_t worker, std::uint64_t delta) noexcept {
+    if (slots_ != nullptr) slots_[worker].value += delta;
+  }
+  void inc(std::size_t worker) noexcept { add(worker, 1); }
+  // Driver-thread convenience (shard 0).
+  void add(std::uint64_t delta = 1) noexcept { add(std::size_t{0}, delta); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return slots_ != nullptr;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterSlot* slots) noexcept : slots_(slots) {}
+  detail::CounterSlot* slots_ = nullptr;
+};
+
+// Last-write-wins level (backlog depth, arena size, ...). Gauges are set
+// from the driver thread between parallel sections, so they are unsharded.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double value) noexcept {
+    if (slot_ != nullptr) *slot_ = value;
+  }
+  void add(double delta) noexcept {
+    if (slot_ != nullptr) *slot_ += delta;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return slot_ != nullptr;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* slot) noexcept : slot_(slot) {}
+  double* slot_ = nullptr;
+};
+
+// Sharded LogHistogram; shards merge exactly at snapshot time
+// (tests/test_stats.cpp pins merge-order invariance).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::size_t worker, double value) {
+    if (slots_ != nullptr) slots_[worker].histogram.record(value);
+  }
+  void record(double value) { record(0, value); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return slots_ != nullptr;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramSlot* slots) noexcept : slots_(slots) {}
+  detail::HistogramSlot* slots_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  // `shards` must cover every worker index handles will be used with
+  // (executor workers; the driver thread records on shard 0).
+  explicit MetricsRegistry(std::size_t shards = 1);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+
+  // Register-or-fetch by dotted name ("stream.full_rebuilds"). Serial only.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name);
+
+  // One-shot driver-thread conveniences (register + mutate).
+  void set_gauge(std::string_view name, double value) {
+    gauge(name).set(value);
+  }
+  void add_counter(std::string_view name, std::uint64_t delta) {
+    counter(name).add(delta);
+  }
+
+  // Merge all shards into a name-sorted snapshot. Callers must ensure the
+  // workers are quiescent (between executor runs).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  // Zero every counter/gauge/histogram; handles stay valid.
+  void reset();
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    std::vector<detail::CounterSlot> slots;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::vector<detail::HistogramSlot> slots;
+  };
+
+  std::size_t shards_ = 1;
+  // deque: entry addresses are stable as the registry grows, so handles
+  // (raw slot pointers) never dangle.
+  std::deque<CounterEntry> counter_entries_;
+  std::deque<GaugeEntry> gauge_entries_;
+  std::deque<HistogramEntry> histogram_entries_;
+  std::map<std::string, CounterEntry*, std::less<>> counters_by_name_;
+  std::map<std::string, GaugeEntry*, std::less<>> gauges_by_name_;
+  std::map<std::string, HistogramEntry*, std::less<>> histograms_by_name_;
+};
+
+// Bench/CI key from a dotted metric name: '.' -> '_' so registry names map
+// onto the historical BENCH_*.json keys ("bdd.unique_load" ->
+// "bdd_unique_load").
+[[nodiscard]] std::string bench_key(std::string_view metric_name);
+
+}  // namespace scout::telemetry

@@ -1,0 +1,167 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/json_writer.h"
+#include "src/telemetry/metrics.h"
+
+namespace scout::telemetry {
+
+TraceRecorder::TraceRecorder(std::size_t lanes)
+    : epoch_(std::chrono::steady_clock::now()),
+      lanes_(lanes == 0 ? 1 : lanes) {}
+
+double TraceRecorder::now_us() const noexcept {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+TraceRecorder::Scope::Scope(TraceRecorder* recorder, std::size_t lane,
+                            std::string_view name, std::string_view category,
+                            SimTime sim_start, std::int64_t batch)
+    : recorder_(recorder),
+      lane_(lane),
+      name_(name),
+      category_(category),
+      sim_start_ms_(sim_start.millis()),
+      sim_end_ms_(sim_start.millis()),
+      batch_(batch) {
+  if (recorder_ != nullptr) wall_start_us_ = recorder_->now_us();
+}
+
+TraceRecorder::Scope::Scope(Scope&& other) noexcept
+    : recorder_(std::exchange(other.recorder_, nullptr)),
+      lane_(other.lane_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      wall_start_us_(other.wall_start_us_),
+      sim_start_ms_(other.sim_start_ms_),
+      sim_end_ms_(other.sim_end_ms_),
+      batch_(other.batch_) {}
+
+TraceRecorder::Scope& TraceRecorder::Scope::operator=(Scope&& other) noexcept {
+  if (this != &other) {
+    end();
+    recorder_ = std::exchange(other.recorder_, nullptr);
+    lane_ = other.lane_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    wall_start_us_ = other.wall_start_us_;
+    sim_start_ms_ = other.sim_start_ms_;
+    sim_end_ms_ = other.sim_end_ms_;
+    batch_ = other.batch_;
+  }
+  return *this;
+}
+
+void TraceRecorder::Scope::end() {
+  if (recorder_ == nullptr) return;
+  TraceRecorder* rec = std::exchange(recorder_, nullptr);
+  TraceSpan span;
+  span.name = std::move(name_);
+  span.category = std::move(category_);
+  span.lane = lane_;
+  span.wall_start_us = wall_start_us_;
+  span.wall_dur_us = rec->now_us() - wall_start_us_;
+  span.sim_start_ms = sim_start_ms_;
+  span.sim_end_ms = sim_end_ms_;
+  span.batch = batch_;
+  rec->lanes_[lane_ % rec->lanes_.size()].spans.push_back(std::move(span));
+}
+
+void TraceRecorder::instant(std::size_t lane, std::string_view name,
+                            std::string_view category, SimTime sim_now,
+                            std::string_view detail) {
+  TraceInstant inst;
+  inst.name = std::string{name};
+  inst.category = std::string{category};
+  inst.lane = lane;
+  inst.wall_us = now_us();
+  inst.sim_ms = sim_now.millis();
+  inst.detail = std::string{detail};
+  lanes_[lane % lanes_.size()].instants.push_back(std::move(inst));
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::vector<TraceSpan> out;
+  for (const Lane& lane : lanes_) {
+    out.insert(out.end(), lane.spans.begin(), lane.spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     if (a.wall_start_us != b.wall_start_us) {
+                       return a.wall_start_us < b.wall_start_us;
+                     }
+                     return a.lane < b.lane;
+                   });
+  return out;
+}
+
+std::vector<TraceInstant> TraceRecorder::instants() const {
+  std::vector<TraceInstant> out;
+  for (const Lane& lane : lanes_) {
+    out.insert(out.end(), lane.instants.begin(), lane.instants.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceInstant& a, const TraceInstant& b) {
+                     if (a.wall_us != b.wall_us) return a.wall_us < b.wall_us;
+                     return a.lane < b.lane;
+                   });
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json(
+    const MetricsSnapshot* metrics) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceSpan& span : spans()) {
+    w.begin_object();
+    w.field("name", span.name);
+    w.field("cat", span.category);
+    w.field("ph", "X");
+    w.field("ts", span.wall_start_us);
+    w.field("dur", span.wall_dur_us);
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::int64_t>(span.lane));
+    w.key("args").begin_object();
+    w.field("sim_start_ms", span.sim_start_ms);
+    w.field("sim_end_ms", span.sim_end_ms);
+    if (span.batch >= 0) w.field("batch", span.batch);
+    w.end_object();
+    w.end_object();
+  }
+  for (const TraceInstant& inst : instants()) {
+    w.begin_object();
+    w.field("name", inst.name);
+    w.field("cat", inst.category);
+    w.field("ph", "i");
+    w.field("s", "t");  // thread-scoped instant
+    w.field("ts", inst.wall_us);
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::int64_t>(inst.lane));
+    w.key("args").begin_object();
+    w.field("sim_ms", inst.sim_ms);
+    if (!inst.detail.empty()) w.field("detail", inst.detail);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  if (metrics != nullptr) {
+    w.key("metrics");
+    metrics->write_json(w);
+  }
+  w.end_object();
+  return w.str();
+}
+
+void TraceRecorder::reset() {
+  for (Lane& lane : lanes_) {
+    lane.spans.clear();
+    lane.instants.clear();
+  }
+}
+
+}  // namespace scout::telemetry

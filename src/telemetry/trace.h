@@ -1,0 +1,129 @@
+// Trace spans for the detect -> localize -> remediate pipeline.
+//
+// A TraceRecorder stamps RAII spans in both clocks the monitor lives in:
+// wall time (microseconds since the recorder's construction, from
+// steady_clock) and sim time (the SimClock milliseconds the event stream is
+// stamped with). Spans land on *lanes* — lane 0 is the driver thread, lane
+// w+1 is runtime worker w — and each lane is written by exactly one thread,
+// so recording is lock-free and allocation is amortized to the lane vector.
+//
+// The export format is Chrome trace-event JSON (load in chrome://tracing or
+// Perfetto): complete events ("ph":"X") for spans, instant events
+// ("ph":"i") for markers such as rebuild fallbacks, with sim-time bounds
+// and the batch index carried in "args". A metrics snapshot may ride along
+// under a top-level "metrics" key, which the trace viewers ignore.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/sim_clock.h"
+
+namespace scout::telemetry {
+
+struct MetricsSnapshot;
+
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  std::size_t lane = 0;
+  double wall_start_us = 0.0;  // relative to recorder epoch
+  double wall_dur_us = 0.0;
+  std::int64_t sim_start_ms = 0;
+  std::int64_t sim_end_ms = 0;
+  std::int64_t batch = -1;  // -1 = not batch-scoped
+};
+
+struct TraceInstant {
+  std::string name;
+  std::string category;
+  std::size_t lane = 0;
+  double wall_us = 0.0;
+  std::int64_t sim_ms = 0;
+  std::string detail;  // e.g. the rebuild reason
+};
+
+class TraceRecorder {
+ public:
+  // lanes = executor workers + 1 (lane 0 is the driver thread).
+  explicit TraceRecorder(std::size_t lanes = 1);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_.size(); }
+
+  // Microseconds of wall time since the recorder was constructed.
+  [[nodiscard]] double now_us() const noexcept;
+
+  // RAII span: opens at construction, records into the lane at close (end
+  // of scope or explicit end()). A Scope from a null recorder is a no-op —
+  // instrumented code holds `TraceRecorder*` and never branches on it.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(TraceRecorder* recorder, std::size_t lane, std::string_view name,
+          std::string_view category, SimTime sim_start,
+          std::int64_t batch = -1);
+    Scope(Scope&& other) noexcept;
+    Scope& operator=(Scope&& other) noexcept;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { end(); }
+
+    // Sim time the span covers up to (defaults to sim_start).
+    void set_sim_end(SimTime t) noexcept { sim_end_ms_ = t.millis(); }
+
+    void end();
+
+   private:
+    TraceRecorder* recorder_ = nullptr;
+    std::size_t lane_ = 0;
+    std::string name_;
+    std::string category_;
+    double wall_start_us_ = 0.0;
+    std::int64_t sim_start_ms_ = 0;
+    std::int64_t sim_end_ms_ = 0;
+    std::int64_t batch_ = -1;
+  };
+
+  [[nodiscard]] Scope span(std::size_t lane, std::string_view name,
+                           std::string_view category, SimTime sim_start,
+                           std::int64_t batch = -1) {
+    return Scope{this, lane, name, category, sim_start, batch};
+  }
+
+  // Zero-duration marker (rebuild fallback, divergence, snapshot tick).
+  void instant(std::size_t lane, std::string_view name,
+               std::string_view category, SimTime sim_now,
+               std::string_view detail = {});
+
+  // All lanes merged, sorted by (wall_start_us, lane). Call while the
+  // workers are quiescent.
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::vector<TraceInstant> instants() const;
+
+  // Chrome trace-event JSON; when `metrics` is non-null the snapshot is
+  // embedded under a top-level "metrics" key.
+  [[nodiscard]] std::string to_chrome_json(
+      const MetricsSnapshot* metrics = nullptr) const;
+
+  void reset();
+
+ private:
+  friend class Scope;
+
+  struct alignas(64) Lane {
+    std::vector<TraceSpan> spans;
+    std::vector<TraceInstant> instants;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace scout::telemetry

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 
 namespace scout {
 namespace {
@@ -77,6 +79,131 @@ TEST(EmpiricalCdf, TableContainsHeaderAndRows) {
   EXPECT_NE(table.find("value"), std::string::npos);
   EXPECT_NE(table.find("CDF"), std::string::npos);
   EXPECT_NE(table.find("1.0000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogram, EmptyIsZero) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(LogHistogram, RecordedValueFallsInItsBucket) {
+  std::mt19937_64 rng{17};
+  std::uniform_real_distribution<double> mag(-6.0, 8.0);
+  LogHistogram h;
+  // Half a quantization tick: a sample may land that far outside its
+  // bucket's bounds from the fixed-point rounding, never more.
+  const double eps = 0.5 / LogHistogram::kTicksPerUnit;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::pow(10.0, mag(rng));
+    LogHistogram one;
+    one.record(v);
+    const auto buckets = one.buckets();
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_GE(v, buckets[0].lower - eps) << v;
+    EXPECT_LE(v, buckets[0].upper + eps) << v;
+    // Sub-bucket refinement: relative bucket width stays below 12.5%.
+    if (buckets[0].lower > 0.0) {
+      EXPECT_LE(buckets[0].upper / buckets[0].lower,
+                1.0 + 1.0 / (1 << LogHistogram::kSubBits) + 1e-9);
+    }
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 2000u);
+}
+
+TEST(LogHistogram, NonPositiveValuesClampToZeroBucket) {
+  LogHistogram h;
+  h.record(0.0);
+  h.record(-3.5);
+  EXPECT_EQ(h.count(), 2u);
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets()[0].lower, 0.0);
+  EXPECT_EQ(h.buckets()[0].count, 2u);
+}
+
+TEST(LogHistogram, QuantileBoundsContainExactPercentile) {
+  std::mt19937_64 rng{99};
+  std::exponential_distribution<double> latency(1.0 / 40.0);  // ms-ish
+  std::vector<double> samples;
+  LogHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = latency(rng);
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double eps = 0.5 / LogHistogram::kTicksPerUnit;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    // Reference: the rank-based sample quantile the bounds are defined on.
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(samples.size()))));
+    const double exact = samples[rank - 1];
+    const auto bounds = h.quantile_bounds(q);
+    EXPECT_GE(exact, bounds.lower - eps) << "q=" << q;
+    EXPECT_LE(exact, bounds.upper + eps) << "q=" << q;
+    // The midpoint estimate sits inside the same bounds, modulo the
+    // half-tick slack of the [min, max] clamp (the observed extremes are
+    // exact values, the bucket bounds are tick-quantized).
+    EXPECT_GE(h.quantile(q), bounds.lower - eps);
+    EXPECT_LE(h.quantile(q), bounds.upper + eps);
+    // The clamp itself is airtight: estimates never escape the range.
+    EXPECT_GE(h.quantile(q), h.min());
+    EXPECT_LE(h.quantile(q), h.max());
+  }
+  EXPECT_NEAR(h.min(), samples.front(), 1e-12);
+  EXPECT_NEAR(h.max(), samples.back(), 1e-12);
+}
+
+TEST(LogHistogram, MergeIsExactAndOrderInvariant) {
+  // Integer-valued samples: double summation is exact, so every merge
+  // order must produce the identical histogram, sum included.
+  std::mt19937_64 rng{7};
+  std::uniform_int_distribution<int> value(0, 1 << 20);
+  constexpr std::size_t kShards = 7;
+  std::vector<LogHistogram> shards(kShards);
+  LogHistogram serial;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = static_cast<double>(value(rng));
+    shards[static_cast<std::size_t>(i) % kShards].record(v);
+    serial.record(v);
+  }
+
+  std::vector<std::size_t> order(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) order[i] = i;
+  for (int perm = 0; perm < 20; ++perm) {
+    std::shuffle(order.begin(), order.end(), rng);
+    LogHistogram merged;
+    for (const std::size_t s : order) merged.merge(shards[s]);
+    EXPECT_TRUE(merged == serial);
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.sum(), serial.sum());
+    EXPECT_EQ(merged.min(), serial.min());
+    EXPECT_EQ(merged.max(), serial.max());
+    for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+      EXPECT_EQ(merged.quantile(q), serial.quantile(q));
+    }
+  }
+}
+
+TEST(LogHistogram, MergeIntoEmptyAndFromEmpty) {
+  LogHistogram a;
+  a.record(3.0);
+  LogHistogram empty;
+  LogHistogram b;
+  b.merge(a);
+  b.merge(empty);
+  EXPECT_TRUE(b == a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 3.0);
 }
 
 TEST(RunningStat, MatchesBatchComputation) {

@@ -104,6 +104,34 @@ TEST(StreamMonitor, EventCountAndLatencyAccounting) {
   EXPECT_GT(report.events_per_sec, 0.0);
   EXPECT_LE(report.p50_latency_ms, report.p99_latency_ms);
   EXPECT_LE(report.p99_latency_ms, report.max_latency_ms);
+  // Sim-clock latency is reported in its own fields — never mixed with the
+  // wall-clock numbers above — and must be internally consistent too.
+  EXPECT_LE(report.sim_p50_latency_ms, report.sim_p99_latency_ms);
+  EXPECT_LE(report.sim_p99_latency_ms, report.sim_max_latency_ms);
+  EXPECT_GE(report.sim_max_latency_ms, 0.0);
+}
+
+// Every published event carries both clock stamps; each must be
+// monotonically non-decreasing in publish order, so event-to-detection
+// latencies are well-defined in either clock without mixing them.
+TEST(StreamMonitor, EventClockStampsAreMonotonic) {
+  ThreeTierNetwork three = make_three_tier();
+  SimNetwork net{std::move(three.fabric), std::move(three.policy)};
+  net.deploy();
+  net.clock().advance(3'600'000);
+  stream::EventBus bus;
+  net.attach_event_bus(&bus);
+
+  ASSERT_GT(net.agent(three.s2).evict_rules(16, net.clock().now()), 0u);
+  net.clock().advance(50);
+  (void)net.controller().resync_switch(three.s2);
+
+  const auto events = bus.events_since(0);
+  ASSERT_GT(events.size(), 1u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time) << "event " << i;
+    EXPECT_GE(events[i].wall, events[i - 1].wall) << "event " << i;
+  }
 }
 
 // Hand-driven MonitorLoop on the paper's three-tier example: eviction is
