@@ -1,13 +1,27 @@
 #include "src/bdd/bdd.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "src/common/check.h"
 #include "src/common/hash.h"
 
 namespace scout {
 namespace {
+
+// SCOUT_BDD_PARANOID=1 re-verifies the full structural invariants after
+// every rollback — O(nodes) per rollback, so it is an explicit debugging
+// switch rather than a DCHECK. Read once; the flag cannot change mid-run.
+[[nodiscard]] bool paranoid_invariants_enabled() noexcept {
+  static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): magic-static init runs once,
+    // and nothing in this process calls setenv.
+    const char* v = std::getenv("SCOUT_BDD_PARANOID");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
 
 // Three-word key mixer for the unique table and op cache (common/hash.h).
 [[nodiscard]] std::uint64_t mix3(std::uint32_t a, std::uint32_t b,
@@ -37,7 +51,8 @@ BddManager::BddManager(std::uint32_t var_count, std::size_t node_hint)
 }
 
 BddRef BddManager::hash_cons(std::uint32_t var, BddRef low, BddRef high) {
-  assert((low & 1U) == 0 && low != high);
+  SCOUT_DCHECK((low & 1U) == 0, "hash_cons: complemented low edge");
+  SCOUT_DCHECK(low != high, "hash_cons: redundant node");
   std::size_t slot = mix3(var, low, high) & table_mask_;
   while (table_[slot] != 0) {
     const Node& n = nodes_[table_[slot]];
@@ -116,6 +131,12 @@ void BddManager::rollback(Checkpoint cp) {
   last_floor_ = cp.nodes;
   bump_generation();
   ++rollbacks_;
+  if (paranoid_invariants_enabled()) {
+    SCOUT_CHECK(check_invariants(),
+                "BddManager: structural invariants violated after rollback"
+                " to watermark "
+                    << cp.nodes << " (SCOUT_BDD_PARANOID)");
+  }
 }
 
 BddRef BddManager::var(std::uint32_t index) {
@@ -274,7 +295,9 @@ BddRef BddManager::cube(const BddCube& literals) {
 
 bool BddManager::evaluate(BddRef f,
                           const std::vector<bool>& assignment) const {
-  assert(assignment.size() >= var_count_);
+  SCOUT_DCHECK(assignment.size() >= var_count_,
+               "evaluate: " << assignment.size() << " values for "
+                            << var_count_ << " variables");
   while (!is_terminal(f)) {
     const Node& n = node(f);
     f = (assignment[n.var] ? n.high : n.low) ^ (f & 1U);

@@ -46,6 +46,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/check.h"
+
 namespace scout {
 
 // Tagged reference: bits 1..31 = node pool index, bit 0 = complement.
@@ -113,6 +115,8 @@ class BddManager {
   // (the arena contract the logical-BDD cache rests on). Op-cache entries
   // referencing only sub-watermark nodes survive the rollback; the rest
   // are invalidated. Rolling back to the current watermark is a no-op.
+  // With SCOUT_BDD_PARANOID=1 in the environment every rollback re-runs
+  // check_invariants() and aborts on violation (O(nodes) — debugging aid).
   struct Checkpoint {
     std::uint32_t nodes = 0;
   };
@@ -227,6 +231,11 @@ class BddManager {
     return index_of(r) == 0;
   }
   [[nodiscard]] const Node& node(BddRef r) const noexcept {
+    // A ref above the pool is a use-after-rollback — the exact bug class
+    // the checkpoint contract exists to prevent.
+    SCOUT_DCHECK(index_of(r) < nodes_.size(),
+                 "BddManager: ref to node " << index_of(r) << " but pool has "
+                                            << nodes_.size());
     return nodes_[index_of(r)];
   }
 

@@ -1,0 +1,24 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scout::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const char* message) noexcept {
+  // stdio, not iostreams: the failure may fire inside code that holds the
+  // very locks an iostream sink would need, and fprintf of one buffer is
+  // async-signal-tolerant enough for a path that ends in abort().
+  if (message != nullptr && message[0] != '\0') {
+    std::fprintf(stderr, "SCOUT_CHECK failed: %s at %s:%d: %s\n", expr, file,
+                 line, message);
+  } else {
+    std::fprintf(stderr, "SCOUT_CHECK failed: %s at %s:%d\n", expr, file,
+                 line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scout::detail

@@ -1,0 +1,91 @@
+// Fatal invariant checks: SCOUT_CHECK (always on) and SCOUT_DCHECK
+// (debug builds only).
+//
+//   SCOUT_CHECK(cond);
+//   SCOUT_CHECK(cond, "context " << value << " more context");
+//   SCOUT_DCHECK(worker < workers(), "worker " << worker << " out of range");
+//
+// On failure the macro prints the expression text, source location and the
+// optional streamed message to stderr, then calls std::abort() — failing
+// loudly at the broken invariant instead of corrupting shared state and
+// failing somewhere else. CHECK guards contracts whose violation would be
+// a correctness bug even in release (quiescence gates, shard exclusivity);
+// DCHECK guards hot-path invariants (index bounds, canonical-form
+// preconditions) and compiles to nothing when disabled so the lock-free
+// paths stay plain stores.
+//
+// DCHECK is enabled when NDEBUG is not defined (CMake Debug builds) or when
+// the build sets -DSCOUT_ENABLE_DCHECKS=1 (the `tsan` preset does, so the
+// sanitizer matrix checks invariants at optimized speed). When disabled the
+// condition is parsed but never evaluated: operands stay odr-used, so no
+// -Wunused warnings appear in release, and no side effects run.
+#pragma once
+
+#include <sstream>
+
+namespace scout {
+namespace detail {
+
+// Prints "SCOUT_CHECK failed: <expr> at <file>:<line>[: <message>]" and
+// aborts. Out of line so the macro expansion stays small in hot paths.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* message) noexcept;
+
+// Builds the streamed message then dies. The ostringstream lives here so
+// the failure path — not the check site — pays for it.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* expr, const char* file, int line) noexcept
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckFailStream() {
+    check_failed(expr_, file_, line_, os_.str().c_str());
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace scout
+
+// SCOUT_CHECK(cond) or SCOUT_CHECK(cond, streamed << message).
+// The CheckFailStream construction is parenthesized, not braced-only:
+// rescanning inside another macro (EXPECT_DEATH(SCOUT_CHECK(...), ...))
+// must not let the braced-init commas split that macro's arguments.
+#define SCOUT_CHECK(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      (::scout::detail::CheckFailStream(#cond, __FILE__, __LINE__)         \
+           __VA_OPT__(<< __VA_ARGS__));                                    \
+    }                                                                      \
+  } while (false)
+
+#if !defined(SCOUT_ENABLE_DCHECKS)
+#if !defined(NDEBUG)
+#define SCOUT_ENABLE_DCHECKS 1
+#else
+#define SCOUT_ENABLE_DCHECKS 0
+#endif
+#endif
+
+#if SCOUT_ENABLE_DCHECKS
+#define SCOUT_DCHECK(cond, ...) SCOUT_CHECK(cond __VA_OPT__(, __VA_ARGS__))
+#else
+// `if (false)` keeps the operands type-checked and odr-used without
+// evaluating them; the dead branch folds away at -O1.
+#define SCOUT_DCHECK(cond, ...)                                            \
+  do {                                                                     \
+    if (false) {                                                           \
+      (void)(cond);                                                        \
+    }                                                                      \
+  } while (false)
+#endif

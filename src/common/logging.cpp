@@ -45,6 +45,8 @@ LogConfig parse_spec(std::string_view spec) {
 }
 
 LogConfig config_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called once from the config()
+  // magic-static initializer; nothing in this process calls setenv.
   const char* env = std::getenv("SCOUT_LOG");
   return env != nullptr ? parse_spec(env) : LogConfig{};
 }

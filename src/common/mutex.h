@@ -1,0 +1,165 @@
+// Capability-annotated synchronization primitives.
+//
+// libstdc++'s std::mutex carries no thread-safety attributes, so code using
+// it directly is invisible to clang's -Wthread-safety analysis. These thin
+// wrappers add the attributes (and nothing else — Mutex is exactly a
+// std::mutex, CondVar exactly a std::condition_variable), letting classes
+// declare members SCOUT_GUARDED_BY(mu_) and have the compiler prove every
+// access happens under the right lock.
+//
+// Two capability families:
+//
+//  * Mutex / MutexLock / CondVar — real mutual exclusion (ThreadPool's
+//    queue+completion protocol, MetricsRegistry registration).
+//
+//  * SerialCapability / SerialGuard — a zero-cost capability standing for a
+//    single-threaded *phase contract* rather than a lock (EventBus's
+//    "driver publishes, workers only read drained spans", MonitorLoop's
+//    driver-only shard state). Statically, members guarded by it can only
+//    be reached through methods that acquire the capability; dynamically,
+//    debug builds bind the capability to the first acquiring thread and
+//    SCOUT_DCHECK every later acquisition against it — so a second thread
+//    sneaking into a serial-by-contract class dies at the entry point
+//    instead of corrupting state. Release builds compile the guard to
+//    nothing: the hot path stays lock-free and atomic-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/common/check.h"
+#include "src/common/thread_annotations.h"
+
+namespace scout {
+
+class CondVar;
+
+// std::mutex with capability attributes.
+class SCOUT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SCOUT_ACQUIRE() { mu_.lock(); }
+  void unlock() SCOUT_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SCOUT_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock of a Mutex (the annotated std::lock_guard).
+class SCOUT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SCOUT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SCOUT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// std::condition_variable over Mutex. wait() requires the mutex held, like
+// the standard one — but here the compiler enforces it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, waits, reacquires. Callers loop on their
+  // predicate as usual; with the annotations, the predicate's guarded reads
+  // inside the loop are proven to happen under the lock.
+  void wait(Mutex& mu) SCOUT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back so the MutexLock destructor stays the
+    // one true unlock.
+    std::unique_lock<std::mutex> native{mu.mu_, std::adopt_lock};
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Debug-only thread affinity check: binds to the first thread that calls
+// check(), then dies if any other thread ever does. reset() unbinds (for
+// handing a serial object to another owner between phases).
+class ThreadChecker {
+ public:
+#if SCOUT_ENABLE_DCHECKS
+  void check(const char* what) const noexcept {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // unbound
+    // First caller binds; the CAS gives later callers an acquire view of
+    // the binding. Affinity violations are exactly what this catches, so
+    // the failure message names the contract, not the raw ids.
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      SCOUT_CHECK(expected == self,
+                  "serial contract violated: " << what
+                      << " entered from a second thread");
+    }
+  }
+  void reset() noexcept { owner_.store({}, std::memory_order_release); }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+#else
+  void check(const char*) const noexcept {}
+  void reset() noexcept {}
+#endif
+};
+
+// A capability with no lock behind it: it models the contract "these
+// members belong to one serial phase / one thread". Methods of the owning
+// class take a SerialGuard, which (a) satisfies the static analysis for
+// every SCOUT_GUARDED_BY(serial_) member they touch and (b) in debug
+// builds enforces single-thread affinity via ThreadChecker.
+class SCOUT_CAPABILITY("serial phase") SerialCapability {
+ public:
+  explicit SerialCapability(const char* what) noexcept : what_(what) {}
+  SerialCapability(const SerialCapability&) = delete;
+  SerialCapability& operator=(const SerialCapability&) = delete;
+
+  void acquire() const SCOUT_ACQUIRE() { checker_.check(what_); }
+  void release() const SCOUT_RELEASE() {}
+
+  // Unbind the debug thread affinity (ownership handoff between phases;
+  // the caller is responsible for the happens-before edge).
+  void rebind() noexcept { checker_.reset(); }
+
+ private:
+  const char* what_;
+  ThreadChecker checker_;
+};
+
+class SCOUT_SCOPED_CAPABILITY SerialGuard {
+ public:
+  explicit SerialGuard(const SerialCapability& serial) SCOUT_ACQUIRE(serial)
+      : serial_(serial) {
+    serial_.acquire();
+  }
+  ~SerialGuard() SCOUT_RELEASE() { serial_.release(); }
+
+  SerialGuard(const SerialGuard&) = delete;
+  SerialGuard& operator=(const SerialGuard&) = delete;
+
+ private:
+  const SerialCapability& serial_;
+};
+
+}  // namespace scout

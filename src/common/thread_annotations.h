@@ -1,0 +1,92 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These wrap the attributes behind `clang++ -Wthread-safety` so the locking
+// discipline of every shared-state class is a *compile-time proof*, not a
+// comment: members tagged SCOUT_GUARDED_BY(mu) can only be touched while mu
+// is held, functions tagged SCOUT_REQUIRES(mu) can only be called with mu
+// held, and RAII guards tagged SCOUT_SCOPED_CAPABILITY teach the analysis
+// what their constructor/destructor acquire and release. On compilers
+// without the attributes (gcc, MSVC) every macro expands to nothing, so the
+// annotations cost exactly zero everywhere and are verified by the CI
+// thread-safety job (clang, -Wthread-safety -Werror=thread-safety-analysis).
+//
+// The standard-library mutex types are NOT annotated under libstdc++, so
+// annotated code uses the wrappers in src/common/mutex.h (scout::Mutex /
+// MutexLock / CondVar) instead of std::mutex directly — the wrappers carry
+// the capability attributes the analysis needs.
+//
+// Naming follows the Clang documentation's canonical set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed SCOUT_.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SCOUT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SCOUT_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// -- type annotations --------------------------------------------------------
+
+// A class that models a capability (lock, role, phase). `x` is the
+// capability kind shown in diagnostics, e.g. "mutex" or "serial phase".
+#define SCOUT_CAPABILITY(x) SCOUT_THREAD_ANNOTATION_(capability(x))
+
+// An RAII class whose constructor acquires and destructor releases a
+// capability (see MutexLock / SerialGuard).
+#define SCOUT_SCOPED_CAPABILITY SCOUT_THREAD_ANNOTATION_(scoped_lockable)
+
+// -- data annotations --------------------------------------------------------
+
+// Reads and writes of the member require holding `x` (writes exclusively).
+#define SCOUT_GUARDED_BY(x) SCOUT_THREAD_ANNOTATION_(guarded_by(x))
+
+// As above, but for the data *pointed to* by a pointer member.
+#define SCOUT_PT_GUARDED_BY(x) SCOUT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock detection).
+#define SCOUT_ACQUIRED_BEFORE(...) \
+  SCOUT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SCOUT_ACQUIRED_AFTER(...) \
+  SCOUT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// -- function annotations ----------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry, and the
+// function does not release it.
+#define SCOUT_REQUIRES(...) \
+  SCOUT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SCOUT_REQUIRES_SHARED(...) \
+  SCOUT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and holds it on return.
+#define SCOUT_ACQUIRE(...) \
+  SCOUT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SCOUT_ACQUIRE_SHARED(...) \
+  SCOUT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases a capability the caller held on entry.
+#define SCOUT_RELEASE(...) \
+  SCOUT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SCOUT_RELEASE_SHARED(...) \
+  SCOUT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns `b`.
+#define SCOUT_TRY_ACQUIRE(...) \
+  SCOUT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (non-reentrancy guard).
+#define SCOUT_EXCLUDES(...) \
+  SCOUT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime-verified assertion that the capability is held (the analysis
+// trusts it from this point in the function).
+#define SCOUT_ASSERT_CAPABILITY(x) \
+  SCOUT_THREAD_ANNOTATION_(assert_capability(x))
+
+// The function returns a reference to the named capability.
+#define SCOUT_RETURN_CAPABILITY(x) SCOUT_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disable the analysis for one function. Every use must carry
+// a comment explaining why the protocol cannot be expressed.
+#define SCOUT_NO_THREAD_SAFETY_ANALYSIS \
+  SCOUT_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -20,6 +20,10 @@ double micros_since(Clock::time_point t0) noexcept {
 void SerialExecutor::run(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& task) {
+  // Serial runs honor the same quiescence contract as pooled ones: a task
+  // that snapshots the registry it is recording into is a bug regardless
+  // of the worker count, and should die identically at 1 thread.
+  const ParallelSection section{metrics_.registry};
   const bool timed = static_cast<bool>(metrics_.task_run_us);
   for (std::size_t i = 0; i < count; ++i) {
     if (timed) {
@@ -37,6 +41,10 @@ void SerialExecutor::run(
 void ThreadPoolExecutor::run(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& task) {
+  // Region closes only after pool_.wait() below: the join's
+  // happens-before covers every shard write, and the gate's release makes
+  // that visible to whoever observes the region closed.
+  const ParallelSection section{metrics_.registry};
   const bool timed = static_cast<bool>(metrics_.task_run_us);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t worker = i % pool_.size();

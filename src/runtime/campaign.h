@@ -33,10 +33,18 @@ namespace scout::runtime {
 // own histogram shard, preserving the lock-free hot path. The histograms
 // are wall-time diagnostics: they vary with worker count and machine load,
 // and are never part of the deterministic result contract.
+//
+// When `registry` is set, every Executor::run brackets its parallel
+// section with the registry's quiescence gate
+// (begin/end_parallel_region), which is what lets the registry *enforce*
+// — not just document — that snapshots only happen while the workers are
+// quiescent. Attach it whenever tasks record into the registry's sharded
+// handles.
 struct ExecutorMetrics {
   telemetry::Histogram queue_wait_us;
   telemetry::Histogram task_run_us;
   telemetry::Counter tasks;
+  telemetry::MetricsRegistry* registry = nullptr;
 };
 
 class Executor {
@@ -54,12 +62,32 @@ class Executor {
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
 
   // Attach instrumentation; the metrics' registry must have at least
-  // workers() shards. Default handles (no registry) disable timing.
+  // workers() shards. Default handles (no registry) disable timing. Must
+  // not be called while run() is in flight.
   void set_metrics(ExecutorMetrics metrics) noexcept {
     metrics_ = std::move(metrics);
   }
 
  protected:
+  // RAII bracket for one run(): opens the registry's quiescence gate (when
+  // one is attached) so a mid-run snapshot aborts instead of racing the
+  // worker shards.
+  class ParallelSection {
+   public:
+    explicit ParallelSection(telemetry::MetricsRegistry* registry) noexcept
+        : registry_(registry) {
+      if (registry_ != nullptr) registry_->begin_parallel_region();
+    }
+    ~ParallelSection() {
+      if (registry_ != nullptr) registry_->end_parallel_region();
+    }
+    ParallelSection(const ParallelSection&) = delete;
+    ParallelSection& operator=(const ParallelSection&) = delete;
+
+   private:
+    telemetry::MetricsRegistry* registry_;
+  };
+
   ExecutorMetrics metrics_;
 };
 

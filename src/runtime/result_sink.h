@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
+
 namespace scout::runtime {
 
 template <typename T>
@@ -32,9 +34,13 @@ class ResultSlots {
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
   [[nodiscard]] T& operator[](std::size_t index) noexcept {
+    SCOUT_DCHECK(index < slots_.size(),
+                 "ResultSlots: index " << index << " of " << slots_.size());
     return slots_[index];
   }
   [[nodiscard]] const T& operator[](std::size_t index) const noexcept {
+    SCOUT_DCHECK(index < slots_.size(),
+                 "ResultSlots: index " << index << " of " << slots_.size());
     return slots_[index];
   }
 
@@ -80,6 +86,10 @@ class WorkerLocal {
 
   [[nodiscard]] std::size_t workers() const noexcept { return slots_.size(); }
   [[nodiscard]] T& local(std::size_t worker) noexcept {
+    // An out-of-range worker would alias another worker's accumulator —
+    // i.e. an unsynchronized cross-thread write — so it dies in debug.
+    SCOUT_DCHECK(worker < slots_.size(),
+                 "WorkerLocal: worker " << worker << " of " << slots_.size());
     return slots_[worker].value;
   }
 
@@ -129,17 +139,17 @@ class WorkerCache {
   // outcome via note_hit()/note_miss() once they know (a hash collision
   // then reports as the rebuild it causes, not as a reuse).
   [[nodiscard]] T* lookup(std::size_t worker, std::uint64_t key) noexcept {
-    Slot& slot = slots_[worker];
+    Slot& slot = at(worker);
     if (!slot.filled || slot.key != key) return nullptr;
     return &slot.value;
   }
 
-  void note_hit(std::size_t worker) noexcept { ++slots_[worker].hits; }
-  void note_miss(std::size_t worker) noexcept { ++slots_[worker].misses; }
+  void note_hit(std::size_t worker) noexcept { ++at(worker).hits; }
+  void note_miss(std::size_t worker) noexcept { ++at(worker).misses; }
 
   // Replace the worker's slot with state keyed by `key`.
   T& store(std::size_t worker, std::uint64_t key, T value) {
-    Slot& slot = slots_[worker];
+    Slot& slot = at(worker);
     slot.key = key;
     slot.filled = true;
     slot.value = std::move(value);
@@ -156,8 +166,9 @@ class WorkerCache {
 
   // Drop the worker's entry (e.g. its repaired state failed verification).
   void invalidate(std::size_t worker) noexcept {
-    slots_[worker].filled = false;
-    slots_[worker].value = T{};
+    Slot& slot = at(worker);
+    slot.filled = false;
+    slot.value = T{};
   }
 
   // Summed diagnostics, valid after the join.
@@ -180,6 +191,15 @@ class WorkerCache {
     std::size_t misses = 0;
     T value{};
   };
+
+  // Every mutating path funnels through here: a worker index past the
+  // slot array would land on (and race with) another worker's cache line.
+  [[nodiscard]] Slot& at(std::size_t worker) noexcept {
+    SCOUT_DCHECK(worker < slots_.size(),
+                 "WorkerCache: worker " << worker << " of " << slots_.size());
+    return slots_[worker];
+  }
+
   std::vector<Slot> slots_;
 };
 

@@ -1,7 +1,8 @@
 #include "src/runtime/thread_pool.h"
 
-#include <atomic>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace scout::runtime {
 
@@ -30,8 +31,8 @@ ThreadPool::~ThreadPool() { stop_and_join(); }
 
 void ThreadPool::stop_and_join() {
   for (auto& shard : shards_) {
-    std::lock_guard lk{shard->mu};
-    stopping_ = true;
+    MutexLock lk{shard->mu};
+    stopping_.store(true, std::memory_order_relaxed);
     shard->cv.notify_all();
   }
   for (std::thread& worker : workers_) worker.join();
@@ -39,26 +40,27 @@ void ThreadPool::stop_and_join() {
 }
 
 void ThreadPool::submit(std::size_t shard_index, std::function<void()> task) {
+  SCOUT_DCHECK(task != nullptr, "ThreadPool::submit: empty task");
   {
-    std::lock_guard lk{done_mu_};
+    MutexLock lk{done_mu_};
     ++pending_;
   }
   Shard& shard = *shards_[shard_index % shards_.size()];
   {
-    std::lock_guard lk{shard.mu};
+    MutexLock lk{shard.mu};
     shard.tasks.push_back(std::move(task));
   }
   shard.cv.notify_one();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lk{done_mu_};
-  done_cv_.wait(lk, [this] { return pending_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lk.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lk{done_mu_};
+    while (pending_ != 0) done_cv_.wait(done_mu_);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -66,8 +68,11 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lk{shard.mu};
-      shard.cv.wait(lk, [&] { return stopping_ || !shard.tasks.empty(); });
+      MutexLock lk{shard.mu};
+      while (!stopping_.load(std::memory_order_relaxed) &&
+             shard.tasks.empty()) {
+        shard.cv.wait(shard.mu);
+      }
       // Drain remaining work even when stopping: wait() may still be
       // blocked on it, and destruction must not drop submitted tasks.
       if (shard.tasks.empty()) return;
@@ -85,7 +90,7 @@ void ThreadPool::worker_loop(std::size_t index) {
 }
 
 void ThreadPool::finish_task(std::exception_ptr error) {
-  std::lock_guard lk{done_mu_};
+  MutexLock lk{done_mu_};
   if (error && !first_error_) first_error_ = std::move(error);
   --pending_;
   if (pending_ == 0) done_cv_.notify_all();

@@ -11,18 +11,28 @@
 // The trade-off is load imbalance when task costs are skewed; campaigns
 // deal with that by round-robining the grid over shards (neighbouring grid
 // cells have similar cost), not by stealing.
+//
+// Locking discipline (statically verified by clang -Wthread-safety):
+//  * Shard::mu guards that shard's task queue; workers and submitters take
+//    it only for the queue push/pop, never while running a task.
+//  * done_mu_ guards the completion state (pending_, first_error_); it is
+//    taken after a task finishes and by wait(), never nested with a shard
+//    mutex.
+//  * stopping_ is an atomic flag flipped once under each shard mutex so
+//    parked workers cannot miss the wakeup.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace scout::runtime {
 
@@ -42,7 +52,7 @@ class ThreadPool {
 
   // Enqueue `task` onto shard `shard % size()`. Never blocks. Tasks on one
   // shard run in submission order; tasks on different shards run
-  // concurrently.
+  // concurrently. Thread-safe: any thread may submit.
   void submit(std::size_t shard, std::function<void()> task);
 
   // Block until every submitted task has finished, then rethrow the first
@@ -51,9 +61,9 @@ class ThreadPool {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> tasks SCOUT_GUARDED_BY(mu);
   };
 
   void worker_loop(std::size_t index);
@@ -64,10 +74,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::size_t pending_ = 0;            // guarded by done_mu_
-  std::exception_ptr first_error_;     // guarded by done_mu_
+  Mutex done_mu_;
+  CondVar done_cv_;
+  std::size_t pending_ SCOUT_GUARDED_BY(done_mu_) = 0;
+  std::exception_ptr first_error_ SCOUT_GUARDED_BY(done_mu_);
   // Atomic because the destructor flips it once while workers read it under
   // their own shard mutex; the per-shard lock around the flip + notify is
   // what prevents missed wakeups.

@@ -37,7 +37,8 @@ std::string_view to_string(StreamEventType t) noexcept {
 }
 
 EventBus::Cursor EventBus::publish(StreamEvent ev) {
-  const Cursor seq = cursor();
+  SerialGuard g{serial_};
+  const Cursor seq = cursor_unlocked();
   ev.seq = seq;
   ev.wall = std::chrono::steady_clock::now();
   ev.change_log_mark = change_log_ != nullptr ? change_log_->size() : 0;
@@ -47,11 +48,12 @@ EventBus::Cursor EventBus::publish(StreamEvent ev) {
 }
 
 std::span<const StreamEvent> EventBus::events_since(Cursor c) const {
+  SerialGuard g{serial_};
   if (c < base_) {
     throw std::out_of_range{
         "EventBus::events_since: cursor below the compaction base"};
   }
-  if (c > cursor()) {
+  if (c > cursor_unlocked()) {
     // A cursor ahead of the stream is consumer corruption (wrong bus,
     // cursor arithmetic bug); returning empty would silently verify
     // nothing forever.
@@ -62,8 +64,9 @@ std::span<const StreamEvent> EventBus::events_since(Cursor c) const {
 }
 
 void EventBus::compact(Cursor c) {
+  SerialGuard g{serial_};
   if (c <= base_) return;
-  const Cursor limit = cursor();
+  const Cursor limit = cursor_unlocked();
   if (c > limit) c = limit;
   events_.erase(events_.begin(),
                 events_.begin() + static_cast<std::ptrdiff_t>(c - base_));

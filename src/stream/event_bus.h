@@ -2,10 +2,16 @@
 // publish to, and the monitor drains from.
 //
 // Contract:
-//  * Single-threaded publication. Network mutations are driven from one
-//    thread (the scenario/driver thread); the runtime workers only *read*
-//    already-drained batches. The bus therefore needs no locking — it is a
-//    sequence, not a queue.
+//  * Single-threaded use. Network mutations are driven from one thread
+//    (the scenario/driver thread); the runtime workers only *read*
+//    already-drained batches (spans handed to them by the driver). The bus
+//    therefore needs no locking — it is a sequence, not a queue. This is
+//    no longer a comment-only promise: every member is
+//    SCOUT_GUARDED_BY(serial_), a capability each method acquires, so
+//    clang -Wthread-safety proves all access goes through the serial
+//    phase, and debug builds bind the phase to the first calling thread
+//    and abort if a second thread ever enters (common/mutex.h
+//    SerialCapability). Release builds compile the guard to nothing.
 //  * Monotone cursors. publish() assigns dense, strictly increasing
 //    sequence numbers; events_since(c) returns the events with seq >= c in
 //    order. The returned span views bus storage and is invalidated by the
@@ -21,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/stream/event.h"
 
 namespace scout {
@@ -34,7 +42,10 @@ class EventBus {
   using Cursor = std::uint64_t;
 
   // Stamp subsequent events with `log`'s current size (nullptr unbinds).
-  void bind_change_log(const ChangeLog* log) noexcept { change_log_ = log; }
+  void bind_change_log(const ChangeLog* log) noexcept {
+    SerialGuard g{serial_};
+    change_log_ = log;
+  }
 
   // Append one event; fills seq, wall and change_log_mark. Returns the
   // assigned sequence number.
@@ -42,7 +53,8 @@ class EventBus {
 
   // The next sequence number to be assigned (== one past the last event).
   [[nodiscard]] Cursor cursor() const noexcept {
-    return base_ + events_.size();
+    SerialGuard g{serial_};
+    return cursor_unlocked();
   }
 
   // Events with seq in [c, cursor()), in sequence order. `c` below the
@@ -54,9 +66,13 @@ class EventBus {
   void compact(Cursor c);
 
   [[nodiscard]] std::size_t retained() const noexcept {
+    SerialGuard g{serial_};
     return events_.size();
   }
-  [[nodiscard]] Cursor base() const noexcept { return base_; }
+  [[nodiscard]] Cursor base() const noexcept {
+    SerialGuard g{serial_};
+    return base_;
+  }
 
   // Lifetime counters for the telemetry bridge: totals survive
   // compaction, unlike retained()/base() which describe current storage.
@@ -65,13 +81,31 @@ class EventBus {
     std::uint64_t compactions = 0;
     std::uint64_t compacted_events = 0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const noexcept {
+    SerialGuard g{serial_};
+    return stats_;
+  }
+
+  // Unbind the debug thread affinity so another thread may take over as
+  // the single driver (e.g. a bus built on the main thread, driven from a
+  // monitor thread). The handoff itself must provide the happens-before.
+  void rebind_serial_owner() noexcept { serial_.rebind(); }
 
  private:
-  std::vector<StreamEvent> events_;  // events_[i].seq == base_ + i
-  Cursor base_ = 0;
-  const ChangeLog* change_log_ = nullptr;
-  Stats stats_;
+  [[nodiscard]] Cursor cursor_unlocked() const noexcept
+      SCOUT_REQUIRES(serial_) {
+    return base_ + events_.size();
+  }
+
+  // The serial-phase capability every member is guarded by: "one thread
+  // publishes AND drains". Workers never call bus methods — they receive
+  // drained spans from the driver.
+  mutable SerialCapability serial_{"EventBus"};
+
+  std::vector<StreamEvent> events_ SCOUT_GUARDED_BY(serial_);
+  Cursor base_ SCOUT_GUARDED_BY(serial_) = 0;
+  const ChangeLog* change_log_ SCOUT_GUARDED_BY(serial_) = nullptr;
+  Stats stats_ SCOUT_GUARDED_BY(serial_);
 };
 
 // Publisher-side conveniences shared by the instrumented components

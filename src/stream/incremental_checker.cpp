@@ -1,6 +1,7 @@
 #include "src/stream/incremental_checker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include "src/bdd/bdd.h"
 #include "src/checker/equivalence_checker.h"
 #include "src/checker/packet_encoding.h"
+#include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/telemetry/trace.h"
 
@@ -73,6 +75,11 @@ struct alignas(64) IncrementalChecker::Shard {
   Stats stats;
   BddCube cube_scratch;
   std::vector<TcamRule> strip_scratch;
+  // Exclusivity token: process_shard() may run concurrently across
+  // *distinct* shards but never twice on the same one (the arenas and
+  // scratch are single-threaded). exchange() makes a violation abort at
+  // entry instead of corrupting an arena.
+  std::atomic<bool> in_flight{false};
 };
 
 IncrementalChecker::IncrementalChecker(SimNetwork& net,
@@ -404,7 +411,17 @@ void IncrementalChecker::refresh_verdict(Shard& shard, SwitchState& st,
 
 void IncrementalChecker::process_shard(std::size_t shard_index,
                                        std::uint64_t epoch) {
+  SCOUT_CHECK(shard_index < shards_.size(),
+              "IncrementalChecker: shard " << shard_index << " of "
+                  << shards_.size());
   Shard& shard = *shards_[shard_index];
+  SCOUT_CHECK(!shard.in_flight.exchange(true, std::memory_order_acquire),
+              "IncrementalChecker: shard " << shard_index
+                  << " processed concurrently");
+  struct InFlightToken {
+    std::atomic<bool>& flag;
+    ~InFlightToken() { flag.store(false, std::memory_order_release); }
+  } token{shard.in_flight};
   for (std::size_t i = shard_index; i < states_.size();
        i += shards_.size()) {
     SwitchState& st = *states_[i];

@@ -37,6 +37,7 @@ MonitorLoop::MonitorLoop(SimNetwork& net, EventBus& bus,
   } else {
     full_cache_ = std::make_unique<LogicalBddCache>(executor.workers());
   }
+  SerialGuard g{serial_};
   register_metrics();
 }
 
@@ -87,10 +88,14 @@ void MonitorLoop::register_metrics() {
   unique_load_ = reg->gauge("bdd.unique_load");
   cache_hit_rate_ = reg->gauge("bdd.cache_hit_rate");
   // Executor queue-wait / task-runtime distributions (wall diagnostics).
+  // The registry pointer makes every Executor::run a parallel region on
+  // this registry, so an in-flight snapshot()/reset() aborts instead of
+  // tearing the shard merge (metrics.h, "quiescence gate").
   runtime::ExecutorMetrics exec_metrics;
   exec_metrics.queue_wait_us = reg->histogram("runtime.queue_wait_us");
   exec_metrics.task_run_us = reg->histogram("runtime.task_run_us");
   exec_metrics.tasks = reg->counter("runtime.tasks");
+  exec_metrics.registry = reg;
   executor_->set_metrics(std::move(exec_metrics));
 }
 
@@ -161,6 +166,7 @@ void MonitorLoop::bridge_counters() {
 }
 
 void MonitorLoop::prime() {
+  SerialGuard g{serial_};
   telemetry::TraceRecorder::Scope span{options_.trace, 0, "prime", "stream",
                                        net_->clock().now()};
   cursor_ = bus_->cursor();
@@ -179,6 +185,7 @@ void MonitorLoop::prime() {
 }
 
 MonitorVerdict MonitorLoop::drain() {
+  SerialGuard g{serial_};
   const auto events = bus_->events_since(cursor_);
   MonitorVerdict verdict;
   verdict.first_seq = cursor_;
@@ -241,6 +248,7 @@ MonitorVerdict MonitorLoop::drain() {
 }
 
 LocalizationResult MonitorLoop::localize(const FabricCheck& check) const {
+  SerialGuard g{serial_};
   telemetry::TraceRecorder::Scope span{options_.trace, 0, "localize",
                                        "stream", net_->clock().now()};
   const std::uint64_t epoch = net_->controller().compiled_epoch();
@@ -257,6 +265,7 @@ LocalizationResult MonitorLoop::localize(const FabricCheck& check) const {
 }
 
 std::size_t MonitorLoop::remediate(const FabricCheck& check) {
+  SerialGuard g{serial_};
   telemetry::TraceRecorder::Scope span{options_.trace, 0, "remediate",
                                        "stream", net_->clock().now()};
   ScoutReport report;
@@ -290,6 +299,7 @@ IncrementalChecker::Stats MonitorLoop::checker_stats() const {
 }
 
 telemetry::MetricsSnapshot MonitorLoop::snapshot_metrics() {
+  SerialGuard g{serial_};
   if (options_.metrics == nullptr) return telemetry::MetricsSnapshot{};
   bridge_counters();
   return options_.metrics->snapshot();

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "src/checker/logical_bdd_cache.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/runtime/campaign.h"
 #include "src/scout/scout_system.h"
 #include "src/stream/event_bus.h"
@@ -95,7 +97,10 @@ class MonitorLoop {
   // of rules still missing afterwards.
   [[nodiscard]] std::size_t remediate(const FabricCheck& check);
 
-  [[nodiscard]] std::size_t batches() const noexcept { return batches_; }
+  [[nodiscard]] std::size_t batches() const noexcept {
+    SerialGuard g{serial_};
+    return batches_;
+  }
   [[nodiscard]] IncrementalChecker::Stats checker_stats() const;
 
   // Bridge the latest checker/bus/arena values into the registry and
@@ -105,21 +110,28 @@ class MonitorLoop {
   // Snapshots taken by the snapshot_every_batches cadence.
   [[nodiscard]] const std::vector<telemetry::MetricsSnapshot>&
   periodic_snapshots() const noexcept {
+    SerialGuard g{serial_};
     return periodic_snapshots_;
   }
 
  private:
-  void register_metrics();
+  void register_metrics() SCOUT_REQUIRES(serial_);
   // Fold the delta since the last bridge of every polled counter source
   // (checker stats, bus stats, arena totals) into the registry.
-  void bridge_counters();
+  void bridge_counters() SCOUT_REQUIRES(serial_);
+
+  // Driver-phase capability: the monitor's cursor/batch/bridge state is
+  // mutated only between executor runs, by the one thread driving the
+  // loop. Workers touch the checker's shards, never these members. Debug
+  // builds abort if a second thread enters (common/mutex.h).
+  mutable SerialCapability serial_{"MonitorLoop"};
 
   SimNetwork* net_;
   EventBus* bus_;
   runtime::Executor* executor_;
   Options options_;
-  EventBus::Cursor cursor_ = 0;
-  std::size_t batches_ = 0;
+  EventBus::Cursor cursor_ SCOUT_GUARDED_BY(serial_) = 0;
+  std::size_t batches_ SCOUT_GUARDED_BY(serial_) = 0;
 
   std::unique_ptr<IncrementalChecker> checker_;  // incremental mode
   ScoutSystem full_system_;                      // full-recheck mode
@@ -156,13 +168,16 @@ class MonitorLoop {
   telemetry::Gauge resident_switches_;
   std::vector<telemetry::Gauge> churn_gauges_;  // per switch, agent order
   // Last bridged values for delta-folding cumulative sources.
-  IncrementalChecker::Stats bridged_checker_{};
-  EventBus::Stats bridged_bus_{};
+  IncrementalChecker::Stats bridged_checker_ SCOUT_GUARDED_BY(serial_){};
+  EventBus::Stats bridged_bus_ SCOUT_GUARDED_BY(serial_){};
 
-  std::vector<telemetry::MetricsSnapshot> periodic_snapshots_;
+  std::vector<telemetry::MetricsSnapshot> periodic_snapshots_
+      SCOUT_GUARDED_BY(serial_);
 
-  mutable std::unique_ptr<PolicyIndex> policy_index_;  // localize() cache
-  mutable std::uint64_t policy_index_epoch_ = 0;
+  // localize() cache
+  mutable std::unique_ptr<PolicyIndex> policy_index_
+      SCOUT_GUARDED_BY(serial_);
+  mutable std::uint64_t policy_index_epoch_ SCOUT_GUARDED_BY(serial_) = 0;
 };
 
 }  // namespace scout::stream

@@ -114,16 +114,28 @@ MetricsRegistry::MetricsRegistry(std::size_t shards)
     : shards_(shards == 0 ? 1 : shards) {}
 
 Counter MetricsRegistry::counter(std::string_view name) {
+  SCOUT_CHECK(!in_parallel_region(),
+              "MetricsRegistry::counter('" << std::string{name}
+                  << "') inside a parallel region — register handles "
+                     "before the workers start");
+  MutexLock lk{mu_};
   const auto it = counters_by_name_.find(name);
-  if (it != counters_by_name_.end()) return Counter{it->second->slots.data()};
+  if (it != counters_by_name_.end()) {
+    return Counter{it->second->slots.data(), shards_};
+  }
   CounterEntry& entry = counter_entries_.emplace_back();
   entry.name = std::string{name};
   entry.slots.resize(shards_);
   counters_by_name_.emplace(entry.name, &entry);
-  return Counter{entry.slots.data()};
+  return Counter{entry.slots.data(), shards_};
 }
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
+  SCOUT_CHECK(!in_parallel_region(),
+              "MetricsRegistry::gauge('" << std::string{name}
+                  << "') inside a parallel region — register handles "
+                     "before the workers start");
+  MutexLock lk{mu_};
   const auto it = gauges_by_name_.find(name);
   if (it != gauges_by_name_.end()) return Gauge{&it->second->value};
   GaugeEntry& entry = gauge_entries_.emplace_back();
@@ -133,18 +145,31 @@ Gauge MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram MetricsRegistry::histogram(std::string_view name) {
+  SCOUT_CHECK(!in_parallel_region(),
+              "MetricsRegistry::histogram('" << std::string{name}
+                  << "') inside a parallel region — register handles "
+                     "before the workers start");
+  MutexLock lk{mu_};
   const auto it = histograms_by_name_.find(name);
   if (it != histograms_by_name_.end()) {
-    return Histogram{it->second->slots.data()};
+    return Histogram{it->second->slots.data(), shards_};
   }
   HistogramEntry& entry = histogram_entries_.emplace_back();
   entry.name = std::string{name};
   entry.slots.resize(shards_);
   histograms_by_name_.emplace(entry.name, &entry);
-  return Histogram{entry.slots.data()};
+  return Histogram{entry.slots.data(), shards_};
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  // The quiescence contract, enforced: merging the cache-padded shards
+  // while workers are still storing into them would read torn state. The
+  // executors close their region only after the join, so seeing it closed
+  // (acquire) also means seeing every shard write.
+  SCOUT_CHECK(!in_parallel_region(),
+              "MetricsRegistry::snapshot() inside a parallel region — "
+              "snapshots require worker quiescence");
+  MutexLock lk{mu_};
   MetricsSnapshot snap;
   // The by-name maps iterate in sorted order, so the snapshot is sorted.
   snap.counters.reserve(counters_by_name_.size());
@@ -167,6 +192,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
+  SCOUT_CHECK(!in_parallel_region(),
+              "MetricsRegistry::reset() inside a parallel region");
+  MutexLock lk{mu_};
   for (auto& entry : counter_entries_) {
     for (auto& slot : entry.slots) slot.value = 0;
   }

@@ -3,17 +3,22 @@
 // pipeline, the benches and scoutctl.
 //
 // Design:
-//  * Registration is serial. Components acquire typed handles (Counter,
-//    Gauge, Histogram) from the registry before the parallel section
-//    starts; the registry's name table is not locked, matching the
-//    runtime's "configure serially, run sharded" discipline.
-//  * The hot path is a plain store. Each metric owns one cache-padded slot
-//    per worker shard; Counter::add / Histogram::record index the caller's
+//  * Registration is locked, recording is not. Register-or-fetch takes the
+//    registry mutex (cold path, thread-safe), and the entry storage is a
+//    deque so slot addresses handed to handles never move. The recording
+//    hot path is a plain store: each metric owns one cache-padded slot per
+//    worker shard; Counter::add / Histogram::record index the caller's
 //    shard and mutate only it, so recording from worker w never contends
-//    with worker w' — no atomics, no locks. Shards are merged only at
-//    snapshot() time, which must run while the workers are quiescent
-//    (between executor runs — the same barrier the result-slot merge
-//    already relies on).
+//    with worker w' — no atomics, no locks.
+//  * Snapshots require quiescence, and the registry enforces it. Executors
+//    bracket their parallel sections with begin/end_parallel_region()
+//    (wired through runtime::ExecutorMetrics); snapshot(), reset() and
+//    registration SCOUT_CHECK that no region is active, so "merge the
+//    shards mid-run" is a loud abort instead of a torn read. The
+//    happens-before edge for the shard values themselves comes from the
+//    executor's join (pool wait()), which completes before
+//    end_parallel_region() runs; the gate's release/acquire pair extends
+//    that edge to any thread that observes the region closed.
 //  * Handles are no-op-able. A default-constructed handle (or any handle
 //    from a disabled component holding no registry) ignores every call, so
 //    instrumented code never branches on "is telemetry on" beyond the
@@ -24,6 +29,7 @@
 //    at 1/2/4 workers.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -32,7 +38,10 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/check.h"
+#include "src/common/mutex.h"
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 
 namespace scout {
 class JsonWriter;
@@ -98,7 +107,12 @@ class Counter {
   Counter() = default;
 
   void add(std::size_t worker, std::uint64_t delta) noexcept {
-    if (slots_ != nullptr) slots_[worker].value += delta;
+    if (slots_ != nullptr) {
+      SCOUT_DCHECK(worker < shards_, "Counter shard " << worker
+                                         << " out of range (" << shards_
+                                         << " shards)");
+      slots_[worker].value += delta;
+    }
   }
   void inc(std::size_t worker) noexcept { add(worker, 1); }
   // Driver-thread convenience (shard 0).
@@ -110,8 +124,10 @@ class Counter {
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(detail::CounterSlot* slots) noexcept : slots_(slots) {}
+  Counter(detail::CounterSlot* slots, std::size_t shards) noexcept
+      : slots_(slots), shards_(shards) {}
   detail::CounterSlot* slots_ = nullptr;
+  std::size_t shards_ = 0;  // for the debug bounds check only
 };
 
 // Last-write-wins level (backlog depth, arena size, ...). Gauges are set
@@ -144,7 +160,12 @@ class Histogram {
   Histogram() = default;
 
   void record(std::size_t worker, double value) {
-    if (slots_ != nullptr) slots_[worker].histogram.record(value);
+    if (slots_ != nullptr) {
+      SCOUT_DCHECK(worker < shards_, "Histogram shard " << worker
+                                         << " out of range (" << shards_
+                                         << " shards)");
+      slots_[worker].histogram.record(value);
+    }
   }
   void record(double value) { record(0, value); }
 
@@ -154,8 +175,10 @@ class Histogram {
 
  private:
   friend class MetricsRegistry;
-  explicit Histogram(detail::HistogramSlot* slots) noexcept : slots_(slots) {}
+  Histogram(detail::HistogramSlot* slots, std::size_t shards) noexcept
+      : slots_(slots), shards_(shards) {}
   detail::HistogramSlot* slots_ = nullptr;
+  std::size_t shards_ = 0;  // for the debug bounds check only
 };
 
 class MetricsRegistry {
@@ -169,10 +192,15 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
 
-  // Register-or-fetch by dotted name ("stream.full_rebuilds"). Serial only.
-  [[nodiscard]] Counter counter(std::string_view name);
-  [[nodiscard]] Gauge gauge(std::string_view name);
-  [[nodiscard]] Histogram histogram(std::string_view name);
+  // Register-or-fetch by dotted name ("stream.full_rebuilds"). Thread-safe
+  // with respect to other registrations, but forbidden (SCOUT_CHECK)
+  // inside a parallel region: handles must be acquired before the workers
+  // start recording.
+  [[nodiscard]] Counter counter(std::string_view name)
+      SCOUT_EXCLUDES(mu_);
+  [[nodiscard]] Gauge gauge(std::string_view name) SCOUT_EXCLUDES(mu_);
+  [[nodiscard]] Histogram histogram(std::string_view name)
+      SCOUT_EXCLUDES(mu_);
 
   // One-shot driver-thread conveniences (register + mutate).
   void set_gauge(std::string_view name, double value) {
@@ -182,12 +210,29 @@ class MetricsRegistry {
     counter(name).add(delta);
   }
 
-  // Merge all shards into a name-sorted snapshot. Callers must ensure the
-  // workers are quiescent (between executor runs).
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  // -- quiescence gate -------------------------------------------------------
+  // Executors call these around every parallel section (see
+  // runtime::ExecutorMetrics::registry). Nesting is allowed (a task fanning
+  // out its own executor); the region is open while any depth remains.
+  void begin_parallel_region() noexcept {
+    parallel_depth_.fetch_add(1, std::memory_order_acquire);
+  }
+  void end_parallel_region() noexcept {
+    const int prev = parallel_depth_.fetch_sub(1, std::memory_order_release);
+    SCOUT_CHECK(prev > 0, "MetricsRegistry: unbalanced end_parallel_region");
+  }
+  [[nodiscard]] bool in_parallel_region() const noexcept {
+    return parallel_depth_.load(std::memory_order_acquire) != 0;
+  }
 
-  // Zero every counter/gauge/histogram; handles stay valid.
-  void reset();
+  // Merge all shards into a name-sorted snapshot. Aborts if a parallel
+  // region is active — the snapshot-at-quiescence contract is enforced
+  // here, not by convention at the call sites.
+  [[nodiscard]] MetricsSnapshot snapshot() const SCOUT_EXCLUDES(mu_);
+
+  // Zero every counter/gauge/histogram; handles stay valid. Same
+  // quiescence requirement as snapshot().
+  void reset() SCOUT_EXCLUDES(mu_);
 
  private:
   struct CounterEntry {
@@ -204,14 +249,27 @@ class MetricsRegistry {
   };
 
   std::size_t shards_ = 1;
+  // Open parallel sections. 0 is the quiescent state snapshot() requires;
+  // the release on close pairs with the acquire in in_parallel_region() so
+  // a thread that sees the region closed also sees everything the closing
+  // thread saw (which, after an executor join, is every shard write).
+  std::atomic<int> parallel_depth_{0};
+
+  // Guards the name tables and entry deques (registration); the slot
+  // *values* inside entries are deliberately unguarded — they are the
+  // sharded lock-free hot path, protected by the quiescence gate instead.
+  mutable Mutex mu_;
   // deque: entry addresses are stable as the registry grows, so handles
   // (raw slot pointers) never dangle.
-  std::deque<CounterEntry> counter_entries_;
-  std::deque<GaugeEntry> gauge_entries_;
-  std::deque<HistogramEntry> histogram_entries_;
-  std::map<std::string, CounterEntry*, std::less<>> counters_by_name_;
-  std::map<std::string, GaugeEntry*, std::less<>> gauges_by_name_;
-  std::map<std::string, HistogramEntry*, std::less<>> histograms_by_name_;
+  std::deque<CounterEntry> counter_entries_ SCOUT_GUARDED_BY(mu_);
+  std::deque<GaugeEntry> gauge_entries_ SCOUT_GUARDED_BY(mu_);
+  std::deque<HistogramEntry> histogram_entries_ SCOUT_GUARDED_BY(mu_);
+  std::map<std::string, CounterEntry*, std::less<>> counters_by_name_
+      SCOUT_GUARDED_BY(mu_);
+  std::map<std::string, GaugeEntry*, std::less<>> gauges_by_name_
+      SCOUT_GUARDED_BY(mu_);
+  std::map<std::string, HistogramEntry*, std::less<>> histograms_by_name_
+      SCOUT_GUARDED_BY(mu_);
 };
 
 // Bench/CI key from a dotted metric name: '.' -> '_' so registry names map

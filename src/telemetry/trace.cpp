@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/check.h"
 #include "src/common/json_writer.h"
 #include "src/telemetry/metrics.h"
 
@@ -67,7 +68,13 @@ void TraceRecorder::Scope::end() {
   span.sim_start_ms = sim_start_ms_;
   span.sim_end_ms = sim_end_ms_;
   span.batch = batch_;
-  rec->lanes_[lane_ % rec->lanes_.size()].spans.push_back(std::move(span));
+  // Lane w is written only by its owning thread; wrapping an out-of-range
+  // lane onto someone else's would silently turn the lock-free recording
+  // into a data race, so it dies here instead.
+  SCOUT_CHECK(lane_ < rec->lanes_.size(),
+              "TraceRecorder: span on lane " << lane_ << " but only "
+                  << rec->lanes_.size() << " lanes exist");
+  rec->lanes_[lane_].spans.push_back(std::move(span));
 }
 
 void TraceRecorder::instant(std::size_t lane, std::string_view name,
@@ -80,7 +87,10 @@ void TraceRecorder::instant(std::size_t lane, std::string_view name,
   inst.wall_us = now_us();
   inst.sim_ms = sim_now.millis();
   inst.detail = std::string{detail};
-  lanes_[lane % lanes_.size()].instants.push_back(std::move(inst));
+  SCOUT_CHECK(lane < lanes_.size(),
+              "TraceRecorder: instant on lane " << lane << " but only "
+                  << lanes_.size() << " lanes exist");
+  lanes_[lane].instants.push_back(std::move(inst));
 }
 
 std::vector<TraceSpan> TraceRecorder::spans() const {

@@ -6,6 +6,9 @@
 // stamped with). Spans land on *lanes* — lane 0 is the driver thread, lane
 // w+1 is runtime worker w — and each lane is written by exactly one thread,
 // so recording is lock-free and allocation is amortized to the lane vector.
+// Lane indices are SCOUT_CHECKed at record time: an out-of-range lane
+// aborts instead of silently aliasing another thread's lane (which would
+// be a data race).
 //
 // The export format is Chrome trace-event JSON (load in chrome://tracing or
 // Perfetto): complete events ("ph":"X") for spans, instant events

@@ -1,0 +1,147 @@
+// The invariant layer: SCOUT_CHECK aborts with expression + message,
+// SCOUT_DCHECK follows the build flag, and the runtime contracts that
+// moved from comments into code this PR — the metrics quiescence gate and
+// the serial-phase thread binding — fail loudly instead of racing.
+#include <cstddef>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/common/check.h"
+#include "src/common/mutex.h"
+#include "src/runtime/campaign.h"
+#include "src/stream/event_bus.h"
+#include "src/telemetry/metrics.h"
+
+namespace scout {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  SCOUT_CHECK(1 + 1 == 2);
+  SCOUT_CHECK(true, "never printed " << 42);
+  SCOUT_DCHECK(2 * 2 == 4, "nor this");
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpressionAndMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const int answer = 41;
+  EXPECT_DEATH(SCOUT_CHECK(answer == 42, "got " << answer),
+               "SCOUT_CHECK failed: answer == 42.*got 41");
+}
+
+TEST(CheckDeathTest, CheckWithoutMessageStillNamesExpression) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(SCOUT_CHECK(false), "SCOUT_CHECK failed: false");
+}
+
+#if SCOUT_ENABLE_DCHECKS
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(SCOUT_DCHECK(false, "debug only"), "debug only");
+}
+#else
+TEST(Check, DcheckCompiledOut) {
+  SCOUT_DCHECK(false, "release build: never evaluated for effect");
+}
+#endif
+
+TEST(Check, DisabledDcheckDoesNotEvaluateOperands) {
+#if !SCOUT_ENABLE_DCHECKS
+  // The disabled form must not run side effects...
+  int evaluations = 0;
+  SCOUT_DCHECK([&] { ++evaluations; return true; }());
+  EXPECT_EQ(evaluations, 0);
+#endif
+  // ...but it must still odr-use its operands (no -Wunused warnings and no
+  // breakage when a variable exists only for the DCHECK).
+  const std::size_t only_checked = 3;
+  SCOUT_DCHECK(only_checked < 4);
+  SUCCEED();
+}
+
+// -- quiescence gate ---------------------------------------------------------
+
+TEST(QuiescenceGateDeathTest, SnapshotInsideParallelRegionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        telemetry::MetricsRegistry registry{1};
+        (void)registry.counter("gate.tasks");
+        registry.begin_parallel_region();
+        (void)registry.snapshot();  // mid-run merge: must die, not tear
+      },
+      "quiescence");
+}
+
+TEST(QuiescenceGateDeathTest, RegistrationInsideParallelRegionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        telemetry::MetricsRegistry registry{1};
+        registry.begin_parallel_region();
+        (void)registry.counter("gate.late");  // handles come before workers
+      },
+      "before the workers start");
+}
+
+TEST(QuiescenceGateDeathTest, SnapshotFromInsideExecutorRunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The executor wiring, not a hand-opened region: a task that tries to
+  // snapshot while its own run() is in flight hits the gate the executor
+  // opened through ExecutorMetrics::registry.
+  EXPECT_DEATH(
+      {
+        telemetry::MetricsRegistry registry{1};
+        runtime::SerialExecutor executor;
+        runtime::ExecutorMetrics wiring;
+        wiring.registry = &registry;
+        executor.set_metrics(std::move(wiring));
+        executor.run(1, [&registry](std::size_t, std::size_t) {
+          (void)registry.snapshot();
+        });
+      },
+      "quiescence");
+}
+
+TEST(QuiescenceGate, NestedRegionsBalance) {
+  telemetry::MetricsRegistry registry{2};
+  telemetry::Counter c = registry.counter("gate.nested");
+  registry.begin_parallel_region();
+  registry.begin_parallel_region();  // task fanning out its own executor
+  c.inc(0);
+  registry.end_parallel_region();
+  EXPECT_TRUE(registry.in_parallel_region());
+  registry.end_parallel_region();
+  EXPECT_FALSE(registry.in_parallel_region());
+  EXPECT_EQ(registry.snapshot().counter("gate.nested"), 1u);
+}
+
+// -- serial-phase thread binding ---------------------------------------------
+
+#if SCOUT_ENABLE_DCHECKS
+TEST(SerialCapabilityDeathTest, SecondThreadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        stream::EventBus bus;
+        (void)bus.publish({});  // binds the bus to this thread
+        std::thread intruder{[&bus] { (void)bus.publish({}); }};
+        intruder.join();
+      },
+      "EventBus");
+}
+
+TEST(SerialCapability, RebindMovesOwnership) {
+  stream::EventBus bus;
+  (void)bus.publish({});
+  bus.rebind_serial_owner();  // hand the bus to another thread explicitly
+  std::thread successor{[&bus] {
+    (void)bus.publish({});
+    EXPECT_EQ(bus.retained(), 2u);
+  }};
+  successor.join();
+}
+#endif
+
+}  // namespace
+}  // namespace scout

@@ -1,0 +1,276 @@
+// Adversarial concurrency stress for the runtime core. These tests are the
+// workload the sanitizer matrix runs against: they hammer the exact
+// interleavings the thread-safety annotations claim to rule out —
+// submit/wait/destroy races on the sharded pool, cross-thread submitters,
+// worker-cache traffic under a live executor, and the event-bus-under-
+// monitor pipeline with periodic snapshots taken at every quiescent point.
+// Under plain builds they pin the functional contracts; under
+// -fsanitize=thread they are the race detectors' corpus.
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/campaign.h"
+#include "src/runtime/result_sink.h"
+#include "src/runtime/thread_pool.h"
+#include "src/scout/experiment.h"
+#include "src/stream/event_bus.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace scout {
+namespace {
+
+// -- ThreadPool interleavings ------------------------------------------------
+
+TEST(RaceStress, ThreadPoolRepeatedSubmitWaitRounds) {
+  runtime::ThreadPool pool{4};
+  std::atomic<std::size_t> done{0};
+  constexpr std::size_t kRounds = 50;
+  constexpr std::size_t kTasksPerRound = 64;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < kTasksPerRound; ++i) {
+      pool.submit(i, [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    ASSERT_EQ(done.load(), (round + 1) * kTasksPerRound);
+  }
+}
+
+TEST(RaceStress, ThreadPoolConcurrentSubmitters) {
+  // submit() is documented thread-safe: several external threads race to
+  // enqueue onto the same shards while the pool is already running.
+  runtime::ThreadPool pool{4};
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerSubmitter = 250;
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &done, s] {
+      for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+        pool.submit(s * kPerSubmitter + i, [&done] {
+          done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.wait();
+  EXPECT_EQ(done.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(RaceStress, ThreadPoolDestroyWithQueuedWorkDrains) {
+  // Destruction races the workers against a deep backlog; the destructor
+  // must drain every queued task, not drop or double-run any.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> done{0};
+    {
+      runtime::ThreadPool pool{4};
+      for (std::size_t i = 0; i < 128; ++i) {
+        pool.submit(i, [&done] {
+          done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      // No wait(): the destructor owns the drain.
+    }
+    ASSERT_EQ(done.load(), 128u) << "round " << round;
+  }
+}
+
+TEST(RaceStress, ThreadPoolTasksSubmittingTasks) {
+  // A task fanning out follow-up work races submit() against the parent's
+  // own completion accounting: pending_ must never hit zero while a child
+  // is still queued.
+  runtime::ThreadPool pool{4};
+  std::atomic<std::size_t> leaves{0};
+  constexpr std::size_t kRoots = 32;
+  constexpr std::size_t kChildren = 8;
+  for (std::size_t r = 0; r < kRoots; ++r) {
+    pool.submit(r, [&pool, &leaves, r] {
+      for (std::size_t c = 0; c < kChildren; ++c) {
+        pool.submit(r + c + 1, [&leaves] {
+          leaves.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(leaves.load(), kRoots * kChildren);
+}
+
+TEST(RaceStress, ThreadPoolExceptionStormKeepsPoolUsable) {
+  runtime::ThreadPool pool{4};
+  std::atomic<std::size_t> survivors{0};
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (i % 7 == 0) {
+        pool.submit(i, [] { throw std::runtime_error{"storm"}; });
+      } else {
+        pool.submit(i, [&survivors] {
+          survivors.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error) << "round " << round;
+  }
+  // A clean batch after the storm: the error slot was consumed each round.
+  pool.submit(0, [&survivors] { survivors.fetch_add(1); });
+  pool.wait();
+}
+
+// -- WorkerCache under a live executor ---------------------------------------
+
+TEST(RaceStress, WorkerCacheHammeredByExecutor) {
+  runtime::ThreadPoolExecutor executor{4};
+  runtime::WorkerCache<std::vector<int>> cache{executor.workers()};
+  constexpr std::size_t kTasks = 2000;
+  // Two keys alternating in blocks of 16 indices (4 consecutive tasks per
+  // worker under the round-robin) force a hit/miss mix; every task touches
+  // only its own worker's slot, which is the discipline TSan certifies.
+  executor.run(kTasks, [&cache](std::size_t index, std::size_t worker) {
+    const std::uint64_t key = 100 + (index / 16) % 2;
+    std::vector<int>* entry = cache.lookup(worker, key);
+    if (entry == nullptr) {
+      cache.note_miss(worker);
+      entry = &cache.store(worker, key,
+                           std::vector<int>(8, static_cast<int>(worker)));
+    } else {
+      cache.note_hit(worker);
+    }
+    ASSERT_EQ(entry->size(), 8u);
+    ASSERT_EQ((*entry)[0], static_cast<int>(worker));
+    if (index % 97 == 0) cache.invalidate(worker);
+  });
+  EXPECT_EQ(cache.hits() + cache.misses(), kTasks);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+// -- MetricsRegistry: sharded recording merges exactly -----------------------
+
+TEST(RaceStress, MetricsMergeExactUnderParallelRecording) {
+  runtime::ThreadPoolExecutor executor{4};
+  telemetry::MetricsRegistry registry{executor.workers()};
+  telemetry::Counter tasks = registry.counter("stress.tasks");
+  telemetry::Histogram values = registry.histogram("stress.values");
+  runtime::ExecutorMetrics wiring;
+  wiring.registry = &registry;
+  executor.set_metrics(std::move(wiring));
+
+  constexpr std::size_t kTasks = 5000;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    executor.run(kTasks, [&](std::size_t index, std::size_t worker) {
+      tasks.inc(worker);
+      values.record(worker, static_cast<double>(index % 17));
+    });
+    // The executor joined, so the registry is quiescent: the snapshot must
+    // see every one of the shard-local plain stores, exactly once.
+    const telemetry::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("stress.tasks"), kTasks * (round + 1));
+    const LogHistogram* hist = snap.histogram("stress.values");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count(), kTasks * static_cast<std::size_t>(round + 1));
+  }
+  executor.set_metrics(runtime::ExecutorMetrics{});
+}
+
+TEST(RaceStress, MetricsResetBetweenParallelPhases) {
+  runtime::ThreadPoolExecutor executor{2};
+  telemetry::MetricsRegistry registry{executor.workers()};
+  telemetry::Counter c = registry.counter("stress.reset");
+  runtime::ExecutorMetrics wiring;
+  wiring.registry = &registry;
+  executor.set_metrics(std::move(wiring));
+  for (int round = 0; round < 8; ++round) {
+    executor.run(300, [&c](std::size_t, std::size_t worker) {
+      c.inc(worker);
+    });
+    EXPECT_EQ(registry.snapshot().counter("stress.reset"), 300u);
+    registry.reset();
+  }
+  executor.set_metrics(runtime::ExecutorMetrics{});
+}
+
+// -- TraceRecorder: one lane per worker, recorded concurrently ---------------
+
+TEST(RaceStress, TraceLanesRecordConcurrently) {
+  runtime::ThreadPoolExecutor executor{4};
+  telemetry::TraceRecorder recorder{executor.workers() + 1};
+  constexpr std::size_t kTasks = 1000;
+  executor.run(kTasks, [&recorder](std::size_t index, std::size_t worker) {
+    telemetry::TraceRecorder::Scope span = recorder.span(
+        worker + 1, "task", "stress", SimTime{},
+        static_cast<std::int64_t>(index));
+    if (index % 50 == 0) {
+      recorder.instant(worker + 1, "marker", "stress", SimTime{});
+    }
+  });
+  recorder.instant(0, "joined", "stress", SimTime{});
+  EXPECT_EQ(recorder.spans().size(), kTasks);
+  EXPECT_EQ(recorder.instants().size(), kTasks / 50 + 1);
+}
+
+// -- EventBus under the monitor: the full pipeline at 4 workers --------------
+
+TEST(RaceStress, MonitorPipelineWithPeriodicSnapshotsAt4Workers) {
+  // End-to-end: churn -> bus -> incremental monitor fanning shards over 4
+  // workers, telemetry on, a metrics snapshot forced after *every* batch.
+  // Each snapshot lands at a quiescent point (after the executor join), a
+  // contract the registry now enforces by aborting otherwise; under TSan
+  // this is the telemetry shard -> snapshot handoff certification.
+  MonitoringOptions options;
+  options.profile = GeneratorProfile::scaled(8);
+  options.profile.target_pairs = 8 * 30;
+  options.events = 120;
+  options.batch_ops = 10;
+  options.seed = 77;
+  options.collect_telemetry = true;
+  options.collect_trace = true;
+  options.snapshot_every_batches = 1;
+  options.localize_final = false;
+
+  runtime::ThreadPoolExecutor executor{4};
+  const MonitoringReport report =
+      run_continuous_monitoring(options, executor);
+  EXPECT_GE(report.events, options.events);
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_EQ(report.periodic_snapshot_count, report.batches);
+  EXPECT_EQ(report.telemetry.counter("stream.batches"), report.batches);
+  EXPECT_FALSE(report.trace_json.empty());
+}
+
+TEST(RaceStress, MonitorVerdictsIdenticalAcrossRepeatedParallelRuns) {
+  // Determinism under contention: the same scenario at 4 workers, run
+  // repeatedly, must emit the same verdict digest every time. Flaky
+  // digests here mean a scheduling-dependent data path — the bug class
+  // this PR's annotations exist to keep out.
+  MonitoringOptions options;
+  options.profile = GeneratorProfile::scaled(8);
+  options.profile.target_pairs = 8 * 30;
+  options.events = 80;
+  options.batch_ops = 10;
+  options.seed = 31;
+  options.collect_telemetry = true;
+  options.localize_final = false;
+
+  std::uint64_t expected = 0;
+  for (int run = 0; run < 3; ++run) {
+    runtime::ThreadPoolExecutor executor{4};
+    const MonitoringReport report =
+        run_continuous_monitoring(options, executor);
+    if (run == 0) {
+      expected = report.verdict_digest;
+    } else {
+      EXPECT_EQ(report.verdict_digest, expected) << "run " << run;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scout
