@@ -14,6 +14,15 @@
 // modes and excluded), p50/p99/max detection latency, and the incremental
 // rebuild counters. Flags: --events N, --batch N, --threads N, --seed S,
 // --switches N, --rate EPS (paced replay), --json PATH.
+//
+// --publishers N switches to the concurrent-ingest bench: three legs per
+// worker count over the identical publisher-count-independent fault
+// schedule — serial transport (baseline), phased MPSC-ring publish, and
+// pipelined free-run (publishers overlapped with the drain loop). Serial
+// and ring verdict digests must be bit-identical within and across worker
+// counts; the pipelined leg is gated on its final verdict matching a
+// fresh ground-truth check and, with --min-speedup S, on end-to-end wall
+// events/s >= S x the serial leg's.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -86,6 +95,151 @@ void record(runtime::BenchRecorder& recorder, const MonitoringReport& r,
        {"verdicts_reused", c("stream.verdicts_reused")}});
 }
 
+// The incremental-path invariant, concurrent edition: every full rebuild
+// must be accounted for by an epoch bump, a divergence-threshold trip, or
+// a ring-overflow resync.
+bool rebuilds_accounted(const MonitoringReport& r) {
+  return r.checker.full_rebuilds <= r.checker.epoch_rebuilds +
+                                        r.checker.threshold_trips +
+                                        r.checker.overflow_resyncs;
+}
+
+int run_publishers_bench(int argc, char** argv, const MonitoringOptions& base,
+                         const std::vector<std::size_t>& thread_counts) {
+  const std::size_t publishers =
+      bench::size_flag(argc, argv, "publishers", 4, 1, 64);
+  const double min_speedup = static_cast<double>(
+      bench::size_flag(argc, argv, "min-speedup", 0, 0, 1000));
+  static const char* const kLegNames[] = {"serial", "ring", "pipelined"};
+
+  runtime::BenchRecorder recorder{"stream_latency_publishers"};
+  bool failed = false;
+  bool digest_set = false;
+  std::uint64_t expected_digest = 0;
+  double best_speedup = 0.0;
+
+  for (const std::size_t threads : thread_counts) {
+    const auto executor = runtime::make_executor(threads);
+    double serial_wall_eps = 0.0;
+    for (int leg = 0; leg < 3; ++leg) {
+      MonitoringOptions options = base;
+      options.publishers = publishers;
+      options.use_ring = leg != 0;
+      options.pipelined = leg == 2;
+      const MonitoringReport report =
+          run_continuous_monitoring(options, *executor);
+
+      double speedup = 0.0;
+      if (leg == 0) {
+        serial_wall_eps = report.publish_wall_events_per_sec;
+      } else if (leg == 2 && serial_wall_eps > 0.0) {
+        speedup = report.publish_wall_events_per_sec / serial_wall_eps;
+        best_speedup = std::max(best_speedup, speedup);
+      }
+
+      recorder.add_row(
+          {{"publish_mode", static_cast<double>(leg)},
+           {"publishers", static_cast<double>(publishers)},
+           {"threads", static_cast<double>(threads)},
+           {"events", static_cast<double>(report.events)},
+           {"batches", static_cast<double>(report.batches)},
+           {"churn_ops", static_cast<double>(report.churn_ops)},
+           {"events_per_sec", report.events_per_sec},
+           {"events_per_sec_wall", report.publish_wall_events_per_sec},
+           {"publish_speedup", speedup},
+           {"stream_p50_ms", report.p50_latency_ms},
+           {"stream_p99_ms", report.p99_latency_ms},
+           {"stream_full_rebuilds",
+            static_cast<double>(report.checker.full_rebuilds)},
+           {"stream_epoch_rebuilds",
+            static_cast<double>(report.checker.epoch_rebuilds)},
+           {"stream_threshold_trips",
+            static_cast<double>(report.checker.threshold_trips)},
+           {"stream_unsafe_rebuilds",
+            static_cast<double>(report.checker.unsafe_rebuilds)},
+           {"stream_overflow_resyncs",
+            static_cast<double>(report.checker.overflow_resyncs)},
+           {"stream_ring_evictions",
+            static_cast<double>(report.ring_evictions)},
+           {"stream_ring_full_stalls",
+            static_cast<double>(report.ring_full_stalls)},
+           {"final_verdict_matches_fresh",
+            report.final_verdict_matches_fresh ? 1.0 : 0.0}});
+
+      std::printf(
+          "%-9s %zu publisher(s), %zu worker(s): %8.0f events/s wall "
+          "(%8.0f drain), p99 %7.2f ms, evictions %llu, overflow "
+          "resyncs %zu\n",
+          kLegNames[leg], publishers, threads,
+          report.publish_wall_events_per_sec, report.events_per_sec,
+          report.p99_latency_ms,
+          static_cast<unsigned long long>(report.ring_evictions),
+          report.checker.overflow_resyncs);
+
+      // Serial and phased-ring verdict streams are deterministic and must
+      // agree bit-for-bit; pipelined batch boundaries are timing-dependent
+      // so that leg is held to the final-verdict ground-truth gate.
+      if (leg < 2) {
+        if (!digest_set) {
+          expected_digest = report.verdict_digest;
+          digest_set = true;
+        } else if (report.verdict_digest != expected_digest) {
+          std::fprintf(
+              stderr,
+              "error: digest-identity violated (%s leg, %zu workers): "
+              "%llx != %llx\n",
+              kLegNames[leg], threads,
+              static_cast<unsigned long long>(report.verdict_digest),
+              static_cast<unsigned long long>(expected_digest));
+          failed = true;
+        }
+      } else if (!report.final_verdict_matches_fresh) {
+        std::fprintf(stderr,
+                     "error: pipelined final verdict != fresh check_all "
+                     "(%zu workers)\n",
+                     threads);
+        failed = true;
+      }
+      if (!rebuilds_accounted(report)) {
+        std::fprintf(stderr,
+                     "error: %s leg fell off the incremental path: %zu "
+                     "full rebuilds > %zu epoch + %zu threshold + %zu "
+                     "overflow\n",
+                     kLegNames[leg], report.checker.full_rebuilds,
+                     report.checker.epoch_rebuilds,
+                     report.checker.threshold_trips,
+                     report.checker.overflow_resyncs);
+        failed = true;
+      }
+    }
+  }
+
+  if (!failed && digest_set) {
+    std::printf("digest-identity: OK (serial == ring across worker counts, "
+                "digest %llx)\n",
+                static_cast<unsigned long long>(expected_digest));
+  }
+  std::printf("publish_speedup: x%.1f (pipelined vs serial wall events/s, "
+              "best over worker counts)\n",
+              best_speedup);
+  if (min_speedup > 0.0 && best_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "error: concurrent publish speedup x%.1f below the "
+                 "x%.0f gate\n",
+                 best_speedup, min_speedup);
+    failed = true;
+  }
+
+  const std::string json_path =
+      bench::string_flag(argc, argv, "json", "BENCH_stream.json");
+  if (!recorder.write_file(json_path)) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +250,9 @@ int main(int argc, char** argv) {
   if (threads_flag.present) {
     thread_counts = {bench::size_flag(argc, argv, "threads", 1, 1,
                                       bench::kMaxBenchThreads)};
+  }
+  if (bench::find_flag(argc, argv, "publishers").present) {
+    return run_publishers_bench(argc, argv, base, thread_counts);
   }
 
   runtime::BenchRecorder recorder{"stream_latency"};

@@ -737,6 +737,30 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   stream::EventBus bus;
   net.attach_event_bus(&bus);
 
+  // Concurrent-publish transport: the ring is sized over the SwitchId
+  // space and attached before the monitor is constructed, so the
+  // monitor's ring metrics register. Pipelined runs use backpressure
+  // (nothing evicted mid-run — markers would race the free-running
+  // publishers); phased runs use eviction-to-resync.
+  const bool concurrent = options.publishers > 0;
+  std::unique_ptr<stream::MpscRing> ring;
+  if (concurrent && (options.use_ring || options.pipelined)) {
+    std::size_t sw_bound = 0;
+    for (const auto& agent : net.agents()) {
+      sw_bound = std::max<std::size_t>(sw_bound, agent->id().value() + 1);
+    }
+    stream::MpscRing::Options ropts;
+    if (options.ring_capacity > 0) {
+      ropts.shard_capacity = options.ring_capacity;
+    }
+    ropts.on_full = options.pipelined
+                        ? stream::MpscRing::FullPolicy::kBackpressure
+                        : stream::MpscRing::FullPolicy::kEvictToResync;
+    ring = std::make_unique<stream::MpscRing>(options.publishers, sw_bound,
+                                              ropts);
+    bus.attach_ring(ring.get());
+  }
+
   // Telemetry sinks owned by the run; the monitor holds bare pointers.
   std::unique_ptr<telemetry::MetricsRegistry> registry;
   std::unique_ptr<telemetry::TraceRecorder> trace;
@@ -758,8 +782,22 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   stream::MonitorLoop monitor{net, bus, executor, mopts};
   monitor.prime();
 
-  stream::ChurnGenerator churn{net, bus, derive_seed(options.seed, 0xCE),
-                               options.mix};
+  // Churn source: the legacy serial generator, or the multi-threaded
+  // driver (which degrades to executing the identical schedule serially
+  // when no ring is attached — the differential baseline leg).
+  std::unique_ptr<stream::ChurnGenerator> churn;
+  std::unique_ptr<stream::ConcurrentChurnDriver> driver;
+  if (concurrent) {
+    stream::ConcurrentChurnDriver::Options dopts;
+    dopts.publishers = options.publishers;
+    dopts.mix = options.mix;
+    dopts.use_ring = ring != nullptr;
+    driver = std::make_unique<stream::ConcurrentChurnDriver>(
+        net, bus, derive_seed(options.seed, 0xCE), dopts);
+  } else {
+    churn = std::make_unique<stream::ChurnGenerator>(
+        net, bus, derive_seed(options.seed, 0xCE), options.mix);
+  }
   const ScoutSystem verify_system{
       ScoutSystem::Options{CheckMode::kExactBdd, ScoutLocalizer::Options{}}};
 
@@ -767,34 +805,87 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   std::uint64_t digest = derive_seed(options.seed, 0xD1);
   FabricCheck last_check;
   const auto run_start = Clock::now();
-  while (report.events < options.events) {
-    const std::size_t produced = churn.pump(options.batch_ops);
-    if (produced == 0) break;  // degenerate network: nothing left to churn
-    stream::MonitorVerdict verdict = monitor.drain();
+  const auto fold_verdict = [&](stream::MonitorVerdict& verdict) {
     report.events += verdict.events;
     report.drain_seconds += verdict.drain_ms / 1e3;
     ++report.batches;
     if (!verdict.check.inconsistent.empty()) ++report.inconsistent_batches;
     digest = fabric_check_digest(digest, verdict.check);
-    if (options.verify_batches) {
-      const FabricCheck fresh = verify_system.check_all(net);
-      if (!fabric_check_identical(verdict.check, fresh)) {
-        ++report.verify_mismatches;
+    last_check = std::move(verdict.check);
+  };
+  if (options.pipelined && driver != nullptr) {
+    // Free-run in segments: the publishers burn a segment's op budget
+    // while the monitor drains concurrently (batches self-size to the
+    // backlog), then — at publisher quiescence — a serial control tail
+    // repairs/resyncs switches so the fault schedule doesn't drain the
+    // TCAMs dry (its events ride the next segment's drains). Batch
+    // boundaries are timing-dependent here, so the correctness gate is
+    // the final quiesced verdict against ground truth (below), not the
+    // batch digest stream.
+    const std::size_t segment_ops =
+        std::max<std::size_t>(2500, options.batch_ops);
+    while (report.events < options.events) {
+      const stream::EventBus::Cursor before = bus.cursor();
+      driver->start(segment_ops);
+      for (;;) {
+        stream::MonitorVerdict verdict = monitor.drain();
+        if (verdict.events == 0) {
+          if (!driver->producing()) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          continue;
+        }
+        fold_verdict(verdict);
+      }
+      (void)driver->pump_control(segment_ops);
+      if (bus.cursor() == before) break;  // degenerate: nothing to churn
+    }
+    driver->stop();
+    // Tail drain after quiescence: the last published events, plus shadow
+    // resyncs for anything evicted by the stop()-time close.
+    stream::MonitorVerdict tail = monitor.drain();
+    fold_verdict(tail);
+    // Wall stops at quiescence: the ground-truth cross-check below is the
+    // gate's referee, not part of the monitored pipeline.
+    report.wall_seconds = seconds_since(run_start);
+    report.final_verdict_matches_fresh =
+        fabric_check_identical(last_check, verify_system.check_all(net));
+  } else {
+    while (report.events < options.events) {
+      const std::size_t produced = driver != nullptr
+                                       ? driver->pump(options.batch_ops)
+                                       : churn->pump(options.batch_ops);
+      if (produced == 0) break;  // degenerate network: nothing left to churn
+      stream::MonitorVerdict verdict = monitor.drain();
+      fold_verdict(verdict);
+      if (options.verify_batches) {
+        const FabricCheck fresh = verify_system.check_all(net);
+        if (!fabric_check_identical(last_check, fresh)) {
+          ++report.verify_mismatches;
+        }
+      }
+      if (options.target_events_per_sec > 0.0) {
+        const double due = static_cast<double>(report.events) /
+                           options.target_events_per_sec;
+        const double ahead = due - seconds_since(run_start);
+        if (ahead > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+        }
       }
     }
-    last_check = std::move(verdict.check);  // verdict fully consumed above
-    if (options.target_events_per_sec > 0.0) {
-      const double due = static_cast<double>(report.events) /
-                         options.target_events_per_sec;
-      const double ahead = due - seconds_since(run_start);
-      if (ahead > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
-      }
-    }
+    report.wall_seconds = seconds_since(run_start);
   }
-  report.wall_seconds = seconds_since(run_start);
-  report.churn_ops = churn.ops_applied();
+  report.churn_ops =
+      driver != nullptr ? driver->ops_applied() : churn->ops_applied();
   report.verdict_digest = digest;
+  report.publish_wall_events_per_sec =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.events) / report.wall_seconds
+          : 0.0;
+  if (ring != nullptr) {
+    const stream::MpscRing::Stats ring_stats = ring->stats();
+    report.ring_evictions = ring_stats.evictions;
+    report.ring_full_stalls = ring_stats.full_stalls;
+  }
   report.events_per_sec =
       report.drain_seconds > 0.0
           ? static_cast<double>(report.events) / report.drain_seconds

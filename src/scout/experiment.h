@@ -290,6 +290,25 @@ struct MonitoringOptions {
   std::size_t snapshot_every_batches = 0;
   // Remediate the final verdict (reinstall missing rules + re-check).
   bool remediate_final = false;
+  // Concurrent publish. 0 = the legacy serial ChurnGenerator. > 0 drives
+  // churn through ConcurrentChurnDriver: that many publisher threads run
+  // the data-plane fault schedule while control-plane churn stays serial.
+  std::size_t publishers = 0;
+  // With publishers > 0: route the data phase through an MpscRing attached
+  // to the bus (true), or execute the identical schedule serially through
+  // the bus (false) — the differential baseline leg. The schedule is
+  // publisher-count independent either way, so verdict digests must match
+  // across {use_ring} x {publishers} x {workers}.
+  bool use_ring = true;
+  // Ring shard capacity (0 = the MpscRing default). Tests set tiny values
+  // to force overflow evictions -> shadow resyncs.
+  std::size_t ring_capacity = 0;
+  // Free-run: publishers run the whole event budget while the monitor
+  // drains concurrently (kBackpressure ring; evictions only possible at
+  // stop()-time close). Batch digests are timing-dependent here, so the
+  // correctness gate is final_verdict_matches_fresh instead; pacing and
+  // verify_batches are ignored.
+  bool pipelined = false;
 };
 
 struct MonitoringReport {
@@ -326,6 +345,15 @@ struct MonitoringReport {
   telemetry::MetricsSnapshot telemetry;
   std::size_t periodic_snapshot_count = 0;
   std::string trace_json;  // Chrome trace (collect_trace only)
+  // Concurrent-publish metrics (publishers > 0 runs). The wall-clock rate
+  // is the end-to-end one (churn + verification overlapped in pipelined
+  // mode) — the number the >=10x concurrent-vs-serial gate compares.
+  double publish_wall_events_per_sec = 0.0;
+  std::uint64_t ring_evictions = 0;
+  std::uint64_t ring_full_stalls = 0;
+  // Pipelined runs: does the final composed verdict equal a fresh
+  // ScoutSystem::check_all after quiescence? (true for every other mode.)
+  bool final_verdict_matches_fresh = true;
 };
 
 [[nodiscard]] MonitoringReport run_continuous_monitoring(

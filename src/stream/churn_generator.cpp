@@ -39,13 +39,13 @@ SwitchAgent* ChurnGenerator::healthy_agent() {
   return nullptr;
 }
 
-std::size_t ChurnGenerator::pump(std::size_t ops) {
+std::size_t ChurnGenerator::pump(std::size_t ops, bool allow_valve) {
   const EventBus::Cursor start = bus_->cursor();
   for (std::size_t i = 0; i < ops; ++i) {
     step();
     ++ops_;
   }
-  if (bus_->cursor() == start) {
+  if (allow_valve && bus_->cursor() == start) {
     // Degenerate-network valve: force repair churn (a resync always
     // republishes something on a deployed fabric) before reporting a
     // silent interval.
@@ -151,6 +151,191 @@ void ChurnGenerator::step() {
     default:
       break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentChurnDriver
+
+namespace {
+
+// Control tail runs the policy/repair ops only; evict and corrupt belong
+// to the concurrent data phase.
+ChurnMix control_tail_mix(ChurnMix mix) {
+  mix.evict = 0.0;
+  mix.corrupt = 0.0;
+  return mix;
+}
+
+}  // namespace
+
+ConcurrentChurnDriver::ConcurrentChurnDriver(SimNetwork& net, EventBus& bus,
+                                             std::uint64_t seed)
+    : ConcurrentChurnDriver(net, bus, seed, Options{}) {}
+
+ConcurrentChurnDriver::ConcurrentChurnDriver(SimNetwork& net, EventBus& bus,
+                                             std::uint64_t seed,
+                                             Options options)
+    : net_(&net),
+      bus_(&bus),
+      options_(options),
+      schedule_seed_(derive_seed(seed, 0)),
+      control_(net, bus, derive_seed(seed, 1),
+               control_tail_mix(options.mix)) {
+  SCOUT_CHECK(options_.publishers > 0,
+              "ConcurrentChurnDriver: at least one publisher");
+  if (options_.use_ring) {
+    SCOUT_CHECK(bus_->ring() != nullptr,
+                "ConcurrentChurnDriver: use_ring requires an attached ring");
+    SCOUT_CHECK(bus_->ring()->publishers() >= options_.publishers,
+                "ConcurrentChurnDriver: ring has "
+                    << bus_->ring()->publishers() << " shards, need "
+                    << options_.publishers);
+    workers_.reserve(options_.publishers);
+    for (std::size_t p = 0; p < options_.publishers; ++p) {
+      workers_.emplace_back([this, p] { worker_main(p); });
+    }
+  }
+}
+
+ConcurrentChurnDriver::~ConcurrentChurnDriver() {
+  stop_requested_.store(true, std::memory_order_release);
+  {
+    MutexLock l{mu_};
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void ConcurrentChurnDriver::make_schedule(std::size_t data_ops) {
+  schedule_.clear();
+  const auto agents = net_->agents();
+  if (agents.empty() || data_ops == 0) return;
+  schedule_.reserve(data_ops);
+  const std::uint64_t interval_seed = derive_seed(schedule_seed_, interval_);
+  ++interval_;
+  const double evict_w = std::max(0.0, options_.mix.evict);
+  const double corrupt_w = std::max(0.0, options_.mix.corrupt);
+  const double total = evict_w + corrupt_w;
+  for (std::size_t i = 0; i < data_ops; ++i) {
+    // One private rng per op, derived from (interval, op index) — no
+    // shared stream for publisher threads to race on, and no dependence
+    // on who executes the op when.
+    Rng op_rng{derive_seed(interval_seed, i)};
+    net_->clock().advance(op_rng.between(1, 40));
+    DataOp op;
+    op.agent_index = op_rng.below(agents.size());
+    op.kind = (total <= 0.0 || op_rng.uniform() * total < evict_w)
+                  ? DataOp::Kind::kEvict
+                  : DataOp::Kind::kCorrupt;
+    op.rng_seed = op_rng();
+    op.time = net_->clock().now();
+    schedule_.push_back(op);
+  }
+}
+
+void ConcurrentChurnDriver::run_op(const DataOp& op) {
+  SwitchAgent& a = *net_->agents()[op.agent_index];
+  Rng rng{op.rng_seed};
+  if (op.kind == DataOp::Kind::kEvict) {
+    (void)a.evict_rules(1 + rng.below(3), op.time);
+  } else {
+    (void)a.corrupt_tcam_bit(rng, op.time, /*detection_probability=*/0.5);
+  }
+}
+
+void ConcurrentChurnDriver::dispatch(bool wait_done) {
+  MutexLock l{mu_};
+  SCOUT_CHECK(pending_workers_ == 0,
+              "ConcurrentChurnDriver: generation already in flight");
+  pending_workers_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  while (wait_done && pending_workers_ != 0) done_cv_.wait(mu_);
+}
+
+void ConcurrentChurnDriver::worker_main(std::size_t pub) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      MutexLock l{mu_};
+      while (generation_ == seen && !shutdown_) work_cv_.wait(mu_);
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    {
+      // Claim the shard + route this thread's publishes into it for the
+      // duration of the generation.
+      EventBus::ConcurrentPublishCapability cap{*bus_, pub};
+      for (const DataOp& op : schedule_) {
+        if (op.agent_index % options_.publishers != pub) continue;
+        if (stop_requested_.load(std::memory_order_acquire)) break;
+        run_op(op);
+        executed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    {
+      MutexLock l{mu_};
+      if (--pending_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t ConcurrentChurnDriver::pump(std::size_t ops) {
+  const EventBus::Cursor start = bus_->cursor();
+  std::size_t control_ops =
+      ops == 0 ? 0
+               : std::max<std::size_t>(
+                     1, static_cast<std::size_t>(
+                            static_cast<double>(ops) *
+                            options_.control_fraction));
+  control_ops = std::min(control_ops, ops);
+  make_schedule(ops - control_ops);
+  if (!schedule_.empty()) {
+    if (!workers_.empty()) {
+      dispatch(/*wait_done=*/true);
+    } else {
+      for (const DataOp& op : schedule_) run_op(op);
+      executed_.fetch_add(schedule_.size(), std::memory_order_relaxed);
+    }
+  }
+  if (bus_->ring() != nullptr) (void)bus_->ingest_ring();
+  if (control_ops > 0) (void)control_.pump(control_ops, /*allow_valve=*/false);
+  return bus_->cursor() - start;
+}
+
+std::size_t ConcurrentChurnDriver::pump_control(std::size_t ops) {
+  if (ops == 0) return 0;
+  const std::size_t control_ops = std::min(
+      ops, std::max<std::size_t>(
+               1, static_cast<std::size_t>(static_cast<double>(ops) *
+                                           options_.control_fraction)));
+  return control_.pump(control_ops, /*allow_valve=*/false);
+}
+
+void ConcurrentChurnDriver::start(std::size_t total_ops) {
+  SCOUT_CHECK(!workers_.empty(),
+              "ConcurrentChurnDriver::start: pipelined mode needs use_ring");
+  stop_requested_.store(false, std::memory_order_release);
+  make_schedule(total_ops);
+  if (!schedule_.empty()) dispatch(/*wait_done=*/false);
+}
+
+bool ConcurrentChurnDriver::producing() const {
+  MutexLock l{mu_};
+  return pending_workers_ != 0;
+}
+
+void ConcurrentChurnDriver::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (MpscRing* ring = bus_->ring()) ring->close();
+  MutexLock l{mu_};
+  while (pending_workers_ != 0) done_cv_.wait(mu_);
+}
+
+std::size_t ConcurrentChurnDriver::ops_applied() const noexcept {
+  return control_.ops_applied() +
+         executed_.load(std::memory_order_acquire);
 }
 
 }  // namespace scout::stream

@@ -7,10 +7,13 @@
 // be compared verdict-for-verdict.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/scout/sim_network.h"
 #include "src/stream/event_bus.h"
@@ -42,8 +45,10 @@ class ChurnGenerator {
   // activity) and return how many events they published. Most ops publish
   // 1-3 events; repair/resync ops burst a whole switch's reinstalls. If
   // the interval published nothing (degenerate network), a forced resync
-  // valve tries once to restart the stream before returning 0.
-  std::size_t pump(std::size_t ops);
+  // valve tries once to restart the stream before returning 0 — pass
+  // allow_valve=false to skip that (ConcurrentChurnDriver's control tail
+  // rides alongside a data phase that already published).
+  std::size_t pump(std::size_t ops, bool allow_valve = true);
 
   [[nodiscard]] std::size_t ops_applied() const noexcept { return ops_; }
 
@@ -60,6 +65,116 @@ class ChurnGenerator {
   std::size_t ops_ = 0;
   std::vector<SwitchId> crashed_;
   std::vector<SwitchId> disconnected_;
+};
+
+// Multi-threaded churn driver: data-plane faults (evict / corrupt — the
+// switch-local ops) execute on N persistent publisher threads that append
+// to the bus's attached MpscRing, while control-plane churn (resyncs,
+// crashes, flaps, migrations — everything that touches the controller)
+// stays a serial tail on the driver thread via a nested ChurnGenerator.
+//
+// Determinism contract: the data-op schedule is a pure function of
+// (seed, interval index, op index) — never of the publisher count or of
+// thread timing. Each op pins its fault parameters at schedule time
+// (agent, kind, private rng seed, pre-advanced sim time); publishers only
+// execute them. All of one switch's ops route to one shard
+// (agent_index % publishers) and stay in schedule order there, so
+// per-switch event order — the only order the incremental checker's
+// verdict depends on — is identical across 1/2/4 publishers and equal to
+// a serial-transport execution of the same schedule. That is what lets
+// tests/test_stream_monitor.cpp and bench/stream_latency.cpp demand
+// bit-identical verdict digests between the serial and concurrent legs.
+//
+// Two driving modes:
+//  * pump(ops) — phased: schedule the interval's data ops, run them to
+//    completion on the publishers, ingest the ring, then run the serial
+//    control tail. The monitor drains between pumps (the lock-step shape
+//    run_continuous_monitoring uses for digest comparison).
+//  * start(total) / producing() / stop() — pipelined: publishers free-run
+//    the whole budget while the monitor drains concurrently. Use a
+//    kBackpressure ring so nothing is evicted mid-run; stop() closes the
+//    ring (unblocking any spinner) and joins the in-flight generation.
+class ConcurrentChurnDriver {
+ public:
+  struct Options {
+    std::size_t publishers = 2;
+    // Fraction of each pump()'s ops run as the serial control-plane tail
+    // (at least one op; the rest are concurrent data-plane faults).
+    double control_fraction = 0.25;
+    // Weights: evict/corrupt drive the data phase; the rest the tail.
+    ChurnMix mix{};
+    // When false no threads are spawned and pump() executes the identical
+    // schedule serially through the bus — the differential baseline.
+    bool use_ring = true;
+  };
+
+  ConcurrentChurnDriver(SimNetwork& net, EventBus& bus, std::uint64_t seed);
+  ConcurrentChurnDriver(SimNetwork& net, EventBus& bus, std::uint64_t seed,
+                        Options options);
+  ~ConcurrentChurnDriver();
+  ConcurrentChurnDriver(const ConcurrentChurnDriver&) = delete;
+  ConcurrentChurnDriver& operator=(const ConcurrentChurnDriver&) = delete;
+
+  // Phased interval: data phase, ring ingest, control tail. Returns the
+  // events that reached the serial log. Driver thread only.
+  std::size_t pump(std::size_t ops);
+
+  // Pipelined: hand the publishers a segment's schedule and return
+  // immediately. Driver thread only; requires use_ring.
+  void start(std::size_t total_ops);
+  [[nodiscard]] bool producing() const;
+  // Serial control-plane tail for `ops` interval-ops (the same
+  // control_fraction split pump() applies). Pipelined drivers call this
+  // between free-run segments, at publisher quiescence — control churn
+  // mutates the controller and republishes switches, which must never
+  // overlap the data-plane publishers.
+  std::size_t pump_control(std::size_t ops);
+  // Request early stop, close the ring (unblocks backpressure spinners)
+  // and join the in-flight generation. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t publishers() const noexcept {
+    return options_.publishers;
+  }
+  [[nodiscard]] std::size_t ops_applied() const noexcept;
+
+ private:
+  struct DataOp {
+    enum class Kind : std::uint8_t { kEvict, kCorrupt };
+    std::size_t agent_index = 0;
+    Kind kind = Kind::kEvict;
+    std::uint64_t rng_seed = 0;  // private to the op: no shared rng state
+    SimTime time{};              // pre-advanced at schedule time
+  };
+
+  void make_schedule(std::size_t data_ops);
+  void run_op(const DataOp& op);
+  void dispatch(bool wait_done);
+  void worker_main(std::size_t pub);
+
+  SimNetwork* net_;
+  EventBus* bus_;
+  Options options_;
+  std::uint64_t schedule_seed_;
+  std::uint64_t interval_ = 0;
+  ChurnGenerator control_;
+
+  // Read-only to workers while a generation is in flight; mutated by the
+  // driver only between generations (pending_workers_ == 0).
+  std::vector<DataOp> schedule_;
+  std::atomic<std::size_t> executed_{0};
+  std::atomic<bool> stop_requested_{false};
+
+  // Generation barrier: the driver bumps generation_ to hand the current
+  // schedule_ to every worker; each worker runs its residue class and
+  // decrements pending_workers_, the last one waking done_cv_.
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::uint64_t generation_ SCOUT_GUARDED_BY(mu_) = 0;
+  std::size_t pending_workers_ SCOUT_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SCOUT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace scout::stream

@@ -50,6 +50,13 @@ enum class StreamEventType : std::uint8_t {
   // -- policy layer ----------------------------------------------------------
   kPolicyPushed,    // compiled policy regenerated; `epoch` = new compiled_epoch
   kPolicyChanged,   // record-only change-log entry for `object` (benign churn)
+  // -- backpressure degradation ----------------------------------------------
+  // Synthesized by EventBus::ingest_ring when the MPSC ring evicted events
+  // for `sw` (full shard under MpscRing::FullPolicy::kEvictToResync): the
+  // switch's event stream has a gap, so the incremental checker re-collects
+  // its TCAM from ground truth — the one post-prime exception to "events
+  // are the sole input", taken only at publisher quiescence.
+  kShadowResync,
 };
 
 [[nodiscard]] std::string_view to_string(StreamEventType t) noexcept;

@@ -1,10 +1,24 @@
 #include "src/stream/event_bus.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/policy/change_log.h"
 
 namespace scout::stream {
+namespace {
+
+// Per-thread publish route. A thread holding a ConcurrentPublishCapability
+// for bus B has publish() on B appending to its ring shard; every other
+// (bus, thread) combination stays on the serial path.
+struct PublishRoute {
+  const EventBus* bus = nullptr;
+  MpscRing* ring = nullptr;
+  std::size_t pub = 0;
+};
+thread_local PublishRoute t_route;
+
+}  // namespace
 
 std::string_view to_string(StreamEventType t) noexcept {
   switch (t) {
@@ -32,19 +46,151 @@ std::string_view to_string(StreamEventType t) noexcept {
       return "policy-pushed";
     case StreamEventType::kPolicyChanged:
       return "policy-changed";
+    case StreamEventType::kShadowResync:
+      return "shadow-resync";
   }
   return "?";
 }
 
 EventBus::Cursor EventBus::publish(StreamEvent ev) {
+  if (t_route.bus == this) {
+    // Concurrent path: stamp what a publisher can stamp (wall now, the
+    // phase's change-log mark) and hand the event to the ring; seq is
+    // assigned at ingest, when the serial phase decides stream order.
+    ev.wall = std::chrono::steady_clock::now();
+    ev.change_log_mark = t_route.ring->change_log_mark();
+    (void)t_route.ring->publish(t_route.pub, ev);
+    return 0;
+  }
+  return publish_serial(std::move(ev));
+}
+
+EventBus::Cursor EventBus::publish_serial(StreamEvent ev) {
   SerialGuard g{serial_};
   const Cursor seq = cursor_unlocked();
   ev.seq = seq;
   ev.wall = std::chrono::steady_clock::now();
   ev.change_log_mark = change_log_ != nullptr ? change_log_->size() : 0;
+  // Serial publishes are the points where the change log can have moved;
+  // keep the mark ring publishers stamp in step so a following concurrent
+  // phase needs no extra refresh.
+  if (MpscRing* ring = ring_.load(std::memory_order_relaxed)) {
+    ring->set_change_log_mark(ev.change_log_mark);
+  }
   events_.push_back(std::move(ev));
   ++stats_.published;
   return seq;
+}
+
+void EventBus::attach_ring(MpscRing* ring) {
+  SerialGuard g{serial_};
+  ring_.store(ring, std::memory_order_release);
+  if (ring != nullptr && change_log_ != nullptr) {
+    ring->set_change_log_mark(change_log_->size());
+  }
+}
+
+void EventBus::refresh_ring_mark() {
+  SerialGuard g{serial_};
+  if (MpscRing* ring = ring_.load(std::memory_order_relaxed)) {
+    ring->set_change_log_mark(change_log_ != nullptr ? change_log_->size()
+                                                     : 0);
+  }
+}
+
+void EventBus::route_thread(const EventBus* bus, MpscRing* ring,
+                            std::size_t pub) noexcept {
+  t_route = PublishRoute{bus, ring, pub};
+}
+
+EventBus::ConcurrentPublishCapability::ConcurrentPublishCapability(
+    EventBus& bus, std::size_t pub)
+    : ring_(bus.ring()), pub_(pub) {
+  SCOUT_CHECK(ring_ != nullptr,
+              "ConcurrentPublishCapability: no ring attached to the bus");
+  SCOUT_CHECK(t_route.bus == nullptr,
+              "ConcurrentPublishCapability: thread already routed");
+  ring_->claim(pub_);
+  route_thread(&bus, ring_, pub_);
+}
+
+EventBus::ConcurrentPublishCapability::~ConcurrentPublishCapability() {
+  route_thread(nullptr, nullptr, 0);
+  ring_->release(pub_);
+}
+
+std::size_t EventBus::ingest_ring() {
+  SerialGuard g{serial_};
+  MpscRing* ring = ring_.load(std::memory_order_relaxed);
+  if (ring == nullptr) return 0;
+  std::size_t n = 0;
+  SimTime latest{};
+  for (std::size_t p = 0; p < ring->publishers(); ++p) {
+    n += ring->drain_shard(p, [&](const StreamEvent& ev) {
+      StreamEvent copy = ev;
+      copy.seq = cursor_unlocked();
+      latest = std::max(latest, copy.time);
+      events_.push_back(copy);
+      ++stats_.published;
+      ++stats_.ingested;
+    });
+  }
+  // Evicted switches degrade to a shadow resync, appended after the
+  // surviving events: the checker supersedes a switch's staged deltas with
+  // its marker, so a partial (post-gap) suffix is never applied to a
+  // pre-gap shadow. Fabric-wide evictions are counted in the ring stats
+  // only — policy-layer events are driver-serial in every driver, and the
+  // checker reads the compiled epoch from ground truth at drain anyway.
+  std::vector<SwitchId> evicted;
+  (void)ring->take_evictions(evicted);
+  for (const SwitchId sw : evicted) {
+    StreamEvent ev;
+    ev.type = StreamEventType::kShadowResync;
+    ev.sw = sw;
+    ev.time = latest;
+    ev.wall = std::chrono::steady_clock::now();
+    ev.change_log_mark = change_log_ != nullptr ? change_log_->size() : 0;
+    ev.seq = cursor_unlocked();
+    events_.push_back(ev);
+    ++stats_.published;
+    ++stats_.resyncs_synthesized;
+    ++n;
+  }
+  return n;
+}
+
+EventBus::ReaderId EventBus::register_reader() {
+  SerialGuard g{serial_};
+  readers_.push_back(cursor_unlocked());
+  return readers_.size() - 1;
+}
+
+void EventBus::advance_reader(ReaderId id, Cursor c) {
+  SerialGuard g{serial_};
+  SCOUT_CHECK(id < readers_.size(),
+              "EventBus::advance_reader: reader " << id << " of "
+                  << readers_.size());
+  SCOUT_CHECK(c >= readers_[id],
+              "EventBus::advance_reader: cursor moved backwards (" << c
+                  << " < " << readers_[id] << ")");
+  SCOUT_CHECK(c <= cursor_unlocked(),
+              "EventBus::advance_reader: cursor ahead of the stream");
+  readers_[id] = c;
+}
+
+EventBus::Cursor EventBus::reader_cursor(ReaderId id) const {
+  SerialGuard g{serial_};
+  SCOUT_CHECK(id < readers_.size(),
+              "EventBus::reader_cursor: reader " << id << " of "
+                  << readers_.size());
+  return readers_[id];
+}
+
+EventBus::Cursor EventBus::compaction_floor() const {
+  SerialGuard g{serial_};
+  Cursor floor = cursor_unlocked();
+  for (const Cursor r : readers_) floor = std::min(floor, r);
+  return floor;
 }
 
 std::span<const StreamEvent> EventBus::events_since(Cursor c) const {
@@ -65,6 +211,9 @@ std::span<const StreamEvent> EventBus::events_since(Cursor c) const {
 
 void EventBus::compact(Cursor c) {
   SerialGuard g{serial_};
+  // The multi-cursor compaction boundary: never reclaim an event any
+  // registered reader has yet to consume, whatever the caller asked for.
+  for (const Cursor r : readers_) c = std::min(c, r);
   if (c <= base_) return;
   const Cursor limit = cursor_unlocked();
   if (c > limit) c = limit;

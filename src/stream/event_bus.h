@@ -22,14 +22,30 @@
 //  * ChangeLog layering. When bound to the controller's change log, every
 //    event is stamped with the log's size at publish time, so two cursors
 //    delimit exactly the policy actions recorded between them.
+//  * Concurrent publish (opt-in). attach_ring() hangs an MpscRing off the
+//    bus; a thread holding a ConcurrentPublishCapability has its publish()
+//    calls routed (via a thread-local) to its ring shard instead of the
+//    serial stream, so the instrumented components (Controller,
+//    SwitchAgent) need no changes and the serial contract above stays
+//    statically checked for everything else. ingest_ring() — a serial-phase
+//    call — folds the shards back into the stream, assigning dense seq at
+//    ingest and synthesizing kShadowResync events for switches the ring
+//    evicted from (see mpsc_ring.h for the backpressure story).
+//  * Multi-reader compaction boundary. Sharded consumers register one
+//    reader cursor each; compact(c) clamps to the laggiest registered
+//    reader, so no event is reclaimed while any shard cursor precedes it.
+//    With no readers registered the single-cursor behavior is unchanged.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/stream/event.h"
+#include "src/stream/mpsc_ring.h"
 
 namespace scout {
 class ChangeLog;
@@ -48,7 +64,10 @@ class EventBus {
   }
 
   // Append one event; fills seq, wall and change_log_mark. Returns the
-  // assigned sequence number.
+  // assigned sequence number. On a thread holding a
+  // ConcurrentPublishCapability for this bus, the event goes to that
+  // thread's ring shard instead (seq assigned later, at ingest) and 0 is
+  // returned — publishers never observe sequence numbers.
   Cursor publish(StreamEvent ev);
 
   // The next sequence number to be assigned (== one past the last event).
@@ -62,7 +81,9 @@ class EventBus {
   // corruption must fail loudly). Valid until the next publish/compact.
   [[nodiscard]] std::span<const StreamEvent> events_since(Cursor c) const;
 
-  // Drop retained events with seq < c (c capped at cursor()).
+  // Drop retained events with seq < c — c is capped at cursor() and
+  // clamped to the minimum registered reader cursor (compaction_floor()),
+  // so lagging sharded readers pin retention.
   void compact(Cursor c);
 
   [[nodiscard]] std::size_t retained() const noexcept {
@@ -76,10 +97,15 @@ class EventBus {
 
   // Lifetime counters for the telemetry bridge: totals survive
   // compaction, unlike retained()/base() which describe current storage.
+  // `published` counts every event entering the serial stream (serial
+  // publishes + ring ingests + synthesized resyncs); `ingested` and
+  // `resyncs_synthesized` break out the ring-fed portions.
   struct Stats {
     std::uint64_t published = 0;
     std::uint64_t compactions = 0;
     std::uint64_t compacted_events = 0;
+    std::uint64_t ingested = 0;
+    std::uint64_t resyncs_synthesized = 0;
   };
   [[nodiscard]] Stats stats() const noexcept {
     SerialGuard g{serial_};
@@ -91,7 +117,68 @@ class EventBus {
   // monitor thread). The handoff itself must provide the happens-before.
   void rebind_serial_owner() noexcept { serial_.rebind(); }
 
+  // -- Concurrent publish (MPSC ring) ----------------------------------------
+
+  // Serial-phase: attach (nullptr: detach) the ring concurrent publishers
+  // route through. The ring must outlive its attachment.
+  void attach_ring(MpscRing* ring);
+  [[nodiscard]] MpscRing* ring() const noexcept {
+    return ring_.load(std::memory_order_acquire);
+  }
+
+  // RAII concurrent-publish registration: while alive, the constructing
+  // thread's publish() calls on this bus append to ring shard `pub`
+  // instead of the serial stream. One live capability per shard (the ring
+  // aborts on double claims); drop it before the next serial phase touches
+  // the shard. This is the statically-visible relaxation of the serial
+  // contract: components keep calling the same publish_event() helpers,
+  // only threads that explicitly hold the capability ever leave the
+  // serial path.
+  class ConcurrentPublishCapability {
+   public:
+    ConcurrentPublishCapability(EventBus& bus, std::size_t pub);
+    ~ConcurrentPublishCapability();
+    ConcurrentPublishCapability(const ConcurrentPublishCapability&) = delete;
+    ConcurrentPublishCapability& operator=(const ConcurrentPublishCapability&) =
+        delete;
+
+   private:
+    MpscRing* ring_;
+    std::size_t pub_;
+  };
+
+  // Serial-phase: fold every ring shard into the stream — shards in index
+  // order, each shard oldest-first — assigning dense seq at ingest while
+  // preserving the publish-time time/wall/change_log_mark stamps, then
+  // append one kShadowResync event per switch the ring evicted from.
+  // Returns events ingested (synthesized resyncs included). No-op without
+  // an attached ring.
+  std::size_t ingest_ring();
+
+  // Serial-phase: restamp the ring's change-log mark from the bound log.
+  // Call at the start of a concurrent phase, after any serial log writes.
+  void refresh_ring_mark();
+
+  // -- Multi-reader compaction boundary --------------------------------------
+  //
+  // Sharded consumers register one reader each; compact(c) then clamps to
+  // the minimum registered reader cursor, so no event is reclaimed while
+  // any shard cursor precedes it. Readers start at the current cursor and
+  // must advance monotonically, never past the stream head.
+  using ReaderId = std::size_t;
+  [[nodiscard]] ReaderId register_reader();
+  void advance_reader(ReaderId id, Cursor c);
+  [[nodiscard]] Cursor reader_cursor(ReaderId id) const;
+  // min over registered reader cursors; cursor() when none registered.
+  [[nodiscard]] Cursor compaction_floor() const;
+
  private:
+  Cursor publish_serial(StreamEvent ev);
+
+  // Thread-local publish routing, managed by ConcurrentPublishCapability.
+  static void route_thread(const EventBus* bus, MpscRing* ring,
+                           std::size_t pub) noexcept;
+
   [[nodiscard]] Cursor cursor_unlocked() const noexcept
       SCOUT_REQUIRES(serial_) {
     return base_ + events_.size();
@@ -106,6 +193,11 @@ class EventBus {
   Cursor base_ SCOUT_GUARDED_BY(serial_) = 0;
   const ChangeLog* change_log_ SCOUT_GUARDED_BY(serial_) = nullptr;
   Stats stats_ SCOUT_GUARDED_BY(serial_);
+  // Registered reader cursors (compaction clamps to their minimum).
+  std::vector<Cursor> readers_ SCOUT_GUARDED_BY(serial_);
+  // Attached by the serial phase, read by publisher threads entering a
+  // ConcurrentPublishCapability — hence atomic, not serial-guarded.
+  std::atomic<MpscRing*> ring_{nullptr};
 };
 
 // Publisher-side conveniences shared by the instrumented components

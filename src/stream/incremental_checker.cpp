@@ -53,6 +53,12 @@ struct IncrementalChecker::SwitchState {
   std::int64_t min_deny_priority = kNoDeny;
   bool t_dirty = false;  // unsafe delta seen: T must re-encode
 
+  // A kShadowResync marker was applied (ring overflow evicted this
+  // switch's events): the shadow was re-collected from ground truth and T
+  // must re-encode before the next verdict — counted as an overflow
+  // rebuild, distinct from the unsafe/threshold triggers.
+  bool resync_pending = false;
+
   // Verdict cache for the current (L, T, shadow); recomputing it runs the
   // full rule diff, so untouched switches serve the cached copy.
   bool verdict_valid = false;
@@ -128,7 +134,29 @@ void IncrementalChecker::stage(std::span<const StreamEvent> events) {
       case StreamEventType::kRuleModified:
       case StreamEventType::kSwitchResynced:
         if (const auto it = index_.find(ev.sw); it != index_.end()) {
-          states_[it->second]->pending.push_back(&ev);
+          auto& pending = states_[it->second]->pending;
+          // Once a shadow-resync marker is staged for a switch, the batch's
+          // other deltas for it are superseded: the marker re-collects the
+          // final (drain-time) TCAM, and applying a partial post-gap suffix
+          // to a pre-gap shadow would corrupt the mirror.
+          if (!pending.empty() &&
+              pending.back()->type == StreamEventType::kShadowResync) {
+            break;
+          }
+          pending.push_back(&ev);
+        }
+        break;
+      case StreamEventType::kShadowResync:
+        if (const auto it = index_.find(ev.sw); it != index_.end()) {
+          auto& pending = states_[it->second]->pending;
+          if (!pending.empty() &&
+              pending.back()->type == StreamEventType::kShadowResync) {
+            break;  // one marker per switch per batch is enough
+          }
+          // Events staged before the marker precede the eviction gap; the
+          // re-collect covers them, so they are dropped, not applied.
+          pending.clear();
+          pending.push_back(&ev);
         }
         break;
       default:
@@ -206,7 +234,9 @@ void IncrementalChecker::apply_event(Shard& shard, SwitchState& st,
                                      const StreamEvent& ev,
                                      bool bdd_current) {
   ++shard.stats.events_applied;
-  ++st.churn;
+  // Synthesized resync markers are bookkeeping, not fabric activity; the
+  // per-switch churn gauges count real TCAM deltas only.
+  if (ev.type != StreamEventType::kShadowResync) ++st.churn;
   auto& cube = shard.cube_scratch;
   // The T cube update is worth doing only when the resident T is the
   // current one (no pending arena rebuild) and the ruleset stays in the
@@ -365,6 +395,19 @@ void IncrementalChecker::apply_event(Shard& shard, SwitchState& st,
       st.verdict_valid = false;
       break;
     }
+    case StreamEventType::kShadowResync: {
+      // Ring overflow evicted this switch's events: the event mirror has a
+      // gap, so re-collect the TCAM from ground truth — the one post-prime
+      // exception to "events are the sole input", taken only while the
+      // switch's publisher is quiescent (eviction policy runs in phased
+      // mode; the free-running pipeline uses backpressure instead).
+      const auto rules = st.agent->tcam().rules();
+      st.shadow.assign(rules.begin(), rules.end());
+      recompute_shape(st);
+      st.resync_pending = true;
+      st.verdict_valid = false;
+      break;
+    }
     default:
       break;
   }
@@ -373,7 +416,15 @@ void IncrementalChecker::apply_event(Shard& shard, SwitchState& st,
 void IncrementalChecker::refresh_verdict(Shard& shard, SwitchState& st,
                                          std::uint64_t epoch) {
   if (st.epoch != epoch) {
-    rebuild_arena(shard, st, epoch);
+    rebuild_arena(shard, st, epoch);  // re-encodes T from the shadow too
+    st.resync_pending = false;
+  } else if (st.resync_pending) {
+    rebuild_t(st);
+    st.resync_pending = false;
+    ++shard.stats.overflow_resyncs;
+    ++shard.stats.full_rebuilds;
+    note_rebuild(shard, st, "overflow");
+    st.verdict_valid = false;
   } else if (st.t_dirty) {
     rebuild_t(st);
     ++shard.stats.unsafe_rebuilds;
@@ -495,6 +546,7 @@ IncrementalChecker::Stats IncrementalChecker::stats() const {
     total.epoch_rebuilds += s.epoch_rebuilds;
     total.threshold_trips += s.threshold_trips;
     total.unsafe_rebuilds += s.unsafe_rebuilds;
+    total.overflow_resyncs += s.overflow_resyncs;
     total.diff_recomputes += s.diff_recomputes;
     total.verdicts_reused += s.verdicts_reused;
   }

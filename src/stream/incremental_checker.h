@@ -77,6 +77,7 @@ class IncrementalChecker {
     std::size_t epoch_rebuilds = 0;     //   caused by compiled-epoch bumps
     std::size_t threshold_trips = 0;    //   caused by arena divergence
     std::size_t unsafe_rebuilds = 0;    //   caused by out-of-shape deltas
+    std::size_t overflow_resyncs = 0;   //   caused by ring-eviction resyncs
     std::size_t diff_recomputes = 0;    // verdicts recomputed via bdd_rule_diff
     std::size_t verdicts_reused = 0;    // switches served their cached verdict
   };

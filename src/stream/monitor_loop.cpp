@@ -38,6 +38,15 @@ MonitorLoop::MonitorLoop(SimNetwork& net, EventBus& bus,
     full_cache_ = std::make_unique<LogicalBddCache>(executor.workers());
   }
   SerialGuard g{serial_};
+  // One bus reader per checker shard (one in full-recheck mode): their
+  // cursors are the multi-cursor compaction boundary — compact() reclaims
+  // nothing a shard's reader has not passed.
+  const std::size_t reader_count =
+      options_.incremental ? checker_->shard_count() : 1;
+  readers_.reserve(reader_count);
+  for (std::size_t r = 0; r < reader_count; ++r) {
+    readers_.push_back(bus_->register_reader());
+  }
   register_metrics();
 }
 
@@ -72,6 +81,7 @@ void MonitorLoop::register_metrics() {
     epoch_rebuilds_ = reg->counter("stream.epoch_rebuilds");
     threshold_trips_ = reg->counter("stream.threshold_trips");
     unsafe_rebuilds_ = reg->counter("stream.unsafe_rebuilds");
+    overflow_resyncs_ = reg->counter("stream.overflow_resyncs");
     diff_recomputes_ = reg->counter("stream.diff_recomputes");
     verdicts_reused_ = reg->counter("stream.verdicts_reused");
     arena_peak_nodes_ = reg->gauge("bdd.arena_peak_nodes");
@@ -82,6 +92,24 @@ void MonitorLoop::register_metrics() {
     }
   } else {
     resident_switches_ = reg->gauge("bdd.resident_switches");
+  }
+  // Concurrent-publish instrumentation — only when the driver attached a
+  // ring before constructing the monitor (serial-only runs skip the
+  // metric names entirely).
+  if (const MpscRing* ring = bus_->ring()) {
+    bus_ingested_ = reg->counter("stream.bus_ingested");
+    bus_resyncs_synthesized_ = reg->counter("stream.bus_resyncs_synthesized");
+    ring_published_ = reg->counter("stream.ring_published");
+    ring_drained_ = reg->counter("stream.ring_drained");
+    ring_evictions_ = reg->counter("stream.ring_evictions");
+    ring_full_stalls_ = reg->counter("stream.ring_full_stalls");
+    ring_occupancy_ = reg->gauge("stream.ring_occupancy");
+    ring_high_water_ = reg->gauge("stream.ring_high_water");
+    ring_lag_gauges_.reserve(ring->publishers());
+    for (std::size_t p = 0; p < ring->publishers(); ++p) {
+      ring_lag_gauges_.push_back(
+          reg->gauge("stream.ring.lag.pub" + std::to_string(p)));
+    }
   }
   arena_nodes_ = reg->gauge("bdd.arena_nodes");
   arena_rollbacks_ = reg->gauge("bdd.arena_rollbacks");
@@ -108,9 +136,30 @@ void MonitorLoop::bridge_counters() {
   bus_compactions_.add(bus.compactions - bridged_bus_.compactions);
   bus_compacted_events_.add(bus.compacted_events -
                             bridged_bus_.compacted_events);
+  bus_ingested_.add(bus.ingested - bridged_bus_.ingested);
+  bus_resyncs_synthesized_.add(bus.resyncs_synthesized -
+                               bridged_bus_.resyncs_synthesized);
   bridged_bus_ = bus;
   bus_backlog_.set(static_cast<double>(bus_->retained()));
   bus_cursor_lag_.set(static_cast<double>(bus_->cursor() - cursor_));
+
+  if (const MpscRing* ring = bus_->ring()) {
+    const MpscRing::Stats rs = ring->stats();
+    ring_published_.add(rs.published - bridged_ring_.published);
+    ring_drained_.add(rs.drained - bridged_ring_.drained);
+    ring_evictions_.add(rs.evictions - bridged_ring_.evictions);
+    ring_full_stalls_.add(rs.full_stalls - bridged_ring_.full_stalls);
+    bridged_ring_ = rs;
+    ring_occupancy_.set(static_cast<double>(ring->occupancy()));
+    ring_high_water_.set(static_cast<double>(ring->high_water()));
+    // Per-publisher cursor lag: how far each shard's published cursor has
+    // run ahead of its drained cursor (live backlog attributable to that
+    // publisher thread).
+    for (std::size_t p = 0; p < ring_lag_gauges_.size(); ++p) {
+      ring_lag_gauges_[p].set(static_cast<double>(ring->published_cursor(p) -
+                                                  ring->drained_cursor(p)));
+    }
+  }
 
   if (checker_ != nullptr) {
     const IncrementalChecker::Stats s = checker_->stats();
@@ -128,6 +177,8 @@ void MonitorLoop::bridge_counters() {
          bridged_checker_.threshold_trips);
     fold(unsafe_rebuilds_, s.unsafe_rebuilds,
          bridged_checker_.unsafe_rebuilds);
+    fold(overflow_resyncs_, s.overflow_resyncs,
+         bridged_checker_.overflow_resyncs);
     fold(diff_recomputes_, s.diff_recomputes,
          bridged_checker_.diff_recomputes);
     fold(verdicts_reused_, s.verdicts_reused,
@@ -165,11 +216,25 @@ void MonitorLoop::bridge_counters() {
   }
 }
 
+std::size_t MonitorLoop::ingest_ring_events() {
+  if (bus_->ring() == nullptr) return 0;
+  return bus_->ingest_ring();
+}
+
+std::size_t MonitorLoop::ingest_ring() {
+  SerialGuard g{serial_};
+  return ingest_ring_events();
+}
+
 void MonitorLoop::prime() {
   SerialGuard g{serial_};
   telemetry::TraceRecorder::Scope span{options_.trace, 0, "prime", "stream",
                                        net_->clock().now()};
+  ingest_ring_events();
   cursor_ = bus_->cursor();
+  for (const EventBus::ReaderId r : readers_) {
+    bus_->advance_reader(r, cursor_);
+  }
   if (options_.compact_bus) bus_->compact(cursor_);
   if (!options_.incremental) return;
   const std::uint64_t epoch = net_->controller().compiled_epoch();
@@ -186,6 +251,7 @@ void MonitorLoop::prime() {
 
 MonitorVerdict MonitorLoop::drain() {
   SerialGuard g{serial_};
+  ingest_ring_events();
   const auto events = bus_->events_since(cursor_);
   MonitorVerdict verdict;
   verdict.first_seq = cursor_;
@@ -233,6 +299,11 @@ MonitorVerdict MonitorLoop::drain() {
   batches_counter_.add(1);
 
   ++batches_;
+  // Workers have joined: every shard's reader may pass the batch. Without
+  // this advance the readers pin compact() at the pre-batch cursor.
+  for (const EventBus::ReaderId r : readers_) {
+    bus_->advance_reader(r, cursor_);
+  }
   if (options_.compact_bus) bus_->compact(cursor_);  // span dies here
   bridge_counters();
   drain_span.set_sim_end(sim_now);

@@ -12,6 +12,14 @@
 // counts); bench/stream_latency.cpp enforces that while measuring the
 // throughput gap.
 //
+// Concurrent publish: when the bus has an MpscRing attached, prime() and
+// drain() first ingest_ring() — folding everything publisher threads
+// appended since the last drain into the serial log (and synthesizing
+// shadow-resync events for any overflow-evicted switches). The monitor
+// also registers one bus reader per checker shard; compact() reclaims
+// nothing any shard's reader has not passed, so sharded cursor lag can
+// never unmap an event a worker might still read.
+//
 // Telemetry: when Options carries a MetricsRegistry the loop records
 // event-to-detection latency in *both* clocks — wall (publish steady_clock
 // stamp -> verdict wall time) and sim (event SimTime -> network clock at
@@ -97,6 +105,12 @@ class MonitorLoop {
   // of rules still missing afterwards.
   [[nodiscard]] std::size_t remediate(const FabricCheck& check);
 
+  // Move everything published concurrently (via the bus's attached
+  // MpscRing, if any) into the serial log. prime() and drain() call this
+  // first, so callers rarely need it directly; it is public for drivers
+  // that want to observe the backlog between drains.
+  std::size_t ingest_ring();
+
   [[nodiscard]] std::size_t batches() const noexcept {
     SerialGuard g{serial_};
     return batches_;
@@ -115,6 +129,7 @@ class MonitorLoop {
   }
 
  private:
+  std::size_t ingest_ring_events() SCOUT_REQUIRES(serial_);
   void register_metrics() SCOUT_REQUIRES(serial_);
   // Fold the delta since the last bridge of every polled counter source
   // (checker stats, bus stats, arena totals) into the registry.
@@ -158,8 +173,20 @@ class MonitorLoop {
   telemetry::Counter epoch_rebuilds_;
   telemetry::Counter threshold_trips_;
   telemetry::Counter unsafe_rebuilds_;
+  telemetry::Counter overflow_resyncs_;
   telemetry::Counter diff_recomputes_;
   telemetry::Counter verdicts_reused_;
+  // Concurrent-publish instrumentation, registered only when the bus has a
+  // ring attached at construction time.
+  telemetry::Counter bus_ingested_;
+  telemetry::Counter bus_resyncs_synthesized_;
+  telemetry::Counter ring_published_;
+  telemetry::Counter ring_drained_;
+  telemetry::Counter ring_evictions_;
+  telemetry::Counter ring_full_stalls_;
+  telemetry::Gauge ring_occupancy_;
+  telemetry::Gauge ring_high_water_;
+  std::vector<telemetry::Gauge> ring_lag_gauges_;  // per publisher shard
   telemetry::Gauge arena_nodes_;
   telemetry::Gauge arena_peak_nodes_;
   telemetry::Gauge arena_rollbacks_;
@@ -170,6 +197,13 @@ class MonitorLoop {
   // Last bridged values for delta-folding cumulative sources.
   IncrementalChecker::Stats bridged_checker_ SCOUT_GUARDED_BY(serial_){};
   EventBus::Stats bridged_bus_ SCOUT_GUARDED_BY(serial_){};
+  MpscRing::Stats bridged_ring_ SCOUT_GUARDED_BY(serial_){};
+
+  // Registered bus readers — one per checker shard (one total in full
+  // mode). Their cursors pin EventBus::compact(): no event is reclaimed
+  // while any shard's reader still precedes it (the multi-cursor
+  // compaction boundary).
+  std::vector<EventBus::ReaderId> readers_ SCOUT_GUARDED_BY(serial_);
 
   std::vector<telemetry::MetricsSnapshot> periodic_snapshots_
       SCOUT_GUARDED_BY(serial_);

@@ -1,0 +1,135 @@
+#include "src/stream/mpsc_ring.h"
+
+#include <algorithm>
+
+namespace scout::stream {
+namespace {
+
+std::uint64_t round_up_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+MpscRing::MpscRing(std::size_t publishers, std::size_t switch_id_bound)
+    : MpscRing(publishers, switch_id_bound, Options{}) {}
+
+MpscRing::MpscRing(std::size_t publishers, std::size_t switch_id_bound,
+                   Options options)
+    : options_(options), evicted_(switch_id_bound) {
+  SCOUT_CHECK(publishers > 0, "MpscRing: at least one publisher shard");
+  const std::uint64_t capacity =
+      round_up_pow2(std::max<std::uint64_t>(2, options_.shard_capacity));
+  mask_ = capacity - 1;
+  shards_.reserve(publishers);
+  for (std::size_t p = 0; p < publishers; ++p) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->slots.resize(capacity);
+  }
+}
+
+MpscRing::~MpscRing() {
+  // Safe teardown under in-flight publishers: close() flips any blocked
+  // kBackpressure spinner onto the eviction path, then we wait for every
+  // claim to be released so no publisher thread can still touch a shard.
+  close();
+  while (live_publishers_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+void MpscRing::claim(std::size_t pub) {
+  Shard& s = shard(pub);
+  SCOUT_CHECK(!s.claimed.exchange(true, std::memory_order_acq_rel),
+              "MpscRing: shard " << pub
+                  << " already has a live publisher registration");
+  live_publishers_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void MpscRing::release(std::size_t pub) noexcept {
+  Shard& s = shard(pub);
+  s.claimed.store(false, std::memory_order_release);
+  live_publishers_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void MpscRing::mark_eviction(Shard& s, SwitchId sw) {
+  s.evictions.fetch_add(1, std::memory_order_relaxed);
+  if (sw.valid() && sw.value() < evicted_.size()) {
+    evicted_[sw.value()].store(1, std::memory_order_release);
+  } else {
+    fabric_wide_eviction_.store(true, std::memory_order_release);
+  }
+}
+
+bool MpscRing::publish(std::size_t pub, const StreamEvent& ev) {
+  Shard& s = shard(pub);
+  const std::uint64_t capacity = mask_ + 1;
+  bool stalled = false;
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) {
+      mark_eviction(s, ev.sw);
+      return false;
+    }
+    const std::uint64_t tail = s.tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = s.head.load(std::memory_order_acquire);
+    const std::uint64_t occupancy = tail - head;
+    if (occupancy < capacity) {
+      s.slots[tail & mask_] = ev;
+      s.tail.store(tail + 1, std::memory_order_release);
+      if (occupancy + 1 > s.high_water.load(std::memory_order_relaxed)) {
+        s.high_water.store(occupancy + 1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    if (!stalled) {
+      stalled = true;
+      s.full_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options_.on_full == FullPolicy::kEvictToResync) {
+      mark_eviction(s, ev.sw);
+      return false;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool MpscRing::take_evictions(std::vector<SwitchId>& out) {
+  for (std::size_t i = 0; i < evicted_.size(); ++i) {
+    if (evicted_[i].exchange(0, std::memory_order_acq_rel) != 0) {
+      out.push_back(SwitchId{static_cast<SwitchId::value_type>(i)});
+    }
+  }
+  return fabric_wide_eviction_.exchange(false, std::memory_order_acq_rel);
+}
+
+std::size_t MpscRing::occupancy() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += static_cast<std::size_t>(s->tail.load(std::memory_order_acquire) -
+                                      s->head.load(std::memory_order_acquire));
+  }
+  return total;
+}
+
+std::uint64_t MpscRing::high_water() const {
+  std::uint64_t hw = 0;
+  for (const auto& s : shards_) {
+    hw = std::max(hw, s->high_water.load(std::memory_order_acquire));
+  }
+  return hw;
+}
+
+MpscRing::Stats MpscRing::stats() const {
+  Stats total;
+  for (const auto& s : shards_) {
+    total.published += s->tail.load(std::memory_order_acquire);
+    total.drained += s->drained.load(std::memory_order_acquire);
+    total.evictions += s->evictions.load(std::memory_order_acquire);
+    total.full_stalls += s->full_stalls.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+}  // namespace scout::stream

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bitset>
 #include <cmath>
 
 #include "src/common/rng.h"
@@ -402,19 +403,21 @@ TEST_P(BddRollbackRoundTrip, ReplayAfterRollbackIsIdentical) {
       random_formula_stack(mgr, base_rng, kVars, 150);
   const auto cp = mgr.checkpoint();
 
-  // Truth tables of the resident region, for corruption detection.
+  // Truth tables of the resident region, for corruption detection. 2^kVars
+  // rows don't fit a 64-bit word at kVars = 7 — a packed uint64 here would
+  // silently compare only the first 64 rows (and shift past the word, UB).
   const auto truth = [&](BddRef f) {
-    std::uint64_t t = 0;
+    std::bitset<(1U << kVars)> t;
     for (std::uint32_t row = 0; row < (1U << kVars); ++row) {
       std::vector<bool> assignment(kVars);
       for (std::uint32_t v = 0; v < kVars; ++v) {
         assignment[v] = (row >> v) & 1U;
       }
-      if (mgr.evaluate(f, assignment)) t |= (1ULL << row);
+      if (mgr.evaluate(f, assignment)) t.set(row);
     }
     return t;
   };
-  std::vector<std::uint64_t> base_truth;
+  std::vector<std::bitset<(1U << kVars)>> base_truth;
   for (const BddRef f : base) base_truth.push_back(truth(f));
 
   for (int round = 0; round < 4; ++round) {

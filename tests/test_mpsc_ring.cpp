@@ -1,0 +1,306 @@
+// MpscRing property tests: exactly-once + per-publisher-ordered delivery
+// under a concurrent drainer, wraparound/full/empty boundary behaviour at
+// tiny capacities, eviction at exactly capacity, destruction with
+// in-flight publishers, and the EventBus ingest contract (dense sequence
+// numbers, shadow-resync synthesis). The whole file runs in the ASan and
+// TSan CI presets — the concurrent cases are the ones the sanitizers are
+// for.
+#include "src/stream/mpsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/stream/event_bus.h"
+
+namespace scout::stream {
+namespace {
+
+StreamEvent marked_event(std::uint32_t sw_id, std::size_t marker) {
+  StreamEvent ev;
+  ev.type = StreamEventType::kRuleInstalled;
+  ev.sw = SwitchId{sw_id};
+  ev.tcam_index = marker;  // payload carrier for delivery checks
+  return ev;
+}
+
+MpscRing::Options tiny(std::size_t capacity, MpscRing::FullPolicy policy) {
+  MpscRing::Options options;
+  options.shard_capacity = capacity;
+  options.on_full = policy;
+  return options;
+}
+
+TEST(MpscRing, ExactlyOncePerPublisherOrderedUnderConcurrentDrain) {
+  constexpr std::size_t kPublishers = 4;
+  constexpr std::size_t kItems = 4000;
+  // Capacity far below kItems: every shard wraps hundreds of times and
+  // publishers block on the drainer, so this exercises the full
+  // release/acquire protocol, not just the easy non-contended path.
+  MpscRing ring{kPublishers, kPublishers,
+                tiny(64, MpscRing::FullPolicy::kBackpressure)};
+
+  std::vector<std::vector<std::size_t>> got(kPublishers);
+  std::atomic<bool> producers_done{false};
+  std::thread drainer{[&] {
+    for (;;) {
+      std::size_t drained = 0;
+      for (std::size_t p = 0; p < kPublishers; ++p) {
+        drained += ring.drain_shard(p, [&](const StreamEvent& ev) {
+          got[p].push_back(ev.tcam_index);
+        });
+      }
+      if (drained == 0) {
+        if (producers_done.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+    }
+  }};
+  std::vector<std::thread> publishers;
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    publishers.emplace_back([&ring, p] {
+      ring.claim(p);
+      for (std::size_t i = 0; i < kItems; ++i) {
+        EXPECT_TRUE(
+            ring.publish(p, marked_event(static_cast<std::uint32_t>(p), i)));
+      }
+      ring.release(p);
+    });
+  }
+  for (std::thread& t : publishers) t.join();
+  producers_done.store(true, std::memory_order_release);
+  drainer.join();
+
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    ASSERT_EQ(got[p].size(), kItems) << "publisher " << p;
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(got[p][i], i) << "publisher " << p << " out of order";
+    }
+  }
+  const MpscRing::Stats stats = ring.stats();
+  EXPECT_EQ(stats.published, kPublishers * kItems);
+  EXPECT_EQ(stats.drained, kPublishers * kItems);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(ring.occupancy(), 0u);
+}
+
+TEST(MpscRing, WraparoundAndFullAndEmptyBoundaries) {
+  MpscRing ring{1, 4, tiny(4, MpscRing::FullPolicy::kEvictToResync)};
+  ASSERT_EQ(ring.shard_capacity(), 4u);
+  ring.claim(0);
+
+  // Empty: a drain delivers nothing and cursors agree.
+  EXPECT_EQ(ring.drain_shard(0, [](const StreamEvent&) {}), 0u);
+  EXPECT_EQ(ring.published_cursor(0), ring.drained_cursor(0));
+
+  // Fill to exactly capacity, drain, and repeat across the wraparound
+  // boundary several times: slot reuse must never reorder or drop.
+  std::size_t next = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(ring.publish(0, marked_event(1, next + i)));
+    }
+    EXPECT_EQ(ring.occupancy(), 4u);
+    std::vector<std::size_t> seen;
+    EXPECT_EQ(ring.drain_shard(
+                  0, [&](const StreamEvent& ev) {
+                    seen.push_back(ev.tcam_index);
+                  }),
+              4u);
+    ASSERT_EQ(seen.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(seen[i], next + i);
+    next += 4;
+    EXPECT_EQ(ring.occupancy(), 0u);
+  }
+  EXPECT_EQ(ring.published_cursor(0), next);
+  EXPECT_EQ(ring.drained_cursor(0), next);
+  EXPECT_EQ(ring.high_water(), 4u);
+  ring.release(0);
+}
+
+TEST(MpscRing, EvictsAtExactlyCapacityAndTakeEvictionsClears) {
+  MpscRing ring{1, 8, tiny(4, MpscRing::FullPolicy::kEvictToResync)};
+  ring.claim(0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.publish(0, marked_event(5, i)));
+  }
+  // Exactly at capacity: the next publish must degrade, not overwrite.
+  EXPECT_FALSE(ring.publish(0, marked_event(5, 99)));
+  EXPECT_FALSE(ring.publish(0, marked_event(6, 100)));
+  const MpscRing::Stats stats = ring.stats();
+  EXPECT_EQ(stats.published, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_GE(stats.full_stalls, 2u);
+
+  std::vector<SwitchId> evicted;
+  EXPECT_FALSE(ring.take_evictions(evicted));  // no fabric-wide eviction
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], SwitchId{5});
+  EXPECT_EQ(evicted[1], SwitchId{6});
+  // The set is exchange-cleared: a second take sees nothing.
+  evicted.clear();
+  EXPECT_FALSE(ring.take_evictions(evicted));
+  EXPECT_TRUE(evicted.empty());
+
+  // The surviving capacity-worth of events is still intact and ordered.
+  std::vector<std::size_t> seen;
+  EXPECT_EQ(ring.drain_shard(0,
+                             [&](const StreamEvent& ev) {
+                               seen.push_back(ev.tcam_index);
+                             }),
+            4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(seen[i], i);
+  ring.release(0);
+}
+
+TEST(MpscRing, InvalidSwitchEvictionSetsFabricWideFlag) {
+  MpscRing ring{1, 4, tiny(2, MpscRing::FullPolicy::kEvictToResync)};
+  ring.claim(0);
+  EXPECT_TRUE(ring.publish(0, marked_event(0, 0)));
+  EXPECT_TRUE(ring.publish(0, marked_event(0, 1)));
+  StreamEvent fabric_wide;  // default SwitchId is invalid
+  fabric_wide.type = StreamEventType::kPolicyPushed;
+  EXPECT_FALSE(ring.publish(0, fabric_wide));
+  std::vector<SwitchId> evicted;
+  EXPECT_TRUE(ring.take_evictions(evicted));
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_FALSE(ring.take_evictions(evicted));  // sticky flag cleared
+  ring.release(0);
+}
+
+TEST(MpscRing, DestructionWithBlockedInFlightPublishersIsSafe) {
+  // Publishers block on a full backpressure ring with nobody draining;
+  // destroying the ring must unblock them (close() flips their publishes
+  // to the eviction path) and wait for every claim to be released.
+  auto ring = std::make_unique<MpscRing>(
+      2, 4, tiny(2, MpscRing::FullPolicy::kBackpressure));
+  std::atomic<std::size_t> started{0};
+  std::vector<std::thread> publishers;
+  for (std::size_t p = 0; p < 2; ++p) {
+    publishers.emplace_back([&ring_ref = *ring, &started, p] {
+      ring_ref.claim(p);
+      started.fetch_add(1, std::memory_order_release);
+      for (std::size_t i = 0; i < 64; ++i) {
+        (void)ring_ref.publish(p, marked_event(static_cast<std::uint32_t>(p),
+                                               i));  // blocks when full
+      }
+      ring_ref.release(p);
+    });
+  }
+  while (started.load(std::memory_order_acquire) != 2) {
+    std::this_thread::yield();
+  }
+  // Give both publishers time to hit the full-shard spin.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ring.reset();  // close + wait-for-release inside ~MpscRing
+  for (std::thread& t : publishers) t.join();
+}
+
+TEST(MpscRing, CloseUnblocksBackpressureSpinnerIntoEviction) {
+  MpscRing ring{1, 4, tiny(2, MpscRing::FullPolicy::kBackpressure)};
+  ring.claim(0);
+  EXPECT_TRUE(ring.publish(0, marked_event(1, 0)));
+  EXPECT_TRUE(ring.publish(0, marked_event(1, 1)));
+  std::atomic<bool> unblocked{false};
+  std::thread blocked{[&] {
+    // Shard is full: this spins until close(), then degrades to eviction.
+    EXPECT_FALSE(ring.publish(0, marked_event(1, 2)));
+    unblocked.store(true, std::memory_order_release);
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(unblocked.load(std::memory_order_acquire));
+  ring.close();
+  blocked.join();
+  EXPECT_TRUE(unblocked.load(std::memory_order_acquire));
+  EXPECT_TRUE(ring.closed());
+  std::vector<SwitchId> evicted;
+  ring.take_evictions(evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], SwitchId{1});
+  ring.release(0);
+}
+
+TEST(MpscRingDeathTest, DoubleClaimOfOneShardAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MpscRing ring{1, 4};
+  ring.claim(0);
+  EXPECT_DEATH(ring.claim(0), "already has a live publisher");
+  ring.release(0);
+}
+
+// -- EventBus ingest contract ------------------------------------------------
+
+TEST(MpscRingBusIngest, AssignsDenseSeqInShardOrderAndSynthesizesResyncs) {
+  EventBus bus;
+  // Two serial events first, so ingest has to continue an existing
+  // sequence rather than start at zero.
+  (void)bus.publish(marked_event(1, 0));
+  (void)bus.publish(marked_event(1, 1));
+
+  MpscRing ring{2, 16, tiny(4, MpscRing::FullPolicy::kEvictToResync)};
+  bus.attach_ring(&ring);
+  ASSERT_EQ(bus.ring(), &ring);
+
+  std::thread a{[&] {
+    EventBus::ConcurrentPublishCapability cap{bus, 0};
+    for (std::size_t i = 0; i < 3; ++i) {
+      (void)bus.publish(marked_event(3, i));
+    }
+  }};
+  std::thread b{[&] {
+    EventBus::ConcurrentPublishCapability cap{bus, 1};
+    // Capacity 4: two of these six overflow and degrade switch 7.
+    for (std::size_t i = 0; i < 6; ++i) {
+      (void)bus.publish(marked_event(7, i));
+    }
+  }};
+  a.join();
+  b.join();
+
+  const std::size_t ingested = bus.ingest_ring();
+  EXPECT_EQ(ingested, 3u + 4u + 1u);  // events + synthesized marker
+  EXPECT_EQ(bus.cursor(), 2u + 8u);
+
+  const auto events = bus.events_since(2);
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 2 + i);  // dense, monotone
+  }
+  // Shard 0's events precede shard 1's, each in publish order.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].sw, SwitchId{3});
+    EXPECT_EQ(events[i].tcam_index, i);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[3 + i].sw, SwitchId{7});
+    EXPECT_EQ(events[3 + i].tcam_index, i);
+  }
+  // The overflow marker rides last, for the evicted switch.
+  EXPECT_EQ(events.back().type, StreamEventType::kShadowResync);
+  EXPECT_EQ(events.back().sw, SwitchId{7});
+
+  const EventBus::Stats stats = bus.stats();
+  EXPECT_EQ(stats.published, 10u);
+  EXPECT_EQ(stats.ingested, 7u);
+  EXPECT_EQ(stats.resyncs_synthesized, 1u);
+
+  // Idempotent at quiescence: nothing left to ingest.
+  EXPECT_EQ(bus.ingest_ring(), 0u);
+}
+
+TEST(MpscRingBusIngest, SerialPublishStillWorksWhileRingAttached) {
+  EventBus bus;
+  MpscRing ring{1, 4};
+  bus.attach_ring(&ring);
+  // This thread holds no capability, so publish takes the serial path.
+  EXPECT_EQ(bus.publish(marked_event(2, 0)), 0u);
+  EXPECT_EQ(bus.cursor(), 1u);
+  EXPECT_EQ(ring.stats().published, 0u);
+}
+
+}  // namespace
+}  // namespace scout::stream

@@ -19,6 +19,7 @@
 #include "src/runtime/thread_pool.h"
 #include "src/scout/experiment.h"
 #include "src/stream/event_bus.h"
+#include "src/stream/mpsc_ring.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -270,6 +271,173 @@ TEST(RaceStress, MonitorVerdictsIdenticalAcrossRepeatedParallelRuns) {
       EXPECT_EQ(report.verdict_digest, expected) << "run " << run;
     }
   }
+}
+
+// -- MpscRing storms: publishers and drainer at full contention --------------
+
+stream::StreamEvent storm_event(std::uint32_t sw, std::uint64_t n) {
+  stream::StreamEvent ev;
+  ev.type = stream::StreamEventType::kRuleEvicted;
+  ev.sw = SwitchId{sw};
+  ev.tcam_index = n;  // per-publisher payload: order + exactly-once proof
+  return ev;
+}
+
+TEST(RaceStress, MpscRingEightPublisherStormAgainstConcurrentDrainer) {
+  // More publishers than this machine has cores, a shard a fraction of the
+  // per-publisher volume, and a drainer racing them the whole way: every
+  // publish must land exactly once, in per-publisher order, with zero
+  // evictions (backpressure absorbs the overrun).
+  constexpr std::size_t kPublishers = 8;
+  constexpr std::uint64_t kPerPublisher = 1500;
+  stream::MpscRing::Options opts;
+  opts.shard_capacity = 32;
+  opts.on_full = stream::MpscRing::FullPolicy::kBackpressure;
+  stream::MpscRing ring{kPublishers, kPublishers, opts};
+
+  std::vector<std::thread> pubs;
+  pubs.reserve(kPublishers);
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    pubs.emplace_back([&ring, p] {
+      ring.claim(p);
+      for (std::uint64_t i = 0; i < kPerPublisher; ++i) {
+        ASSERT_TRUE(
+            ring.publish(p, storm_event(static_cast<std::uint32_t>(p), i)));
+      }
+      ring.release(p);
+    });
+  }
+
+  std::vector<std::uint64_t> next(kPublishers, 0);
+  std::uint64_t drained = 0;
+  while (drained < kPublishers * kPerPublisher) {
+    for (std::size_t p = 0; p < kPublishers; ++p) {
+      drained += ring.drain_shard(p, [&next, p](const stream::StreamEvent& e) {
+        ASSERT_EQ(e.tcam_index, next[p]) << "publisher " << p;
+        ++next[p];
+      });
+    }
+  }
+  for (std::thread& t : pubs) t.join();
+  const stream::MpscRing::Stats stats = ring.stats();
+  EXPECT_EQ(stats.published, kPublishers * kPerPublisher);
+  EXPECT_EQ(stats.drained, kPublishers * kPerPublisher);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(RaceStress, BusRoutedStormWithEvictionsFoldsBackExactly) {
+  // The full bus path under overrun: 8 capability-holding threads publish
+  // through EventBus::publish into a deliberately tiny eviction-policy
+  // ring while the main thread keeps folding shards into the serial
+  // stream. Conservation must hold exactly: every publish either reaches
+  // the stream or is accounted as an eviction, and every evicted switch
+  // surfaces as a synthesized shadow-resync.
+  constexpr std::size_t kPublishers = 8;
+  constexpr std::uint64_t kPerPublisher = 1000;
+  stream::MpscRing::Options opts;
+  opts.shard_capacity = 16;  // guaranteed overruns between ingests
+  stream::MpscRing ring{kPublishers, kPublishers, opts};
+  stream::EventBus bus;
+  bus.attach_ring(&ring);
+
+  std::atomic<std::size_t> running{kPublishers};
+  std::vector<std::thread> pubs;
+  pubs.reserve(kPublishers);
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    pubs.emplace_back([&bus, &running, p] {
+      stream::EventBus::ConcurrentPublishCapability cap{bus, p};
+      for (std::uint64_t i = 0; i < kPerPublisher; ++i) {
+        (void)bus.publish(storm_event(static_cast<std::uint32_t>(p), i));
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  while (running.load(std::memory_order_acquire) != 0) {
+    (void)bus.ingest_ring();
+    std::this_thread::yield();
+  }
+  for (std::thread& t : pubs) t.join();
+  (void)bus.ingest_ring();  // final fold: publishers quiescent
+
+  const stream::MpscRing::Stats ring_stats = ring.stats();
+  const stream::EventBus::Stats bus_stats = bus.stats();
+  EXPECT_EQ(ring_stats.published + ring_stats.evictions,
+            kPublishers * kPerPublisher);
+  EXPECT_EQ(ring_stats.drained, ring_stats.published);
+  EXPECT_EQ(bus_stats.ingested, ring_stats.drained);
+  EXPECT_GT(ring_stats.evictions, 0u);
+  EXPECT_GT(bus_stats.resyncs_synthesized, 0u);
+  EXPECT_EQ(bus_stats.published,
+            bus_stats.ingested + bus_stats.resyncs_synthesized);
+  EXPECT_EQ(bus.cursor(), bus_stats.published);
+  bus.attach_ring(nullptr);
+}
+
+TEST(RaceStress, CloseWhileEveryShardIsFullReleasesAllSpinners) {
+  // Shutdown under the worst backpressure state: every publisher blocked
+  // on a full shard, no drainer anywhere. close() must convert all of
+  // them to the eviction path; destruction then waits for the releases.
+  constexpr std::size_t kPublishers = 4;
+  constexpr std::size_t kCapacity = 8;
+  stream::MpscRing::Options opts;
+  opts.shard_capacity = kCapacity;
+  opts.on_full = stream::MpscRing::FullPolicy::kBackpressure;
+  auto ring = std::make_unique<stream::MpscRing>(kPublishers, kPublishers,
+                                                 opts);
+  std::atomic<std::size_t> filled{0};
+  std::vector<std::thread> pubs;
+  pubs.reserve(kPublishers);
+  for (std::size_t p = 0; p < kPublishers; ++p) {
+    pubs.emplace_back([&ring, &filled, p] {
+      ring->claim(p);
+      for (std::size_t i = 0; i < kCapacity; ++i) {
+        ASSERT_TRUE(
+            ring->publish(p, storm_event(static_cast<std::uint32_t>(p), i)));
+      }
+      filled.fetch_add(1, std::memory_order_release);
+      // Shard full, nobody draining: this blocks until close() flips it
+      // to the eviction path.
+      EXPECT_FALSE(ring->publish(
+          p, storm_event(static_cast<std::uint32_t>(p), kCapacity)));
+      ring->release(p);
+    });
+  }
+  while (filled.load(std::memory_order_acquire) != kPublishers) {
+    std::this_thread::yield();
+  }
+  ring->close();
+  for (std::thread& t : pubs) t.join();
+  EXPECT_EQ(ring->stats().evictions, kPublishers);
+  std::vector<SwitchId> evicted;
+  (void)ring->take_evictions(evicted);
+  EXPECT_EQ(evicted.size(), kPublishers);
+  ring.reset();  // dtor: close + wait for releases (already released)
+}
+
+TEST(RaceStress, PipelinedMonitorAt4PublishersConvergesUnderContention) {
+  // End-to-end free-run: 4 publisher threads race the drain loop through
+  // the backpressure ring while the monitor verifies concurrently. The
+  // timing-independent contract is that the final composed verdict equals
+  // a fresh check_all at quiescence.
+  MonitoringOptions options;
+  options.profile = GeneratorProfile::scaled(8);
+  options.profile.target_pairs = 8 * 30;
+  options.events = 120;
+  options.batch_ops = 10;
+  options.seed = 77;
+  options.publishers = 4;
+  options.pipelined = true;
+  options.localize_final = false;
+
+  runtime::ThreadPoolExecutor executor{4};
+  const MonitoringReport report =
+      run_continuous_monitoring(options, executor);
+  EXPECT_GE(report.events, options.events);
+  EXPECT_TRUE(report.final_verdict_matches_fresh);
+  EXPECT_EQ(report.checker.full_rebuilds,
+            report.checker.epoch_rebuilds + report.checker.threshold_trips +
+                report.checker.unsafe_rebuilds +
+                report.checker.overflow_resyncs);
 }
 
 }  // namespace

@@ -29,7 +29,8 @@ MonitoringOptions small_scenario(std::uint64_t seed) {
 void expect_counter_consistency(const MonitoringReport& report) {
   EXPECT_EQ(report.checker.full_rebuilds,
             report.checker.epoch_rebuilds + report.checker.threshold_trips +
-                report.checker.unsafe_rebuilds);
+                report.checker.unsafe_rebuilds +
+                report.checker.overflow_resyncs);
 }
 
 TEST(StreamMonitor, IncrementalMatchesFullCheckAcrossSeeds) {
@@ -77,6 +78,93 @@ TEST(StreamMonitor, VerdictStreamIdenticalAcrossModesAndWorkerCounts) {
       }
     }
   }
+}
+
+// The concurrent-ingest differential: the ConcurrentChurnDriver's data-op
+// schedule is a pure function of the seed, so one seed must produce one
+// verdict-digest whether the data phase is executed serially through the
+// bus (use_ring = false) or published from 1/2/4 real publisher threads
+// into the MpscRing — and whatever the drain-side worker count. Twenty
+// seeds walk the {publishers} x {workers} grid; every concurrent leg also
+// cross-checks each batch against a fresh check_all.
+TEST(StreamMonitor, ConcurrentPublishersMatchSerialTransportAcrossSeeds) {
+  const std::size_t publishers[] = {1, 2, 4};
+  const std::size_t workers[] = {1, 2, 4};
+  std::size_t runs_with_epoch_bumps = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    // Serial-transport anchor: same driver, same schedule, no ring.
+    MonitoringOptions base = small_scenario(seed);
+    base.publishers = 1;
+    base.use_ring = false;
+    runtime::SerialExecutor serial_exec;
+    const MonitoringReport anchor =
+        run_continuous_monitoring(base, serial_exec);
+    expect_counter_consistency(anchor);
+
+    // One ring leg per seed; 20 seeds sweep the 3x3 grid twice over.
+    MonitoringOptions options = small_scenario(seed);
+    options.publishers = publishers[seed % 3];
+    options.verify_batches = true;  // fresh check_all after every batch
+    const auto executor = runtime::make_executor(workers[(seed / 3) % 3]);
+    const MonitoringReport report =
+        run_continuous_monitoring(options, *executor);
+    EXPECT_EQ(report.verify_mismatches, 0u)
+        << "seed " << seed << " publishers " << options.publishers;
+    EXPECT_EQ(report.verdict_digest, anchor.verdict_digest)
+        << "seed " << seed << " publishers " << options.publishers
+        << " workers " << workers[(seed / 3) % 3];
+    EXPECT_GE(report.events, options.events) << "seed " << seed;
+    expect_counter_consistency(report);
+    if (report.checker.epoch_rebuilds > 0) ++runs_with_epoch_bumps;
+  }
+  // Mid-stream recompiles must land inside the concurrent legs too.
+  EXPECT_GT(runs_with_epoch_bumps, 0u);
+}
+
+// Overflow path: a capacity-8 ring with every data op funneled through one
+// publisher shard is guaranteed to overflow between drains. Evictions must
+// surface as shadow resyncs — and the resync'd verdicts must still match
+// both the per-batch fresh check and the uncontended serial-transport
+// digest, because a shadow resync recollects the exact quiescent TCAM.
+TEST(StreamMonitor, OverflowEvictionForcesShadowResyncAndStaysExact) {
+  runtime::SerialExecutor executor;
+  MonitoringOptions base = small_scenario(9);
+  // No recompiles: an epoch bump in the same batch would repair the gap
+  // through the arena-rebuild branch and mask the overflow accounting
+  // this test pins.
+  base.mix.migrate = 0.0;
+  base.publishers = 1;
+  base.use_ring = false;
+  const MonitoringReport anchor = run_continuous_monitoring(base, executor);
+
+  MonitoringOptions options = small_scenario(9);
+  options.mix.migrate = 0.0;
+  options.publishers = 1;
+  options.ring_capacity = 8;
+  options.verify_batches = true;
+  const MonitoringReport report =
+      run_continuous_monitoring(options, executor);
+  EXPECT_GT(report.ring_evictions, 0u);
+  EXPECT_GT(report.checker.overflow_resyncs, 0u);
+  EXPECT_EQ(report.verify_mismatches, 0u);
+  EXPECT_EQ(report.verdict_digest, anchor.verdict_digest);
+  expect_counter_consistency(report);
+}
+
+// Free-run mode: publishers race ahead of the drain loop, so per-batch
+// digests are timing-dependent by design — the gate is that the final
+// composed verdict equals a fresh check_all at quiescence.
+TEST(StreamMonitor, PipelinedFreeRunConvergesToFreshVerdict) {
+  MonitoringOptions options = small_scenario(13);
+  options.publishers = 2;
+  options.pipelined = true;
+  const auto executor = runtime::make_executor(2);
+  const MonitoringReport report =
+      run_continuous_monitoring(options, *executor);
+  EXPECT_TRUE(report.final_verdict_matches_fresh);
+  EXPECT_GE(report.events, options.events);
+  EXPECT_GT(report.publish_wall_events_per_sec, 0.0);
+  expect_counter_consistency(report);
 }
 
 TEST(StreamMonitor, DivergenceThresholdTripsKeepVerdictsExact) {
