@@ -4,7 +4,8 @@
 // Usage:
 //   scoutctl [scenario] [--seed N] [--json] [--remediate]
 //   scoutctl monitor [--seed N] [--events N] [--full] [--remediate]
-//                    [--telemetry FILE]
+//                    [--telemetry FILE] [--gray-rate R] [--storm PROFILE]
+//                    [--evict-policy NAME]
 //   scoutctl stats [--seed N] [--events N] [--full] [--json]
 //
 // Scenarios:
@@ -17,16 +18,26 @@
 //                  event stream incrementally (src/stream); --full flips
 //                  to the re-check-everything baseline; --telemetry FILE
 //                  writes a Chrome trace (with an embedded metrics
-//                  snapshot) viewable in chrome://tracing or Perfetto
+//                  snapshot) viewable in chrome://tracing or Perfetto;
+//                  --gray-rate arms gray rendering faults on every agent,
+//                  --storm fires correlated episodes (rack-power,
+//                  rolling-upgrade, pod-brownout), --evict-policy swaps
+//                  the TCAM eviction strategy (lowest-priority, fifo,
+//                  random, lru-touch) — unknown names are rejected by the
+//                  factories before the run starts
 //   stats          run the monitor scenario and dump the full telemetry
 //                  snapshot (Prometheus text format, or JSON with --json)
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "src/faults/fault_injector.h"
+#include "src/faults/fault_policy.h"
 #include "src/faults/physical_faults.h"
+#include "src/faults/storm.h"
 #include "src/scout/experiment.h"
 #include "src/scout/report_json.h"
 #include "src/scout/scout_system.h"
@@ -37,11 +48,23 @@ namespace {
 
 using namespace scout;
 
+// Fault-engine knobs honored only by the monitor subcommand.
+struct FaultFlags {
+  double gray_rate = 0.0;
+  std::string storm;
+  std::string evict_policy;
+  [[nodiscard]] bool any() const {
+    return gray_rate > 0.0 || !storm.empty() || !evict_policy.empty();
+  }
+};
+
 int usage() {
   std::cerr << "usage: scoutctl [object-fault|overflow|unresponsive|"
                "corruption|eviction] [--seed N] [--json] [--remediate]\n"
                "       scoutctl monitor [--seed N] [--events N] [--full] "
                "[--remediate] [--telemetry FILE]\n"
+               "                        [--gray-rate R] [--storm PROFILE] "
+               "[--evict-policy NAME]\n"
                "       scoutctl stats [--seed N] [--events N] [--full] "
                "[--json]\n";
   return 2;
@@ -49,7 +72,8 @@ int usage() {
 
 MonitoringReport run_monitor_scenario(std::uint64_t seed, std::size_t events,
                                       bool full, bool remediate,
-                                      bool want_trace) {
+                                      bool want_trace,
+                                      const FaultFlags& faults = {}) {
   MonitoringOptions options;
   options.profile = GeneratorProfile::scaled(16);
   options.profile.target_pairs = 16 * 60;
@@ -59,14 +83,18 @@ MonitoringReport run_monitor_scenario(std::uint64_t seed, std::size_t events,
   options.remediate_final = remediate;
   options.collect_trace = want_trace;
   if (want_trace) options.snapshot_every_batches = 8;
+  options.gray_rate = faults.gray_rate;
+  options.storm = faults.storm;
+  options.evict_policy = faults.evict_policy;
   runtime::SerialExecutor executor;
   return run_continuous_monitoring(options, executor);
 }
 
 int run_monitor(std::uint64_t seed, std::size_t events, bool full,
-                bool remediate, const std::string& telemetry_path) {
+                bool remediate, const std::string& telemetry_path,
+                const FaultFlags& faults) {
   const MonitoringReport report = run_monitor_scenario(
-      seed, events, full, remediate, !telemetry_path.empty());
+      seed, events, full, remediate, !telemetry_path.empty(), faults);
   std::cout << "mode            : "
             << (full ? "full recheck" : "incremental") << '\n'
             << "events verified : " << report.events << " in "
@@ -89,6 +117,17 @@ int run_monitor(std::uint64_t seed, std::size_t events, bool full,
               << " epoch + " << report.checker.threshold_trips
               << " threshold + " << report.checker.unsafe_rebuilds
               << " unsafe)\n";
+  }
+  if (faults.any()) {
+    std::cout << "fault engine    : " << report.gray_misrenders
+              << " gray misrender(s), " << report.gray_drops
+              << " gray drop(s), " << report.storm_episodes
+              << " storm episode(s), " << report.tcam_evictions
+              << " TCAM eviction(s)";
+    if (!faults.evict_policy.empty()) {
+      std::cout << " [" << faults.evict_policy << "]";
+    }
+    std::cout << '\n';
   }
   if (report.final_inconsistent > 0) {
     std::cout << "localization    : hypothesis of " << report.hypothesis_size
@@ -141,6 +180,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool remediate = false;
   bool full = false;
+  FaultFlags faults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -150,7 +190,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--full") {
       full = true;
     } else if (arg == "--seed" || arg == "--events" ||
-               arg == "--telemetry") {
+               arg == "--telemetry" || arg == "--gray-rate" ||
+               arg == "--storm" || arg == "--evict-policy") {
       // A following "--flag" is the next option, not a value; erroring
       // loudly beats strtoull silently reading it as 0 (the misparse
       // class bench::find_flag exists to prevent).
@@ -161,6 +202,12 @@ int main(int argc, char** argv) {
         seed = std::strtoull(argv[i], nullptr, 10);
       } else if (arg == "--events") {
         events = std::strtoull(argv[i], nullptr, 10);
+      } else if (arg == "--gray-rate") {
+        faults.gray_rate = std::strtod(argv[i], nullptr);
+      } else if (arg == "--storm") {
+        faults.storm = argv[i];
+      } else if (arg == "--evict-policy") {
+        faults.evict_policy = argv[i];
       } else {
         telemetry_path = argv[i];
       }
@@ -171,17 +218,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Resolve fault names through the factories up front so a typo dies at
+  // configuration time with the factory's message, not mid-run.
+  try {
+    if (!faults.storm.empty()) (void)storm_profile(faults.storm);
+    if (!faults.evict_policy.empty()) {
+      (void)make_eviction_policy(faults.evict_policy);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+
   if (scenario == "monitor") {
     // Loudly reject flags the monitor subcommand does not honor instead
     // of silently producing the wrong output format.
     if (json) return usage();
-    return run_monitor(seed, events, full, remediate, telemetry_path);
+    return run_monitor(seed, events, full, remediate, telemetry_path,
+                       faults);
   }
   if (scenario == "stats") {
-    if (remediate || !telemetry_path.empty()) return usage();
+    if (remediate || !telemetry_path.empty() || faults.any()) {
+      return usage();
+    }
     return run_stats(seed, events, full, json);
   }
-  if (!telemetry_path.empty()) return usage();
+  if (!telemetry_path.empty() || faults.any()) return usage();
 
   ThreeTierNetwork three =
       make_three_tier(scenario == "overflow" ? 32 : 4096);

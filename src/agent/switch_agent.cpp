@@ -21,6 +21,15 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
   }
   if (crash_countdown_ != kNoCrash) --crash_countdown_;
 
+  // Gray drop: ACK the instruction and render nothing — no TCAM change,
+  // no logical-view change, no event, no fault record. The controller
+  // books a success; only L-T divergence can betray the loss.
+  if (gray_fire(gray_drop_left_, gray_profile_.drop_rate,
+                gray_profile_.drop_burst)) {
+    ++gray_drops_;
+    return ApplyStatus::kApplied;
+  }
+
   switch (ins.op) {
     case InstructionOp::kAddRule: {
       logical_view_.push_back(ins.rule);
@@ -29,6 +38,17 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
         // The buggy agent writes a wrong VRF id into the hardware entry.
         hw_rule.vrf =
             TernaryField::exact(*vrf_rewrite_bug_, FieldWidths::kVrf);
+      }
+      // Gray misrender: the ACKed rule lands in TCAM perturbed. Applied
+      // after the VRF bug (both are rendering-stage faults) and before
+      // install, so the overflow check and the published event both see
+      // the wrong image the hardware actually holds. The catch-all deny
+      // is exempt — misrendering a full wildcard has no bits to garble.
+      if (!hw_rule.wildcard_all() &&
+          gray_fire(gray_misrender_left_, gray_profile_.misrender_rate,
+                    gray_profile_.misrender_burst)) {
+        hw_rule = perturb_rendered_rule(hw_rule, gray_rng_);
+        ++gray_misrenders_;
       }
       if (tcam_.install(hw_rule) == InstallStatus::kOverflow) {
         std::ostringstream detail;
@@ -89,9 +109,38 @@ void SwitchAgent::recover(SimTime now) {
                 stream::StreamEventType::kAgentRecovered, info_.id, now));
 }
 
+bool SwitchAgent::gray_fire(std::size_t& burst_left, double rate,
+                            std::size_t burst) {
+  if (burst_left > 0) {
+    --burst_left;
+    return true;
+  }
+  if (rate <= 0.0) return false;
+  if (!gray_rng_.chance(rate)) return false;
+  burst_left = burst > 0 ? burst - 1 : 0;
+  return true;
+}
+
 std::vector<TcamRule> SwitchAgent::collect_tcam() const {
   const auto rules = tcam_.rules();
+  // Partial resync: a gray collection returns only a stale prefix of the
+  // table — the collector read a snapshot mid-update and never noticed.
+  if (gray_profile_.collect_keep_fraction < 1.0) {
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(rules.size()) *
+        gray_profile_.collect_keep_fraction);
+    return {rules.begin(), rules.begin() + static_cast<std::ptrdiff_t>(keep)};
+  }
   return {rules.begin(), rules.end()};
+}
+
+void SwitchAgent::restore_images(std::span<const TcamRule> tcam_rules,
+                                 std::span<const LogicalRule> view) {
+  tcam_.clear();
+  for (const TcamRule& r : tcam_rules) {
+    (void)tcam_.install(r);  // snapshot came from this table; it fits
+  }
+  logical_view_.assign(view.begin(), view.end());
 }
 
 std::size_t SwitchAgent::evict_rules(std::size_t n, SimTime now) {

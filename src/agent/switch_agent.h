@@ -15,6 +15,7 @@
 #include "src/checker/logical_rule.h"
 #include "src/common/rng.h"
 #include "src/common/sim_clock.h"
+#include "src/faults/gray_faults.h"
 #include "src/tcam/tcam_table.h"
 #include "src/topology/fabric.h"
 
@@ -91,6 +92,29 @@ class SwitchAgent {
     vrf_rewrite_bug_ = wrong_vrf;
   }
 
+  // Gray misbehaviour (src/faults/gray_faults.h): intermittent misrenders,
+  // silent instruction drops, stale partial collections. The per-agent
+  // gray RNG is reseeded here so two agents with the same profile fault
+  // independently yet each run reproduces bit-exactly.
+  void set_gray_profile(const GrayFaultProfile& profile,
+                        std::uint64_t seed) noexcept {
+    gray_profile_ = profile;
+    gray_rng_.reseed(seed);
+    gray_misrender_left_ = 0;
+    gray_drop_left_ = 0;
+  }
+  [[nodiscard]] const GrayFaultProfile& gray_profile() const noexcept {
+    return gray_profile_;
+  }
+  // Lifetime gray-fault counts (telemetry feed; monotone, not rolled back
+  // by repair — a repaired network forgets the damage, not the history).
+  [[nodiscard]] std::uint64_t gray_misrenders() const noexcept {
+    return gray_misrenders_;
+  }
+  [[nodiscard]] std::uint64_t gray_drops() const noexcept {
+    return gray_drops_;
+  }
+
   // Local eviction: drop `n` lowest-priority rules from TCAM (logical view
   // keeps them — the controller is unaware, §II-B). Logged as RULE_EVICTION.
   std::size_t evict_rules(std::size_t n, SimTime now);
@@ -110,17 +134,37 @@ class SwitchAgent {
     bool crashed = false;
     std::size_t crash_countdown = std::numeric_limits<std::size_t>::max();
     std::optional<std::uint16_t> vrf_rewrite_bug;
+    GrayFaultProfile gray_profile{};
+    // The gray RNG and open burst counters travel with the state (Rng is
+    // a copyable value), so a restored agent replays its gray behaviour
+    // bit-exactly from the restore point.
+    Rng gray_rng{0};
+    std::size_t gray_misrender_left = 0;
+    std::size_t gray_drop_left = 0;
   };
   [[nodiscard]] FaultState fault_state() const noexcept {
-    return FaultState{responsive_, crashed_, crash_countdown_,
-                      vrf_rewrite_bug_};
+    return FaultState{responsive_,   crashed_,
+                      crash_countdown_, vrf_rewrite_bug_,
+                      gray_profile_, gray_rng_,
+                      gray_misrender_left_, gray_drop_left_};
   }
   void restore_fault_state(const FaultState& s) noexcept {
     responsive_ = s.responsive;
     crashed_ = s.crashed;
     crash_countdown_ = s.crash_countdown;
     vrf_rewrite_bug_ = s.vrf_rewrite_bug;
+    gray_profile_ = s.gray_profile;
+    gray_rng_ = s.gray_rng;
+    gray_misrender_left_ = s.gray_misrender_left;
+    gray_drop_left_ = s.gray_drop_left;
   }
+
+  // Bulk image restore for the repair journal's agent snapshots: wipe and
+  // re-install the given TCAM rules (snapshot order is table order, so
+  // equal-priority install order is preserved) and assign the logical
+  // view. Publishes nothing — repair is outside the observed timeline.
+  void restore_images(std::span<const TcamRule> tcam_rules,
+                      std::span<const LogicalRule> view);
 
  private:
   static constexpr std::size_t kNoCrash =
@@ -132,10 +176,23 @@ class SwitchAgent {
   FaultLog fault_log_;
   stream::EventBus* bus_ = nullptr;
 
+  // Burst-aware gray trial: an open burst always fires; otherwise one
+  // RNG draw decides, opening a new burst on success. Consumes RNG only
+  // while a rate is set, so inactive profiles stay draw-for-draw
+  // identical to agents that never heard of gray faults.
+  [[nodiscard]] bool gray_fire(std::size_t& burst_left, double rate,
+                               std::size_t burst);
+
   bool responsive_ = true;
   bool crashed_ = false;
   std::size_t crash_countdown_ = kNoCrash;
   std::optional<std::uint16_t> vrf_rewrite_bug_;
+  GrayFaultProfile gray_profile_;
+  Rng gray_rng_{0};
+  std::size_t gray_misrender_left_ = 0;
+  std::size_t gray_drop_left_ = 0;
+  std::uint64_t gray_misrenders_ = 0;
+  std::uint64_t gray_drops_ = 0;
 };
 
 }  // namespace scout

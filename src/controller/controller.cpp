@@ -60,6 +60,20 @@ void Controller::note_unreachable(SwitchId sw) {
 
 void Controller::push(SwitchAgent& agent, const Instruction& ins,
                       DeployStats& stats) {
+  if (delay_profile_.active()) {
+    // The gray channel ACKs at enqueue: the caller's stats book a
+    // success now, the real outcome lands in delayed_stats_ when the
+    // window delivers. That gap *is* the fault being modelled.
+    stats.count(ApplyStatus::kApplied);
+    in_flight_.emplace_back(agent.id(), ins);
+    if (in_flight_.size() >= delay_profile_.window) deliver_window();
+    return;
+  }
+  push_now(agent, ins, stats);
+}
+
+void Controller::push_now(SwitchAgent& agent, const Instruction& ins,
+                          DeployStats& stats) {
   if (!channel_.connected(agent.id())) {
     // Instruction never reaches the device.
     stats.count(ApplyStatus::kLost);
@@ -69,6 +83,32 @@ void Controller::push(SwitchAgent& agent, const Instruction& ins,
   const ApplyStatus status = agent.apply(ins, clock_->now());
   stats.count(status);
   if (status == ApplyStatus::kLost) note_unreachable(agent.id());
+}
+
+void Controller::deliver_window() {
+  // Swap the batch out first: delivery must not interleave with new
+  // enqueues if an apply ever pushes (it does not today, but the queue
+  // being empty during delivery makes that a non-event, not a bug).
+  std::vector<std::pair<SwitchId, Instruction>> batch;
+  batch.swap(in_flight_);
+  if (batch.size() > 1 && delay_rng_.chance(delay_profile_.reorder_rate)) {
+    delay_rng_.shuffle(batch);
+  }
+  for (auto& [sw, ins] : batch) {
+    SwitchAgent* a = agent(sw);
+    if (a == nullptr) continue;
+    push_now(*a, ins, delayed_stats_);
+  }
+}
+
+void Controller::set_channel_delay(const ChannelDelayProfile& profile) {
+  flush_delivery();
+  delay_profile_ = profile;
+  delay_rng_.reseed(profile.seed);
+}
+
+void Controller::flush_delivery() {
+  if (!in_flight_.empty()) deliver_window();
 }
 
 DeployStats Controller::deploy_full() {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/agent/switch_agent.h"
+#include "src/common/rng.h"
 #include "src/common/sim_clock.h"
 #include "src/controller/compiler.h"
 #include "src/policy/change_log.h"
@@ -23,6 +24,20 @@ namespace scout {
 namespace stream {
 class EventBus;
 }  // namespace stream
+
+// Gray control channel: delayed/reordered delivery. With window > 0 every
+// pushed instruction is ACKed into a bounded in-flight queue; each time
+// `window` instructions accumulate the batch is delivered at once — in a
+// seed-deterministic permutation with probability `reorder_rate` — so
+// instructions land late and possibly out of order, across switches and
+// within one switch's own sequence.
+struct ChannelDelayProfile {
+  std::size_t window = 0;      // 0 = immediate delivery (the default)
+  double reorder_rate = 1.0;   // chance a full window is permuted
+  std::uint64_t seed = 0;      // permutation stream seed
+
+  [[nodiscard]] bool active() const noexcept { return window > 0; }
+};
 
 struct DeployStats {
   std::size_t applied = 0;
@@ -131,15 +146,43 @@ class Controller {
   // makes one pass converge even when all N duplicates were stripped.
   DeployStats reinstall_rules(std::span<const LogicalRule> missing);
 
+  // -- delayed/reordered delivery (gray channel) ------------------------------
+
+  // Switch delivery mode. Pending instructions are flushed under the
+  // *old* profile first (a mode change is a config action, not a way to
+  // lose traffic), then the permutation stream is reseeded. The default
+  // profile restores immediate delivery.
+  void set_channel_delay(const ChannelDelayProfile& profile);
+  [[nodiscard]] const ChannelDelayProfile& channel_delay() const noexcept {
+    return delay_profile_;
+  }
+
+  // Deliver everything still in flight (one final, possibly permuted,
+  // short batch). No-op when the queue is empty.
+  void flush_delivery();
+
+  // Outcomes of delayed deliveries. While the delay mode is active the
+  // caller's DeployStats are ACK counts (every push books kApplied at
+  // enqueue — that is the lie the gray channel tells); the statuses the
+  // agents actually returned at delivery time accumulate here.
+  [[nodiscard]] const DeployStats& delayed_stats() const noexcept {
+    return delayed_stats_;
+  }
+
   // Truncate the controller's own fault log to `n` records, forgetting
   // open unreachable episodes recorded at or after the watermark (repair-
   // journal support; a later loss to the same switch re-raises cleanly).
   void truncate_fault_log(std::size_t n);
 
  private:
-  // Push one instruction to one agent honouring channel state; updates
-  // stats and raises unreachable faults on loss.
+  // Push one instruction to one agent. Immediate mode delivers through
+  // push_now; delay mode ACKs into the in-flight queue and delivers full
+  // windows. Updates stats and raises unreachable faults on loss.
   void push(SwitchAgent& agent, const Instruction& ins, DeployStats& stats);
+  // Actual delivery honouring channel state at delivery time.
+  void push_now(SwitchAgent& agent, const Instruction& ins,
+                DeployStats& stats);
+  void deliver_window();
   void note_unreachable(SwitchId sw);
 
   NetworkPolicy policy_;
@@ -153,6 +196,10 @@ class Controller {
   std::unordered_map<SwitchId, SwitchAgent*> agents_;
   std::unordered_map<SwitchId, std::uint32_t> next_priority_;
   std::unordered_map<SwitchId, std::size_t> open_unreachable_;
+  ChannelDelayProfile delay_profile_;
+  Rng delay_rng_{0};
+  std::vector<std::pair<SwitchId, Instruction>> in_flight_;
+  DeployStats delayed_stats_;
 };
 
 }  // namespace scout

@@ -1,0 +1,123 @@
+#include "src/faults/fault_policy.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace scout {
+namespace {
+
+// Shared eligibility rule: never evict the catch-all default deny. Every
+// policy filters with this so "random" cannot blow away the whitelist
+// floor and turn the experiment into "everything broke".
+[[nodiscard]] bool eligible(const TcamRule& r) noexcept {
+  return !r.wildcard_all();
+}
+
+// The historical TcamTable::evict_one behaviour: the last (= lowest
+// priority) non-default rule spills first.
+class LowestPriorityPolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lowest-priority";
+  }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const TcamRule> rules,
+      std::span<const RuleMeta> /*meta*/) override {
+    for (std::size_t i = rules.size(); i > 0; --i) {
+      if (eligible(rules[i - 1])) return i - 1;
+    }
+    return kNone;
+  }
+};
+
+// Oldest install stamp spills first (aging silicon that recycles the
+// entry written longest ago, regardless of priority).
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fifo";
+  }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const TcamRule> rules,
+      std::span<const RuleMeta> meta) override {
+    std::size_t victim = kNone;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (!eligible(rules[i])) continue;
+      if (victim == kNone || meta[i].installed < meta[victim].installed) {
+        victim = i;
+      }
+    }
+    return victim;
+  }
+};
+
+// Uniform choice over eligible entries from a private seeded stream, so
+// two agents with the same policy name but different seeds evict
+// different victims while each run stays reproducible.
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random";
+  }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const TcamRule> rules,
+      std::span<const RuleMeta> /*meta*/) override {
+    candidates_.clear();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (eligible(rules[i])) candidates_.push_back(i);
+    }
+    if (candidates_.empty()) return kNone;
+    return candidates_[rng_.below(candidates_.size())];
+  }
+
+ private:
+  Rng rng_;
+  std::vector<std::size_t> candidates_;
+};
+
+// Least-recently-touched spills first; replace_one refreshes the touch
+// stamp, modelling match/update counters feeding the eviction heuristic.
+class LruTouchPolicy final : public EvictionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lru-touch";
+  }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const TcamRule> rules,
+      std::span<const RuleMeta> meta) override {
+    std::size_t victim = kNone;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (!eligible(rules[i])) continue;
+      if (victim == kNone || meta[i].touched < meta[victim].touched) {
+        victim = i;
+      }
+    }
+    return victim;
+  }
+};
+
+constexpr std::array<std::string_view, 4> kPolicyNames = {
+    "lowest-priority", "fifo", "random", "lru-touch"};
+
+}  // namespace
+
+std::span<const std::string_view> eviction_policy_names() {
+  return kPolicyNames;
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(std::string_view name,
+                                                     std::uint64_t seed) {
+  if (name == "lowest-priority") {
+    return std::make_unique<LowestPriorityPolicy>();
+  }
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>(seed);
+  if (name == "lru-touch") return std::make_unique<LruTouchPolicy>();
+  throw std::invalid_argument{"make_eviction_policy: unknown policy '" +
+                              std::string(name) + "'"};
+}
+
+}  // namespace scout

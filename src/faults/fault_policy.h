@@ -1,0 +1,60 @@
+// Pluggable TCAM eviction policies behind a by-name factory. §II-B notes
+// "the agent may run a local rule eviction mechanism" without fixing which
+// one; real silicon varies (priority-ordered spill, FIFO aging, random
+// replacement, LRU on match counters), and the monitor must localize
+// correctly no matter which mechanism the agent runs. Each policy is a
+// named strategy object owned by a TcamTable; `make_eviction_policy`
+// resolves names from the CLI / experiment options and throws on unknown
+// names so typos fail loudly at configuration time, not as silently
+// different fault behaviour.
+//
+// Determinism: policies may hold private RNG state (random(seed)), seeded
+// at construction. Policy-internal state (stamps, RNG) is bookkeeping in
+// the same sense as the churn generator's RNG: it steers *which* faults
+// fire but is not part of the network state fingerprint, so a journaled
+// repair() that undoes every eviction restores a fingerprint-identical
+// network regardless of the policy that picked the victims.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/tcam/tcam_table.h"
+
+namespace scout {
+
+// Strategy interface consulted by TcamTable::evict_one. `rules` and `meta`
+// are parallel spans (meta[i] carries the install/touch stamps of
+// rules[i]); the policy returns the victim index, or kNone when no rule is
+// eligible (policies never evict the catch-all default deny — a table
+// whose only entry is the default has nothing to spill).
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t pick_victim(
+      std::span<const TcamRule> rules, std::span<const RuleMeta> meta) = 0;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+// The policy a TcamTable runs when none is set explicitly (the historical
+// behaviour: spill the lowest-priority non-default rule).
+inline constexpr std::string_view kDefaultEvictionPolicy = "lowest-priority";
+
+// Registered policy names, in factory order: lowest-priority, fifo,
+// random, lru-touch.
+[[nodiscard]] std::span<const std::string_view> eviction_policy_names();
+
+// Resolve a policy by name. `seed` feeds policies with private randomness
+// (currently only "random"); deterministic policies ignore it. Throws
+// std::invalid_argument on an unknown name.
+[[nodiscard]] std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    std::string_view name, std::uint64_t seed = 0);
+
+}  // namespace scout

@@ -1,0 +1,97 @@
+#include "src/faults/gray_faults.h"
+
+#include <algorithm>
+
+#include "src/controller/controller.h"
+#include "src/faults/repair_journal.h"
+#include "src/scout/sim_network.h"
+
+namespace scout {
+
+TcamRule perturb_rendered_rule(TcamRule rule, Rng& rng) {
+  TernaryField* fields[] = {&rule.vrf, &rule.src_epg, &rule.dst_epg,
+                            &rule.proto, &rule.dst_port};
+  const int widths[] = {FieldWidths::kVrf, FieldWidths::kEpg, FieldWidths::kEpg,
+                        FieldWidths::kProto, FieldWidths::kPort};
+  const std::size_t f = rng.below(5);
+  const auto bit = static_cast<std::uint32_t>(
+      rng.below(static_cast<std::uint64_t>(widths[f])));
+  if (rng.chance(0.5)) {
+    fields[f]->value ^= (1U << bit);
+    fields[f]->value &= fields[f]->mask;
+  } else {
+    fields[f]->mask ^= (1U << bit);
+    fields[f]->value &= fields[f]->mask;
+  }
+  return rule;
+}
+
+GrayScenarioOutcome run_gray_agent_scenario(SimNetwork& net,
+                                            const GrayFaultProfile& profile,
+                                            std::size_t n_gray,
+                                            std::uint64_t seed,
+                                            RepairJournal* journal) {
+  GrayScenarioOutcome out;
+  const auto agents = net.agents();
+  if (agents.empty() || n_gray == 0) return out;
+  Rng rng{derive_seed(seed, 0x6B47)};
+  n_gray = std::min(n_gray, agents.size());
+  for (const std::size_t idx : rng.sample_indices(agents.size(), n_gray)) {
+    SwitchAgent& agent = *agents[idx];
+    if (journal != nullptr) journal->snapshot_agent(net, agent.id());
+    const std::uint64_t mis_before = agent.gray_misrenders();
+    const std::uint64_t drop_before = agent.gray_drops();
+    // Per-agent gray seed derived from the agent id, not the pick order:
+    // the same agent grays the same way no matter who else was picked.
+    agent.set_gray_profile(profile,
+                           derive_seed(seed, agent.id().value()));
+    // Resync through the now-gray agent so the profile bites immediately.
+    // On a healthy agent this round-trip is fingerprint-neutral; every
+    // divergence the checker finds afterwards is gray damage.
+    net.controller().resync_switch(agent.id());
+    ++out.resyncs;
+    ++out.agents_grayed;
+    out.misrenders += agent.gray_misrenders() - mis_before;
+    out.drops += agent.gray_drops() - drop_before;
+  }
+  return out;
+}
+
+GrayScenarioOutcome run_reordered_delivery_scenario(SimNetwork& net,
+                                                    std::size_t window,
+                                                    std::size_t n_resyncs,
+                                                    std::uint64_t seed,
+                                                    RepairJournal* journal) {
+  GrayScenarioOutcome out;
+  const auto agents = net.agents();
+  if (agents.empty() || window == 0 || n_resyncs == 0) return out;
+  Rng rng{derive_seed(seed, 0x2E0D)};
+  n_resyncs = std::min(n_resyncs, agents.size());
+  const auto picks = rng.sample_indices(agents.size(), n_resyncs);
+  // Snapshot before the channel goes gray: reordering a resync's removes
+  // against its adds can strand stale rules or strip fresh ones, and no
+  // per-op record captures "the remove landed after the add it was meant
+  // to precede".
+  if (journal != nullptr) {
+    for (const std::size_t idx : picks) {
+      journal->snapshot_agent(net, agents[idx]->id());
+    }
+  }
+  Controller& controller = net.controller();
+  ChannelDelayProfile delay;
+  delay.window = window;
+  delay.reorder_rate = 1.0;
+  delay.seed = derive_seed(seed, 0xDE11);
+  controller.set_channel_delay(delay);
+  for (const std::size_t idx : picks) {
+    controller.resync_switch(agents[idx]->id());
+    ++out.resyncs;
+    ++out.agents_grayed;
+  }
+  // Back to immediate delivery; set_channel_delay flushes the tail batch
+  // under the gray profile first.
+  controller.set_channel_delay(ChannelDelayProfile{});
+  return out;
+}
+
+}  // namespace scout

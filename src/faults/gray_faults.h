@@ -1,0 +1,91 @@
+// Gray failures: agents and channels that *lie* instead of dying. The
+// clean faults (crash, disconnect, bit flip) all leave a crisp signal —
+// a fault-log record, an outage interval, a parity error. The hard cases
+// the paper motivates are gray: an agent that ACKs every instruction yet
+// intermittently renders a wrong rule into TCAM, a periodic collection
+// that returns a stale prefix of the table, a control channel that
+// delivers instructions late and out of order. Nothing raises a fault
+// record; only L-T divergence betrays the device.
+//
+// GrayFaultProfile is part of SwitchAgent::FaultState, so the repair
+// journal restores gray knobs exactly like the crash/VRF-bug flags, and
+// the per-agent gray RNG travels with it (Rng is a copyable value), so a
+// repaired agent replays identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/tcam/tcam_rule.h"
+
+namespace scout {
+
+class SimNetwork;
+class RepairJournal;
+
+// Per-agent gray misbehaviour knobs. All-defaults = a faithful agent.
+struct GrayFaultProfile {
+  // Probability a rendered add is perturbed before it hits the TCAM, and
+  // how many consecutive installs stay wrong once the fault fires (gray
+  // failures cluster: a wedged rendering thread garbles a run of rules,
+  // not an independent coin flip per rule).
+  double misrender_rate = 0.0;
+  std::size_t misrender_burst = 1;
+  // Probability an instruction is ACKed but silently not rendered at all
+  // (applies to adds and removes), with the same burst clustering.
+  double drop_rate = 0.0;
+  std::size_t drop_burst = 1;
+  // Fraction of the TCAM a collect_tcam() returns — a partial resync
+  // reads a stale prefix of the table. 1.0 = faithful collection. This
+  // knob faults the *detection* path, not device state: it mutates
+  // nothing and never needs journaling, but a monitor relying on
+  // collections (shadow resyncs, verify_batches) will see a truncated
+  // image, so digest-gated runs must keep it at 1.0.
+  double collect_keep_fraction = 1.0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return misrender_rate > 0.0 || drop_rate > 0.0 ||
+           collect_keep_fraction < 1.0;
+  }
+};
+
+// One-bit perturbation of a rendered rule (same fault shape as
+// TcamTable::corrupt_random_bit, but applied between rendering and
+// install): flip one random bit in the value or mask of one random
+// field, keeping the value-outside-mask invariant. The flip can land on
+// a don't-care bit and leave the rule unchanged — a misrender that
+// happens to be benign, just like a real masked-out bit error.
+[[nodiscard]] TcamRule perturb_rendered_rule(TcamRule rule, Rng& rng);
+
+struct GrayScenarioOutcome {
+  std::size_t agents_grayed = 0;
+  std::size_t resyncs = 0;
+  std::size_t misrenders = 0;  // perturbed installs across grayed agents
+  std::size_t drops = 0;       // swallowed instructions across grayed agents
+};
+
+// Turn `n_gray` seed-chosen agents gray and resync each so the profile
+// bites immediately (a resync on a healthy fresh-deployed switch is
+// fingerprint-neutral, so everything the fingerprint sees change is the
+// gray damage itself). With a journal (armed by the caller), each agent
+// is image-snapshotted first and repair() restores the exact baseline;
+// the gray knobs themselves roll back via the journal's arm-time
+// FaultState marks.
+GrayScenarioOutcome run_gray_agent_scenario(SimNetwork& net,
+                                            const GrayFaultProfile& profile,
+                                            std::size_t n_gray,
+                                            std::uint64_t seed,
+                                            RepairJournal* journal = nullptr);
+
+// Put the control channel into delayed/permuted delivery (windows of
+// `window` instructions, always shuffled) and resync `n_resyncs`
+// seed-chosen switches through it. Reordering a resync's removes against
+// its adds strands or strips rules with zero fault-log evidence. The
+// channel is flushed and restored to immediate delivery before
+// returning; with a journal the touched agents round-trip exactly.
+GrayScenarioOutcome run_reordered_delivery_scenario(
+    SimNetwork& net, std::size_t window, std::size_t n_resyncs,
+    std::uint64_t seed, RepairJournal* journal = nullptr);
+
+}  // namespace scout

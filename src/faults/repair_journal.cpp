@@ -12,6 +12,7 @@ void RepairJournal::arm(SimNetwork& net) {
   clock_mark_ = net.clock().now();
   change_log_mark_ = net.controller().change_log().size();
   controller_fault_log_mark_ = net.controller().fault_log().size();
+  channel_mark_ = net.controller().channel().outages().size();
   agent_marks_.clear();
   agent_marks_.reserve(net.agents().size());
   for (const auto& agent : net.agents()) {
@@ -23,20 +24,38 @@ void RepairJournal::arm(SimNetwork& net) {
 
 void RepairJournal::note_removed(SwitchId sw, const TcamRule& rule) {
   if (!armed()) return;
-  ops_.push_back(RuleOp{RuleOp::Kind::kRemoved, sw, rule, TcamRule{}});
+  ops_.push_back(RuleOp{RuleOp::Kind::kRemoved, sw, rule, TcamRule{}, nullptr});
   ++stats_.ops_recorded;
 }
 
 void RepairJournal::note_added(SwitchId sw, const TcamRule& rule) {
   if (!armed()) return;
-  ops_.push_back(RuleOp{RuleOp::Kind::kAdded, sw, TcamRule{}, rule});
+  ops_.push_back(RuleOp{RuleOp::Kind::kAdded, sw, TcamRule{}, rule, nullptr});
   ++stats_.ops_recorded;
 }
 
 void RepairJournal::note_modified(SwitchId sw, const TcamRule& before,
                                   const TcamRule& after) {
   if (!armed()) return;
-  ops_.push_back(RuleOp{RuleOp::Kind::kModified, sw, before, after});
+  ops_.push_back(RuleOp{RuleOp::Kind::kModified, sw, before, after, nullptr});
+  ++stats_.ops_recorded;
+}
+
+void RepairJournal::snapshot_agent(SimNetwork& net, SwitchId sw) {
+  if (!armed()) return;
+  check_same_net(net);
+  SwitchAgent* agent = net.controller().agent(sw);
+  if (agent == nullptr) return;
+  auto snap = std::make_unique<AgentSnapshot>();
+  const auto rules = agent->tcam().rules();
+  snap->tcam.assign(rules.begin(), rules.end());
+  const auto view = agent->logical_view();
+  snap->view.assign(view.begin(), view.end());
+  RuleOp op;
+  op.kind = RuleOp::Kind::kAgentSnapshot;
+  op.sw = sw;
+  op.snapshot = std::move(snap);
+  ops_.push_back(std::move(op));
   ++stats_.ops_recorded;
 }
 
@@ -67,6 +86,9 @@ void RepairJournal::undo_rule_ops(SimNetwork& net) {
       case RuleOp::Kind::kModified:
         ok = tcam.replace_one(it->after, it->before);
         break;
+      case RuleOp::Kind::kAgentSnapshot:
+        agent->restore_images(it->snapshot->tcam, it->snapshot->view);
+        break;
     }
     if (!ok) {
       ops_.clear();
@@ -91,6 +113,7 @@ void RepairJournal::repair(SimNetwork& net) {
   }
   net.controller().truncate_fault_log(controller_fault_log_mark_);
   net.controller().change_log().truncate(change_log_mark_);
+  net.controller().channel().truncate(channel_mark_);
   net.clock().reset_to(clock_mark_);
   ++stats_.repairs;
   net_ = nullptr;

@@ -15,18 +15,23 @@
 //
 // Domain: TCAM rule removals / additions / modifications (priorities and
 // actions included), agent fault flags (crash, responsiveness, VRF-rewrite
-// bug), agent and controller fault logs, the controller change log, and
-// the simulation clock. Outside the domain: policy mutations
-// (deploy_new_filter, undeploy_filter, migrate_endpoint), logical-view
-// edits from live pushes, control-channel disconnects, and in-place edits
-// of pre-watermark log records (recover()/reconnect_switch() clearing an
-// old record). Cells that perform those must rebuild, not repair — the
-// sweep cache verifies fingerprints and falls back to a rebuild if a
+// bug, gray-fault profiles), agent and controller fault logs, the
+// controller change log, control-channel outages raised after arm(), the
+// simulation clock, and — via snapshot_agent() — whole-agent TCAM +
+// logical-view images, which covers scenarios whose per-op damage is
+// impractical to record (gray resyncs, reordered delivery, storm
+// episodes). Outside the domain: policy mutations (deploy_new_filter,
+// undeploy_filter, migrate_endpoint), logical-view edits from live pushes
+// on *unsnapshotted* agents, and in-place edits of pre-watermark records
+// (recover()/reconnect_switch() clearing an old fault record or closing a
+// pre-arm outage). Cells that perform those must rebuild, not repair —
+// the sweep cache verifies fingerprints and falls back to a rebuild if a
 // repair ever diverges.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/agent/switch_agent.h"
@@ -50,6 +55,16 @@ class RepairJournal {
   void note_modified(SwitchId sw, const TcamRule& before,
                      const TcamRule& after);
 
+  // Record a full image of one agent's TCAM and logical view. Scenario
+  // drivers whose damage is not expressible as per-rule ops (gray
+  // resyncs, reordered delivery, storm episodes replaying the compiled
+  // policy through lying devices) snapshot each agent they will touch
+  // *before* touching it; undo restores the images wholesale. Snapshots
+  // interleave with rule ops in strict LIFO, so duplicate snapshots of
+  // one agent are fine — the earliest (pre-damage) image is restored
+  // last. No-op while disarmed, like the note_* hooks.
+  void snapshot_agent(SimNetwork& net, SwitchId sw);
+
   // Undo only the recorded TCAM rule ops (newest first) and forget them;
   // watermarks stay armed. This is the gamma driver's per-iteration clean
   // slate: each fault is undone before the next lands, while the change
@@ -72,12 +87,22 @@ class RepairJournal {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  struct AgentSnapshot {
+    std::vector<TcamRule> tcam;      // in table (priority) order
+    std::vector<LogicalRule> view;
+  };
   struct RuleOp {
-    enum class Kind : std::uint8_t { kRemoved, kAdded, kModified };
+    enum class Kind : std::uint8_t {
+      kRemoved,
+      kAdded,
+      kModified,
+      kAgentSnapshot
+    };
     Kind kind = Kind::kRemoved;
     SwitchId sw;
     TcamRule before;  // kRemoved: the removed rule; kModified: pre-image
     TcamRule after;   // kAdded: the added rule; kModified: post-image
+    std::unique_ptr<AgentSnapshot> snapshot;  // kAgentSnapshot only
   };
   struct AgentMark {
     SwitchAgent::FaultState fault_state;
@@ -90,6 +115,7 @@ class RepairJournal {
   SimTime clock_mark_;
   std::size_t change_log_mark_ = 0;
   std::size_t controller_fault_log_mark_ = 0;
+  std::size_t channel_mark_ = 0;  // outage count at arm()
   std::vector<AgentMark> agent_marks_;  // in net.agents() order
   std::vector<RuleOp> ops_;
   Stats stats_;

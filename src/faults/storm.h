@@ -1,0 +1,94 @@
+// Correlated fault storms: topology-derived episodes that take out
+// *groups* of devices together. The point faults elsewhere in src/faults
+// are independent; real outages are not — a rack PDU trips and every
+// switch in the rack crash-loops at once, a rolling controller upgrade
+// recompiles the policy mid-churn, a pod's management network browns out
+// and the whole pod goes unreachable together. Correlated evidence is
+// what makes localization ambiguous (one root cause, many symptoms), so
+// the storm engine is how the monitor earns its robustness claims.
+//
+// Topology model: the Fabric has no rack metadata, so racks are derived
+// deterministically from agent order — rack = agent_index / rack_size,
+// pod = rack / racks_per_pod. That matches how leaf_spine() and the
+// experiment fabrics lay out leaves (consecutive ids share a rack) and
+// keeps every episode a pure function of (profile, seed, episode index).
+//
+// Journal compatibility: every episode snapshots each agent it will touch
+// before touching it and only flaps currently-connected switches, so all
+// fault records and outages it raises are post-watermark — repair() is
+// fingerprint-exact. Without a journal (continuous monitoring) episodes
+// end in a recovered, resynced state, so the fabric survives storm after
+// storm while the monitor watches the damage unfold and heal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace scout {
+
+class SimNetwork;
+class RepairJournal;
+
+// A named storm shape, resolved by storm_profile(). rack_size /
+// racks_per_pod bound the blast radius against the fabric's agent count.
+struct StormProfile {
+  enum class Kind : std::uint8_t {
+    kRackPower,       // a rack's agents crash together, then recover
+    kRollingUpgrade,  // controller recompiles mid-churn + resyncs a switch
+    kPodBrownout      // a pod's control channels flap together
+  };
+  std::string name;
+  Kind kind = Kind::kRackPower;
+  std::size_t rack_size = 4;
+  std::size_t racks_per_pod = 2;
+};
+
+// Registered storm profile names, in factory order: rack-power,
+// rolling-upgrade, pod-brownout.
+[[nodiscard]] std::span<const std::string_view> storm_profile_names();
+
+// Resolve a profile by name; throws std::invalid_argument on unknown
+// names so CLI typos fail at configuration time.
+[[nodiscard]] StormProfile storm_profile(std::string_view name);
+
+// Deterministic episode generator over one network. Each run_episode()
+// derives its blast target from derive_seed(seed, episode_index), so a
+// schedule replays identically for a given (profile, seed) no matter how
+// the caller paces it.
+class StormSchedule {
+ public:
+  StormSchedule(SimNetwork& net, StormProfile profile, std::uint64_t seed);
+
+  struct Stats {
+    std::size_t episodes = 0;
+    std::size_t agents_crashed = 0;
+    std::size_t channels_flapped = 0;
+    std::size_t recompiles = 0;
+    std::size_t resyncs = 0;
+  };
+
+  // Fire one episode. With an armed journal every touched agent is
+  // snapshotted first and the episode repairs fingerprint-exactly.
+  void run_episode(RepairJournal* journal = nullptr);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const StormProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  void rack_power(std::uint64_t episode_seed, RepairJournal* journal);
+  void rolling_upgrade(std::uint64_t episode_seed, RepairJournal* journal);
+  void pod_brownout(std::uint64_t episode_seed, RepairJournal* journal);
+
+  SimNetwork* net_;
+  StormProfile profile_;
+  std::uint64_t seed_;
+  std::size_t episode_ = 0;
+  Stats stats_;
+};
+
+}  // namespace scout

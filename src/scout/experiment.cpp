@@ -14,7 +14,10 @@
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/faults/fault_injector.h"
+#include "src/faults/fault_policy.h"
+#include "src/faults/gray_faults.h"
 #include "src/faults/repair_journal.h"
+#include "src/faults/storm.h"
 #include "src/localization/score.h"
 #include "src/localization/scout_localizer.h"
 #include "src/runtime/result_sink.h"
@@ -737,6 +740,42 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   stream::EventBus bus;
   net.attach_event_bus(&bus);
 
+  // Fault classes beyond the churn mix land on the deployed network before
+  // the monitor is constructed (register_metrics reads per-agent eviction
+  // policy names) and before any churn. Everything is seeded off the run
+  // seed and per-agent ids, never off publisher count or timing.
+  if (options.gray_rate > 0.0) {
+    GrayFaultProfile gray;
+    gray.misrender_rate = options.gray_rate;
+    gray.misrender_burst = 3;
+    gray.drop_rate = options.gray_rate * 0.5;
+    gray.drop_burst = 2;
+    const std::uint64_t gray_seed = derive_seed(options.seed, 0x6A);
+    for (const auto& agent : net.agents()) {
+      agent->set_gray_profile(gray,
+                              derive_seed(gray_seed, agent->id().value()));
+    }
+  }
+  if (!options.evict_policy.empty()) {
+    const std::uint64_t evict_seed = derive_seed(options.seed, 0xE0);
+    for (const auto& agent : net.agents()) {
+      agent->tcam().set_eviction_policy(make_eviction_policy(
+          options.evict_policy,
+          derive_seed(evict_seed, agent->id().value())));
+    }
+  }
+  if (options.delivery_window > 0) {
+    ChannelDelayProfile delay;
+    delay.window = options.delivery_window;
+    delay.seed = derive_seed(options.seed, 0xDE);
+    net.controller().set_channel_delay(delay);
+  }
+  std::unique_ptr<StormSchedule> storm;
+  if (!options.storm.empty()) {
+    storm = std::make_unique<StormSchedule>(
+        net, storm_profile(options.storm), derive_seed(options.seed, 0x57));
+  }
+
   // Concurrent-publish transport: the ring is sized over the SwitchId
   // space and attached before the monitor is constructed, so the
   // monitor's ring metrics register. Pipelined runs use backpressure
@@ -837,6 +876,15 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
         fold_verdict(verdict);
       }
       (void)driver->pump_control(segment_ops);
+      if (storm != nullptr) {
+        // Episodes fire in the serial control tail (publishers quiesced);
+        // their events ride the next segment's drains, or the tail drain
+        // below for the last one.
+        storm->run_episode();
+        if (registry != nullptr) {
+          registry->add_counter("faults.storm.episodes", 1);
+        }
+      }
       if (bus.cursor() == before) break;  // degenerate: nothing to churn
     }
     driver->stop();
@@ -861,6 +909,13 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
         const FabricCheck fresh = verify_system.check_all(net);
         if (!fabric_check_identical(last_check, fresh)) {
           ++report.verify_mismatches;
+        }
+      }
+      if (storm != nullptr && options.storm_every_batches > 0 &&
+          report.batches % options.storm_every_batches == 0) {
+        storm->run_episode();
+        if (registry != nullptr) {
+          registry->add_counter("faults.storm.episodes", 1);
         }
       }
       if (options.target_events_per_sec > 0.0) {
@@ -891,6 +946,12 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
           ? static_cast<double>(report.events) / report.drain_seconds
           : 0.0;
   report.checker = monitor.checker_stats();
+  if (storm != nullptr) report.storm_episodes = storm->stats().episodes;
+  for (const auto& agent : net.agents()) {
+    report.gray_misrenders += agent->gray_misrenders();
+    report.gray_drops += agent->gray_drops();
+    report.tcam_evictions += agent->tcam().evictions();
+  }
 
   report.final_inconsistent = last_check.inconsistent.size();
   report.final_missing = last_check.missing_rules.size();

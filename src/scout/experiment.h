@@ -309,6 +309,30 @@ struct MonitoringOptions {
   // correctness gate is final_verdict_matches_fresh instead; pacing and
   // verify_batches are ignored.
   bool pipelined = false;
+  // -- fault classes beyond the churn mix (src/faults) ----------------------
+  // Gray agents: every agent gets a misrender/drop profile scaled off this
+  // rate (misrender_rate = gray_rate with burst 3, drop_rate = gray_rate/2
+  // with burst 2) before monitoring starts. Partial collections stay off —
+  // they fault the detection path and would break the digest gates by
+  // construction. 0 = no gray behaviour.
+  double gray_rate = 0.0;
+  // Correlated storms: profile name resolved via storm_profile() ("rack-
+  // power", "rolling-upgrade", "pod-brownout"); empty = no storms. An
+  // episode fires every `storm_every_batches` drained batches (phased) or
+  // at every segment boundary (pipelined) — serial-phase actions either
+  // way, so batch counts and therefore episode schedules are identical
+  // across {serial, ring} legs.
+  // Batches are big (a resync op bursts a whole switch's reinstalls), so
+  // the default cadence fires within a handful of drains.
+  std::string storm;
+  std::size_t storm_every_batches = 2;
+  // TCAM eviction policy name for every agent, resolved via
+  // make_eviction_policy() (per-agent seeds, so "random" agents evict
+  // independently); empty = the built-in lowest-priority behaviour.
+  std::string evict_policy;
+  // Delayed/reordered control-channel delivery window (gray channel);
+  // 0 = immediate delivery.
+  std::size_t delivery_window = 0;
 };
 
 struct MonitoringReport {
@@ -354,6 +378,11 @@ struct MonitoringReport {
   // Pipelined runs: does the final composed verdict equal a fresh
   // ScoutSystem::check_all after quiescence? (true for every other mode.)
   bool final_verdict_matches_fresh = true;
+  // Fault-class tallies (gray/storm/eviction options above).
+  std::size_t storm_episodes = 0;
+  std::uint64_t gray_misrenders = 0;
+  std::uint64_t gray_drops = 0;
+  std::uint64_t tcam_evictions = 0;
 };
 
 [[nodiscard]] MonitoringReport run_continuous_monitoring(

@@ -1,5 +1,6 @@
 #include "src/scout/sim_network.h"
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 
@@ -100,6 +101,18 @@ std::uint64_t SimNetwork::state_fingerprint() const {
     hash_combine(h, hash_all(agent->id(), st.responsive, st.crashed,
                              st.crash_countdown,
                              st.vrf_rewrite_bug.value_or(0xFFFFU)));
+    // Gray knobs are fault-behaviour state like the flags above; the gray
+    // RNG is bookkeeping (it steers future faults, it is not observable
+    // state) and stays out, exactly like the churn generator's RNG.
+    hash_combine(
+        h, hash_all(std::bit_cast<std::uint64_t>(
+                        st.gray_profile.misrender_rate),
+                    st.gray_profile.misrender_burst,
+                    std::bit_cast<std::uint64_t>(st.gray_profile.drop_rate),
+                    st.gray_profile.drop_burst,
+                    std::bit_cast<std::uint64_t>(
+                        st.gray_profile.collect_keep_fraction),
+                    st.gray_misrender_left, st.gray_drop_left));
     hash_combine(h, hash_all(agent->tcam().size(),
                              agent->logical_view().size()));
     for (const TcamRule& r : agent->tcam().rules()) mix_rule(h, r);

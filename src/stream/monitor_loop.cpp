@@ -3,9 +3,11 @@
 #include <chrono>
 #include <string>
 
+#include "src/agent/switch_agent.h"
 #include "src/common/logging.h"
 #include "src/policy/policy_index.h"
 #include "src/riskmodel/risk_model.h"
+#include "src/tcam/tcam_table.h"
 
 namespace scout::stream {
 namespace {
@@ -111,6 +113,19 @@ void MonitorLoop::register_metrics() {
           reg->gauge("stream.ring.lag.pub" + std::to_string(p)));
     }
   }
+  // Fault-engine activity. The eviction counter names are read off the
+  // agents at construction time (policies are installed before the
+  // monitor), one series per distinct policy in use.
+  gray_misrenders_counter_ = reg->counter("faults.gray.misrenders");
+  gray_drops_counter_ = reg->counter("faults.gray.drops");
+  const auto agents = net_->agents();
+  eviction_counters_.reserve(agents.size());
+  bridged_evictions_.assign(agents.size(), 0);
+  for (const auto& agent : agents) {
+    eviction_counters_.push_back(reg->counter(
+        "tcam.evictions." +
+        std::string(agent->tcam().eviction_policy_name())));
+  }
   arena_nodes_ = reg->gauge("bdd.arena_nodes");
   arena_rollbacks_ = reg->gauge("bdd.arena_rollbacks");
   unique_load_ = reg->gauge("bdd.unique_load");
@@ -159,6 +174,29 @@ void MonitorLoop::bridge_counters() {
       ring_lag_gauges_[p].set(static_cast<double>(ring->published_cursor(p) -
                                                   ring->drained_cursor(p)));
     }
+  }
+
+  // Fault-engine lifetime counters, delta-folded like the other
+  // cumulative sources. Gray counters only move in the serial control
+  // phase (controller pushes); the eviction counter is relaxed-atomic so
+  // reading it here is safe even while pinned publishers are evicting.
+  {
+    std::uint64_t misrenders = 0;
+    std::uint64_t drops = 0;
+    const auto agents = net_->agents();
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      misrenders += agents[i]->gray_misrenders();
+      drops += agents[i]->gray_drops();
+      if (i < eviction_counters_.size()) {
+        const std::uint64_t ev = agents[i]->tcam().evictions();
+        eviction_counters_[i].add(ev - bridged_evictions_[i]);
+        bridged_evictions_[i] = ev;
+      }
+    }
+    gray_misrenders_counter_.add(misrenders - bridged_gray_misrenders_);
+    gray_drops_counter_.add(drops - bridged_gray_drops_);
+    bridged_gray_misrenders_ = misrenders;
+    bridged_gray_drops_ = drops;
   }
 
   if (checker_ != nullptr) {

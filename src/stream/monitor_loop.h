@@ -194,10 +194,20 @@ class MonitorLoop {
   telemetry::Gauge cache_hit_rate_;
   telemetry::Gauge resident_switches_;
   std::vector<telemetry::Gauge> churn_gauges_;  // per switch, agent order
+  // Fault-engine activity: gray rendering-layer counters plus one eviction
+  // counter per agent, named "tcam.evictions.<policy>" so distinct
+  // policies surface as distinct series (agents on the same policy fold
+  // into one counter via the registry's name interning).
+  telemetry::Counter gray_misrenders_counter_;
+  telemetry::Counter gray_drops_counter_;
+  std::vector<telemetry::Counter> eviction_counters_;  // agent order
   // Last bridged values for delta-folding cumulative sources.
   IncrementalChecker::Stats bridged_checker_ SCOUT_GUARDED_BY(serial_){};
   EventBus::Stats bridged_bus_ SCOUT_GUARDED_BY(serial_){};
   MpscRing::Stats bridged_ring_ SCOUT_GUARDED_BY(serial_){};
+  std::uint64_t bridged_gray_misrenders_ SCOUT_GUARDED_BY(serial_) = 0;
+  std::uint64_t bridged_gray_drops_ SCOUT_GUARDED_BY(serial_) = 0;
+  std::vector<std::uint64_t> bridged_evictions_ SCOUT_GUARDED_BY(serial_);
 
   // Registered bus readers — one per checker shard (one total in full
   // mode). Their cursors pin EventBus::compact(): no event is reclaimed

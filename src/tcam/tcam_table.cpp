@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "src/faults/fault_policy.h"
+
 namespace scout {
+
+// Out of line so the unique_ptr<EvictionPolicy> member constructs,
+// destructs and moves against the complete type. Moves are manual because
+// the atomic eviction counter is not movable; tables only move during
+// single-threaded fabric construction, so relaxed transfer is exact.
+TcamTable::TcamTable(std::size_t capacity) : capacity_(capacity) {}
+TcamTable::~TcamTable() = default;
+TcamTable::TcamTable(TcamTable&& other) noexcept
+    : capacity_(other.capacity_),
+      rules_(std::move(other.rules_)),
+      meta_(std::move(other.meta_)),
+      next_stamp_(other.next_stamp_),
+      evictions_(other.evictions_.load(std::memory_order_relaxed)),
+      policy_(std::move(other.policy_)) {}
+TcamTable& TcamTable::operator=(TcamTable&& other) noexcept {
+  capacity_ = other.capacity_;
+  rules_ = std::move(other.rules_);
+  meta_ = std::move(other.meta_);
+  next_stamp_ = other.next_stamp_;
+  evictions_.store(other.evictions_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  policy_ = std::move(other.policy_);
+  return *this;
+}
 
 InstallStatus TcamTable::install(const TcamRule& rule) {
   if (rules_.size() >= capacity_) return InstallStatus::kOverflow;
@@ -13,15 +39,30 @@ InstallStatus TcamTable::install(const TcamRule& rule) {
       [](const TcamRule& a, const TcamRule& b) {
         return a.priority < b.priority;
       });
+  const auto idx = static_cast<std::size_t>(pos - rules_.begin());
   rules_.insert(pos, rule);
+  const std::uint64_t stamp = ++next_stamp_;
+  meta_.insert(meta_.begin() + static_cast<std::ptrdiff_t>(idx),
+               RuleMeta{stamp, stamp});
   return InstallStatus::kOk;
 }
 
 std::size_t TcamTable::remove_if(
     const std::function<bool(const TcamRule&)>& pred) {
-  const auto it = std::remove_if(rules_.begin(), rules_.end(), pred);
-  const auto removed = static_cast<std::size_t>(rules_.end() - it);
-  rules_.erase(it, rules_.end());
+  // Manual compaction instead of std::remove_if so the meta vector stays
+  // parallel to the surviving rules.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (pred(rules_[i])) continue;
+    if (out != i) {
+      rules_[out] = rules_[i];
+      meta_[out] = meta_[i];
+    }
+    ++out;
+  }
+  const std::size_t removed = rules_.size() - out;
+  rules_.resize(out);
+  meta_.resize(out);
   return removed;
 }
 
@@ -67,9 +108,18 @@ std::optional<TcamTable::Corruption> TcamTable::corrupt_random_bit(Rng& rng) {
   return Corruption{idx, before, r};
 }
 
+void TcamTable::set_eviction_policy(std::unique_ptr<EvictionPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+std::string_view TcamTable::eviction_policy_name() const noexcept {
+  return policy_ ? policy_->name() : kDefaultEvictionPolicy;
+}
+
 bool TcamTable::remove_one(const TcamRule& rule) {
   const auto it = std::find(rules_.begin(), rules_.end(), rule);
   if (it == rules_.end()) return false;
+  meta_.erase(meta_.begin() + (it - rules_.begin()));
   rules_.erase(it);
   return true;
 }
@@ -82,18 +132,34 @@ bool TcamTable::replace_one(const TcamRule& from, const TcamRule& to) {
   const auto it = std::find(rules_.begin(), rules_.end(), from);
   if (it == rules_.end()) return false;
   *it = to;
+  // In-place overwrite refreshes the touch stamp (lru-touch signal); the
+  // install stamp keeps the original entry's age.
+  meta_[static_cast<std::size_t>(it - rules_.begin())].touched = ++next_stamp_;
   return true;
 }
 
 std::optional<TcamRule> TcamTable::evict_one() {
-  // The last rule is the lowest priority; skip a trailing catch-all deny.
-  for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
-    if (it->wildcard_all()) continue;
-    const TcamRule evicted = *it;
-    rules_.erase(std::next(it).base());
-    return evicted;
+  std::size_t victim = EvictionPolicy::kNone;
+  if (policy_) {
+    victim = policy_->pick_victim(rules_, meta_);
+  } else {
+    // Historical behaviour: the last rule is the lowest priority; skip a
+    // trailing catch-all deny.
+    for (std::size_t i = rules_.size(); i > 0; --i) {
+      if (!rules_[i - 1].wildcard_all()) {
+        victim = i - 1;
+        break;
+      }
+    }
   }
-  return std::nullopt;
+  if (victim == EvictionPolicy::kNone || victim >= rules_.size()) {
+    return std::nullopt;
+  }
+  const TcamRule evicted = rules_[victim];
+  rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(victim));
+  meta_.erase(meta_.begin() + static_cast<std::ptrdiff_t>(victim));
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return evicted;
 }
 
 }  // namespace scout

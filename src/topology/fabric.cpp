@@ -67,4 +67,11 @@ bool ControlChannel::was_down_at(SwitchId sw, SimTime t) const noexcept {
   return false;
 }
 
+void ControlChannel::truncate(std::size_t n) {
+  if (n >= outages_.size()) return;
+  outages_.resize(n);
+  std::erase_if(open_outage_,
+                [n](const auto& entry) { return entry.second >= n; });
+}
+
 }  // namespace scout

@@ -72,6 +72,14 @@ class ControlChannel {
   }
   [[nodiscard]] bool was_down_at(SwitchId sw, SimTime t) const noexcept;
 
+  // Forget every outage recorded at or after watermark `n`, reconnecting
+  // switches whose only outage record was dropped (repair-journal
+  // support: storm episodes flap connected switches post-watermark, so
+  // truncation restores the arm-time channel exactly; an episode that
+  // closed a *pre*-watermark outage edited an old record in place and is
+  // outside the journal's domain, as with fault-log records).
+  void truncate(std::size_t n);
+
  private:
   std::unordered_map<SwitchId, std::size_t> open_outage_;  // sw -> index
   std::vector<Outage> outages_;

@@ -1,0 +1,136 @@
+#include "src/faults/fault_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/tcam/tcam_table.h"
+
+namespace scout {
+namespace {
+
+TcamRule rule(std::uint32_t priority, std::uint16_t port) {
+  return TcamRule::exact_allow(priority, /*vrf=*/101, /*src_epg=*/1,
+                               /*dst_epg=*/2, /*proto=*/6,
+                               TernaryField::exact(port, FieldWidths::kPort));
+}
+
+// A table holding three distinguishable rules plus the catch-all deny,
+// installed in a fixed order so the install stamps are known: port 80
+// first, then 443, then 8080 (priorities 10 < 20 < 30 < deny 99).
+TcamTable seeded_table(std::unique_ptr<EvictionPolicy> policy) {
+  TcamTable tcam{8};
+  tcam.set_eviction_policy(std::move(policy));
+  EXPECT_EQ(tcam.install(rule(10, 80)), InstallStatus::kOk);
+  EXPECT_EQ(tcam.install(rule(20, 443)), InstallStatus::kOk);
+  EXPECT_EQ(tcam.install(rule(30, 8080)), InstallStatus::kOk);
+  EXPECT_EQ(tcam.install(TcamRule::default_deny(99)), InstallStatus::kOk);
+  return tcam;
+}
+
+std::uint16_t evicted_port(TcamTable& tcam) {
+  const std::optional<TcamRule> victim = tcam.evict_one();
+  EXPECT_TRUE(victim.has_value());
+  return static_cast<std::uint16_t>(victim->dst_port.value);
+}
+
+TEST(FaultPolicy, NamesListMatchesFactory) {
+  const auto names = eviction_policy_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string_view name : names) {
+    const auto policy = make_eviction_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(FaultPolicy, FactoryRejectsUnknownName) {
+  EXPECT_THROW((void)make_eviction_policy("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)make_eviction_policy(""), std::invalid_argument);
+}
+
+TEST(FaultPolicy, LowestPriorityEvictsBackToFront) {
+  TcamTable tcam = seeded_table(make_eviction_policy("lowest-priority"));
+  // Highest priority number (= lowest match priority) spills first; the
+  // trailing catch-all deny is never a victim.
+  EXPECT_EQ(evicted_port(tcam), 8080);
+  EXPECT_EQ(evicted_port(tcam), 443);
+  EXPECT_EQ(evicted_port(tcam), 80);
+  EXPECT_FALSE(tcam.evict_one().has_value()) << "only the deny remains";
+  EXPECT_EQ(tcam.size(), 1u);
+}
+
+TEST(FaultPolicy, NullPolicyKeepsHistoricalLowestPriorityOrder) {
+  TcamTable with_policy = seeded_table(make_eviction_policy("lowest-priority"));
+  TcamTable without = seeded_table(nullptr);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(evicted_port(with_policy), evicted_port(without));
+  }
+}
+
+TEST(FaultPolicy, FifoEvictsOldestInstallFirst) {
+  TcamTable tcam = seeded_table(make_eviction_policy("fifo"));
+  // Install order was 80, 443, 8080 — eviction replays it.
+  EXPECT_EQ(evicted_port(tcam), 80);
+  EXPECT_EQ(evicted_port(tcam), 443);
+  EXPECT_EQ(evicted_port(tcam), 8080);
+  EXPECT_FALSE(tcam.evict_one().has_value());
+}
+
+TEST(FaultPolicy, LruTouchPrefersUntouchedEntries) {
+  TcamTable tcam = seeded_table(make_eviction_policy("lru-touch"));
+  // Refresh the oldest entry's touch stamp via an in-place overwrite; the
+  // second-oldest becomes the least-recently-touched victim.
+  ASSERT_TRUE(tcam.replace_one(rule(10, 80), rule(10, 80)));
+  EXPECT_EQ(evicted_port(tcam), 443);
+  EXPECT_EQ(evicted_port(tcam), 8080);
+  EXPECT_EQ(evicted_port(tcam), 80);
+}
+
+TEST(FaultPolicy, RandomIsSeedDeterministicAndNeverTakesTheDeny) {
+  std::vector<std::uint16_t> first_run;
+  for (int run = 0; run < 2; ++run) {
+    TcamTable tcam = seeded_table(make_eviction_policy("random", 77));
+    std::vector<std::uint16_t> order;
+    while (auto victim = tcam.evict_one()) {
+      order.push_back(static_cast<std::uint16_t>(victim->dst_port.value));
+    }
+    ASSERT_EQ(order.size(), 3u) << "all three rules but never the deny";
+    EXPECT_EQ(std::set<std::uint16_t>(order.begin(), order.end()),
+              (std::set<std::uint16_t>{80, 443, 8080}));
+    if (run == 0) {
+      first_run = order;
+    } else {
+      EXPECT_EQ(order, first_run) << "same seed, same victim sequence";
+    }
+    EXPECT_EQ(tcam.size(), 1u);
+  }
+}
+
+TEST(FaultPolicy, EvictionCounterIsLifetimeMonotone) {
+  TcamTable tcam = seeded_table(make_eviction_policy("fifo"));
+  EXPECT_EQ(tcam.evictions(), 0u);
+  (void)tcam.evict_one();
+  (void)tcam.evict_one();
+  EXPECT_EQ(tcam.evictions(), 2u);
+  // A failed eviction (nothing eligible) does not count.
+  (void)tcam.evict_one();
+  (void)tcam.evict_one();
+  EXPECT_EQ(tcam.evictions(), 3u);
+}
+
+TEST(FaultPolicy, MetaStaysParallelAcrossRemovals) {
+  TcamTable tcam = seeded_table(make_eviction_policy("fifo"));
+  ASSERT_TRUE(tcam.remove_one(rule(10, 80)));
+  ASSERT_EQ(tcam.rules().size(), tcam.meta().size());
+  // After removing the oldest entry, fifo's next victim is the second
+  // install — the stamps moved with their rules.
+  EXPECT_EQ(evicted_port(tcam), 443);
+  ASSERT_EQ(tcam.rules().size(), tcam.meta().size());
+}
+
+}  // namespace
+}  // namespace scout

@@ -18,8 +18,11 @@
 #include <gtest/gtest.h>
 
 #include "src/faults/fault_injector.h"
+#include "src/faults/fault_policy.h"
+#include "src/faults/gray_faults.h"
 #include "src/faults/physical_faults.h"
 #include "src/faults/repair_journal.h"
+#include "src/faults/storm.h"
 #include "src/scout/experiment.h"
 #include "src/scout/sim_network.h"
 #include "src/workload/policy_generator.h"
@@ -196,6 +199,100 @@ TEST(NetworkRepair, RepairedStateBitIdenticalToFreshlyDeployed) {
   // Not merely "back to its own old state": equal to a from-scratch build.
   EXPECT_EQ(subject->state_fingerprint(),
             make_net(profile, 21)->state_fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-engine fault classes (src/faults/gray_faults, storm, fault_policy):
+// every class must repair fingerprint-exactly across seeds.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkRepair, GrayAgentScenarioRoundTripAcrossSeeds) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto net = make_net(profile, 7);
+    const std::uint64_t baseline = net->state_fingerprint();
+    RepairJournal journal;
+    journal.arm(*net);
+    GrayFaultProfile gray;
+    gray.misrender_rate = 0.35;
+    gray.misrender_burst = 3;
+    gray.drop_rate = 0.2;
+    gray.drop_burst = 2;
+    const GrayScenarioOutcome outcome =
+        run_gray_agent_scenario(*net, gray, /*n_gray=*/3, seed, &journal);
+    EXPECT_GT(outcome.resyncs, 0u);
+    // The armed profiles and open burst counters are fault-behaviour state
+    // and hash into the fingerprint, so the scenario always leaves a trace
+    // even on seeds where no misrender fired.
+    ASSERT_NE(net->state_fingerprint(), baseline) << "seed " << seed;
+    journal.repair(*net);
+    EXPECT_EQ(net->state_fingerprint(), baseline) << "seed " << seed;
+  }
+}
+
+TEST(NetworkRepair, StormEpisodesRoundTripAcrossSeedsAndProfiles) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  for (const std::string_view name : storm_profile_names()) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      auto net = make_net(profile, 9);
+      const std::uint64_t baseline = net->state_fingerprint();
+      RepairJournal journal;
+      journal.arm(*net);
+      StormSchedule storm{*net, storm_profile(name),
+                          derive_seed(seed, 0x57)};
+      storm.run_episode(&journal);
+      storm.run_episode(&journal);
+      EXPECT_EQ(storm.stats().episodes, 2u);
+      journal.repair(*net);
+      EXPECT_EQ(net->state_fingerprint(), baseline)
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(NetworkRepair, EvictionPoliciesRoundTripViaSnapshots) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  for (const std::string_view name : eviction_policy_names()) {
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      auto net = make_net(profile, 13);
+      // Policies are installed before the baseline, mirroring monitoring
+      // setup; they are fault-selection bookkeeping and stay outside the
+      // fingerprint, so repair needs no policy restoration.
+      for (const auto& agent : net->agents()) {
+        agent->tcam().set_eviction_policy(make_eviction_policy(
+            name, derive_seed(seed, agent->id().value())));
+      }
+      const std::uint64_t baseline = net->state_fingerprint();
+      RepairJournal journal;
+      journal.arm(*net);
+      Rng rng{derive_seed(seed, 0xEE)};
+      const auto agents = net->agents();
+      for (int round = 0; round < 4; ++round) {
+        SwitchAgent& agent = *agents[rng.below(agents.size())];
+        journal.snapshot_agent(*net, agent.id());
+        (void)agent.evict_rules(1 + rng.below(3), net->clock().now());
+      }
+      ASSERT_NE(net->state_fingerprint(), baseline)
+          << name << " seed " << seed;
+      journal.repair(*net);
+      EXPECT_EQ(net->state_fingerprint(), baseline)
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(NetworkRepair, ReorderedDeliveryRoundTripAcrossSeeds) {
+  const GeneratorProfile profile = GeneratorProfile::testbed();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto net = make_net(profile, 17);
+    const std::uint64_t baseline = net->state_fingerprint();
+    RepairJournal journal;
+    journal.arm(*net);
+    (void)run_reordered_delivery_scenario(*net, /*window=*/5,
+                                          /*n_resyncs=*/3, seed, &journal);
+    journal.repair(*net);
+    EXPECT_EQ(net->state_fingerprint(), baseline) << "seed " << seed;
+  }
 }
 
 TEST(NetworkRepair, ControllerUnreachableEpisodeForgottenByRepair) {

@@ -79,6 +79,29 @@ TEST_F(ScenarioFixture, AgentCrashScenarioStopsMidBatch) {
   EXPECT_TRUE(crash_logged);
 }
 
+// Pins the apply_before_crash == 0 contract: the countdown is checked at
+// the top of apply() before it decrements, so a zero-countdown agent
+// crashes before rendering its first instruction — the TCAM and logical
+// view are untouched and every instruction in the batch counts as lost.
+// The storm engine's rack-power episodes (src/faults/storm.cpp) build on
+// exactly this "crash precedes the first apply" semantics.
+TEST_F(ScenarioFixture, AgentCrashScenarioZeroAppliesNothing) {
+  const std::size_t tcam_before = net.agent(three.s3).tcam().size();
+  const std::size_t view_before = net.agent(three.s3).logical_view().size();
+  const ScenarioOutcome outcome = run_agent_crash_scenario(
+      net.controller(), three.s3, three.app_db, /*n_filters=*/5,
+      /*apply_before_crash=*/0);
+  EXPECT_TRUE(net.agent(three.s3).crashed());
+  EXPECT_EQ(net.agent(three.s3).tcam().size(), tcam_before);
+  EXPECT_EQ(net.agent(three.s3).logical_view().size(), view_before);
+  EXPECT_EQ(outcome.instructions_lost, 10u);  // 2 rules x 5 filters on S3
+  bool crash_logged = false;
+  for (const FaultRecord& rec : net.agent(three.s3).fault_log().records()) {
+    if (rec.code == FaultCode::kAgentCrash) crash_logged = true;
+  }
+  EXPECT_TRUE(crash_logged);
+}
+
 TEST_F(ScenarioFixture, CorruptionScenarioFlipsBits) {
   Rng rng{3};
   const std::size_t corrupted = run_tcam_corruption_scenario(
