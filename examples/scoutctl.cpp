@@ -5,7 +5,8 @@
 //   scoutctl [scenario] [--seed N] [--json] [--remediate]
 //   scoutctl monitor [--seed N] [--events N] [--full] [--remediate]
 //                    [--telemetry FILE] [--gray-rate R] [--storm PROFILE]
-//                    [--evict-policy NAME]
+//                    [--evict-policy NAME] [--incidents FILE]
+//                    [--flight-recorder FILE]
 //   scoutctl stats [--seed N] [--events N] [--full] [--json]
 //
 // Scenarios:
@@ -24,9 +25,14 @@
 //                  rolling-upgrade, pod-brownout), --evict-policy swaps
 //                  the TCAM eviction strategy (lowest-priority, fifo,
 //                  random, lru-touch) — unknown names are rejected by the
-//                  factories before the run starts
+//                  factories before the run starts; --incidents FILE turns
+//                  on incident provenance (cause-stamped fault episodes
+//                  correlated with failing verdicts) and writes the
+//                  incident log as JSON; --flight-recorder FILE arms the
+//                  in-memory flight recorder and writes its ring dump
 //   stats          run the monitor scenario and dump the full telemetry
-//                  snapshot (Prometheus text format, or JSON with --json)
+//                  snapshot (Prometheus text format, or JSON with --json);
+//                  includes the health/SLO engine's health.* gauges
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -58,6 +64,15 @@ struct FaultFlags {
   }
 };
 
+// Observability sinks honored only by the monitor subcommand.
+struct ObsFlags {
+  std::string incidents_path;
+  std::string flight_path;
+  [[nodiscard]] bool any() const {
+    return !incidents_path.empty() || !flight_path.empty();
+  }
+};
+
 int usage() {
   std::cerr << "usage: scoutctl [object-fault|overflow|unresponsive|"
                "corruption|eviction] [--seed N] [--json] [--remediate]\n"
@@ -65,6 +80,8 @@ int usage() {
                "[--remediate] [--telemetry FILE]\n"
                "                        [--gray-rate R] [--storm PROFILE] "
                "[--evict-policy NAME]\n"
+               "                        [--incidents FILE] "
+               "[--flight-recorder FILE]\n"
                "       scoutctl stats [--seed N] [--events N] [--full] "
                "[--json]\n";
   return 2;
@@ -73,7 +90,9 @@ int usage() {
 MonitoringReport run_monitor_scenario(std::uint64_t seed, std::size_t events,
                                       bool full, bool remediate,
                                       bool want_trace,
-                                      const FaultFlags& faults = {}) {
+                                      const FaultFlags& faults = {},
+                                      const ObsFlags& obs = {},
+                                      bool collect_health = false) {
   MonitoringOptions options;
   options.profile = GeneratorProfile::scaled(16);
   options.profile.target_pairs = 16 * 60;
@@ -86,15 +105,22 @@ MonitoringReport run_monitor_scenario(std::uint64_t seed, std::size_t events,
   options.gray_rate = faults.gray_rate;
   options.storm = faults.storm;
   options.evict_policy = faults.evict_policy;
+  options.collect_incidents = !obs.incidents_path.empty();
+  options.incident_log_path = obs.incidents_path;
+  options.collect_flight = !obs.flight_path.empty();
+  options.flight_dump_path = obs.flight_path;
+  options.collect_health = collect_health;
   runtime::SerialExecutor executor;
   return run_continuous_monitoring(options, executor);
 }
 
 int run_monitor(std::uint64_t seed, std::size_t events, bool full,
                 bool remediate, const std::string& telemetry_path,
-                const FaultFlags& faults) {
-  const MonitoringReport report = run_monitor_scenario(
-      seed, events, full, remediate, !telemetry_path.empty(), faults);
+                const FaultFlags& faults, const ObsFlags& obs) {
+  const MonitoringReport report =
+      run_monitor_scenario(seed, events, full, remediate,
+                           !telemetry_path.empty(), faults, obs,
+                           /*collect_health=*/obs.any());
   std::cout << "mode            : "
             << (full ? "full recheck" : "incremental") << '\n'
             << "events verified : " << report.events << " in "
@@ -133,6 +159,23 @@ int run_monitor(std::uint64_t seed, std::size_t events, bool full,
     std::cout << "localization    : hypothesis of " << report.hypothesis_size
               << " suspect object(s) handed to SCOUT\n";
   }
+  if (!obs.incidents_path.empty()) {
+    std::cout << "incidents       : " << report.incidents << " episode(s), "
+              << report.incident_first_cause_correct
+              << " first-cause correct (precision "
+              << report.incident_precision << ", recall "
+              << report.incident_recall << "); log written to "
+              << obs.incidents_path << '\n';
+  }
+  if (!obs.flight_path.empty()) {
+    std::cout << "flight recorder : " << report.flight_entries
+              << " entries recorded; dump written to " << obs.flight_path
+              << '\n';
+  }
+  if (obs.any()) {
+    std::cout << "health          : status " << report.health_status
+              << " (0=ok 1=warn 2=critical)\n";
+  }
   if (remediate && report.final_missing > 0) {
     std::cout << "remediation     : " << report.final_missing
               << " rules reinstalled, " << report.final_still_missing
@@ -157,9 +200,12 @@ int run_monitor(std::uint64_t seed, std::size_t events, bool full,
 }
 
 int run_stats(std::uint64_t seed, std::size_t events, bool full, bool json) {
-  const MonitoringReport report =
-      run_monitor_scenario(seed, events, full, /*remediate=*/false,
-                           /*want_trace=*/false);
+  // Stats always runs with the health engine attached so the snapshot
+  // carries the health.* grade gauges alongside the raw series.
+  const MonitoringReport report = run_monitor_scenario(
+      seed, events, full, /*remediate=*/false,
+      /*want_trace=*/false, /*faults=*/{}, /*obs=*/{},
+      /*collect_health=*/true);
   if (json) {
     std::cout << report.telemetry.to_json() << '\n';
   } else {
@@ -181,6 +227,7 @@ int main(int argc, char** argv) {
   bool remediate = false;
   bool full = false;
   FaultFlags faults;
+  ObsFlags obs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -191,7 +238,8 @@ int main(int argc, char** argv) {
       full = true;
     } else if (arg == "--seed" || arg == "--events" ||
                arg == "--telemetry" || arg == "--gray-rate" ||
-               arg == "--storm" || arg == "--evict-policy") {
+               arg == "--storm" || arg == "--evict-policy" ||
+               arg == "--incidents" || arg == "--flight-recorder") {
       // A following "--flag" is the next option, not a value; erroring
       // loudly beats strtoull silently reading it as 0 (the misparse
       // class bench::find_flag exists to prevent).
@@ -208,6 +256,10 @@ int main(int argc, char** argv) {
         faults.storm = argv[i];
       } else if (arg == "--evict-policy") {
         faults.evict_policy = argv[i];
+      } else if (arg == "--incidents") {
+        obs.incidents_path = argv[i];
+      } else if (arg == "--flight-recorder") {
+        obs.flight_path = argv[i];
       } else {
         telemetry_path = argv[i];
       }
@@ -235,15 +287,15 @@ int main(int argc, char** argv) {
     // of silently producing the wrong output format.
     if (json) return usage();
     return run_monitor(seed, events, full, remediate, telemetry_path,
-                       faults);
+                       faults, obs);
   }
   if (scenario == "stats") {
-    if (remediate || !telemetry_path.empty() || faults.any()) {
+    if (remediate || !telemetry_path.empty() || faults.any() || obs.any()) {
       return usage();
     }
     return run_stats(seed, events, full, json);
   }
-  if (!telemetry_path.empty() || faults.any()) return usage();
+  if (!telemetry_path.empty() || faults.any() || obs.any()) return usage();
 
   ThreeTierNetwork three =
       make_three_tier(scenario == "overflow" ? 32 : 4096);

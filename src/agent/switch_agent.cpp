@@ -23,10 +23,18 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
 
   // Gray drop: ACK the instruction and render nothing — no TCAM change,
   // no logical-view change, no event, no fault record. The controller
-  // books a success; only L-T divergence can betray the loss.
+  // books a success; only L-T divergence can betray the loss. The ledger
+  // still records the burst (it *is* ground truth), which is what makes
+  // drops show up as unattributable incidents: truth with no event to
+  // carry the cause.
+  const bool drop_burst_open = gray_drop_left_ > 0;
   if (gray_fire(gray_drop_left_, gray_profile_.drop_rate,
                 gray_profile_.drop_burst)) {
     ++gray_drops_;
+    if (!drop_burst_open) gray_drop_cause_ = mint_gray_cause();
+    if (cause_ledger_ != nullptr) {
+      cause_ledger_->record(gray_drop_cause_, info_.id, now);
+    }
     return ApplyStatus::kApplied;
   }
 
@@ -44,11 +52,18 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
       // install, so the overflow check and the published event both see
       // the wrong image the hardware actually holds. The catch-all deny
       // is exempt — misrendering a full wildcard has no bits to garble.
+      stream::CauseId install_cause{};
+      const bool misrender_burst_open = gray_misrender_left_ > 0;
       if (!hw_rule.wildcard_all() &&
           gray_fire(gray_misrender_left_, gray_profile_.misrender_rate,
                     gray_profile_.misrender_burst)) {
         hw_rule = perturb_rendered_rule(hw_rule, gray_rng_);
         ++gray_misrenders_;
+        if (!misrender_burst_open) gray_misrender_cause_ = mint_gray_cause();
+        install_cause = gray_misrender_cause_;
+        if (cause_ledger_ != nullptr) {
+          cause_ledger_->record(install_cause, info_.id, now);
+        }
       }
       if (tcam_.install(hw_rule) == InstallStatus::kOverflow) {
         std::ostringstream detail;
@@ -63,9 +78,13 @@ ApplyStatus SwitchAgent::apply(const Instruction& ins, SimTime now) {
       }
       // Publish the rendered hardware image, not the instruction: a
       // VRF-rewrite bug must be as visible on the stream as in the TCAM.
+      // The explicit cause stamp marks exactly the misrendered installs;
+      // clean installs from the same push stay null (the bus only fills
+      // null stamps from the ambient scope).
       stream::StreamEvent ev = stream::make_switch_event(
           stream::StreamEventType::kRuleInstalled, info_.id, now);
       ev.rule = hw_rule;
+      ev.cause = install_cause;
       stream::publish_event(bus_, std::move(ev));
       return ApplyStatus::kApplied;
     }
@@ -107,6 +126,15 @@ void SwitchAgent::recover(SimTime now) {
   stream::publish_event(
       bus_, stream::make_switch_event(
                 stream::StreamEventType::kAgentRecovered, info_.id, now));
+}
+
+stream::CauseId SwitchAgent::mint_gray_cause() noexcept {
+  // Ordinal packs (agent id, per-agent burst counter): gray causes are
+  // minted by many agents, each with a private counter, so the id keeps
+  // them globally unique. Pure counter arithmetic — no RNG draw.
+  return stream::CauseId::make(
+      stream::CauseEngine::kGray,
+      (static_cast<std::uint64_t>(info_.id.value()) << 20) | ++gray_bursts_);
 }
 
 bool SwitchAgent::gray_fire(std::size_t& burst_left, double rate,

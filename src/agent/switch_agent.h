@@ -16,6 +16,7 @@
 #include "src/common/rng.h"
 #include "src/common/sim_clock.h"
 #include "src/faults/gray_faults.h"
+#include "src/stream/cause.h"
 #include "src/tcam/tcam_table.h"
 #include "src/topology/fabric.h"
 
@@ -115,6 +116,16 @@ class SwitchAgent {
     return gray_drops_;
   }
 
+  // Incident-provenance ground truth: while attached, every gray burst
+  // this agent opens records one ledger entry per fired instruction.
+  // Causes are minted whether or not a ledger is attached (the mint is a
+  // counter bump, never an RNG draw), so attaching one cannot change
+  // behaviour or digests. Serial control phase only — gray faults fire
+  // inside controller pushes, which never overlap the publisher threads.
+  void set_cause_ledger(stream::CauseLedger* ledger) noexcept {
+    cause_ledger_ = ledger;
+  }
+
   // Local eviction: drop `n` lowest-priority rules from TCAM (logical view
   // keeps them — the controller is unaware, §II-B). Logged as RULE_EVICTION.
   std::size_t evict_rules(std::size_t n, SimTime now);
@@ -182,6 +193,7 @@ class SwitchAgent {
   // identical to agents that never heard of gray faults.
   [[nodiscard]] bool gray_fire(std::size_t& burst_left, double rate,
                                std::size_t burst);
+  [[nodiscard]] stream::CauseId mint_gray_cause() noexcept;
 
   bool responsive_ = true;
   bool crashed_ = false;
@@ -193,6 +205,15 @@ class SwitchAgent {
   std::size_t gray_drop_left_ = 0;
   std::uint64_t gray_misrenders_ = 0;
   std::uint64_t gray_drops_ = 0;
+  // Provenance bookkeeping: one CauseId per gray burst (shared counter
+  // across misrender and drop bursts so ordinals never collide), the
+  // currently open bursts' ids, and the optional ground-truth ledger.
+  // Deliberately outside FaultState: like the lifetime counters, history
+  // is not rolled back by repair.
+  std::uint64_t gray_bursts_ = 0;
+  stream::CauseId gray_misrender_cause_{};
+  stream::CauseId gray_drop_cause_{};
+  stream::CauseLedger* cause_ledger_ = nullptr;
 };
 
 }  // namespace scout

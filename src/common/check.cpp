@@ -1,9 +1,24 @@
 #include "src/common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
-namespace scout::detail {
+namespace scout {
+namespace {
+
+std::atomic<CheckFailureHook> g_failure_hook{nullptr};
+// First failing thread wins; a second failure (concurrent, or raised by
+// the hook itself) skips the hook and aborts directly.
+std::atomic_flag g_hook_entered = ATOMIC_FLAG_INIT;
+
+}  // namespace
+
+void set_check_failure_hook(CheckFailureHook hook) noexcept {
+  g_failure_hook.store(hook, std::memory_order_release);
+}
+
+namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const char* message) noexcept {
@@ -18,7 +33,13 @@ void check_failed(const char* expr, const char* file, int line,
                  line);
   }
   std::fflush(stderr);
+  if (const CheckFailureHook hook =
+          g_failure_hook.load(std::memory_order_acquire);
+      hook != nullptr && !g_hook_entered.test_and_set()) {
+    hook();
+  }
   std::abort();
 }
 
-}  // namespace scout::detail
+}  // namespace detail
+}  // namespace scout

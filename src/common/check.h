@@ -24,6 +24,16 @@
 #include <sstream>
 
 namespace scout {
+
+// Last-gasp diagnostics: an optional hook check_failed() invokes — once,
+// re-entry guarded — after printing the failure but before abort(). The
+// flight recorder arms this to dump its rings next to the core. The hook
+// must be noexcept and should tolerate arbitrary program state (it runs
+// wherever the invariant broke); a SCOUT_CHECK failing *inside* the hook
+// falls through straight to abort().
+using CheckFailureHook = void (*)() noexcept;
+void set_check_failure_hook(CheckFailureHook hook) noexcept;
+
 namespace detail {
 
 // Prints "SCOUT_CHECK failed: <expr> at <file>:<line>[: <message>]" and

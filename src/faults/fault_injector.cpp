@@ -123,6 +123,15 @@ InjectedFault ObjectFaultInjector::inject(ObjectRef object,
   fault.switches.assign(touched.begin(), touched.end());
   std::sort(fault.switches.begin(), fault.switches.end());
 
+  if (fault.rules_removed > 0) {
+    fault.cause = stream::CauseId::make(stream::CauseEngine::kObjectFault,
+                                        ++cause_ordinal_);
+    if (cause_ledger_ != nullptr) {
+      for (const SwitchId sw : fault.switches) {
+        cause_ledger_->record(fault.cause, sw, controller_->now());
+      }
+    }
+  }
   if (options_.record_change) {
     controller_->record_benign_change(object);
   }
@@ -166,16 +175,29 @@ std::size_t ObjectFaultInjector::inject_stale_copies(
   }
 
   std::size_t added = 0;
+  std::unordered_set<SwitchId> touched;
   for (const std::size_t i : picked) {
     const LogicalRule* lr = pool[i];
     SwitchAgent* agent = controller_->agent(lr->prov.sw);
     if (agent == nullptr) continue;
     if (agent->tcam().install(lr->rule) != InstallStatus::kOk) continue;
     if (journal_ != nullptr) journal_->note_added(lr->prov.sw, lr->rule);
+    touched.insert(lr->prov.sw);
     ++added;
   }
-  if (added > 0 && options_.record_change) {
-    controller_->record_benign_change(object);
+  if (added > 0) {
+    const stream::CauseId cause = stream::CauseId::make(
+        stream::CauseEngine::kObjectFault, ++cause_ordinal_);
+    if (cause_ledger_ != nullptr) {
+      std::vector<SwitchId> sorted{touched.begin(), touched.end()};
+      std::sort(sorted.begin(), sorted.end());
+      for (const SwitchId sw : sorted) {
+        cause_ledger_->record(cause, sw, controller_->now());
+      }
+    }
+    if (options_.record_change) {
+      controller_->record_benign_change(object);
+    }
   }
   return added;
 }

@@ -22,6 +22,7 @@
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
 #include "src/policy/object_ref.h"
+#include "src/stream/cause.h"
 
 namespace scout {
 
@@ -33,6 +34,9 @@ struct InjectedFault {
   std::vector<SwitchId> switches;  // switches where rules were removed
   std::size_t rules_removed = 0;
   std::size_t elements_affected = 0;  // distinct (switch, pair) elements
+  // Provenance id minted for this injection (incident attribution /
+  // ground-truth ledger); null when the object deployed nothing.
+  stream::CauseId cause{};
 };
 
 class ObjectFaultInjector {
@@ -79,6 +83,14 @@ class ObjectFaultInjector {
   // performs is recorded in `journal` so it can be undone bit-exactly.
   void set_journal(RepairJournal* journal) noexcept { journal_ = journal; }
 
+  // Incident-provenance ground truth: while set, every state-mutating
+  // injection records one ledger entry per touched switch under a freshly
+  // minted kObjectFault cause. Minting is a counter bump — attaching a
+  // ledger never changes which rules an injection selects.
+  void set_cause_ledger(stream::CauseLedger* ledger) noexcept {
+    cause_ledger_ = ledger;
+  }
+
   // Re-seat the randomness source (per-cell RNG over a cached injector:
   // the object index depends only on the compiled snapshot, not the RNG,
   // so a cached injector with a fresh RNG behaves exactly like a fresh
@@ -105,6 +117,8 @@ class ObjectFaultInjector {
   Rng* rng_;
   Options options_;
   RepairJournal* journal_ = nullptr;
+  stream::CauseLedger* cause_ledger_ = nullptr;
+  std::uint64_t cause_ordinal_ = 0;
   // object -> compiled rules derived from it, built lazily on first use.
   // The injector assumes the controller's compiled snapshot is stable for
   // its lifetime; construct a fresh injector after recompiling.

@@ -40,7 +40,20 @@ StormSchedule::StormSchedule(SimNetwork& net, StormProfile profile,
     : net_(&net), profile_(std::move(profile)), seed_(seed) {}
 
 void StormSchedule::run_episode(RepairJournal* journal) {
+  if (!pending_heal_.empty()) {
+    // Split mode left the fabric damaged; this cadence tick heals it
+    // (under the damaging episode's cause) instead of firing new damage.
+    stream::CauseScope scope{episode_cause_};
+    heal(journal);
+    return;
+  }
   const std::uint64_t episode_seed = derive_seed(seed_, episode_++);
+  // Episode ordinal doubles as the cause ordinal: one CauseId covers the
+  // whole blast (damage and heal), which is exactly the "one root cause,
+  // many symptoms" shape incident attribution has to collapse.
+  episode_cause_ =
+      stream::CauseId::make(stream::CauseEngine::kStorm, episode_);
+  stream::CauseScope scope{episode_cause_};
   switch (profile_.kind) {
     case StormProfile::Kind::kRackPower:
       rack_power(episode_seed, journal);
@@ -53,6 +66,29 @@ void StormSchedule::run_episode(RepairJournal* journal) {
       break;
   }
   ++stats_.episodes;
+}
+
+void StormSchedule::record_truth(SwitchId sw) {
+  if (ledger_ != nullptr) {
+    ledger_->record(episode_cause_, sw, net_->clock().now());
+  }
+}
+
+void StormSchedule::heal(RepairJournal* journal) {
+  (void)journal;
+  const auto agents = net_->agents();
+  Controller& controller = net_->controller();
+  for (const std::size_t i : pending_heal_) {
+    SwitchAgent& agent = *agents[i];
+    if (profile_.kind == StormProfile::Kind::kRackPower) {
+      agent.recover(controller.now());
+    } else {
+      controller.reconnect_switch(agent.id());
+    }
+    controller.resync_switch(agent.id());
+    ++stats_.resyncs;
+  }
+  pending_heal_.clear();
 }
 
 void StormSchedule::rack_power(std::uint64_t episode_seed,
@@ -77,9 +113,12 @@ void StormSchedule::rack_power(std::uint64_t episode_seed,
     if (journal != nullptr) journal->snapshot_agent(*net_, agent.id());
     agent.crash_after(0);
     controller.resync_switch(agent.id());
+    record_truth(agent.id());
     ++stats_.agents_crashed;
     ++stats_.resyncs;
+    if (split_episodes_) pending_heal_.push_back(i);
   }
+  if (split_episodes_) return;  // heal deferred to the next cadence tick
   // Power restored: the rack recovers together and the controller
   // resyncs each member back to the compiled state.
   for (std::size_t i = lo; i < hi; ++i) {
@@ -140,9 +179,15 @@ void StormSchedule::pod_brownout(std::uint64_t episode_seed,
     if (journal != nullptr) journal->snapshot_agent(*net_, agent.id());
     controller.disconnect_switch(agent.id());
     controller.resync_switch(agent.id());
+    record_truth(agent.id());
     ++stats_.channels_flapped;
     ++stats_.resyncs;
     flapped.push_back(i);
+  }
+  if (split_episodes_) {
+    // Brownout persists past this cadence tick; the next one clears it.
+    pending_heal_ = std::move(flapped);
+    return;
   }
   // Brownout clears: reconnect the pod and resync every member back to
   // the compiled state.

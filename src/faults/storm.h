@@ -26,6 +26,9 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "src/stream/cause.h"
 
 namespace scout {
 
@@ -72,7 +75,29 @@ class StormSchedule {
 
   // Fire one episode. With an armed journal every touched agent is
   // snapshotted first and the episode repairs fingerprint-exactly.
+  //
+  // In split mode (set_split_episodes) a call alternates: damage phase
+  // now, heal phase on the *next* call — so the monitor's verdicts get to
+  // observe the broken fabric between the two. If the previous call left
+  // a heal pending, this call heals and fires no new damage.
   void run_episode(RepairJournal* journal = nullptr);
+
+  // Default off: an episode damages and heals atomically within one call
+  // (the fabric is consistent again before the next drain — the shape the
+  // fault-storm digest gates pin). On: damage and heal split across two
+  // calls. Incident-provenance legs need the split so a failing verdict
+  // can ever observe a storm.
+  void set_split_episodes(bool on) noexcept { split_episodes_ = on; }
+  [[nodiscard]] bool heal_pending() const noexcept {
+    return !pending_heal_.empty();
+  }
+
+  // Incident-provenance ground truth: one entry per switch the episode's
+  // damage phase touches, all under the episode's CauseId. Minting is a
+  // counter bump; attaching a ledger never changes episode behaviour.
+  void set_cause_ledger(stream::CauseLedger* ledger) noexcept {
+    ledger_ = ledger;
+  }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const StormProfile& profile() const noexcept {
@@ -83,12 +108,21 @@ class StormSchedule {
   void rack_power(std::uint64_t episode_seed, RepairJournal* journal);
   void rolling_upgrade(std::uint64_t episode_seed, RepairJournal* journal);
   void pod_brownout(std::uint64_t episode_seed, RepairJournal* journal);
+  void heal(RepairJournal* journal);
+  void record_truth(SwitchId sw);
 
   SimNetwork* net_;
   StormProfile profile_;
   std::uint64_t seed_;
   std::size_t episode_ = 0;
   Stats stats_;
+  bool split_episodes_ = false;
+  // Agent indices damaged by the last split episode, awaiting heal; the
+  // heal runs under the same episode cause so recovery events attribute
+  // to the storm that forced them.
+  std::vector<std::size_t> pending_heal_;
+  stream::CauseId episode_cause_{};
+  stream::CauseLedger* ledger_ = nullptr;
 };
 
 }  // namespace scout

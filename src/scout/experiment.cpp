@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "src/common/hash.h"
+#include "src/common/json_writer.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/faults/fault_injector.h"
@@ -24,7 +25,11 @@
 #include "src/scout/metrics.h"
 #include "src/scout/scout_system.h"
 #include "src/scout/sim_network.h"
+#include "src/stream/cause.h"
+#include "src/stream/incident.h"
 #include "src/stream/monitor_loop.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/health.h"
 
 namespace scout {
 namespace {
@@ -740,6 +745,12 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   stream::EventBus bus;
   net.attach_event_bus(&bus);
 
+  // Incident-provenance ground truth. Engines mint causes regardless
+  // (counter bumps, no RNG draws); only *recording* is gated on the
+  // ledger, so attaching it never changes the op stream or the digests.
+  stream::CauseLedger cause_ledger;
+  const bool incidents_on = options.collect_incidents;
+
   // Fault classes beyond the churn mix land on the deployed network before
   // the monitor is constructed (register_metrics reads per-agent eviction
   // policy names) and before any churn. Everything is seeded off the run
@@ -748,12 +759,15 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
     GrayFaultProfile gray;
     gray.misrender_rate = options.gray_rate;
     gray.misrender_burst = 3;
-    gray.drop_rate = options.gray_rate * 0.5;
+    gray.drop_rate = options.gray_drop_rate >= 0.0
+                         ? options.gray_drop_rate
+                         : options.gray_rate * 0.5;
     gray.drop_burst = 2;
     const std::uint64_t gray_seed = derive_seed(options.seed, 0x6A);
     for (const auto& agent : net.agents()) {
       agent->set_gray_profile(gray,
                               derive_seed(gray_seed, agent->id().value()));
+      if (incidents_on) agent->set_cause_ledger(&cause_ledger);
     }
   }
   if (!options.evict_policy.empty()) {
@@ -774,6 +788,8 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
   if (!options.storm.empty()) {
     storm = std::make_unique<StormSchedule>(
         net, storm_profile(options.storm), derive_seed(options.seed, 0x57));
+    storm->set_split_episodes(options.storm_split);
+    if (incidents_on) storm->set_cause_ledger(&cause_ledger);
   }
 
   // Concurrent-publish transport: the ring is sized over the SwitchId
@@ -812,12 +828,34 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
     }
   }
 
+  // Observability layers owned by the run, like the registry/trace above.
+  std::unique_ptr<stream::IncidentBuilder> incidents;
+  if (incidents_on) {
+    incidents = std::make_unique<stream::IncidentBuilder>(&cause_ledger,
+                                                          registry.get());
+  }
+  std::unique_ptr<telemetry::FlightRecorder> flight;
+  if (options.collect_flight) {
+    flight = std::make_unique<telemetry::FlightRecorder>(
+        telemetry::FlightRecorder::Options{});
+  }
+  std::unique_ptr<telemetry::HealthEngine> health;
+  if (options.collect_health) {
+    health = std::make_unique<telemetry::HealthEngine>(
+        telemetry::HealthEngine::Options{}, registry.get());
+  }
+
   stream::MonitorLoop::Options mopts;
   mopts.incremental = options.incremental;
   mopts.checker = options.checker;
   mopts.metrics = registry.get();
   mopts.trace = trace.get();
   mopts.snapshot_every_batches = options.snapshot_every_batches;
+  mopts.incidents = incidents.get();
+  mopts.flight = flight.get();
+  mopts.flight_dump_path = options.flight_dump_path;
+  mopts.health = health.get();
+  mopts.churn_top_k = options.churn_top_k;
   stream::MonitorLoop monitor{net, bus, executor, mopts};
   monitor.prime();
 
@@ -833,9 +871,11 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
     dopts.use_ring = ring != nullptr;
     driver = std::make_unique<stream::ConcurrentChurnDriver>(
         net, bus, derive_seed(options.seed, 0xCE), dopts);
+    if (incidents_on) driver->set_cause_ledger(&cause_ledger);
   } else {
     churn = std::make_unique<stream::ChurnGenerator>(
         net, bus, derive_seed(options.seed, 0xCE), options.mix);
+    if (incidents_on) churn->set_cause_ledger(&cause_ledger);
   }
   const ScoutSystem verify_system{
       ScoutSystem::Options{CheckMode::kExactBdd, ScoutLocalizer::Options{}}};
@@ -951,6 +991,41 @@ MonitoringReport run_continuous_monitoring(const MonitoringOptions& options,
     report.gray_misrenders += agent->gray_misrenders();
     report.gray_drops += agent->gray_drops();
     report.tcam_evictions += agent->tcam().evictions();
+  }
+
+  if (incidents != nullptr) {
+    incidents->finalize(report.batches, net.clock().now());
+    const stream::IncidentBuilder::Totals& totals = incidents->totals();
+    report.incidents = totals.incidents;
+    report.incidents_unattributed = totals.unattributed_incidents;
+    report.incident_first_cause_correct = totals.first_cause_correct;
+    report.incident_precision = totals.precision();
+    report.incident_recall = totals.recall();
+    report.incident_json = incidents->to_json();
+    if (!options.incident_log_path.empty()) {
+      if (!incidents->write_file(options.incident_log_path)) {
+        SCOUT_WARN("stream", "failed to write incident log to "
+                                 << options.incident_log_path);
+      }
+    }
+  }
+  if (health != nullptr) {
+    report.health_status = static_cast<int>(health->overall());
+    JsonWriter hw;
+    health->write_json(hw);
+    report.health_json = hw.str();
+  }
+  if (flight != nullptr) {
+    report.flight_entries = flight->total_recorded();
+    // Final dump: the loop already dumped on clean→failing transitions;
+    // overwriting with the end-of-run state keeps the newest entries and
+    // guarantees the file exists even for runs that never failed.
+    if (!options.flight_dump_path.empty()) {
+      if (!flight->dump_to_file(options.flight_dump_path.c_str())) {
+        SCOUT_WARN("stream", "failed to write flight dump to "
+                                 << options.flight_dump_path);
+      }
+    }
   }
 
   report.final_inconsistent = last_check.inconsistent.size();

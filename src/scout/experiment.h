@@ -333,6 +333,35 @@ struct MonitoringOptions {
   // Delayed/reordered control-channel delivery window (gray channel);
   // 0 = immediate delivery.
   std::size_t delivery_window = 0;
+  // -- incident provenance / flight recorder / health -----------------------
+  // Correlate failing verdicts with fault-engine cause stamps into
+  // Incident records (stream/incident.h): the run owns a CauseLedger,
+  // attaches it to every fault engine and feeds an IncidentBuilder from
+  // the monitor. Observe-only — verdict digests are bit-identical with
+  // this on or off (tests/test_incidents.cpp pins it).
+  bool collect_incidents = false;
+  // Write the incident log JSON here at end of run (empty = keep it only
+  // in report.incident_json).
+  std::string incident_log_path;
+  // Attach a flight recorder (telemetry/flight_recorder.h) to the monitor
+  // and dump it on every clean→failing verdict transition.
+  bool collect_flight = false;
+  std::string flight_dump_path;
+  // Grade the monitor's cumulative counters against SLO thresholds
+  // (telemetry/health.h) and export health.* gauges.
+  bool collect_health = false;
+  // Storm split mode: an episode's damage and heal split across two
+  // consecutive cadence ticks instead of self-healing atomically, so
+  // failing verdicts can observe storm damage (incident-provenance legs).
+  bool storm_split = false;
+  // Gray drop-rate override: negative = the default gray_rate * 0.5;
+  // >= 0 replaces it. Incident-accuracy legs pin 0 — dropped updates
+  // publish no event, so their damage is structurally unattributable.
+  double gray_drop_rate = -1.0;
+  // Per-switch churn gauge cardinality cap: only the K busiest switches
+  // get a stream.churn.sw<N> gauge; the rest roll up into
+  // stream.churn.other (tests/test_telemetry.cpp pins conservation).
+  std::size_t churn_top_k = 32;
 };
 
 struct MonitoringReport {
@@ -383,6 +412,19 @@ struct MonitoringReport {
   std::uint64_t gray_misrenders = 0;
   std::uint64_t gray_drops = 0;
   std::uint64_t tcam_evictions = 0;
+  // Incident provenance (collect_incidents).
+  std::size_t incidents = 0;
+  std::size_t incidents_unattributed = 0;
+  std::size_t incident_first_cause_correct = 0;
+  double incident_precision = 1.0;
+  double incident_recall = 1.0;
+  std::string incident_json;  // full scout-incidents-v1 log
+  // Health engine (collect_health): final overall grade, 0/1/2 =
+  // ok/warn/critical, plus the engine's JSON summary.
+  int health_status = 0;
+  std::string health_json;
+  // Flight recorder (collect_flight): lifetime entries recorded.
+  std::uint64_t flight_entries = 0;
 };
 
 [[nodiscard]] MonitoringReport run_continuous_monitoring(

@@ -1,0 +1,38 @@
+#include "src/stream/cause.h"
+
+namespace scout::stream {
+namespace {
+
+thread_local CauseId t_current_cause{};
+
+}  // namespace
+
+const char* to_string(CauseEngine e) noexcept {
+  switch (e) {
+    case CauseEngine::kNone:
+      return "none";
+    case CauseEngine::kChurnEvict:
+      return "churn-evict";
+    case CauseEngine::kChurnCorrupt:
+      return "churn-corrupt";
+    case CauseEngine::kChurnCrash:
+      return "churn-crash";
+    case CauseEngine::kGray:
+      return "gray";
+    case CauseEngine::kStorm:
+      return "storm";
+    case CauseEngine::kObjectFault:
+      return "object-fault";
+  }
+  return "unknown";
+}
+
+CauseId current_cause() noexcept { return t_current_cause; }
+
+CauseScope::CauseScope(CauseId cause) noexcept : previous_(t_current_cause) {
+  t_current_cause = cause;
+}
+
+CauseScope::~CauseScope() { t_current_cause = previous_; }
+
+}  // namespace scout::stream

@@ -1,0 +1,145 @@
+// Causal provenance for the continuous monitor (incident-provenance
+// layer): every fault engine mints a seed-deterministic CauseId per
+// harmful episode/burst/op and stamps it onto the stream events that
+// episode generates. Benign churn (resyncs, recoveries, benign change
+// records) carries the null cause.
+//
+// The stamp is pure metadata: verdict digests are computed only over
+// FabricCheck verdicts, never over events, so carrying (or dropping) the
+// cause field cannot perturb a digest. Minting consumes no RNG draws and
+// is a pure function of the engine's seed-derived schedule, so cause ids
+// are bit-identical across {serial, ring} transports and publisher
+// counts — the property bench/incident_accuracy gates.
+//
+// Two delivery mechanisms:
+//  * an ambient thread-local cause (CauseScope) picked up by
+//    EventBus::publish for events published while an engine op runs —
+//    covers the common case where the engine calls into SwitchAgent and
+//    the agent publishes on its behalf;
+//  * explicit stamping (StreamEvent::cause) for engines that interleave
+//    benign and harmful publications inside one call (gray misrenders).
+//    publish() only fills a *null* cause, so explicit stamps win.
+//
+// CauseLedger is the ground-truth side: engines append one entry per
+// state-mutating op (no-ops — empty evict, corrupt on empty TCAM — are
+// not truth). IncidentBuilder scores its attribution against the ledger.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sim_clock.h"
+
+namespace scout::stream {
+
+enum class CauseEngine : std::uint8_t {
+  kNone = 0,
+  kChurnEvict,    // ChurnGenerator / ConcurrentChurnDriver eviction op
+  kChurnCorrupt,  // in-place TCAM bit corruption op
+  kChurnCrash,    // crash-and-resync op
+  kGray,          // gray-agent misrender burst
+  kStorm,         // StormSchedule episode (rack-power / brownout / upgrade)
+  kObjectFault,   // ObjectFaultInjector full/partial/stale fault
+};
+
+[[nodiscard]] const char* to_string(CauseEngine e) noexcept;
+
+// Packed (engine, ordinal) identifier. Engine lives in the top byte,
+// the ordinal in the low 56 bits; 0 is the reserved null cause. Stays
+// trivially copyable because it rides inside StreamEvent through the
+// lock-free MPSC ring.
+class CauseId {
+ public:
+  constexpr CauseId() = default;
+
+  [[nodiscard]] static constexpr CauseId make(CauseEngine engine,
+                                              std::uint64_t ordinal) noexcept {
+    CauseId id;
+    id.bits_ = (static_cast<std::uint64_t>(engine) << 56) |
+               (ordinal & kOrdinalMask);
+    return id;
+  }
+
+  // Rehydrates a CauseId from raw() bits (flight-recorder entries carry
+  // raw values to stay POD-only).
+  [[nodiscard]] static constexpr CauseId from_raw(std::uint64_t bits) noexcept {
+    CauseId id;
+    id.bits_ = bits;
+    return id;
+  }
+
+  [[nodiscard]] constexpr bool is_null() const noexcept { return bits_ == 0; }
+  [[nodiscard]] constexpr CauseEngine engine() const noexcept {
+    return static_cast<CauseEngine>(bits_ >> 56);
+  }
+  [[nodiscard]] constexpr std::uint64_t ordinal() const noexcept {
+    return bits_ & kOrdinalMask;
+  }
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return bits_; }
+
+  friend constexpr bool operator==(CauseId a, CauseId b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(CauseId a, CauseId b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(CauseId a, CauseId b) noexcept {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  static constexpr std::uint64_t kOrdinalMask = (1ULL << 56) - 1;
+  std::uint64_t bits_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<CauseId>);
+
+// Ambient cause for the current thread; null outside any CauseScope.
+[[nodiscard]] CauseId current_cause() noexcept;
+
+// RAII ambient-cause frame. Scopes nest: the constructor saves the
+// previous ambient cause and the destructor restores it, so an engine op
+// that triggers another engine's code keeps the innermost attribution.
+class CauseScope {
+ public:
+  explicit CauseScope(CauseId cause) noexcept;
+  ~CauseScope();
+
+  CauseScope(const CauseScope&) = delete;
+  CauseScope& operator=(const CauseScope&) = delete;
+
+ private:
+  CauseId previous_;
+};
+
+// One ground-truth fact: `cause` mutated state on `sw` at sim time `time`.
+struct CauseTruth {
+  CauseId cause{};
+  SwitchId sw{};
+  SimTime time{};
+};
+
+// Append-only ground-truth log, written from the serial control phase
+// only (concurrent engines buffer per-op mutation flags and fold them in
+// at generation quiescence). Attaching a ledger never changes engine
+// behaviour — engines mint causes unconditionally and record them only
+// when a ledger is present.
+class CauseLedger {
+ public:
+  void record(CauseId cause, SwitchId sw, SimTime time) {
+    entries_.push_back({cause, sw, time});
+  }
+
+  [[nodiscard]] const std::vector<CauseTruth>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::vector<CauseTruth> entries_;
+};
+
+}  // namespace scout::stream

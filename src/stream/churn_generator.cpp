@@ -80,12 +80,24 @@ void ChurnGenerator::step() {
   switch (op) {
     case 0: {  // evict
       SwitchAgent& a = agent_at(rng_.below(agents.size()));
-      (void)a.evict_rules(1 + rng_.below(3), now);
+      const CauseId cause =
+          CauseId::make(CauseEngine::kChurnEvict, ++cause_ordinal_);
+      CauseScope scope{cause};
+      if (a.evict_rules(1 + rng_.below(3), now) > 0 && ledger_ != nullptr) {
+        ledger_->record(cause, a.id(), now);
+      }
       break;
     }
     case 1: {  // corrupt
       SwitchAgent& a = agent_at(rng_.below(agents.size()));
-      (void)a.corrupt_tcam_bit(rng_, now, /*detection_probability=*/0.5);
+      const CauseId cause =
+          CauseId::make(CauseEngine::kChurnCorrupt, ++cause_ordinal_);
+      CauseScope scope{cause};
+      const auto corruption =
+          a.corrupt_tcam_bit(rng_, now, /*detection_probability=*/0.5);
+      if (corruption.has_value() && ledger_ != nullptr) {
+        ledger_->record(cause, a.id(), now);
+      }
       break;
     }
     case 2: {  // resync (repair churn on a healthy switch)
@@ -97,9 +109,13 @@ void ChurnGenerator::step() {
     case 3: {  // crash mid-resync: the §V-B hard case, switch ends wiped
       SwitchAgent* a = healthy_agent();
       if (a == nullptr) break;
+      const CauseId cause =
+          CauseId::make(CauseEngine::kChurnCrash, ++cause_ordinal_);
+      CauseScope scope{cause};
       a->crash_after(0);
       crashed_.push_back(a->id());
       (void)controller.resync_switch(a->id());
+      if (ledger_ != nullptr) ledger_->record(cause, a->id(), now);
       break;
     }
     case 4: {  // recover a crashed agent and resync it clean
@@ -208,7 +224,11 @@ ConcurrentChurnDriver::~ConcurrentChurnDriver() {
 }
 
 void ConcurrentChurnDriver::make_schedule(std::size_t data_ops) {
+  SCOUT_DCHECK(schedule_folded_,
+               "ConcurrentChurnDriver: previous generation's truths "
+               "not folded before rescheduling");
   schedule_.clear();
+  schedule_mutated_.clear();
   const auto agents = net_->agents();
   if (agents.empty() || data_ops == 0) return;
   schedule_.reserve(data_ops);
@@ -230,17 +250,36 @@ void ConcurrentChurnDriver::make_schedule(std::size_t data_ops) {
                   : DataOp::Kind::kCorrupt;
     op.rng_seed = op_rng();
     op.time = net_->clock().now();
+    op.cause = CauseId::make(op.kind == DataOp::Kind::kEvict
+                                 ? CauseEngine::kChurnEvict
+                                 : CauseEngine::kChurnCorrupt,
+                             ++data_cause_ordinal_);
     schedule_.push_back(op);
   }
+  schedule_mutated_.assign(schedule_.size(), 0);
+  schedule_folded_ = false;
 }
 
-void ConcurrentChurnDriver::run_op(const DataOp& op) {
+bool ConcurrentChurnDriver::run_op(const DataOp& op) {
   SwitchAgent& a = *net_->agents()[op.agent_index];
   Rng rng{op.rng_seed};
+  CauseScope scope{op.cause};
   if (op.kind == DataOp::Kind::kEvict) {
-    (void)a.evict_rules(1 + rng.below(3), op.time);
-  } else {
-    (void)a.corrupt_tcam_bit(rng, op.time, /*detection_probability=*/0.5);
+    return a.evict_rules(1 + rng.below(3), op.time) > 0;
+  }
+  return a.corrupt_tcam_bit(rng, op.time, /*detection_probability=*/0.5)
+      .has_value();
+}
+
+void ConcurrentChurnDriver::fold_schedule_truths() {
+  if (schedule_folded_) return;
+  schedule_folded_ = true;
+  if (ledger_ == nullptr) return;
+  const auto agents = net_->agents();
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    if (schedule_mutated_[i] == 0) continue;
+    const DataOp& op = schedule_[i];
+    ledger_->record(op.cause, agents[op.agent_index]->id(), op.time);
   }
 }
 
@@ -267,10 +306,11 @@ void ConcurrentChurnDriver::worker_main(std::size_t pub) {
       // Claim the shard + route this thread's publishes into it for the
       // duration of the generation.
       EventBus::ConcurrentPublishCapability cap{*bus_, pub};
-      for (const DataOp& op : schedule_) {
+      for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        const DataOp& op = schedule_[i];
         if (op.agent_index % options_.publishers != pub) continue;
         if (stop_requested_.load(std::memory_order_acquire)) break;
-        run_op(op);
+        if (run_op(op)) schedule_mutated_[i] = 1;
         executed_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -295,16 +335,23 @@ std::size_t ConcurrentChurnDriver::pump(std::size_t ops) {
     if (!workers_.empty()) {
       dispatch(/*wait_done=*/true);
     } else {
-      for (const DataOp& op : schedule_) run_op(op);
+      for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        if (run_op(schedule_[i])) schedule_mutated_[i] = 1;
+      }
       executed_.fetch_add(schedule_.size(), std::memory_order_relaxed);
     }
   }
+  fold_schedule_truths();
   if (bus_->ring() != nullptr) (void)bus_->ingest_ring();
   if (control_ops > 0) (void)control_.pump(control_ops, /*allow_valve=*/false);
   return bus_->cursor() - start;
 }
 
 std::size_t ConcurrentChurnDriver::pump_control(std::size_t ops) {
+  // Documented precondition: called at publisher quiescence, which is
+  // also the first serial point where a pipelined segment's truths can
+  // be folded.
+  fold_schedule_truths();
   if (ops == 0) return 0;
   const std::size_t control_ops = std::min(
       ops, std::max<std::size_t>(
@@ -329,8 +376,11 @@ bool ConcurrentChurnDriver::producing() const {
 void ConcurrentChurnDriver::stop() {
   stop_requested_.store(true, std::memory_order_release);
   if (MpscRing* ring = bus_->ring()) ring->close();
-  MutexLock l{mu_};
-  while (pending_workers_ != 0) done_cv_.wait(mu_);
+  {
+    MutexLock l{mu_};
+    while (pending_workers_ != 0) done_cv_.wait(mu_);
+  }
+  fold_schedule_truths();
 }
 
 std::size_t ConcurrentChurnDriver::ops_applied() const noexcept {

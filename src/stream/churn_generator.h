@@ -16,6 +16,7 @@
 #include "src/common/mutex.h"
 #include "src/common/rng.h"
 #include "src/scout/sim_network.h"
+#include "src/stream/cause.h"
 #include "src/stream/event_bus.h"
 
 namespace scout::stream {
@@ -52,6 +53,14 @@ class ChurnGenerator {
 
   [[nodiscard]] std::size_t ops_applied() const noexcept { return ops_; }
 
+  // Incident-provenance ground truth: while attached, every harmful op
+  // (evict / corrupt / crash — the ops that can break L-T consistency)
+  // that actually mutated state appends one entry. Causes are minted
+  // regardless (counter bumps, no RNG draws), so attaching a ledger never
+  // changes the op stream or the verdict digests. Benign ops (resyncs,
+  // recoveries, flaps, change records, migrations) stay null-cause.
+  void set_cause_ledger(CauseLedger* ledger) noexcept { ledger_ = ledger; }
+
  private:
   void step();
   [[nodiscard]] SwitchAgent& agent_at(std::size_t index);
@@ -65,6 +74,8 @@ class ChurnGenerator {
   std::size_t ops_ = 0;
   std::vector<SwitchId> crashed_;
   std::vector<SwitchId> disconnected_;
+  CauseLedger* ledger_ = nullptr;
+  std::uint64_t cause_ordinal_ = 0;
 };
 
 // Multi-threaded churn driver: data-plane faults (evict / corrupt — the
@@ -133,6 +144,16 @@ class ConcurrentChurnDriver {
   // and join the in-flight generation. Idempotent.
   void stop();
 
+  // Attach the provenance ground-truth ledger (data ops and the serial
+  // control tail alike). Data-op truths are buffered as per-op mutation
+  // flags by whichever publisher executed the op and folded into the
+  // ledger serially at generation quiescence, so the ledger itself is
+  // never touched concurrently.
+  void set_cause_ledger(CauseLedger* ledger) noexcept {
+    ledger_ = ledger;
+    control_.set_cause_ledger(ledger);
+  }
+
   [[nodiscard]] std::size_t publishers() const noexcept {
     return options_.publishers;
   }
@@ -145,10 +166,19 @@ class ConcurrentChurnDriver {
     Kind kind = Kind::kEvict;
     std::uint64_t rng_seed = 0;  // private to the op: no shared rng state
     SimTime time{};              // pre-advanced at schedule time
+    // Minted at schedule time, so the id is a pure function of
+    // (seed, interval, op index) — identical across publisher counts and
+    // across the serial / ring transports, like every other op field.
+    CauseId cause{};
   };
 
   void make_schedule(std::size_t data_ops);
-  void run_op(const DataOp& op);
+  // Executes the op under its CauseScope; returns whether it mutated
+  // state (an empty evict or a corrupt on an empty TCAM is not truth).
+  bool run_op(const DataOp& op);
+  // Serial fold of the generation's mutation flags into the ledger.
+  // Driver thread only, at publisher quiescence.
+  void fold_schedule_truths();
   void dispatch(bool wait_done);
   void worker_main(std::size_t pub);
 
@@ -162,6 +192,14 @@ class ConcurrentChurnDriver {
   // Read-only to workers while a generation is in flight; mutated by the
   // driver only between generations (pending_workers_ == 0).
   std::vector<DataOp> schedule_;
+  // Parallel to schedule_: 1 where the op mutated state. Each slot is
+  // written by exactly one worker (the op's shard owner) while a
+  // generation is in flight — disjoint bytes, no race — and read by the
+  // driver only after the generation barrier.
+  std::vector<std::uint8_t> schedule_mutated_;
+  bool schedule_folded_ = true;
+  CauseLedger* ledger_ = nullptr;
+  std::uint64_t data_cause_ordinal_ = 0;
   std::atomic<std::size_t> executed_{0};
   std::atomic<bool> stop_requested_{false};
 

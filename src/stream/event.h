@@ -30,6 +30,7 @@
 #include "src/common/ids.h"
 #include "src/common/sim_clock.h"
 #include "src/policy/object_ref.h"
+#include "src/stream/cause.h"
 #include "src/tcam/tcam_rule.h"
 
 namespace scout::stream {
@@ -84,6 +85,11 @@ struct StreamEvent {
   // two events' marks to get exactly the policy actions between them —
   // what SCOUT stage 2 calls "recently applied actions".
   std::size_t change_log_mark = 0;
+  // Causal provenance: the fault-engine episode that produced this event,
+  // null for benign churn. Filled by EventBus::publish from the ambient
+  // CauseScope when the publisher left it null; never read by verdicts or
+  // digests — incident attribution only.
+  CauseId cause{};
 };
 
 }  // namespace scout::stream

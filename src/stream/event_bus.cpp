@@ -53,6 +53,11 @@ std::string_view to_string(StreamEventType t) noexcept {
 }
 
 EventBus::Cursor EventBus::publish(StreamEvent ev) {
+  // Causal provenance: adopt the ambient fault-engine cause unless the
+  // publisher stamped one explicitly (explicit stamps win — gray agents
+  // interleave benign and misrendered installs in one call). Covers the
+  // serial and ring paths alike; ingest_ring copies the field verbatim.
+  if (ev.cause.is_null()) ev.cause = current_cause();
   if (t_route.bus == this) {
     // Concurrent path: stamp what a publisher can stamp (wall now, the
     // phase's change-log mark) and hand the event to the ring; seq is

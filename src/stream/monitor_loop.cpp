@@ -1,5 +1,6 @@
 #include "src/stream/monitor_loop.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -7,7 +8,10 @@
 #include "src/common/logging.h"
 #include "src/policy/policy_index.h"
 #include "src/riskmodel/risk_model.h"
+#include "src/stream/incident.h"
 #include "src/tcam/tcam_table.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/health.h"
 
 namespace scout::stream {
 namespace {
@@ -87,11 +91,10 @@ void MonitorLoop::register_metrics() {
     diff_recomputes_ = reg->counter("stream.diff_recomputes");
     verdicts_reused_ = reg->counter("stream.verdicts_reused");
     arena_peak_nodes_ = reg->gauge("bdd.arena_peak_nodes");
-    churn_gauges_.reserve(checker_->switch_count());
-    for (const auto& [sw, churn] : checker_->churn_by_switch()) {
-      churn_gauges_.push_back(
-          reg->gauge("stream.churn.sw" + std::to_string(sw.value())));
-    }
+    // Per-switch churn series register lazily, top-K per bridge
+    // (update_churn_gauges) — an upfront gauge per switch would make the
+    // exporter's cardinality linear in fabric size.
+    churn_other_gauge_ = reg->gauge("stream.churn.other");
   } else {
     resident_switches_ = reg->gauge("bdd.resident_switches");
   }
@@ -237,13 +240,8 @@ void MonitorLoop::bridge_counters() {
                                   static_cast<double>(arena.cache_lookups));
 
     // Live per-switch churn: the signal a churn-tiered monitor would
-    // classify switches on (see ROADMAP). Gauge handles were registered
-    // at construction in the same agent order churn_by_switch() walks.
-    const auto churn = checker_->churn_by_switch();
-    for (std::size_t i = 0;
-         i < churn.size() && i < churn_gauges_.size(); ++i) {
-      churn_gauges_[i].set(static_cast<double>(churn[i].second));
-    }
+    // classify switches on (see ROADMAP).
+    update_churn_gauges();
   } else if (full_cache_ != nullptr) {
     const LogicalBddCache::Stats s = full_cache_->stats();
     arena_nodes_.set(static_cast<double>(s.nodes));
@@ -252,6 +250,56 @@ void MonitorLoop::bridge_counters() {
     arena_rollbacks_.set(static_cast<double>(s.rollbacks));
     resident_switches_.set(static_cast<double>(s.resident_switches));
   }
+
+  // The health engine reads lifetime-cumulative totals — the bridged_*
+  // copies were just refreshed above, so this observes the same instant
+  // the registry does.
+  if (options_.health != nullptr) {
+    telemetry::HealthEngine::Sample hs;
+    hs.events = events_total_;
+    hs.events_over_budget = events_over_budget_;
+    hs.batches = batches_;
+    hs.full_rebuilds = bridged_checker_.full_rebuilds;
+    hs.ring_published = bridged_ring_.published;
+    hs.ring_evictions = bridged_ring_.evictions;
+    hs.ring_full_stalls = bridged_ring_.full_stalls;
+    options_.health->observe(hs);
+  }
+}
+
+void MonitorLoop::update_churn_gauges() {
+  const auto churn = checker_->churn_by_switch();
+  const std::size_t k = std::min(options_.churn_top_k, churn.size());
+  // Deterministic top-K: highest churn first, ties broken by switch id.
+  std::vector<std::size_t> order(churn.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (churn[a].second != churn[b].second) {
+                        return churn[a].second > churn[b].second;
+                      }
+                      return churn[a].first.value() < churn[b].first.value();
+                    });
+  double other = 0;
+  for (std::size_t i = k; i < order.size(); ++i) {
+    other += static_cast<double>(churn[order[i]].second);
+  }
+  // Zero every registered series first so a switch that dropped out of
+  // the top set reads 0 instead of its stale last value.
+  for (auto& [sw, gauge] : churn_gauges_by_sw_) gauge.set(0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& [sw, value] = churn[order[i]];
+    auto it = churn_gauges_by_sw_.find(sw.value());
+    if (it == churn_gauges_by_sw_.end()) {
+      it = churn_gauges_by_sw_
+               .emplace(sw.value(),
+                        options_.metrics->gauge(
+                            "stream.churn.sw" + std::to_string(sw.value())))
+               .first;
+    }
+    it->second.set(static_cast<double>(value));
+  }
+  churn_other_gauge_.set(other);
 }
 
 std::size_t MonitorLoop::ingest_ring_events() {
@@ -327,14 +375,32 @@ MonitorVerdict MonitorLoop::drain() {
   // steady_clock publish stamp to the verdict instant; sim is the event's
   // SimTime stamp to the network clock now. The two are never mixed.
   const SimTime sim_now = net_->clock().now();
+  const double budget_ms = options_.health != nullptr
+                               ? options_.health->options().detect_budget_ms
+                               : 0.0;
   for (const StreamEvent& ev : events) {
-    wall_latency_ms_.record(0, millis_between(ev.wall, t1));
+    const double wall_ms = millis_between(ev.wall, t1);
+    wall_latency_ms_.record(0, wall_ms);
     sim_latency_ms_.record(0, static_cast<double>(sim_now - ev.time));
+    if (budget_ms > 0 && wall_ms > budget_ms) ++events_over_budget_;
   }
+  events_total_ += events.size();
   drain_ms_.record(0, verdict.drain_ms);
   batch_events_.record(0, static_cast<double>(events.size()));
   events_counter_.add(static_cast<std::uint64_t>(events.size()));
   batches_counter_.add(1);
+
+  // Observability layers — all strictly after the verdict is composed, so
+  // none of them can perturb it (digest bit-identity with these on vs off
+  // is pinned by tests/test_incidents.cpp).
+  const bool failing = !verdict.check.inconsistent.empty();
+  if (options_.incidents != nullptr) {
+    observe_incident(verdict, events, sim_now);
+  }
+  if (options_.flight != nullptr) {
+    record_flight(verdict, events, sim_now, failing);
+  }
+  last_verdict_failing_ = failing;
 
   ++batches_;
   // Workers have joined: every shard's reader may pass the batch. Without
@@ -356,8 +422,62 @@ MonitorVerdict MonitorLoop::drain() {
   return verdict;
 }
 
+void MonitorLoop::observe_incident(const MonitorVerdict& verdict,
+                                   std::span<const StreamEvent> events,
+                                   SimTime sim_now) {
+  IncidentBuilder* incidents = options_.incidents;
+  incidents->observe_events(events);
+  const bool opened =
+      incidents->observe_verdict(verdict.check, batches_, sim_now);
+  if (opened) {
+    incidents->attach_suspects(localize_impl(verdict.check));
+    if (options_.trace != nullptr) {
+      options_.trace->instant(0, "incident_open", "stream", sim_now);
+    }
+  }
+}
+
+void MonitorLoop::record_flight(const MonitorVerdict& verdict,
+                                std::span<const StreamEvent> events,
+                                SimTime sim_now, bool failing) {
+  telemetry::FlightRecorder* flight = options_.flight;
+  for (const StreamEvent& ev : events) {
+    if (ev.cause.is_null()) continue;
+    telemetry::FlightRecorder::Entry e;
+    e.kind = telemetry::FlightRecorder::EntryKind::kEvent;
+    telemetry::FlightRecorder::set_name(
+        e, std::string(to_string(ev.type)).c_str());
+    e.sim_ms = ev.time.millis();
+    e.batch = batches_;
+    e.seq = ev.seq;
+    e.sw = static_cast<std::int64_t>(ev.sw.value());
+    e.cause = ev.cause.raw();
+    flight->record(0, e);
+  }
+  telemetry::FlightRecorder::Entry v;
+  v.kind = telemetry::FlightRecorder::EntryKind::kVerdict;
+  telemetry::FlightRecorder::set_name(v, failing ? "verdict_fail"
+                                                 : "verdict_clean");
+  v.dur_ms = verdict.drain_ms;
+  v.sim_ms = sim_now.millis();
+  v.batch = batches_;
+  v.seq = verdict.last_seq;
+  v.value = static_cast<double>(verdict.check.inconsistent.size());
+  flight->record(0, v);
+  if (failing && !last_verdict_failing_ &&
+      !options_.flight_dump_path.empty()) {
+    // First failing verdict after a clean run: dump the window leading up
+    // to it while the context is still in the rings.
+    flight->dump_to_file(options_.flight_dump_path.c_str());
+  }
+}
+
 LocalizationResult MonitorLoop::localize(const FabricCheck& check) const {
   SerialGuard g{serial_};
+  return localize_impl(check);
+}
+
+LocalizationResult MonitorLoop::localize_impl(const FabricCheck& check) const {
   telemetry::TraceRecorder::Scope span{options_.trace, 0, "localize",
                                        "stream", net_->clock().now()};
   const std::uint64_t epoch = net_->controller().compiled_epoch();

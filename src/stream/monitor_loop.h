@@ -35,6 +35,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/checker/logical_bdd_cache.h"
@@ -51,7 +54,14 @@ namespace scout {
 class PolicyIndex;
 }  // namespace scout
 
+namespace scout::telemetry {
+class FlightRecorder;
+class HealthEngine;
+}  // namespace scout::telemetry
+
 namespace scout::stream {
+
+class IncidentBuilder;
 
 struct MonitorVerdict {
   std::uint64_t first_seq = 0;  // cursor before the drain
@@ -77,6 +87,27 @@ class MonitorLoop {
     // Take a metrics snapshot every N drains (0 = never); snapshots
     // accumulate in periodic_snapshots().
     std::size_t snapshot_every_batches = 0;
+
+    // Incident provenance (observe-only, incident.h): each drain feeds
+    // the builder its events and verdict; a clean→failing transition
+    // additionally runs localize() and attaches the hypothesis as the
+    // incident's suspects. Verdicts are composed before the builder runs,
+    // so attaching it cannot perturb a digest.
+    IncidentBuilder* incidents = nullptr;
+    // Flight recorder (lane 0 = driver): each drain records a verdict
+    // summary plus one entry per cause-bearing event.
+    telemetry::FlightRecorder* flight = nullptr;
+    // When non-empty and a flight recorder is attached, a clean→failing
+    // verdict transition dumps the recorder here (first-failure context).
+    std::string flight_dump_path{};
+    // Health/SLO engine: fed lifetime-cumulative totals (events over the
+    // detection budget, full rebuilds, ring pressure) at every bridge.
+    telemetry::HealthEngine* health = nullptr;
+    // Cardinality cap on the live per-switch churn gauges: only the K
+    // highest-churn switches get their own "stream.churn.sw<N>" series
+    // each bridge; the remainder folds into "stream.churn.other". 0
+    // disables per-switch series entirely.
+    std::size_t churn_top_k = 32;
   };
 
   MonitorLoop(SimNetwork& net, EventBus& bus, runtime::Executor& executor);
@@ -134,6 +165,15 @@ class MonitorLoop {
   // Fold the delta since the last bridge of every polled counter source
   // (checker stats, bus stats, arena totals) into the registry.
   void bridge_counters() SCOUT_REQUIRES(serial_);
+  void update_churn_gauges() SCOUT_REQUIRES(serial_);
+  [[nodiscard]] LocalizationResult localize_impl(const FabricCheck& check)
+      const SCOUT_REQUIRES(serial_);
+  void observe_incident(const MonitorVerdict& verdict,
+                        std::span<const StreamEvent> events, SimTime sim_now)
+      SCOUT_REQUIRES(serial_);
+  void record_flight(const MonitorVerdict& verdict,
+                     std::span<const StreamEvent> events, SimTime sim_now,
+                     bool failing) SCOUT_REQUIRES(serial_);
 
   // Driver-phase capability: the monitor's cursor/batch/bridge state is
   // mutated only between executor runs, by the one thread driving the
@@ -193,7 +233,12 @@ class MonitorLoop {
   telemetry::Gauge unique_load_;
   telemetry::Gauge cache_hit_rate_;
   telemetry::Gauge resident_switches_;
-  std::vector<telemetry::Gauge> churn_gauges_;  // per switch, agent order
+  // Top-K live churn series, registered lazily as switches enter the top
+  // set (keyed by raw switch id); churn_other_ rolls up everything else.
+  // A switch that drops out of the top set has its gauge zeroed, not
+  // unregistered — registry names are interned for the process lifetime.
+  std::unordered_map<std::uint32_t, telemetry::Gauge> churn_gauges_by_sw_;
+  telemetry::Gauge churn_other_gauge_;
   // Fault-engine activity: gray rendering-layer counters plus one eviction
   // counter per agent, named "tcam.evictions.<policy>" so distinct
   // policies surface as distinct series (agents on the same policy fold
@@ -208,6 +253,13 @@ class MonitorLoop {
   std::uint64_t bridged_gray_misrenders_ SCOUT_GUARDED_BY(serial_) = 0;
   std::uint64_t bridged_gray_drops_ SCOUT_GUARDED_BY(serial_) = 0;
   std::vector<std::uint64_t> bridged_evictions_ SCOUT_GUARDED_BY(serial_);
+  // Health-engine inputs: lifetime event totals and the count of events
+  // whose event→verdict wall latency exceeded the detection budget.
+  std::uint64_t events_total_ SCOUT_GUARDED_BY(serial_) = 0;
+  std::uint64_t events_over_budget_ SCOUT_GUARDED_BY(serial_) = 0;
+  // Previous verdict state, for clean→failing transition detection
+  // (incident opens, flight-recorder dump).
+  bool last_verdict_failing_ SCOUT_GUARDED_BY(serial_) = false;
 
   // Registered bus readers — one per checker shard (one total in full
   // mode). Their cursors pin EventBus::compact(): no event is reclaimed

@@ -43,31 +43,58 @@ MetricsSnapshot::counters_with_prefix(std::string_view prefix) const {
 
 namespace {
 
-// Prometheus metric names allow [a-zA-Z0-9_:]; dots become underscores.
-std::string prometheus_name(std::string_view name) {
-  std::string out{name};
-  for (char& c : out) {
-    if (c == '.' || c == '-' || c == '/') c = '_';
+// Exposition-format HELP text, keyed by metric-name prefix (longest match
+// wins; the fallback covers ad-hoc names). Deliberately subsystem-grained:
+// the metric names themselves carry the specifics, HELP orients a human
+// reading the scrape.
+struct HelpEntry {
+  std::string_view prefix;
+  std::string_view help;
+};
+constexpr HelpEntry kHelpTable[] = {
+    {"stream.churn.", "Live per-switch churn (top-K series + rollup)."},
+    {"stream.ring", "Concurrent-publish MPSC ring metric."},
+    {"stream.", "Continuous-monitor event-stream metric."},
+    {"bdd.", "Resident BDD arena metric."},
+    {"runtime.", "Executor runtime metric."},
+    {"faults.", "Fault-engine activity metric."},
+    {"tcam.", "TCAM hardware-model metric."},
+    {"incident.", "Incident-provenance attribution metric."},
+    {"health.", "Health/SLO engine metric (status: 0=ok 1=warn 2=critical)."},
+};
+
+std::string_view help_for(std::string_view name) {
+  for (const HelpEntry& e : kHelpTable) {
+    if (name.size() >= e.prefix.size() &&
+        name.substr(0, e.prefix.size()) == e.prefix) {
+      return e.help;
+    }
   }
-  return out;
+  return "Scout metric.";
 }
 
 }  // namespace
 
 std::string MetricsSnapshot::to_prometheus() const {
+  // Names are sanitized through bench_key() — the one name-mangling rule
+  // shared with the BENCH_*.json records, so a dashboard and a bench gate
+  // always agree on a series name.
   std::ostringstream os;
   for (const auto& c : counters) {
-    const std::string n = prometheus_name(c.name);
+    const std::string n = bench_key(c.name);
+    os << "# HELP scout_" << n << " " << help_for(c.name) << "\n";
     os << "# TYPE scout_" << n << " counter\n";
     os << "scout_" << n << " " << c.value << "\n";
   }
   for (const auto& g : gauges) {
-    const std::string n = prometheus_name(g.name);
+    const std::string n = bench_key(g.name);
+    os << "# HELP scout_" << n << " " << help_for(g.name) << "\n";
     os << "# TYPE scout_" << n << " gauge\n";
     os << "scout_" << n << " " << g.value << "\n";
   }
   for (const auto& h : histograms) {
-    const std::string n = prometheus_name(h.name);
+    const std::string n = bench_key(h.name);
+    os << "# HELP scout_" << n << " " << help_for(h.name) << "\n";
     os << "# TYPE scout_" << n << " summary\n";
     os << "scout_" << n << "_count " << h.histogram.count() << "\n";
     os << "scout_" << n << "_sum " << h.histogram.sum() << "\n";
@@ -205,9 +232,13 @@ void MetricsRegistry::reset() {
 }
 
 std::string bench_key(std::string_view metric_name) {
+  // Prometheus metric names allow [a-zA-Z0-9_:]; every separator scout
+  // uses in metric names ('.', '-', '/') flattens to '_'. Bench records
+  // and the exposition format share this mapping so a series has exactly
+  // one exported spelling.
   std::string out{metric_name};
   for (char& c : out) {
-    if (c == '.') c = '_';
+    if (c == '.' || c == '-' || c == '/') c = '_';
   }
   return out;
 }

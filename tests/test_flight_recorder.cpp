@@ -1,0 +1,156 @@
+// Flight recorder: bounded-memory ring semantics (wraparound keeps the
+// newest entries, capacity rounds to a power of two and never grows), the
+// JSON dump schema CI validates, and the SCOUT_CHECK abort hook — a death
+// test proves a failing check leaves a parseable flight dump behind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/stream/cause.h"
+#include "src/telemetry/flight_recorder.h"
+
+namespace scout {
+namespace {
+
+using telemetry::FlightRecorder;
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder rec{{.lanes = 1, .capacity_per_lane = 5}};
+  EXPECT_EQ(rec.capacity_per_lane(), 8u);
+  FlightRecorder exact{{.lanes = 1, .capacity_per_lane = 16}};
+  EXPECT_EQ(exact.capacity_per_lane(), 16u);
+  FlightRecorder tiny{{.lanes = 1, .capacity_per_lane = 0}};
+  EXPECT_GE(tiny.capacity_per_lane(), 1u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestEntriesInOrder) {
+  FlightRecorder rec{{.lanes = 1, .capacity_per_lane = 8}};
+  for (int i = 0; i < 20; ++i) {
+    rec.instant(0, "tick", static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  const auto lanes = rec.snapshot();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0].recorded, 20u);
+  // Exactly `capacity` survivors: the newest 8, oldest → newest.
+  ASSERT_EQ(lanes[0].entries.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(lanes[0].entries[i].value,
+                     static_cast<double>(12 + i));
+  }
+}
+
+TEST(FlightRecorder, BoundedMemoryAcrossSustainedRecording) {
+  // Property: no matter how many entries are recorded, a snapshot never
+  // exceeds lanes * capacity — the recorder is a fixed allocation.
+  FlightRecorder rec{{.lanes = 2, .capacity_per_lane = 16}};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      rec.instant(static_cast<std::size_t>(i % 2), "spin",
+                  static_cast<double>(i));
+    }
+    const auto lanes = rec.snapshot();
+    ASSERT_EQ(lanes.size(), 2u);
+    for (const auto& lane : lanes) {
+      EXPECT_LE(lane.entries.size(), rec.capacity_per_lane());
+    }
+  }
+  EXPECT_EQ(rec.total_recorded(), 5000u);
+}
+
+TEST(FlightRecorder, LanesRecordIndependently) {
+  FlightRecorder rec{{.lanes = 3, .capacity_per_lane = 8}};
+  rec.instant(0, "a", 1);
+  rec.instant(2, "c", 3);
+  rec.instant(2, "c2", 4);
+  const auto lanes = rec.snapshot();
+  ASSERT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes[0].entries.size(), 1u);
+  EXPECT_TRUE(lanes[1].entries.empty());
+  EXPECT_EQ(lanes[2].entries.size(), 2u);
+}
+
+TEST(FlightRecorder, NamesTruncateInsteadOfOverflowing) {
+  FlightRecorder rec{{.lanes = 1, .capacity_per_lane = 4}};
+  rec.instant(0, "a-name-far-longer-than-the-inline-capacity", 0);
+  const auto lanes = rec.snapshot();
+  ASSERT_EQ(lanes[0].entries.size(), 1u);
+  const std::string name = lanes[0].entries[0].name;
+  EXPECT_LT(name.size(), FlightRecorder::kNameCapacity);
+  EXPECT_EQ(name.substr(0, 6), "a-name");
+}
+
+TEST(FlightRecorder, JsonDumpCarriesSchemaAndDecodedCauses) {
+  FlightRecorder rec{{.lanes = 1, .capacity_per_lane = 8}};
+  FlightRecorder::Entry e;
+  e.kind = FlightRecorder::EntryKind::kEvent;
+  FlightRecorder::set_name(e, "rule_evicted");
+  e.seq = 42;
+  e.sw = 7;
+  e.sim_ms = 1000;
+  e.cause = stream::CauseId::make(stream::CauseEngine::kGray, 3).raw();
+  rec.record(0, e);
+  rec.span(0, "drain", 1.25, /*batch=*/9);
+
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"scout-flight-recorder-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule_evicted\""), std::string::npos);
+  // Causes decode to the engine#ordinal labels the incident log uses.
+  EXPECT_NE(json.find("gray#3"), std::string::npos);
+  EXPECT_NE(json.find("\"drain\""), std::string::npos);
+}
+
+[[noreturn]] void crash_with_flight_dump(const std::string& path) {
+  FlightRecorder rec{{.lanes = 1, .capacity_per_lane = 32}};
+  rec.instant(0, "before_crash", 17);
+  rec.arm_abort_dump(path);
+  SCOUT_CHECK(false, "flight-recorder death test");
+  std::abort();  // unreachable; satisfies [[noreturn]]
+}
+
+TEST(FlightRecorderDeathTest, FailedCheckDumpsParseableFlight) {
+  const std::string path = "flight_abort_dump_test.json";
+  std::remove(path.c_str());
+  EXPECT_DEATH(crash_with_flight_dump(path),
+               "flight-recorder death test");
+  // The death-test child wrote the dump on its way down; parse it here.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "abort hook did not write " << path;
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"scout-flight-recorder-v1\""), std::string::npos);
+  EXPECT_NE(content.find("\"before_crash\""), std::string::npos);
+  EXPECT_EQ(content.front(), '{');
+  // Balanced braces is the cheap proxy for "json.tool would accept it";
+  // CI runs the real validator on the scoutctl dump.
+  long depth = 0;
+  for (const char c : content) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(FlightRecorder, DisarmedDestructorLeavesHookClear) {
+  // Arming then destroying must disarm: a later recorder can arm again
+  // and a check failure after destruction must not touch freed memory.
+  const std::string path = "flight_disarm_test.json";
+  {
+    FlightRecorder rec{{.lanes = 1, .capacity_per_lane = 4}};
+    rec.arm_abort_dump(path);
+  }
+  FlightRecorder::disarm_abort_dump();  // idempotent
+  std::remove(path.c_str());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace scout

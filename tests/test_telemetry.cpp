@@ -3,6 +3,7 @@
 // span nesting, and the export formats CI validates.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,111 @@ TEST(Metrics, BenchKeyMapsDotsToUnderscores) {
   EXPECT_EQ(telemetry::bench_key("bdd.unique_load"), "bdd_unique_load");
   EXPECT_EQ(telemetry::bench_key("stream.full_rebuilds"),
             "stream_full_rebuilds");
+}
+
+TEST(Metrics, BenchKeySanitizesEverySeparatorPrometheusRejects) {
+  // bench_key is the single name-mangling rule shared by the bench
+  // records and the Prometheus exposition: '.', '-', '/' all flatten.
+  EXPECT_EQ(telemetry::bench_key("tcam.evictions.lru-touch"),
+            "tcam_evictions_lru_touch");
+  EXPECT_EQ(telemetry::bench_key("io/read.bytes"), "io_read_bytes");
+}
+
+TEST(Metrics, PrometheusExpositionConformance) {
+  MetricsRegistry reg{1};
+  reg.add_counter("tcam.evictions.lru-touch", 5);
+  reg.add_counter("stream.batches", 3);
+  reg.set_gauge("health.status", 1.0);
+  reg.histogram("stream.wall_latency_ms").record(2.0);
+  const std::string prom = reg.snapshot().to_prometheus();
+
+  // Every series carries a # HELP line and a # TYPE line, in that order,
+  // under the sanitized name.
+  for (const char* series :
+       {"scout_tcam_evictions_lru_touch", "scout_stream_batches",
+        "scout_health_status", "scout_stream_wall_latency_ms"}) {
+    const std::string help = std::string{"# HELP "} + series + " ";
+    const std::string type = std::string{"# TYPE "} + series + " ";
+    const std::size_t help_at = prom.find(help);
+    const std::size_t type_at = prom.find(type);
+    EXPECT_NE(help_at, std::string::npos) << series;
+    EXPECT_NE(type_at, std::string::npos) << series;
+    EXPECT_LT(help_at, type_at) << series;
+  }
+  EXPECT_NE(prom.find("# TYPE scout_tcam_evictions_lru_touch counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE scout_health_status gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE scout_stream_wall_latency_ms summary"),
+            std::string::npos);
+
+  // No exported name may contain a character outside [a-zA-Z0-9_:].
+  std::size_t pos = 0;
+  while ((pos = prom.find("scout_", pos)) != std::string::npos) {
+    std::size_t end = pos;
+    while (end < prom.size() &&
+           (std::isalnum(static_cast<unsigned char>(prom[end])) != 0 ||
+            prom[end] == '_' || prom[end] == ':')) {
+      ++end;
+    }
+    // The name terminates at whitespace, '{', or the line break.
+    EXPECT_TRUE(end == prom.size() || prom[end] == ' ' ||
+                prom[end] == '{' || prom[end] == '\n')
+        << "unsanitized char '" << prom[end] << "' after "
+        << prom.substr(pos, end - pos);
+    pos = end;
+  }
+}
+
+// Satellite: per-switch churn gauges are capped at the K busiest switches
+// with the remainder conserved in stream.churn.other — cardinality stays
+// O(K), not O(fabric), and nothing is silently dropped.
+TEST(Telemetry, ChurnGaugeCardinalityCappedWithConservation) {
+  MonitoringOptions options;
+  options.profile = GeneratorProfile::scaled(16);
+  options.profile.target_pairs = 16 * 30;
+  options.events = 200;
+  options.batch_ops = 12;
+  options.seed = 21;
+  options.localize_final = false;
+  runtime::SerialExecutor executor;
+
+  auto churn_sum = [](const MetricsSnapshot& snap) {
+    double total = 0;
+    for (const auto& g : snap.gauges) {
+      if (g.name.rfind("stream.churn.sw", 0) == 0 ||
+          g.name == "stream.churn.other") {
+        total += g.value;
+      }
+    }
+    return total;
+  };
+  auto nonzero_sw_gauges = [](const MetricsSnapshot& snap) {
+    std::size_t n = 0;
+    for (const auto& g : snap.gauges) {
+      if (g.name.rfind("stream.churn.sw", 0) == 0 && g.value > 0) ++n;
+    }
+    return n;
+  };
+
+  MonitoringOptions capped = options;
+  capped.churn_top_k = 4;
+  const MonitoringReport small = run_continuous_monitoring(capped, executor);
+  EXPECT_LE(nonzero_sw_gauges(small.telemetry), 4u);
+
+  MonitoringOptions uncapped = options;
+  uncapped.churn_top_k = 1024;  // larger than any fabric here
+  const MonitoringReport big = run_continuous_monitoring(uncapped, executor);
+  EXPECT_DOUBLE_EQ(big.telemetry.gauge("stream.churn.other"), 0.0);
+  EXPECT_GT(nonzero_sw_gauges(big.telemetry), 4u);
+
+  // Same seed, same churn: top-K + other must conserve the total.
+  EXPECT_DOUBLE_EQ(churn_sum(small.telemetry), churn_sum(big.telemetry));
+  EXPECT_GT(churn_sum(small.telemetry), 0.0);
+  EXPECT_GT(small.telemetry.gauge("stream.churn.other"), 0.0);
+  // The capped run's digest is the uncapped run's digest: gauge
+  // cardinality is pure telemetry.
+  EXPECT_EQ(small.verdict_digest, big.verdict_digest);
 }
 
 TEST(Metrics, ExportFormats) {
